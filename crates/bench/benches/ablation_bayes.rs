@@ -1,0 +1,118 @@
+//! Experiment A2: ablations of the Bayesian machinery — sigma factor
+//! (the paper's 3 = 99.7% bound), Monte-Carlo sample count (the paper's
+//! 10) and dropout rate (the paper's 0.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_bench::{benchmark_dataset, trained_model};
+use el_monitor::{bayesian_segment, MonitorQuality, MonitorRule};
+use el_scene::Split;
+use el_seg::segment;
+use std::hint::black_box;
+
+fn quality_for(
+    rule: MonitorRule,
+    samples: usize,
+    dropout: Option<f32>,
+    split: Split,
+) -> MonitorQuality {
+    let ds = benchmark_dataset();
+    let mut net = trained_model();
+    if let Some(rate) = dropout {
+        net.set_dropout(rate);
+    }
+    let mut q = MonitorQuality::default();
+    for s in ds.split(split) {
+        // Core prediction always with the deployed (0.5-dropout) weights
+        // in Eval mode — dropout only affects the stochastic passes.
+        let core = segment(&mut net, &s.image);
+        let core_safe = core.labels.map(|c| !c.is_busy_road());
+        let stats = bayesian_segment(&mut net, &s.image, samples, 42);
+        q.accumulate(&s.labels, &core_safe, &rule.warning_map(&stats));
+    }
+    q
+}
+
+fn print_tables() {
+    eprintln!("\n===== A2a: sigma-factor sweep (paper: 3 = 99.7% confidence) =====");
+    eprintln!(
+        "{:>8} | {:>9} {:>9} | {:>9} {:>9}",
+        "k", "miss(OOD)", "fa(OOD)", "miss(ID)", "fa(ID)"
+    );
+    for k in [0.0f32, 1.0, 2.0, 3.0, 4.0] {
+        let rule = MonitorRule {
+            tau: 0.125,
+            sigma_factor: k,
+        };
+        let ood = quality_for(rule, 10, None, Split::Ood);
+        let id = quality_for(rule, 10, None, Split::Test);
+        let mark = if k == 3.0 { "  <- paper" } else { "" };
+        eprintln!(
+            "{:>8.1} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}{}",
+            k,
+            ood.miss_coverage().unwrap_or(f64::NAN),
+            ood.false_alarm_rate().unwrap_or(f64::NAN),
+            id.miss_coverage().unwrap_or(f64::NAN),
+            id.false_alarm_rate().unwrap_or(f64::NAN),
+            mark
+        );
+    }
+
+    eprintln!("\n===== A2b: Monte-Carlo sample count (paper: 10) =====");
+    eprintln!(
+        "{:>8} | {:>9} {:>9}",
+        "N", "miss(OOD)", "fa(ID)"
+    );
+    for n in [1usize, 2, 5, 10, 20] {
+        let rule = MonitorRule::paper();
+        let ood = quality_for(rule, n, None, Split::Ood);
+        let id = quality_for(rule, n, None, Split::Test);
+        let mark = if n == 10 { "  <- paper" } else { "" };
+        eprintln!(
+            "{:>8} | {:>9.3} {:>9.3}{}",
+            n,
+            ood.miss_coverage().unwrap_or(f64::NAN),
+            id.false_alarm_rate().unwrap_or(f64::NAN),
+            mark
+        );
+    }
+
+    eprintln!("\n===== A2c: inference-time dropout rate (paper: 0.5) =====");
+    eprintln!(
+        "{:>8} | {:>9} {:>9}",
+        "p", "miss(OOD)", "fa(ID)"
+    );
+    for p in [0.1f32, 0.3, 0.5, 0.7] {
+        let rule = MonitorRule::paper();
+        let ood = quality_for(rule, 10, Some(p), Split::Ood);
+        let id = quality_for(rule, 10, Some(p), Split::Test);
+        let mark = if p == 0.5 { "  <- paper" } else { "" };
+        eprintln!(
+            "{:>8.1} | {:>9.3} {:>9.3}{}",
+            p,
+            ood.miss_coverage().unwrap_or(f64::NAN),
+            id.false_alarm_rate().unwrap_or(f64::NAN),
+            mark
+        );
+    }
+    eprintln!(
+        "reading: k=0 (point estimate) loses OOD coverage; N=1 gives no sigma; higher p raises coverage at availability cost."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let ds = benchmark_dataset();
+    let mut net = trained_model();
+    let sample = ds.split(Split::Test).next().unwrap();
+    let mut group = c.benchmark_group("ablation_bayes");
+    group.sample_size(10);
+    for n in [1usize, 5, 10] {
+        group.bench_function(format!("mc_samples_{n}"), |b| {
+            b.iter(|| black_box(bayesian_segment(&mut net, &sample.image, n, 42)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment A1: the tau = 0.125 threshold choice.
+//!
+//! The paper picks tau = 0.125 = 1/8 "to make sure that the road score is
+//! lower than a random guess" over the eight UAVid classes. This ablation
+//! sweeps tau and traces the monitor's operating curve: dangerous-miss
+//! coverage (safety) against false-alarm rate (availability), in and out
+//! of distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_bench::{benchmark_dataset, trained_model};
+use el_monitor::{bayesian_segment, BayesStats, MonitorQuality, MonitorRule};
+use el_scene::{Sample, Split};
+use el_seg::segment;
+use std::hint::black_box;
+
+/// Precomputed per-sample statistics so the sweep reuses the expensive
+/// Bayesian passes.
+fn precompute(split: Split) -> Vec<(Sample, el_geom::Grid<bool>, BayesStats)> {
+    let ds = benchmark_dataset();
+    let mut net = trained_model();
+    ds.split(split)
+        .map(|s| {
+            let core = segment(&mut net, &s.image);
+            let core_safe = core.labels.map(|c| !c.is_busy_road());
+            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            (s.clone(), core_safe, stats)
+        })
+        .collect()
+}
+
+fn sweep(split: Split, data: &[(Sample, el_geom::Grid<bool>, BayesStats)]) {
+    eprintln!("-- split {split:?} --");
+    eprintln!(
+        "{:>8} {:>14} {:>12} {:>14}",
+        "tau", "miss-coverage", "false-alarm", "road-recall"
+    );
+    for tau in [0.02f32, 0.05, 0.08, 0.125, 0.2, 0.3, 0.5] {
+        let rule = MonitorRule {
+            tau,
+            sigma_factor: 3.0,
+        };
+        let mut q = MonitorQuality::default();
+        for (sample, core_safe, stats) in data {
+            q.accumulate(&sample.labels, core_safe, &rule.warning_map(stats));
+        }
+        let mark = if (tau - 0.125).abs() < 1e-6 { "  <- paper" } else { "" };
+        eprintln!(
+            "{:>8.3} {:>14.3} {:>12.3} {:>14.3}{}",
+            tau,
+            q.miss_coverage().unwrap_or(f64::NAN),
+            q.false_alarm_rate().unwrap_or(f64::NAN),
+            q.road_warning_recall().unwrap_or(f64::NAN),
+            mark
+        );
+    }
+}
+
+fn print_tables() {
+    eprintln!("\n===== A1: tau sweep (paper: tau = 0.125 = 1/8 classes) =====");
+    let test = precompute(Split::Test);
+    let ood = precompute(Split::Ood);
+    sweep(Split::Test, &test);
+    sweep(Split::Ood, &ood);
+    eprintln!(
+        "reading: smaller tau -> more coverage and more false alarms; tau=1/8 keeps the road score below a uniform guess."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let data = precompute(Split::Test);
+    let (_, _, stats) = &data[0];
+    let rule = MonitorRule::paper();
+    c.bench_function("monitor/warning_map_256", |b| {
+        b.iter(|| black_box(rule.warning_map(stats)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Experiment F2: the Figure 2 safety architecture end to end —
+//! accept / retry / abort statistics for the monitored pipeline vs the
+//! unmonitored baseline and the classical edge-density selector, in and
+//! out of distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_bench::{benchmark_dataset, trained_model};
+use el_core::pipeline::edge_density_zones;
+use el_core::{assess_zone, ElPipeline, FinalDecision, PipelineConfig};
+use el_scene::Split;
+use std::hint::black_box;
+
+struct Tally {
+    landed: usize,
+    aborted: usize,
+    fatal: usize,
+    high_risk: usize,
+    trials: usize,
+    total: usize,
+}
+
+fn run_pipeline(config: PipelineConfig, split: Split) -> Tally {
+    let ds = benchmark_dataset();
+    let mut pipeline = ElPipeline::new(trained_model(), config);
+    let mut t = Tally {
+        landed: 0,
+        aborted: 0,
+        fatal: 0,
+        high_risk: 0,
+        trials: 0,
+        total: 0,
+    };
+    for (i, s) in ds.split(split).enumerate() {
+        let outcome = pipeline.run(&s.image, 9000 + i as u64);
+        t.total += 1;
+        t.trials += outcome.trials.len();
+        match outcome.decision {
+            FinalDecision::Land(zone) => {
+                t.landed += 1;
+                let a = assess_zone(&s.labels, zone.rect);
+                if a.fatal {
+                    t.fatal += 1;
+                }
+                if a.contains_high_risk {
+                    t.high_risk += 1;
+                }
+            }
+            FinalDecision::Abort(_) => t.aborted += 1,
+        }
+    }
+    t
+}
+
+fn print_tables() {
+    eprintln!("\n===== F2: Figure 2 pipeline end-to-end (benchmark model) =====");
+    eprintln!(
+        "{:<24} {:<6} {:>6} {:>6} {:>6} {:>9} {:>7}",
+        "pipeline", "split", "landed", "abort", "fatal", "high-risk", "trials"
+    );
+    for (name, config) in [
+        ("monitored (25% tol)", PipelineConfig::benchmark()),
+        ("unmonitored", PipelineConfig::benchmark().unmonitored()),
+    ] {
+        for split in [Split::Test, Split::Ood] {
+            let t = run_pipeline(config.clone(), split);
+            eprintln!(
+                "{:<24} {:<6} {:>6} {:>6} {:>6} {:>9} {:>7}",
+                name,
+                format!("{split:?}"),
+                t.landed,
+                t.aborted,
+                t.fatal,
+                t.high_risk,
+                t.trials
+            );
+        }
+    }
+    // Classical baseline: edge-density window selection, graded against
+    // ground truth. Semantically blind — it happily proposes smooth
+    // asphalt.
+    let ds = benchmark_dataset();
+    eprintln!("\nedge-density baseline (Mejias-style, semantically blind):");
+    for split in [Split::Test, Split::Ood] {
+        let mut fatal = 0;
+        let mut high_risk = 0;
+        let mut total = 0;
+        for s in ds.split(split) {
+            let zones = edge_density_zones(&s.image, &el_core::ZoneParams::default_urban());
+            if let Some(z) = zones.first() {
+                total += 1;
+                let a = assess_zone(&s.labels, z.rect);
+                if a.fatal {
+                    fatal += 1;
+                }
+                if a.contains_high_risk {
+                    high_risk += 1;
+                }
+            }
+        }
+        eprintln!(
+            "  {split:?}: {total} selections, {fatal} fatal, {high_risk} high-risk"
+        );
+    }
+    eprintln!(
+        "shape check (paper): monitored pipeline must confirm zones in distribution and reject/abort under the OOD shift."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let ds = benchmark_dataset();
+    let sample = ds.split(Split::Test).next().unwrap();
+    let mut monitored = ElPipeline::new(trained_model(), PipelineConfig::benchmark());
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("pipeline_run_256", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(monitored.run(&sample.image, seed))
+        })
+    });
+    group.bench_function("edge_density_zones_256", |b| {
+        b.iter(|| {
+            black_box(edge_density_zones(
+                &sample.image,
+                &el_core::ZoneParams::default_urban(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment F3: the synthetic UAVid-like dataset — class distribution
+//! and rendering statistics (the stand-in for the paper's Figure 3
+//! dataset description).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_bench::benchmark_dataset;
+use el_geom::SemanticClass;
+use el_scene::render::channel_means;
+use el_scene::{Conditions, Scene, SceneParams, Split};
+use std::hint::black_box;
+
+fn print_tables() {
+    let ds = benchmark_dataset();
+    eprintln!("\n===== F3: synthetic dataset class distribution (per split) =====");
+    eprintln!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "class", "train", "test", "ood"
+    );
+    let train = ds.class_fractions(Split::Train);
+    let test = ds.class_fractions(Split::Test);
+    let ood = ds.class_fractions(Split::Ood);
+    for c in SemanticClass::ALL {
+        eprintln!(
+            "{:<16} {:>7.3}% {:>7.3}% {:>7.3}%",
+            c.name(),
+            100.0 * train[c.index()],
+            100.0 * test[c.index()],
+            100.0 * ood[c.index()]
+        );
+    }
+    let weights = ds.train_class_weights();
+    eprintln!("inverse-frequency class weights (training):");
+    for c in SemanticClass::ALL {
+        eprintln!("  {:<16} {:.3}", c.name(), weights[c.index()]);
+    }
+    // Rendering shift: channel means nominal vs sunset (the OOD shift).
+    let scene = Scene::generate(&SceneParams::default_urban(), 3);
+    let nominal = channel_means(&scene.render(&Conditions::nominal(), 5));
+    let sunset = channel_means(&scene.render(&Conditions::sunset(), 5));
+    eprintln!(
+        "channel means nominal  R {:.3} G {:.3} B {:.3}",
+        nominal[0], nominal[1], nominal[2]
+    );
+    eprintln!(
+        "channel means sunset   R {:.3} G {:.3} B {:.3}  (warm shift: B drops most)",
+        sunset[0], sunset[1], sunset[2]
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let params = SceneParams::default_urban();
+    c.bench_function("scene/generate_256", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(Scene::generate(&params, seed))
+        })
+    });
+    let scene = Scene::generate(&params, 11);
+    c.bench_function("scene/render_256", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(scene.render(&Conditions::nominal(), seed))
+        })
+    });
+    c.bench_function("scene/busy_road_mask", |b| {
+        b.iter(|| black_box(scene.busy_road()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

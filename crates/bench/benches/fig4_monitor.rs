@@ -1,0 +1,91 @@
+//! Experiment F4a/F4b: the paper's central Figure 4 claim, quantified.
+//!
+//! Figure 4a (in-distribution): the core model performs well and the
+//! monitor raises few warnings on safe areas. Figure 4b (sunset OOD): the
+//! core model "clearly fails", yet the monitor "triggers an uncertainty
+//! warning for a large part of the road areas that was not covered by the
+//! core model" while raising no warning on genuinely safe zones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_bench::{benchmark_dataset, trained_model};
+use el_monitor::{bayesian_segment, MonitorQuality, MonitorRule};
+use el_scene::Split;
+use el_seg::segment;
+use el_seg::train::evaluate_split;
+use std::hint::black_box;
+
+fn print_tables() {
+    let ds = benchmark_dataset();
+    let mut net = trained_model();
+    eprintln!("\n===== F4: core function quality (paper: good on UAVid test, fails OOD) =====");
+    for split in [Split::Test, Split::Ood] {
+        let cm = evaluate_split(&mut net, ds, split);
+        eprintln!(
+            "{split:?}: pixel-acc {:.3}  mean-IoU {:.3}  busy-road recall {:.3}",
+            cm.pixel_accuracy(),
+            cm.mean_iou(),
+            cm.busy_road_recall().unwrap_or(f64::NAN)
+        );
+    }
+    eprintln!("\n===== F4: Bayesian monitor (10 MC samples, tau=0.125, mu+3sigma <= tau) =====");
+    let rule = MonitorRule::paper();
+    for split in [Split::Test, Split::Ood] {
+        let mut q = MonitorQuality::default();
+        let mut sigma = 0.0;
+        let mut n = 0;
+        for s in ds.split(split) {
+            let core = segment(&mut net, &s.image);
+            let core_safe = core.labels.map(|c| !c.is_busy_road());
+            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            sigma += stats.mean_uncertainty();
+            n += 1;
+            q.accumulate(&s.labels, &core_safe, &rule.warning_map(&stats));
+        }
+        eprintln!(
+            "{split:?}: miss-coverage {:.3}  false-alarm {:.3}  road-warning-recall {:.3}  mean-sigma {:.4}",
+            q.miss_coverage().unwrap_or(f64::NAN),
+            q.false_alarm_rate().unwrap_or(f64::NAN),
+            q.road_warning_recall().unwrap_or(f64::NAN),
+            sigma / n as f64
+        );
+    }
+    eprintln!(
+        "shape check (paper Fig 4b): OOD miss-coverage must be 'a large part' (>0.5) and sigma must rise OOD."
+    );
+    // Point-estimate ablation: why the Bayesian sigma term matters.
+    eprintln!("\n===== F4 ablation: point-estimate monitor (sigma term removed) =====");
+    let point = MonitorRule::point_estimate(0.125);
+    for split in [Split::Test, Split::Ood] {
+        let mut q = MonitorQuality::default();
+        for s in ds.split(split) {
+            let core = segment(&mut net, &s.image);
+            let core_safe = core.labels.map(|c| !c.is_busy_road());
+            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            q.accumulate(&s.labels, &core_safe, &point.warning_map(&stats));
+        }
+        eprintln!(
+            "{split:?}: miss-coverage {:.3}  false-alarm {:.3}",
+            q.miss_coverage().unwrap_or(f64::NAN),
+            q.false_alarm_rate().unwrap_or(f64::NAN)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let ds = benchmark_dataset();
+    let mut net = trained_model();
+    let sample = ds.split(Split::Test).next().unwrap();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("core_segmentation_256", |b| {
+        b.iter(|| black_box(segment(&mut net, &sample.image)))
+    });
+    group.bench_function("bayesian_10_samples_256", |b| {
+        b.iter(|| black_box(bayesian_segment(&mut net, &sample.image, 10, 42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

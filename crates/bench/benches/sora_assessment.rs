@@ -1,0 +1,67 @@
+//! Experiment S1 + T1/T3/T4: the Section III SORA application to
+//! MEDI DELIVERY and the paper's normative tables.
+//!
+//! Prints the reproduced numbers (paper targets in brackets) and
+//! benchmarks the assessment engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_sora::casestudy::{medi_delivery, paper_numbers};
+use el_sora::report;
+use el_sora::{ElMitigation, Sail};
+use std::hint::black_box;
+
+fn print_tables() {
+    eprintln!("\n===== S1: SORA application to MEDI DELIVERY (paper Section III-D) =====");
+    let n = paper_numbers();
+    eprintln!(
+        "ballistic speed: {:.1} m/s   [paper: 48.5]",
+        n.ballistic_speed_mps
+    );
+    eprintln!(
+        "kinetic energy:  {:.2} kJ    [paper: 8.23]",
+        n.kinetic_energy_kj
+    );
+    eprintln!("intrinsic GRC:   {}          [paper: 6]", n.intrinsic_grc);
+    eprintln!(
+        "initial ARC:     {}      [paper: ARC-c]",
+        n.initial_arc.label()
+    );
+    eprintln!(
+        "SAIL with M3:    {}          [paper: 5]",
+        n.sail_with_m3.map(|s| s.level()).unwrap_or(0)
+    );
+    eprintln!(
+        "SAIL without M3: {}          [paper: 6]",
+        n.sail_without_m3.map(|s| s.level()).unwrap_or(0)
+    );
+    let op = medi_delivery();
+    let with_el = op.assess_with_el(ElMitigation::paper_target());
+    eprintln!(
+        "with EL (active-M1, medium robustness): final GRC {} -> SAIL {}",
+        with_el.final_grc,
+        with_el.sail.map(|s| s.level()).unwrap_or(0)
+    );
+    eprintln!("\n===== T1/T2: severity scale and ground risks =====");
+    eprint!("{}", report::severity_table());
+    eprint!("{}", report::ground_risk_table());
+    eprintln!("\n===== T3/T4: proposed EL criteria =====");
+    eprint!("{}", report::integrity_criteria_table());
+    eprint!("{}", report::assurance_criteria_table());
+    eprintln!("\n===== OSO burden (SORA Table 6) =====");
+    eprint!("{}", report::oso_table(Sail::IV));
+    eprint!("{}", report::oso_table(Sail::V));
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let op = medi_delivery();
+    c.bench_function("sora/full_assessment", |b| {
+        b.iter(|| black_box(op.assess_without_el()))
+    });
+    c.bench_function("sora/assessment_with_el", |b| {
+        b.iter(|| black_box(op.assess_with_el(ElMitigation::paper_target())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

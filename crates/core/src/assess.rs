@@ -1,0 +1,176 @@
+//! Ground-truth assessment of selected zones (experiment harness only).
+//!
+//! The airborne system never sees ground truth; these helpers let the
+//! experiments grade its decisions: did the confirmed zone actually avoid
+//! busy roads (Table II risk R1, severity 5 — the outcome the whole
+//! architecture exists to prevent)?
+
+use el_geom::distance::distance_from;
+use el_geom::{LabelMap, Rect, SemanticClass};
+use serde::{Deserialize, Serialize};
+
+use crate::zone::{is_high_risk, is_landable};
+
+/// Ground-truth verdict on one landing zone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneAssessment {
+    /// The zone rectangle contains at least one true busy-road pixel —
+    /// the potentially *fatal* outcome (risk R1/R2).
+    pub fatal: bool,
+    /// The zone rectangle contains some true high-risk pixel (busy road
+    /// or humans).
+    pub contains_high_risk: bool,
+    /// Minimum true distance (pixels) from the zone centre to a high-risk
+    /// pixel.
+    pub center_clearance_px: f64,
+    /// Fraction of zone pixels on landable ground (vegetation/clutter).
+    pub landable_fraction: f64,
+}
+
+impl ZoneAssessment {
+    /// `true` when the zone satisfies the Table III Low-1 criterion
+    /// against ground truth *and* keeps the required clearance.
+    pub fn is_safe(&self, required_clearance_px: f64) -> bool {
+        !self.contains_high_risk && self.center_clearance_px >= required_clearance_px
+    }
+}
+
+/// Assesses a zone rectangle against ground-truth labels.
+///
+/// # Panics
+///
+/// Panics if `rect` does not intersect the label map.
+pub fn assess_zone(ground_truth: &LabelMap, rect: Rect) -> ZoneAssessment {
+    let clipped = rect.intersect(ground_truth.bounds());
+    assert!(!clipped.is_empty(), "zone {rect} outside the map");
+    let mut fatal = false;
+    let mut high_risk = false;
+    let mut landable = 0usize;
+    for p in clipped.pixels() {
+        let c = ground_truth[p];
+        if c.is_busy_road() {
+            fatal = true;
+        }
+        if is_high_risk(c) {
+            high_risk = true;
+        }
+        if is_landable(c) {
+            landable += 1;
+        }
+    }
+    let dist = distance_from(ground_truth, is_high_risk);
+    let center = clipped.center();
+    ZoneAssessment {
+        fatal,
+        contains_high_risk: high_risk,
+        center_clearance_px: dist[center],
+        landable_fraction: landable as f64 / clipped.area() as f64,
+    }
+}
+
+/// Convenience: `true` when ground truth has any high-risk pixel at all
+/// (if not, every landing is trivially safe and the sample is
+/// uninformative for risk experiments).
+pub fn has_high_risk(ground_truth: &LabelMap) -> bool {
+    ground_truth.iter().any(|&c| is_high_risk(c))
+}
+
+/// Severity of landing in a zone, on the paper's Table I scale (1–5).
+///
+/// - Busy-road pixel in the zone → 5 (catastrophic: ground-vehicle
+///   accident, risk R1).
+/// - Humans in the zone → 4 (major: single fatal injury, risk R2).
+/// - Building/tree contact → 3 when critical infrastructure is assumed,
+///   here graded 2–3: collision with infrastructure (risk R4) → 3.
+/// - Landable ground → 1–2 (no effect / drone damage only).
+pub fn landing_severity(ground_truth: &LabelMap, rect: Rect) -> u8 {
+    let clipped = rect.intersect(ground_truth.bounds());
+    assert!(!clipped.is_empty(), "zone {rect} outside the map");
+    let mut severity = 1u8;
+    for p in clipped.pixels() {
+        let s = match ground_truth[p] {
+            c if c.is_busy_road() => 5,
+            SemanticClass::Humans => 4,
+            SemanticClass::Building => 3,
+            SemanticClass::Tree => 2,
+            _ => 1,
+        };
+        severity = severity.max(s);
+    }
+    severity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::Grid;
+
+    fn grass_with_road() -> LabelMap {
+        Grid::from_fn(32, 32, |x, _| {
+            if x < 4 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::LowVegetation
+            }
+        })
+    }
+
+    #[test]
+    fn safe_zone_far_from_road() {
+        let gt = grass_with_road();
+        let a = assess_zone(&gt, Rect::new(20, 10, 5, 5));
+        assert!(!a.fatal);
+        assert!(!a.contains_high_risk);
+        assert_eq!(a.landable_fraction, 1.0);
+        assert!((a.center_clearance_px - 19.0).abs() < 1e-9); // x=22 center, road ends x=3
+        assert!(a.is_safe(10.0));
+        assert!(!a.is_safe(25.0));
+    }
+
+    #[test]
+    fn zone_on_road_is_fatal() {
+        let gt = grass_with_road();
+        let a = assess_zone(&gt, Rect::new(0, 0, 6, 6));
+        assert!(a.fatal);
+        assert!(a.contains_high_risk);
+        assert!(!a.is_safe(0.0));
+    }
+
+    #[test]
+    fn humans_high_risk_but_not_fatal_flag() {
+        let mut gt: LabelMap = Grid::new(16, 16, SemanticClass::LowVegetation);
+        gt[(8, 8)] = SemanticClass::Humans;
+        let a = assess_zone(&gt, Rect::new(7, 7, 3, 3));
+        assert!(!a.fatal);
+        assert!(a.contains_high_risk);
+        assert_eq!(landing_severity(&gt, Rect::new(7, 7, 3, 3)), 4);
+    }
+
+    #[test]
+    fn severity_scale() {
+        let mut gt: LabelMap = Grid::new(8, 8, SemanticClass::LowVegetation);
+        assert_eq!(landing_severity(&gt, Rect::new(0, 0, 8, 8)), 1);
+        gt[(1, 1)] = SemanticClass::Tree;
+        assert_eq!(landing_severity(&gt, Rect::new(0, 0, 8, 8)), 2);
+        gt[(2, 2)] = SemanticClass::Building;
+        assert_eq!(landing_severity(&gt, Rect::new(0, 0, 8, 8)), 3);
+        gt[(3, 3)] = SemanticClass::Humans;
+        assert_eq!(landing_severity(&gt, Rect::new(0, 0, 8, 8)), 4);
+        gt[(4, 4)] = SemanticClass::MovingCar;
+        assert_eq!(landing_severity(&gt, Rect::new(0, 0, 8, 8)), 5);
+    }
+
+    #[test]
+    fn has_high_risk_detects() {
+        let gt: LabelMap = Grid::new(4, 4, SemanticClass::LowVegetation);
+        assert!(!has_high_risk(&gt));
+        assert!(has_high_risk(&grass_with_road()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the map")]
+    fn zone_outside_panics() {
+        let gt = grass_with_road();
+        let _ = assess_zone(&gt, Rect::new(100, 100, 4, 4));
+    }
+}

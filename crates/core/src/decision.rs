@@ -1,0 +1,209 @@
+//! The decision module of the Figure 2 safety architecture.
+//!
+//! "If the monitor confirms the proposed zone, then the DM will trigger
+//! landing execution. If the zone is rejected by the monitor, the DM will
+//! either request a new trial or abort the flight if an additional trial
+//! cannot be safely performed."
+
+use el_monitor::Verdict;
+use serde::{Deserialize, Serialize};
+
+use crate::zone::Candidate;
+
+/// Decision-module configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionConfig {
+    /// Maximum number of monitor trials before aborting. Bounded because
+    /// each Bayesian verification costs seconds of remaining flight
+    /// autonomy in an emergency.
+    pub max_trials: usize,
+}
+
+impl DecisionConfig {
+    /// The default: three trials, then abort to flight termination.
+    pub fn default_trials() -> Self {
+        DecisionConfig { max_trials: 3 }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_trials == 0 {
+            return Err("max_trials must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        Self::default_trials()
+    }
+}
+
+/// One decision step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Land at the confirmed candidate.
+    Land(Candidate),
+    /// Request the monitor to verify the next candidate.
+    TryNext(Candidate),
+    /// Abort the flight (hand over to flight termination).
+    Abort(AbortReason),
+}
+
+/// Why the decision module aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The core function proposed no candidate at all.
+    NoCandidates,
+    /// Every tried candidate was rejected by the monitor.
+    AllRejected,
+    /// The trial budget was exhausted before confirmation.
+    TrialBudgetExhausted,
+}
+
+/// The sequential decision module.
+///
+/// Feed it monitor verdicts with [`DecisionModule::on_verdict`]; it tracks
+/// the trial budget and the candidate queue.
+#[derive(Debug, Clone)]
+pub struct DecisionModule {
+    config: DecisionConfig,
+    queue: std::collections::VecDeque<Candidate>,
+    trials_used: usize,
+}
+
+impl DecisionModule {
+    /// Creates a decision module over an ordered (best-first) candidate
+    /// list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DecisionConfig::validate`].
+    pub fn new(config: DecisionConfig, candidates: Vec<Candidate>) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid decision configuration: {e}");
+        }
+        DecisionModule {
+            config,
+            queue: candidates.into(),
+            trials_used: 0,
+        }
+    }
+
+    /// Number of monitor trials consumed so far.
+    pub fn trials_used(&self) -> usize {
+        self.trials_used
+    }
+
+    /// The first decision: which candidate to verify first, or abort if
+    /// there is none.
+    pub fn first(&mut self) -> Decision {
+        match self.queue.pop_front() {
+            Some(c) => {
+                self.trials_used += 1;
+                Decision::TryNext(c)
+            }
+            None => Decision::Abort(AbortReason::NoCandidates),
+        }
+    }
+
+    /// Advances the decision process with the monitor's verdict for the
+    /// candidate last returned by [`first`](DecisionModule::first) or
+    /// `on_verdict`.
+    pub fn on_verdict(&mut self, candidate: Candidate, verdict: Verdict) -> Decision {
+        match verdict {
+            Verdict::Confirmed => Decision::Land(candidate),
+            Verdict::Rejected => {
+                if self.trials_used >= self.config.max_trials {
+                    return Decision::Abort(AbortReason::TrialBudgetExhausted);
+                }
+                match self.queue.pop_front() {
+                    Some(next) => {
+                        self.trials_used += 1;
+                        Decision::TryNext(next)
+                    }
+                    None => Decision::Abort(AbortReason::AllRejected),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::{Point, Rect};
+
+    fn candidate(id: i64) -> Candidate {
+        Candidate {
+            center: Point::new(id, id),
+            rect: Rect::centered_square(Point::new(id, id), 3),
+            clearance_px: 5.0,
+            region_area: 50,
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_candidates_abort_immediately() {
+        let mut dm = DecisionModule::new(DecisionConfig::default(), vec![]);
+        assert_eq!(dm.first(), Decision::Abort(AbortReason::NoCandidates));
+    }
+
+    #[test]
+    fn confirmed_first_candidate_lands() {
+        let mut dm = DecisionModule::new(DecisionConfig::default(), vec![candidate(1)]);
+        let Decision::TryNext(c) = dm.first() else {
+            panic!("expected a trial");
+        };
+        assert_eq!(dm.on_verdict(c.clone(), Verdict::Confirmed), Decision::Land(c));
+        assert_eq!(dm.trials_used(), 1);
+    }
+
+    #[test]
+    fn rejection_moves_to_next_candidate() {
+        let mut dm =
+            DecisionModule::new(DecisionConfig::default(), vec![candidate(1), candidate(2)]);
+        let Decision::TryNext(c1) = dm.first() else {
+            panic!()
+        };
+        let Decision::TryNext(c2) = dm.on_verdict(c1, Verdict::Rejected) else {
+            panic!("expected second trial");
+        };
+        assert_eq!(c2.center, Point::new(2, 2));
+        assert_eq!(
+            dm.on_verdict(c2, Verdict::Rejected),
+            Decision::Abort(AbortReason::AllRejected)
+        );
+        assert_eq!(dm.trials_used(), 2);
+    }
+
+    #[test]
+    fn trial_budget_enforced() {
+        let cfg = DecisionConfig { max_trials: 2 };
+        let mut dm = DecisionModule::new(cfg, (0..5).map(candidate).collect());
+        let Decision::TryNext(c1) = dm.first() else {
+            panic!()
+        };
+        let Decision::TryNext(c2) = dm.on_verdict(c1, Verdict::Rejected) else {
+            panic!()
+        };
+        // Budget (2) now exhausted; a third rejection aborts even though
+        // candidates remain.
+        assert_eq!(
+            dm.on_verdict(c2, Verdict::Rejected),
+            Decision::Abort(AbortReason::TrialBudgetExhausted)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid decision configuration")]
+    fn zero_trials_rejected() {
+        let _ = DecisionModule::new(DecisionConfig { max_trials: 0 }, vec![]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parachute-drift safety buffers (integrity criterion Medium-1).
+//!
+//! The paper's Table III requires that "the geometry of the selected
+//! landing zone take into account the conditions of operation that may
+//! influence the deviation during the landing maneuver (potentially
+//! performed by a parachute)" — for example, "if the UAV lands with
+//! parachute opened at a given altitude, the buffer from roads must take
+//! into account the typical parachute drift in nominal conditions"; the
+//! Medium level additionally accounts for wind, improbable single
+//! failures and UAV latencies.
+
+use el_scene::Camera;
+use serde::{Deserialize, Serialize};
+
+use crate::requirements::IntegrityLevel;
+
+/// A ballistic-with-parachute descent and drift model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftModel {
+    /// Altitude (m, AGL) at which the parachute opens.
+    pub deploy_altitude_m: f64,
+    /// Steady descent rate under canopy (m/s).
+    pub descent_rate_mps: f64,
+    /// Fraction of the horizontal wind speed the canopy acquires
+    /// (1 = drifts with the wind).
+    pub wind_coupling: f64,
+    /// Horizontal speed of the UAV when the maneuver triggers (m/s) —
+    /// combined with `reaction_latency_s`, it displaces the descent start.
+    pub approach_speed_mps: f64,
+    /// Latency (s) between the landing decision and the engine cut /
+    /// parachute deployment (Table III Medium-1: "UAV latencies").
+    pub reaction_latency_s: f64,
+}
+
+impl DriftModel {
+    /// A model matching the MEDI DELIVERY platform: deploy at 120 m,
+    /// 4 m/s canopy sink, full wind coupling, 10 m/s cruise, 0.5 s
+    /// reaction.
+    pub fn medi_delivery() -> Self {
+        DriftModel {
+            deploy_altitude_m: 120.0,
+            descent_rate_mps: 4.0,
+            wind_coupling: 1.0,
+            approach_speed_mps: 10.0,
+            reaction_latency_s: 0.5,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deploy_altitude_m <= 0.0 {
+            return Err("deploy altitude must be positive".into());
+        }
+        if self.descent_rate_mps <= 0.0 {
+            return Err("descent rate must be positive".into());
+        }
+        if !(0.0..=1.5).contains(&self.wind_coupling) {
+            return Err("wind coupling must be in [0, 1.5]".into());
+        }
+        if self.approach_speed_mps < 0.0 || self.reaction_latency_s < 0.0 {
+            return Err("speeds and latencies must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Time under canopy (s).
+    pub fn descent_time_s(&self) -> f64 {
+        self.deploy_altitude_m / self.descent_rate_mps
+    }
+
+    /// Horizontal drift during descent for a given wind (m).
+    pub fn wind_drift_m(&self, wind_speed_mps: f64) -> f64 {
+        self.descent_time_s() * wind_speed_mps.max(0.0) * self.wind_coupling
+    }
+
+    /// Displacement travelled during the reaction latency (m).
+    pub fn latency_displacement_m(&self) -> f64 {
+        self.approach_speed_mps * self.reaction_latency_s
+    }
+
+    /// Total required clearance (m) from high-risk areas at the given
+    /// integrity level.
+    ///
+    /// - [`IntegrityLevel::Low`]: drift in *nominal* wind plus latency
+    ///   displacement (Table III Low: "effective under the conditions of
+    ///   the operation").
+    /// - [`IntegrityLevel::Medium`] / [`High`](IntegrityLevel::High):
+    ///   adverse wind (gust margin of 1.5x), an improbable-single-failure
+    ///   allowance of 20% on the descent time (e.g. partial canopy), and
+    ///   latency displacement (Table III Medium: wind, failures,
+    ///   latencies).
+    pub fn required_clearance_m(&self, wind_speed_mps: f64, level: IntegrityLevel) -> f64 {
+        match level {
+            IntegrityLevel::Low => {
+                self.wind_drift_m(wind_speed_mps) + self.latency_displacement_m()
+            }
+            IntegrityLevel::Medium | IntegrityLevel::High => {
+                let adverse_wind = wind_speed_mps * 1.5;
+                let failure_margin = 1.2;
+                self.wind_drift_m(adverse_wind) * failure_margin + self.latency_displacement_m()
+            }
+        }
+    }
+
+    /// Converts the required clearance into pixels through the camera
+    /// model.
+    pub fn required_clearance_px(
+        &self,
+        wind_speed_mps: f64,
+        level: IntegrityLevel,
+        camera: &Camera,
+    ) -> f64 {
+        camera.meters_to_pixels(self.required_clearance_m(wind_speed_mps, level))
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::medi_delivery()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medi_delivery_validates() {
+        assert!(DriftModel::medi_delivery().validate().is_ok());
+    }
+
+    #[test]
+    fn descent_time() {
+        let m = DriftModel::medi_delivery();
+        assert!((m.descent_time_s() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_scales_with_wind() {
+        let m = DriftModel::medi_delivery();
+        assert_eq!(m.wind_drift_m(0.0), 0.0);
+        assert!((m.wind_drift_m(2.0) - 60.0).abs() < 1e-9);
+        assert!(m.wind_drift_m(4.0) > m.wind_drift_m(2.0));
+        // Negative wind speeds are clamped.
+        assert_eq!(m.wind_drift_m(-3.0), 0.0);
+    }
+
+    #[test]
+    fn medium_clearance_exceeds_low() {
+        let m = DriftModel::medi_delivery();
+        for wind in [0.0, 1.0, 3.0, 6.0] {
+            let low = m.required_clearance_m(wind, IntegrityLevel::Low);
+            let med = m.required_clearance_m(wind, IntegrityLevel::Medium);
+            let high = m.required_clearance_m(wind, IntegrityLevel::High);
+            assert!(med >= low, "wind {wind}");
+            assert_eq!(med, high, "High uses the same geometric criteria as Medium");
+        }
+    }
+
+    #[test]
+    fn clearance_monotone_in_wind() {
+        let m = DriftModel::medi_delivery();
+        let mut prev = -1.0;
+        for w in 0..8 {
+            let c = m.required_clearance_m(w as f64, IntegrityLevel::Medium);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn latency_always_included() {
+        let m = DriftModel::medi_delivery();
+        assert!(
+            m.required_clearance_m(0.0, IntegrityLevel::Low) >= m.latency_displacement_m()
+        );
+        assert_eq!(m.latency_displacement_m(), 5.0);
+    }
+
+    #[test]
+    fn pixel_conversion() {
+        let m = DriftModel::medi_delivery();
+        let cam = Camera::new(120.0, 90.0, 240); // 1 m per px
+        let px = m.required_clearance_px(1.0, IntegrityLevel::Low, &cam);
+        let metres = m.required_clearance_m(1.0, IntegrityLevel::Low);
+        assert!((px - metres).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_models() {
+        let mut m = DriftModel::medi_delivery();
+        m.descent_rate_mps = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = DriftModel::medi_delivery();
+        m.wind_coupling = 2.0;
+        assert!(m.validate().is_err());
+        let mut m = DriftModel::medi_delivery();
+        m.reaction_latency_s = -1.0;
+        assert!(m.validate().is_err());
+    }
+}

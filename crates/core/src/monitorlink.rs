@@ -1,0 +1,91 @@
+//! Cropping candidate zones for the runtime monitor.
+//!
+//! The paper's Section V-B justifies the Figure 2 architecture on cost:
+//! Bayesian (multi-pass) inference over the full 3840x2160 frame takes
+//! over a minute even on a workstation GPU, whereas a 1024x1024 crop
+//! verifies in under five seconds. The core function therefore
+//! pre-selects candidate zones on a *single* deterministic pass, and only
+//! the candidate sub-images go through the expensive Monte-Carlo-dropout
+//! monitor.
+
+use el_geom::Rect;
+use el_scene::Image;
+
+use crate::zone::Candidate;
+
+/// Computes the sub-image rectangle the monitor should verify for a
+/// candidate: the zone inflated by `margin_px` (so the verification sees
+/// the zone *and* its surroundings — the area the UAV could drift into),
+/// clipped to the image.
+pub fn verification_rect(candidate: &Candidate, margin_px: i64, image: &Image) -> Rect {
+    candidate
+        .rect
+        .inflate(margin_px.max(0))
+        .intersect(image.bounds())
+}
+
+/// Crops the verification sub-image for a candidate.
+///
+/// # Panics
+///
+/// Panics if the candidate rect lies entirely outside the image (cannot
+/// happen for candidates produced by
+/// [`propose_zones`](crate::zone::propose_zones) on the same image).
+pub fn crop_for_monitor(candidate: &Candidate, margin_px: i64, image: &Image) -> Image {
+    let rect = verification_rect(candidate, margin_px, image);
+    assert!(
+        !rect.is_empty(),
+        "candidate zone {} does not intersect the image",
+        candidate.rect
+    );
+    image.crop(rect).expect("rect clipped to image bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::{Grid, Point};
+
+    fn candidate(center: Point, half: i64) -> Candidate {
+        Candidate {
+            center,
+            rect: Rect::centered_square(center, 2 * half + 1),
+            clearance_px: 10.0,
+            region_area: 100,
+            score: 1.0,
+        }
+    }
+
+    fn image(w: usize, h: usize) -> Image {
+        Grid::from_fn(w, h, |x, y| [x as f32, y as f32, 0.0])
+    }
+
+    #[test]
+    fn crop_includes_margin() {
+        let img = image(64, 64);
+        let c = candidate(Point::new(32, 32), 4);
+        let crop = crop_for_monitor(&c, 6, &img);
+        assert_eq!(crop.width(), 9 + 12);
+        assert_eq!(crop.height(), 9 + 12);
+        // Top-left pixel of the crop is (32-4-6, 32-4-6) = (22, 22).
+        assert_eq!(crop[(0, 0)], [22.0, 22.0, 0.0]);
+    }
+
+    #[test]
+    fn crop_clips_at_borders() {
+        let img = image(32, 32);
+        let c = candidate(Point::new(2, 2), 3);
+        let crop = crop_for_monitor(&c, 10, &img);
+        // Would start at -11; clipped to 0.
+        assert_eq!(crop[(0, 0)], [0.0, 0.0, 0.0]);
+        assert!(crop.width() <= 32);
+    }
+
+    #[test]
+    fn negative_margin_treated_as_zero() {
+        let img = image(32, 32);
+        let c = candidate(Point::new(16, 16), 3);
+        let r = verification_rect(&c, -5, &img);
+        assert_eq!(r, c.rect);
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's SORA integrity and assurance criteria for emergency
+//! landing (Tables III and IV) as machine-checkable artefacts.
+//!
+//! Table III (integrity — how much risk reduction the EL claims):
+//!
+//! | Level | Criteria for EL (active-M1) |
+//! |---|---|
+//! | Low | 1) selected zones contain no high-risk areas; 2) effective under the conditions of the operation |
+//! | Medium | zone selection accounts for improbable single failures, meteorological conditions (wind), UAV latencies/behaviour/performance |
+//! | High | same as Medium |
+//!
+//! Table IV (assurance — how much confidence in that reduction):
+//!
+//! | Level | Criteria for EL (active-M1) |
+//! |---|---|
+//! | Low | declaration by the applicant |
+//! | Medium | 1) supporting evidence (testing on public datasets, in-context testing); 2) in-context video data verified by authority; 3) **runtime safety monitoring of any ML/vision function** |
+//! | High | 1) third-party validation; 2) extensive validation across external conditions (lighting, weather) |
+
+use serde::{Deserialize, Serialize};
+
+/// SORA integrity level claimed for a mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IntegrityLevel {
+    /// Low integrity.
+    Low,
+    /// Medium integrity.
+    Medium,
+    /// High integrity.
+    High,
+}
+
+/// SORA assurance level demonstrated for a mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AssuranceLevel {
+    /// Low assurance (declaration only).
+    Low,
+    /// Medium assurance (evidence + monitoring).
+    Medium,
+    /// High assurance (third party + condition sweep).
+    High,
+}
+
+/// The validation and design evidence an applicant holds for the EL
+/// system — the inputs to the Table IV assurance determination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssuranceEvidence {
+    /// The applicant declares the claimed integrity is achieved (Low-1).
+    pub declaration: bool,
+    /// The method was tested on public datasets (Medium-1a).
+    pub public_dataset_tested: bool,
+    /// The method was tested in the operational context, with video data
+    /// recorded and verified by the applicable authority (Medium-1b/2).
+    pub in_context_tested: bool,
+    /// Runtime safety monitoring covers every ML/vision function
+    /// (Medium-3) — the paper's Bayesian monitor.
+    pub runtime_monitoring: bool,
+    /// The claimed integrity was validated by a competent third party
+    /// (High-1).
+    pub third_party_validation: bool,
+    /// The method was validated under a wide range of external conditions
+    /// — lighting, weather (High-2).
+    pub multi_condition_validated: bool,
+}
+
+impl AssuranceEvidence {
+    /// The highest assurance level supported by this evidence, or `None`
+    /// if even a declaration is missing.
+    ///
+    /// Levels are cumulative: Medium requires everything Low does, High
+    /// everything Medium does.
+    pub fn assurance_level(&self) -> Option<AssuranceLevel> {
+        if !self.declaration {
+            return None;
+        }
+        let medium = self.public_dataset_tested && self.in_context_tested && self.runtime_monitoring;
+        if !medium {
+            return Some(AssuranceLevel::Low);
+        }
+        if self.third_party_validation && self.multi_condition_validated {
+            Some(AssuranceLevel::High)
+        } else {
+            Some(AssuranceLevel::Medium)
+        }
+    }
+}
+
+/// Design facts about the zone-selection geometry — the inputs to the
+/// Table III integrity determination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntegrityDesign {
+    /// Selected zones are guaranteed free of predicted high-risk areas
+    /// (Low-1) — true by construction for [`crate::zone::propose_zones`].
+    pub zones_avoid_high_risk: bool,
+    /// The method is validated for the conditions of the operation
+    /// (Low-2: specific city, altitude, time of day, season).
+    pub effective_in_conditions: bool,
+    /// Zone clearance accounts for meteorological conditions (Medium:
+    /// wind) — true when the drift buffer uses the adverse-wind model.
+    pub accounts_for_wind: bool,
+    /// Zone clearance accounts for improbable single failures (Medium).
+    pub accounts_for_failures: bool,
+    /// Zone clearance accounts for UAV latencies, behaviour and
+    /// performance (Medium).
+    pub accounts_for_latency: bool,
+}
+
+impl IntegrityDesign {
+    /// The highest integrity level supported by this design, or `None` if
+    /// zones may contain high-risk areas.
+    pub fn integrity_level(&self) -> Option<IntegrityLevel> {
+        if !self.zones_avoid_high_risk || !self.effective_in_conditions {
+            return None;
+        }
+        if self.accounts_for_wind && self.accounts_for_failures && self.accounts_for_latency {
+            // High shares Medium's geometric criteria (Table III); the
+            // High *robustness* differentiation happens on the assurance
+            // side.
+            Some(IntegrityLevel::High)
+        } else {
+            Some(IntegrityLevel::Low)
+        }
+    }
+}
+
+/// The SORA robustness of a mitigation: the *minimum* of integrity and
+/// assurance (SORA Annex B: a mitigation is only as robust as the weaker
+/// of the two).
+pub fn robustness(
+    integrity: IntegrityLevel,
+    assurance: AssuranceLevel,
+) -> IntegrityLevel {
+    let a = match assurance {
+        AssuranceLevel::Low => IntegrityLevel::Low,
+        AssuranceLevel::Medium => IntegrityLevel::Medium,
+        AssuranceLevel::High => IntegrityLevel::High,
+    };
+    integrity.min(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assurance_requires_declaration() {
+        let e = AssuranceEvidence::default();
+        assert_eq!(e.assurance_level(), None);
+        let e = AssuranceEvidence {
+            declaration: true,
+            ..Default::default()
+        };
+        assert_eq!(e.assurance_level(), Some(AssuranceLevel::Low));
+    }
+
+    #[test]
+    fn medium_assurance_requires_monitoring() {
+        // The paper's central argument: without runtime monitoring of the
+        // ML function, Medium assurance is unreachable.
+        let e = AssuranceEvidence {
+            declaration: true,
+            public_dataset_tested: true,
+            in_context_tested: true,
+            runtime_monitoring: false,
+            ..Default::default()
+        };
+        assert_eq!(e.assurance_level(), Some(AssuranceLevel::Low));
+        let e = AssuranceEvidence {
+            runtime_monitoring: true,
+            ..e
+        };
+        assert_eq!(e.assurance_level(), Some(AssuranceLevel::Medium));
+    }
+
+    #[test]
+    fn high_assurance_requires_third_party_and_conditions() {
+        let medium = AssuranceEvidence {
+            declaration: true,
+            public_dataset_tested: true,
+            in_context_tested: true,
+            runtime_monitoring: true,
+            ..Default::default()
+        };
+        assert_eq!(medium.assurance_level(), Some(AssuranceLevel::Medium));
+        let third_party_only = AssuranceEvidence {
+            third_party_validation: true,
+            ..medium
+        };
+        assert_eq!(third_party_only.assurance_level(), Some(AssuranceLevel::Medium));
+        let high = AssuranceEvidence {
+            third_party_validation: true,
+            multi_condition_validated: true,
+            ..medium
+        };
+        assert_eq!(high.assurance_level(), Some(AssuranceLevel::High));
+    }
+
+    #[test]
+    fn integrity_requires_avoiding_high_risk() {
+        let d = IntegrityDesign {
+            zones_avoid_high_risk: false,
+            effective_in_conditions: true,
+            accounts_for_wind: true,
+            accounts_for_failures: true,
+            accounts_for_latency: true,
+        };
+        assert_eq!(d.integrity_level(), None);
+    }
+
+    #[test]
+    fn integrity_levels() {
+        let low = IntegrityDesign {
+            zones_avoid_high_risk: true,
+            effective_in_conditions: true,
+            accounts_for_wind: false,
+            accounts_for_failures: false,
+            accounts_for_latency: false,
+        };
+        assert_eq!(low.integrity_level(), Some(IntegrityLevel::Low));
+        let full = IntegrityDesign {
+            accounts_for_wind: true,
+            accounts_for_failures: true,
+            accounts_for_latency: true,
+            ..low
+        };
+        assert_eq!(full.integrity_level(), Some(IntegrityLevel::High));
+        // Partial Medium criteria don't upgrade beyond Low.
+        let partial = IntegrityDesign {
+            accounts_for_wind: true,
+            ..low
+        };
+        assert_eq!(partial.integrity_level(), Some(IntegrityLevel::Low));
+    }
+
+    #[test]
+    fn robustness_is_the_minimum() {
+        assert_eq!(
+            robustness(IntegrityLevel::High, AssuranceLevel::Low),
+            IntegrityLevel::Low
+        );
+        assert_eq!(
+            robustness(IntegrityLevel::Low, AssuranceLevel::High),
+            IntegrityLevel::Low
+        );
+        assert_eq!(
+            robustness(IntegrityLevel::Medium, AssuranceLevel::Medium),
+            IntegrityLevel::Medium
+        );
+        assert_eq!(
+            robustness(IntegrityLevel::High, AssuranceLevel::High),
+            IntegrityLevel::High
+        );
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(IntegrityLevel::Low < IntegrityLevel::Medium);
+        assert!(IntegrityLevel::Medium < IntegrityLevel::High);
+        assert!(AssuranceLevel::Low < AssuranceLevel::High);
+    }
+}

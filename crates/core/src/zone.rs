@@ -1,0 +1,292 @@
+//! Candidate landing-zone proposal — the core function of Figure 2.
+
+use el_geom::components::{label_components, Connectivity};
+use el_geom::distance::distance_from;
+use el_geom::{Grid, LabelMap, Point, Rect, SemanticClass};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the zone proposer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneParams {
+    /// Required clearance (pixels) from any predicted busy-road or human
+    /// pixel. Computed from the parachute drift model (see
+    /// [`crate::drift`]).
+    pub clearance_px: f64,
+    /// Half-side (pixels) of the proposed square landing zone.
+    pub zone_half_side: i64,
+    /// Minimum area (pixels) of a connected safe region to be considered.
+    pub min_area_px: usize,
+    /// Maximum number of candidates returned (best first).
+    pub max_candidates: usize,
+}
+
+impl ZoneParams {
+    /// Defaults for 256 px scenes at 0.5 m/px: 10 m clearance, 8 m zones.
+    pub fn default_urban() -> Self {
+        ZoneParams {
+            clearance_px: 20.0,
+            zone_half_side: 8,
+            min_area_px: 64,
+            max_candidates: 5,
+        }
+    }
+
+    /// Small-scene parameters for unit tests.
+    pub fn small() -> Self {
+        ZoneParams {
+            clearance_px: 8.0,
+            zone_half_side: 4,
+            min_area_px: 16,
+            max_candidates: 4,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clearance_px < 0.0 || !self.clearance_px.is_finite() {
+            return Err("clearance_px must be non-negative and finite".into());
+        }
+        if self.zone_half_side < 1 {
+            return Err("zone_half_side must be at least 1".into());
+        }
+        if self.max_candidates == 0 {
+            return Err("max_candidates must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ZoneParams {
+    fn default() -> Self {
+        Self::default_urban()
+    }
+}
+
+/// A candidate landing zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Zone centre.
+    pub center: Point,
+    /// The square landing zone (clipped to the image).
+    pub rect: Rect,
+    /// Distance (pixels) from the centre to the nearest predicted
+    /// busy-road or human pixel.
+    pub clearance_px: f64,
+    /// Area (pixels) of the connected safe region the zone sits in.
+    pub region_area: usize,
+    /// Ranking score (higher is better).
+    pub score: f64,
+}
+
+/// `true` for classes the core function treats as *high-risk* and keeps
+/// the required clearance from: busy roads at all costs (Table III Low-1)
+/// and humans (risk R2, assuming no independent M2 mitigation is proven).
+pub fn is_high_risk(class: SemanticClass) -> bool {
+    class.endangers_people()
+}
+
+/// `true` for classes the UAV may touch down on: low vegetation is
+/// preferred (it cushions and risks nothing — cf. the paper's survey
+/// [15]); clutter is acceptable ground.
+pub fn is_landable(class: SemanticClass) -> bool {
+    matches!(
+        class,
+        SemanticClass::LowVegetation | SemanticClass::Clutter
+    )
+}
+
+/// Proposes candidate landing zones from a (predicted) label map.
+///
+/// Algorithm:
+/// 1. Distance transform from every predicted high-risk pixel.
+/// 2. Safe mask: landable pixels at distance `>= clearance_px`.
+/// 3. Connected components of the safe mask; small slivers discarded.
+/// 4. Within each region, the pixel farthest from high-risk areas becomes
+///    the zone centre; the zone must fit inside the image.
+/// 5. Rank by score (clearance, then region size).
+///
+/// The returned list is best-first and unique per region. This is a *pure
+/// function of the prediction*: ground truth never enters — that is the
+/// monitor's and the experiment harness's business.
+///
+/// # Panics
+///
+/// Panics if `params` fail [`ZoneParams::validate`].
+pub fn propose_zones(predicted: &LabelMap, params: &ZoneParams) -> Vec<Candidate> {
+    if let Err(e) = params.validate() {
+        panic!("invalid zone parameters: {e}");
+    }
+    let dist = distance_from(predicted, is_high_risk);
+    let safe: Grid<bool> = Grid::from_fn(predicted.width(), predicted.height(), |x, y| {
+        is_landable(predicted[(x, y)]) && dist[(x, y)] >= params.clearance_px
+    });
+    let cc = label_components(&safe, Connectivity::Four);
+    let bounds = predicted.bounds();
+
+    let mut candidates = Vec::new();
+    for comp in &cc.components {
+        if comp.area < params.min_area_px {
+            continue;
+        }
+        // Farthest-from-risk pixel inside the component whose zone square
+        // fits in the image.
+        let mut best: Option<(Point, f64)> = None;
+        for p in comp.bbox.pixels() {
+            if cc.labels[p] != Some(comp.id) {
+                continue;
+            }
+            let zone = Rect::centered_square(p, 2 * params.zone_half_side + 1);
+            if !bounds.contains_rect(zone) {
+                continue;
+            }
+            let d = dist[p];
+            if best.map_or(true, |(_, bd)| d > bd) {
+                best = Some((p, d));
+            }
+        }
+        let Some((center, clearance)) = best else {
+            continue;
+        };
+        let rect = Rect::centered_square(center, 2 * params.zone_half_side + 1);
+        // Score: clearance dominates; larger regions break ties (more
+        // margin for the landing controller to adjust).
+        let score = clearance + (comp.area as f64).sqrt() * 0.05;
+        candidates.push(Candidate {
+            center,
+            rect,
+            clearance_px: clearance,
+            region_area: comp.area,
+            score,
+        });
+    }
+    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    candidates.truncate(params.max_candidates);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A map with a vertical road at x in [28, 35] and grass elsewhere.
+    fn road_map(w: usize, h: usize) -> LabelMap {
+        Grid::from_fn(w, h, |x, _| {
+            if (28..36).contains(&x) {
+                SemanticClass::Road
+            } else {
+                SemanticClass::LowVegetation
+            }
+        })
+    }
+
+    #[test]
+    fn proposes_zones_away_from_road() {
+        let labels = road_map(96, 64);
+        let params = ZoneParams::small();
+        let zones = propose_zones(&labels, &params);
+        assert!(!zones.is_empty(), "grass field must yield zones");
+        for z in &zones {
+            assert!(z.clearance_px >= params.clearance_px);
+            // Zone rect must not touch the road band.
+            for p in z.rect.pixels() {
+                assert_ne!(labels[p], SemanticClass::Road, "zone overlaps road at {p}");
+            }
+        }
+        // Best zone should be far from the road: clearance well above the
+        // minimum.
+        assert!(zones[0].clearance_px > 1.5 * params.clearance_px);
+    }
+
+    #[test]
+    fn all_road_map_yields_nothing() {
+        let labels: LabelMap = Grid::new(48, 48, SemanticClass::Road);
+        assert!(propose_zones(&labels, &ZoneParams::small()).is_empty());
+    }
+
+    #[test]
+    fn humans_are_high_risk() {
+        // Grass field with a crowd in the middle: zones keep clearance.
+        let mut labels: LabelMap = Grid::new(64, 64, SemanticClass::LowVegetation);
+        for y in 28..36 {
+            for x in 28..36 {
+                labels[(x, y)] = SemanticClass::Humans;
+            }
+        }
+        let params = ZoneParams::small();
+        let zones = propose_zones(&labels, &params);
+        assert!(!zones.is_empty());
+        for z in &zones {
+            let d = ((z.center.x - 31).pow(2) as f64 + (z.center.y - 31).pow(2) as f64).sqrt();
+            assert!(d >= params.clearance_px - 4.0, "zone centre too close to crowd");
+        }
+    }
+
+    #[test]
+    fn buildings_are_not_landable() {
+        let labels: LabelMap = Grid::new(48, 48, SemanticClass::Building);
+        assert!(propose_zones(&labels, &ZoneParams::small()).is_empty());
+        let trees: LabelMap = Grid::new(48, 48, SemanticClass::Tree);
+        assert!(propose_zones(&trees, &ZoneParams::small()).is_empty());
+    }
+
+    #[test]
+    fn zones_fit_inside_image() {
+        let labels = road_map(64, 40);
+        for z in propose_zones(&labels, &ZoneParams::small()) {
+            assert!(labels.bounds().contains_rect(z.rect));
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_and_bounded() {
+        let labels = road_map(96, 96);
+        let mut params = ZoneParams::small();
+        params.max_candidates = 2;
+        let zones = propose_zones(&labels, &params);
+        assert!(zones.len() <= 2);
+        for w in zones.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn min_area_filters_slivers() {
+        // A tiny grass patch inside a sea of buildings.
+        let mut labels: LabelMap = Grid::new(48, 48, SemanticClass::Building);
+        for y in 20..24 {
+            for x in 20..24 {
+                labels[(x, y)] = SemanticClass::LowVegetation;
+            }
+        }
+        let mut params = ZoneParams::small();
+        params.clearance_px = 0.0;
+        params.min_area_px = 100;
+        assert!(propose_zones(&labels, &params).is_empty());
+        params.min_area_px = 4;
+        params.zone_half_side = 1;
+        assert_eq!(propose_zones(&labels, &params).len(), 1);
+    }
+
+    #[test]
+    fn clearance_zero_still_requires_landable() {
+        let labels: LabelMap = Grid::new(32, 32, SemanticClass::LowVegetation);
+        let mut params = ZoneParams::small();
+        params.clearance_px = 0.0;
+        let zones = propose_zones(&labels, &params);
+        assert_eq!(zones.len(), 1, "one big region, one candidate");
+        assert_eq!(zones[0].region_area, 32 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid zone parameters")]
+    fn invalid_params_rejected() {
+        let labels = road_map(32, 32);
+        let mut params = ZoneParams::small();
+        params.max_candidates = 0;
+        let _ = propose_zones(&labels, &params);
+    }
+}

@@ -1,0 +1,305 @@
+//! Connected-component labelling.
+//!
+//! Candidate landing zones are extracted as connected components of the
+//! "safe" mask (pixels far enough from busy roads). This module provides a
+//! two-pass union-find labelling with per-component statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Pixel connectivity for component labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// 4-connectivity (edge-adjacent pixels).
+    #[default]
+    Four,
+    /// 8-connectivity (edge- or corner-adjacent pixels).
+    Eight,
+}
+
+/// Statistics of one connected component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Component id; pixel `p` belongs to this component iff
+    /// `labels[p] == Some(id)`.
+    pub id: u32,
+    /// Number of pixels.
+    pub area: usize,
+    /// Tight bounding box.
+    pub bbox: Rect,
+    /// Centroid (mean pixel position).
+    pub centroid: (f64, f64),
+}
+
+impl Component {
+    /// Centroid rounded to the nearest pixel.
+    pub fn centroid_pixel(&self) -> Point {
+        Point::new(self.centroid.0.round() as i64, self.centroid.1.round() as i64)
+    }
+
+    /// Fill ratio: `area / bbox.area()`, in `(0, 1]`.
+    ///
+    /// Compact blob-like components have a high fill ratio; snaky ones are
+    /// low. Used by zone selection to prefer compact landing areas.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.bbox.area() == 0 {
+            0.0
+        } else {
+            self.area as f64 / self.bbox.area() as f64
+        }
+    }
+}
+
+/// The result of component labelling: a per-pixel component id plus
+/// per-component statistics.
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// `Some(id)` for foreground pixels, `None` for background.
+    pub labels: Grid<Option<u32>>,
+    /// Component statistics, indexed by id.
+    pub components: Vec<Component>,
+}
+
+impl ComponentLabels {
+    /// The largest component by area, or `None` if there is none.
+    pub fn largest(&self) -> Option<&Component> {
+        self.components.iter().max_by_key(|c| c.area)
+    }
+
+    /// Components sorted by decreasing area.
+    pub fn by_area_desc(&self) -> Vec<&Component> {
+        let mut v: Vec<&Component> = self.components.iter().collect();
+        v.sort_by(|a, b| b.area.cmp(&a.area).then(a.id.cmp(&b.id)));
+        v
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new() }
+    }
+
+    fn make(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            let (hi, lo) = if ra < rb { (rb, ra) } else { (ra, rb) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Labels connected components of the `true` pixels of `mask`.
+///
+/// Returns compactly renumbered component ids (0, 1, 2, …) in first-pixel
+/// raster order, along with per-component statistics.
+///
+/// # Example
+///
+/// ```
+/// use el_geom::{Grid, label_components};
+/// use el_geom::components::Connectivity;
+/// let mut mask = Grid::new(5, 1, false);
+/// mask[(0, 0)] = true;
+/// mask[(1, 0)] = true;
+/// mask[(4, 0)] = true;
+/// let cc = label_components(&mask, Connectivity::Four);
+/// assert_eq!(cc.components.len(), 2);
+/// assert_eq!(cc.largest().unwrap().area, 2);
+/// ```
+pub fn label_components(mask: &Grid<bool>, connectivity: Connectivity) -> ComponentLabels {
+    let (w, h) = (mask.width(), mask.height());
+    let mut provisional: Grid<Option<u32>> = Grid::new(w, h, None);
+    let mut uf = UnionFind::new();
+
+    for y in 0..h {
+        for x in 0..w {
+            if !mask[(x, y)] {
+                continue;
+            }
+            // Look at already-visited neighbours (left, up; plus the two
+            // diagonals above for 8-connectivity).
+            let mut neigh: [Option<u32>; 4] = [None; 4];
+            if x > 0 {
+                neigh[0] = provisional[(x - 1, y)];
+            }
+            if y > 0 {
+                neigh[1] = provisional[(x, y - 1)];
+                if connectivity == Connectivity::Eight {
+                    if x > 0 {
+                        neigh[2] = provisional[(x - 1, y - 1)];
+                    }
+                    if x + 1 < w {
+                        neigh[3] = provisional[(x + 1, y - 1)];
+                    }
+                }
+            }
+            let mut assigned = None;
+            for n in neigh.into_iter().flatten() {
+                match assigned {
+                    None => assigned = Some(n),
+                    Some(a) => uf.union(a, n),
+                }
+            }
+            let id = assigned.unwrap_or_else(|| uf.make());
+            provisional[(x, y)] = Some(id);
+        }
+    }
+
+    // Renumber roots compactly in raster order of first appearance.
+    let mut remap: Vec<Option<u32>> = vec![None; uf.parent.len()];
+    let mut components: Vec<Component> = Vec::new();
+    let mut labels: Grid<Option<u32>> = Grid::new(w, h, None);
+    let mut sums: Vec<(f64, f64)> = Vec::new();
+
+    for y in 0..h {
+        for x in 0..w {
+            let Some(p) = provisional[(x, y)] else {
+                continue;
+            };
+            let root = uf.find(p);
+            let id = match remap[root as usize] {
+                Some(id) => id,
+                None => {
+                    let id = components.len() as u32;
+                    remap[root as usize] = Some(id);
+                    components.push(Component {
+                        id,
+                        area: 0,
+                        bbox: Rect::new(x as i64, y as i64, 0, 0),
+                        centroid: (0.0, 0.0),
+                    });
+                    sums.push((0.0, 0.0));
+                    id
+                }
+            };
+            labels[(x, y)] = Some(id);
+            let c = &mut components[id as usize];
+            c.area += 1;
+            c.bbox = c.bbox.union(Rect::new(x as i64, y as i64, 1, 1));
+            sums[id as usize].0 += x as f64;
+            sums[id as usize].1 += y as f64;
+        }
+    }
+    for (c, s) in components.iter_mut().zip(sums) {
+        c.centroid = (s.0 / c.area as f64, s.1 / c.area as f64);
+    }
+    ComponentLabels { labels, components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_str(rows: &[&str]) -> Grid<bool> {
+        let h = rows.len();
+        let w = rows[0].len();
+        Grid::from_fn(w, h, |x, y| rows[y].as_bytes()[x] == b'#')
+    }
+
+    #[test]
+    fn empty_mask() {
+        let cc = label_components(&Grid::new(4, 4, false), Connectivity::Four);
+        assert!(cc.components.is_empty());
+        assert!(cc.largest().is_none());
+    }
+
+    #[test]
+    fn single_blob() {
+        let mask = mask_from_str(&["..##", "..##", "...."]);
+        let cc = label_components(&mask, Connectivity::Four);
+        assert_eq!(cc.components.len(), 1);
+        let c = &cc.components[0];
+        assert_eq!(c.area, 4);
+        assert_eq!(c.bbox, Rect::new(2, 0, 2, 2));
+        assert_eq!(c.centroid, (2.5, 0.5));
+        assert_eq!(c.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn diagonal_connectivity() {
+        let mask = mask_from_str(&["#.", ".#"]);
+        let four = label_components(&mask, Connectivity::Four);
+        assert_eq!(four.components.len(), 2);
+        let eight = label_components(&mask, Connectivity::Eight);
+        assert_eq!(eight.components.len(), 1);
+        assert_eq!(eight.components[0].area, 2);
+    }
+
+    #[test]
+    fn u_shape_merges() {
+        // The two arms of the U are discovered separately and must be
+        // merged by union-find when the bottom row connects them.
+        let mask = mask_from_str(&["#.#", "#.#", "###"]);
+        let cc = label_components(&mask, Connectivity::Four);
+        assert_eq!(cc.components.len(), 1);
+        assert_eq!(cc.components[0].area, 7);
+    }
+
+    #[test]
+    fn multiple_components_ordering() {
+        let mask = mask_from_str(&["#..#", "....", "##.."]);
+        let cc = label_components(&mask, Connectivity::Four);
+        assert_eq!(cc.components.len(), 3);
+        // Raster order of first appearance.
+        assert_eq!(cc.components[0].bbox.top_left(), Point::new(0, 0));
+        assert_eq!(cc.components[1].bbox.top_left(), Point::new(3, 0));
+        assert_eq!(cc.components[2].bbox.top_left(), Point::new(0, 2));
+        let by_area = cc.by_area_desc();
+        assert_eq!(by_area[0].area, 2);
+        assert_eq!(cc.largest().unwrap().id, by_area[0].id);
+    }
+
+    #[test]
+    fn labels_consistent_with_components() {
+        let mask = mask_from_str(&["##..", "..##", "##.#"]);
+        let cc = label_components(&mask, Connectivity::Eight);
+        let mut counts = vec![0usize; cc.components.len()];
+        for (p, l) in cc.labels.enumerate() {
+            match l {
+                Some(id) => {
+                    assert!(mask[p]);
+                    counts[*id as usize] += 1;
+                    assert!(cc.components[*id as usize].bbox.contains(p));
+                }
+                None => assert!(!mask[p]),
+            }
+        }
+        for (c, n) in cc.components.iter().zip(counts) {
+            assert_eq!(c.area, n);
+        }
+    }
+
+    #[test]
+    fn centroid_pixel_rounding() {
+        let c = Component {
+            id: 0,
+            area: 2,
+            bbox: Rect::new(0, 0, 2, 1),
+            centroid: (0.5, 0.0),
+        };
+        assert_eq!(c.centroid_pixel(), Point::new(1, 0));
+    }
+}

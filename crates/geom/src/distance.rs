@@ -1,0 +1,247 @@
+//! Exact Euclidean distance transforms.
+//!
+//! The landing-zone selector's central primitive is "how far is this pixel
+//! from the nearest busy-road pixel?". This module implements the exact
+//! two-pass Euclidean distance transform of Felzenszwalb & Huttenlocher
+//! (*Distance Transforms of Sampled Functions*, 2012), which runs in
+//! `O(n)` per pixel row/column.
+
+use crate::grid::Grid;
+use crate::label::LabelMap;
+use crate::label::SemanticClass;
+
+/// Exact 1-D squared-distance transform (lower envelope of parabolas).
+///
+/// `f` holds per-sample costs; the result at `q` is
+/// `min_p (q - p)^2 + f[p]`.
+fn dt_1d(f: &[f64], out: &mut [f64], v: &mut [usize], z: &mut [f64]) {
+    let n = f.len();
+    debug_assert!(out.len() == n && v.len() >= n && z.len() >= n + 1);
+    if n == 0 {
+        return;
+    }
+    // Parabolas with infinite height never contribute to the lower
+    // envelope; including them would produce NaN intersections. Build the
+    // envelope over finite samples only.
+    let mut k = 0usize;
+    let mut started = false;
+    for q in 0..n {
+        if !f[q].is_finite() {
+            continue;
+        }
+        if !started {
+            started = true;
+            v[0] = q;
+            z[0] = f64::NEG_INFINITY;
+            z[1] = f64::INFINITY;
+            continue;
+        }
+        loop {
+            let p = v[k];
+            // Intersection of parabola from q with parabola from p.
+            let s = ((f[q] + (q * q) as f64) - (f[p] + (p * p) as f64))
+                / (2.0 * q as f64 - 2.0 * p as f64);
+            if s <= z[k] {
+                if k == 0 {
+                    // q dominates everywhere; replace.
+                    v[0] = q;
+                    z[0] = f64::NEG_INFINITY;
+                    z[1] = f64::INFINITY;
+                    break;
+                }
+                k -= 1;
+                continue;
+            }
+            k += 1;
+            v[k] = q;
+            z[k] = s;
+            z[k + 1] = f64::INFINITY;
+            break;
+        }
+    }
+    if !started {
+        out[..n].fill(f64::INFINITY);
+        return;
+    }
+    let mut k = 0usize;
+    for q in 0..n {
+        while z[k + 1] < q as f64 {
+            k += 1;
+        }
+        let p = v[k];
+        let d = q as f64 - p as f64;
+        out[q] = d * d + f[p];
+    }
+}
+
+/// Exact squared Euclidean distance transform of a boolean mask.
+///
+/// For every pixel, computes the squared Euclidean distance (in pixels,
+/// between pixel centres) to the nearest `true` pixel of `mask`. Pixels of
+/// the mask itself get 0. If the mask has no `true` pixel, every output is
+/// `f64::INFINITY`.
+pub fn squared_distance_transform(mask: &Grid<bool>) -> Grid<f64> {
+    let (w, h) = (mask.width(), mask.height());
+    let mut g: Grid<f64> = mask.map(|&b| if b { 0.0 } else { f64::INFINITY });
+    if w == 0 || h == 0 {
+        return g;
+    }
+    let n = w.max(h);
+    let mut f = vec![0.0f64; n];
+    let mut out = vec![0.0f64; n];
+    let mut v = vec![0usize; n];
+    let mut z = vec![0.0f64; n + 1];
+
+    // Columns first.
+    for x in 0..w {
+        for y in 0..h {
+            f[y] = g[(x, y)];
+        }
+        // Skip columns with no finite sample (all-infinite stays infinite).
+        if f[..h].iter().any(|v| v.is_finite()) {
+            dt_1d(&f[..h], &mut out[..h], &mut v, &mut z);
+            for y in 0..h {
+                g[(x, y)] = out[y];
+            }
+        }
+    }
+    // Then rows.
+    for y in 0..h {
+        f[..w].copy_from_slice(g.row(y));
+        if f[..w].iter().any(|v| v.is_finite()) {
+            dt_1d(&f[..w], &mut out[..w], &mut v, &mut z);
+            g.row_mut(y).copy_from_slice(&out[..w]);
+        }
+    }
+    g
+}
+
+/// Exact Euclidean distance transform of a boolean mask (in pixels).
+///
+/// See [`squared_distance_transform`].
+///
+/// # Example
+///
+/// ```
+/// use el_geom::Grid;
+/// use el_geom::distance::distance_transform;
+/// let mut mask = Grid::new(9, 9, false);
+/// mask[(4, 4)] = true;
+/// let d = distance_transform(&mask);
+/// assert_eq!(d[(4, 4)], 0.0);
+/// assert_eq!(d[(4, 0)], 4.0);
+/// assert!((d[(0, 0)] - 32f64.sqrt()).abs() < 1e-9);
+/// ```
+pub fn distance_transform(mask: &Grid<bool>) -> Grid<f64> {
+    squared_distance_transform(mask).map(|&d| d.sqrt())
+}
+
+/// Distance (in pixels) from each pixel to the nearest pixel whose class
+/// satisfies `pred`.
+///
+/// This is the "distance from busy road" map when `pred` is
+/// [`SemanticClass::is_busy_road`].
+pub fn distance_from(labels: &LabelMap, mut pred: impl FnMut(SemanticClass) -> bool) -> Grid<f64> {
+    let mask = labels.map(|&c| pred(c));
+    distance_transform(&mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference implementation.
+    fn brute_force(mask: &Grid<bool>) -> Grid<f64> {
+        let seeds: Vec<_> = mask
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(p, _)| p)
+            .collect();
+        Grid::from_fn(mask.width(), mask.height(), |x, y| {
+            seeds
+                .iter()
+                .map(|s| {
+                    let dx = s.x - x as i64;
+                    let dy = s.y - y as i64;
+                    ((dx * dx + dy * dy) as f64).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+    }
+
+    #[test]
+    fn empty_mask_is_infinite() {
+        let mask = Grid::new(5, 5, false);
+        let d = distance_transform(&mask);
+        assert!(d.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn full_mask_is_zero() {
+        let mask = Grid::new(5, 5, true);
+        let d = distance_transform(&mask);
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_seed_matches_euclidean() {
+        let mut mask = Grid::new(7, 5, false);
+        mask[(2, 3)] = true;
+        let d = distance_transform(&mask);
+        for (p, &v) in d.enumerate() {
+            let expected = ((p.x - 2).pow(2) as f64 + (p.y - 3).pow(2) as f64).sqrt();
+            assert!((v - expected).abs() < 1e-9, "at {p}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_patterns() {
+        // Deterministic pseudo-random pattern.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..5 {
+            let w = 8 + trial * 3;
+            let h = 6 + trial * 2;
+            let mask = Grid::from_fn(w, h, |_, _| next() % 7 == 0);
+            if mask.count(|&b| b) == 0 {
+                continue;
+            }
+            let fast = distance_transform(&mask);
+            let slow = brute_force(&mask);
+            for (p, &v) in fast.enumerate() {
+                assert!((v - slow[p]).abs() < 1e-9, "trial {trial} at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_from_labels() {
+        use crate::label::SemanticClass;
+        let labels = Grid::from_fn(10, 1, |x, _| {
+            if x == 0 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::LowVegetation
+            }
+        });
+        let d = distance_from(&labels, SemanticClass::is_busy_road);
+        for x in 0..10usize {
+            assert_eq!(d[(x, 0)], x as f64);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let mask: Grid<bool> = Grid::new(0, 0, false);
+        let d = distance_transform(&mask);
+        assert!(d.is_empty());
+
+        let mut mask = Grid::new(1, 6, false);
+        mask[(0, 5)] = true;
+        let d = distance_transform(&mask);
+        assert_eq!(d[(0, 0)], 5.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Rasterisation helpers for the procedural scene generator.
+//!
+//! These primitives draw *values* into a [`Grid`] — typically a
+//! [`SemanticClass`](crate::SemanticClass) into a label map. All drawing is
+//! clipped to the grid bounds.
+
+use crate::grid::Grid;
+use crate::point::{Point, Vec2};
+use crate::rect::Rect;
+
+/// Fills the (clipped) rectangle with copies of `value`.
+pub fn fill_rect<T: Clone>(grid: &mut Grid<T>, rect: Rect, value: T) {
+    let clip = grid.bounds().intersect(rect);
+    for y in clip.y..clip.bottom() {
+        for x in clip.x..clip.right() {
+            grid[(x as usize, y as usize)] = value.clone();
+        }
+    }
+}
+
+/// Fills a disk of the given centre and radius (pixel-centre metric).
+pub fn fill_circle<T: Clone>(grid: &mut Grid<T>, center: Point, radius: f64, value: T) {
+    if radius < 0.0 {
+        return;
+    }
+    let r = radius.ceil() as i64;
+    let bbox = Rect::new(center.x - r, center.y - r, 2 * r + 1, 2 * r + 1);
+    let clip = grid.bounds().intersect(bbox);
+    let r2 = radius * radius;
+    for y in clip.y..clip.bottom() {
+        for x in clip.x..clip.right() {
+            let dx = (x - center.x) as f64;
+            let dy = (y - center.y) as f64;
+            if dx * dx + dy * dy <= r2 + 1e-9 {
+                grid[(x as usize, y as usize)] = value.clone();
+            }
+        }
+    }
+}
+
+/// Draws a 1-pixel-wide line segment using Bresenham's algorithm.
+pub fn draw_line<T: Clone>(grid: &mut Grid<T>, a: Point, b: Point, value: T) {
+    let (mut x0, mut y0) = (a.x, a.y);
+    let (x1, y1) = (b.x, b.y);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        grid.set_clipped(Point::new(x0, y0), value.clone());
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Draws a thick line segment (a capsule: every pixel within
+/// `half_width` of the segment `a`–`b`).
+///
+/// This is the primitive used to rasterise roads of a given width.
+pub fn fill_capsule<T: Clone>(grid: &mut Grid<T>, a: Vec2, b: Vec2, half_width: f64, value: T) {
+    if half_width < 0.0 {
+        return;
+    }
+    let r = half_width.ceil() as i64 + 1;
+    let min_x = a.x.min(b.x).floor() as i64 - r;
+    let min_y = a.y.min(b.y).floor() as i64 - r;
+    let max_x = a.x.max(b.x).ceil() as i64 + r;
+    let max_y = a.y.max(b.y).ceil() as i64 + r;
+    let bbox = Rect::new(min_x, min_y, max_x - min_x + 1, max_y - min_y + 1);
+    let clip = grid.bounds().intersect(bbox);
+    let ab = b - a;
+    let len2 = ab.norm_sq();
+    let hw2 = half_width * half_width;
+    for y in clip.y..clip.bottom() {
+        for x in clip.x..clip.right() {
+            let p = Vec2::new(x as f64, y as f64);
+            let t = if len2 == 0.0 {
+                0.0
+            } else {
+                ((p - a).dot(ab) / len2).clamp(0.0, 1.0)
+            };
+            let closest = a.lerp(b, t);
+            if (p - closest).norm_sq() <= hw2 + 1e-9 {
+                grid[(x as usize, y as usize)] = value.clone();
+            }
+        }
+    }
+}
+
+/// Fills a simple polygon given by its vertices using even-odd scanline
+/// filling. The polygon is closed implicitly (last vertex connects to the
+/// first). Degenerate polygons (< 3 vertices) draw nothing.
+pub fn fill_polygon<T: Clone>(grid: &mut Grid<T>, vertices: &[Vec2], value: T) {
+    if vertices.len() < 3 {
+        return;
+    }
+    let min_y = vertices.iter().map(|v| v.y).fold(f64::INFINITY, f64::min);
+    let max_y = vertices
+        .iter()
+        .map(|v| v.y)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let y0 = (min_y.floor() as i64).max(0);
+    let y1 = (max_y.ceil() as i64).min(grid.height() as i64 - 1);
+    let n = vertices.len();
+    let mut xs: Vec<f64> = Vec::with_capacity(n);
+    for y in y0..=y1 {
+        let yc = y as f64;
+        xs.clear();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            // Half-open rule avoids double counting at shared vertices.
+            if (a.y <= yc && b.y > yc) || (b.y <= yc && a.y > yc) {
+                let t = (yc - a.y) / (b.y - a.y);
+                xs.push(a.x + t * (b.x - a.x));
+            }
+        }
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        for pair in xs.chunks_exact(2) {
+            let x0 = (pair[0].ceil() as i64).max(0);
+            let x1 = (pair[1].floor() as i64).min(grid.width() as i64 - 1);
+            for x in x0..=x1 {
+                grid[(x as usize, y as usize)] = value.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut g = Grid::new(4, 4, 0);
+        fill_rect(&mut g, Rect::new(2, 2, 10, 10), 1);
+        assert_eq!(g.count(|&v| v == 1), 4);
+        fill_rect(&mut g, Rect::new(-5, -5, 6, 6), 2);
+        assert_eq!(g[(0, 0)], 2);
+        assert_eq!(g.count(|&v| v == 2), 1);
+    }
+
+    #[test]
+    fn circle_radius_zero_is_single_pixel() {
+        let mut g = Grid::new(5, 5, 0);
+        fill_circle(&mut g, Point::new(2, 2), 0.0, 1);
+        assert_eq!(g.count(|&v| v == 1), 1);
+        assert_eq!(g[(2, 2)], 1);
+    }
+
+    #[test]
+    fn circle_matches_metric() {
+        let mut g = Grid::new(11, 11, false);
+        fill_circle(&mut g, Point::new(5, 5), 3.0, true);
+        for (p, &b) in g.enumerate() {
+            let d = (((p.x - 5).pow(2) + (p.y - 5).pow(2)) as f64).sqrt();
+            assert_eq!(b, d <= 3.0 + 1e-9, "at {p}");
+        }
+    }
+
+    #[test]
+    fn line_endpoints_and_connectivity() {
+        let mut g = Grid::new(10, 10, false);
+        draw_line(&mut g, Point::new(1, 1), Point::new(8, 5), true);
+        assert!(g[(1, 1)]);
+        assert!(g[(8, 5)]);
+        // Every drawn pixel has an 8-neighbour also drawn (connectivity).
+        let pts: Vec<_> = g.enumerate().filter(|(_, &b)| b).map(|(p, _)| p).collect();
+        assert!(pts.len() >= 8);
+        for p in &pts {
+            if *p == Point::new(1, 1) || *p == Point::new(8, 5) {
+                continue;
+            }
+            assert!(
+                p.neighbours8().iter().filter(|n| g.get(**n) == Some(&true)).count() >= 2,
+                "line broken at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_clips_outside() {
+        let mut g = Grid::new(4, 4, false);
+        draw_line(&mut g, Point::new(-3, 1), Point::new(7, 1), true);
+        assert_eq!(g.count(|&b| b), 4);
+    }
+
+    #[test]
+    fn capsule_covers_segment_width() {
+        let mut g = Grid::new(20, 10, false);
+        fill_capsule(&mut g, Vec2::new(3.0, 5.0), Vec2::new(16.0, 5.0), 1.5, true);
+        assert!(g[(10, 5)]);
+        assert!(g[(10, 4)]);
+        assert!(g[(10, 6)]);
+        assert!(!g[(10, 8)]);
+        // Rounded caps.
+        assert!(g[(2, 5)]);
+        assert!(!g[(0, 5)]);
+    }
+
+    #[test]
+    fn capsule_degenerate_is_disk() {
+        let mut g = Grid::new(9, 9, false);
+        fill_capsule(&mut g, Vec2::new(4.0, 4.0), Vec2::new(4.0, 4.0), 2.0, true);
+        let mut disk = Grid::new(9, 9, false);
+        fill_circle(&mut disk, Point::new(4, 4), 2.0, true);
+        assert_eq!(g, disk);
+    }
+
+    #[test]
+    fn polygon_square() {
+        let mut g = Grid::new(10, 10, false);
+        let verts = [
+            Vec2::new(2.0, 2.0),
+            Vec2::new(7.0, 2.0),
+            Vec2::new(7.0, 7.0),
+            Vec2::new(2.0, 7.0),
+        ];
+        fill_polygon(&mut g, &verts, true);
+        assert!(g[(4, 4)]);
+        assert!(g[(2, 2)]);
+        assert!(!g[(8, 4)]);
+        assert!(!g[(1, 4)]);
+    }
+
+    #[test]
+    fn polygon_triangle_and_degenerate() {
+        let mut g = Grid::new(12, 12, false);
+        fill_polygon(
+            &mut g,
+            &[Vec2::new(1.0, 1.0), Vec2::new(10.0, 1.0), Vec2::new(1.0, 10.0)],
+            true,
+        );
+        assert!(g[(2, 2)]);
+        assert!(!g[(9, 9)]);
+
+        let mut g2 = Grid::new(5, 5, false);
+        fill_polygon(&mut g2, &[Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0)], true);
+        assert_eq!(g2.count(|&b| b), 0);
+    }
+}

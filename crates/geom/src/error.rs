@@ -1,0 +1,76 @@
+//! Error type for geometry and raster operations.
+
+use std::fmt;
+
+use crate::rect::Rect;
+
+/// Errors produced by fallible geometry/raster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A buffer's length did not match the requested grid shape.
+    SizeMismatch {
+        /// `width * height` expected by the constructor.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// Two grids that must share a shape did not.
+    ShapeMismatch {
+        /// Shape of the first operand.
+        a: (usize, usize),
+        /// Shape of the second operand.
+        b: (usize, usize),
+    },
+    /// A rectangle fell (partly) outside a grid.
+    OutOfBounds {
+        /// The offending rectangle.
+        rect: Rect,
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::SizeMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match grid size {expected}")
+            }
+            GeomError::ShapeMismatch { a, b } => {
+                write!(f, "grid shapes {}x{} and {}x{} differ", a.0, a.1, b.0, b.1)
+            }
+            GeomError::OutOfBounds {
+                rect,
+                width,
+                height,
+            } => write!(f, "rect {rect} not contained in {width}x{height} grid"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeomError::SizeMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("length 3"));
+        let e = GeomError::ShapeMismatch { a: (1, 2), b: (3, 4) };
+        assert!(e.to_string().contains("1x2"));
+        let e = GeomError::OutOfBounds {
+            rect: Rect::new(0, 0, 5, 5),
+            width: 3,
+            height: 3,
+        };
+        assert!(e.to_string().contains("3x3"));
+    }
+}

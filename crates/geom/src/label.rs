@@ -1,0 +1,249 @@
+//! The UAVid semantic classes and dense label maps.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid;
+
+/// The eight semantic classes of the UAVid dataset (Lyu et al., 2020), used
+/// by the paper's MSDnet segmentation model.
+///
+/// The paper's busy-road super-category — the pixels an emergency landing
+/// must avoid at all costs — is the union of [`Road`](SemanticClass::Road),
+/// [`StaticCar`](SemanticClass::StaticCar) and
+/// [`MovingCar`](SemanticClass::MovingCar); see
+/// [`SemanticClass::is_busy_road`].
+///
+/// # Example
+///
+/// ```
+/// use el_geom::SemanticClass;
+/// assert!(SemanticClass::Road.is_busy_road());
+/// assert!(!SemanticClass::LowVegetation.is_busy_road());
+/// assert_eq!(SemanticClass::COUNT, 8);
+/// assert_eq!(SemanticClass::from_index(1), Some(SemanticClass::Road));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum SemanticClass {
+    /// Buildings and other man-made structures.
+    Building = 0,
+    /// Roads and other drivable surfaces.
+    Road = 1,
+    /// Parked (static) cars.
+    StaticCar = 2,
+    /// Trees and tall vegetation.
+    Tree = 3,
+    /// Grass and other low vegetation — the paper's preferred landing
+    /// surface.
+    LowVegetation = 4,
+    /// Humans.
+    Humans = 5,
+    /// Moving cars.
+    MovingCar = 6,
+    /// Background clutter: everything else.
+    Clutter = 7,
+}
+
+impl SemanticClass {
+    /// Number of classes (8, as in UAVid).
+    pub const COUNT: usize = 8;
+
+    /// All classes in index order.
+    pub const ALL: [SemanticClass; Self::COUNT] = [
+        SemanticClass::Building,
+        SemanticClass::Road,
+        SemanticClass::StaticCar,
+        SemanticClass::Tree,
+        SemanticClass::LowVegetation,
+        SemanticClass::Humans,
+        SemanticClass::MovingCar,
+        SemanticClass::Clutter,
+    ];
+
+    /// The busy-road super-category: `{Road, StaticCar, MovingCar}`.
+    ///
+    /// The paper (Section V-B) cannot distinguish busy from quiet roads in
+    /// UAVid, so it conservatively treats every road or car pixel as busy
+    /// road.
+    pub const BUSY_ROAD: [SemanticClass; 3] = [
+        SemanticClass::Road,
+        SemanticClass::StaticCar,
+        SemanticClass::MovingCar,
+    ];
+
+    /// The class index in `0..COUNT` (the output channel of the
+    /// segmentation model).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The class with the given index, or `None` if out of range.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<SemanticClass> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// `true` if this class belongs to the busy-road super-category.
+    #[inline]
+    pub fn is_busy_road(self) -> bool {
+        matches!(
+            self,
+            SemanticClass::Road | SemanticClass::StaticCar | SemanticClass::MovingCar
+        )
+    }
+
+    /// `true` if landing on this class directly endangers people
+    /// (busy road or humans) per the paper's Table II severity analysis.
+    #[inline]
+    pub fn endangers_people(self) -> bool {
+        self.is_busy_road() || self == SemanticClass::Humans
+    }
+
+    /// A short lowercase identifier (e.g. `"low_vegetation"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticClass::Building => "building",
+            SemanticClass::Road => "road",
+            SemanticClass::StaticCar => "static_car",
+            SemanticClass::Tree => "tree",
+            SemanticClass::LowVegetation => "low_vegetation",
+            SemanticClass::Humans => "humans",
+            SemanticClass::MovingCar => "moving_car",
+            SemanticClass::Clutter => "clutter",
+        }
+    }
+
+    /// The UAVid visualisation colour (R, G, B) for this class.
+    pub fn color(self) -> (u8, u8, u8) {
+        match self {
+            SemanticClass::Building => (128, 0, 0),
+            SemanticClass::Road => (128, 64, 128),
+            SemanticClass::StaticCar => (192, 0, 192),
+            SemanticClass::Tree => (0, 128, 0),
+            SemanticClass::LowVegetation => (128, 128, 0),
+            SemanticClass::Humans => (64, 64, 0),
+            SemanticClass::MovingCar => (64, 0, 128),
+            SemanticClass::Clutter => (0, 0, 0),
+        }
+    }
+}
+
+impl fmt::Display for SemanticClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for SemanticClass {
+    /// Defaults to [`Clutter`](SemanticClass::Clutter), the UAVid background
+    /// class.
+    fn default() -> Self {
+        SemanticClass::Clutter
+    }
+}
+
+/// A dense per-pixel semantic label map.
+pub type LabelMap = Grid<SemanticClass>;
+
+/// Per-class pixel counts over a label map.
+///
+/// # Example
+///
+/// ```
+/// use el_geom::{Grid, SemanticClass};
+/// use el_geom::label::class_histogram;
+/// let labels = Grid::new(4, 4, SemanticClass::Road);
+/// let hist = class_histogram(&labels);
+/// assert_eq!(hist[SemanticClass::Road.index()], 16);
+/// ```
+pub fn class_histogram(labels: &LabelMap) -> [usize; SemanticClass::COUNT] {
+    let mut hist = [0usize; SemanticClass::COUNT];
+    for c in labels.iter() {
+        hist[c.index()] += 1;
+    }
+    hist
+}
+
+/// Boolean mask of pixels whose class satisfies `pred`.
+pub fn mask_where(labels: &LabelMap, mut pred: impl FnMut(SemanticClass) -> bool) -> Grid<bool> {
+    labels.map(|&c| pred(c))
+}
+
+/// Boolean mask of the busy-road super-category.
+pub fn busy_road_mask(labels: &LabelMap) -> Grid<bool> {
+    mask_where(labels, SemanticClass::is_busy_road)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, c) in SemanticClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(SemanticClass::from_index(i), Some(*c));
+        }
+        assert_eq!(SemanticClass::from_index(8), None);
+    }
+
+    #[test]
+    fn busy_road_super_category() {
+        let busy: Vec<_> = SemanticClass::ALL
+            .iter()
+            .filter(|c| c.is_busy_road())
+            .copied()
+            .collect();
+        assert_eq!(busy, SemanticClass::BUSY_ROAD.to_vec());
+        assert!(SemanticClass::Humans.endangers_people());
+        assert!(!SemanticClass::Tree.endangers_people());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = SemanticClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SemanticClass::COUNT);
+    }
+
+    #[test]
+    fn colors_unique() {
+        let mut colors: Vec<_> = SemanticClass::ALL.iter().map(|c| c.color()).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        assert_eq!(colors.len(), SemanticClass::COUNT);
+    }
+
+    #[test]
+    fn histogram_sums_to_len() {
+        let labels = Grid::from_fn(5, 5, |x, y| {
+            SemanticClass::from_index((x + y) % SemanticClass::COUNT).unwrap()
+        });
+        let hist = class_histogram(&labels);
+        assert_eq!(hist.iter().sum::<usize>(), labels.len());
+    }
+
+    #[test]
+    fn masks() {
+        let labels = Grid::from_fn(4, 1, |x, _| {
+            if x < 2 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::Tree
+            }
+        });
+        let m = busy_road_mask(&labels);
+        assert_eq!(m.count(|&b| b), 2);
+        let t = mask_where(&labels, |c| c == SemanticClass::Tree);
+        assert_eq!(t.count(|&b| b), 2);
+    }
+
+    #[test]
+    fn default_is_clutter() {
+        assert_eq!(SemanticClass::default(), SemanticClass::Clutter);
+    }
+}

@@ -1,0 +1,186 @@
+//! Binary morphology: dilation and erosion with Euclidean disks.
+//!
+//! Safety buffers in the landing-zone selector are morphological operations:
+//! "inflate every road pixel by the parachute drift radius" is a dilation of
+//! the road mask with a disk. Both operations are implemented on top of the
+//! exact [distance transform](crate::distance), so they use true Euclidean
+//! disks rather than square approximations.
+
+use crate::distance::squared_distance_transform;
+use crate::grid::Grid;
+
+/// Dilates the `true` region of `mask` by a Euclidean disk of the given
+/// radius (in pixels).
+///
+/// A pixel is set in the output iff its (centre-to-centre) distance to the
+/// nearest `true` input pixel is `<= radius`. `radius <= 0` returns the
+/// mask unchanged.
+///
+/// # Example
+///
+/// ```
+/// use el_geom::Grid;
+/// use el_geom::morph::dilate;
+/// let mut mask = Grid::new(7, 7, false);
+/// mask[(3, 3)] = true;
+/// let d = dilate(&mask, 2.0);
+/// assert!(d[(5, 3)]);  // distance 2
+/// assert!(!d[(5, 5)]); // distance 2.83
+/// ```
+pub fn dilate(mask: &Grid<bool>, radius: f64) -> Grid<bool> {
+    if radius <= 0.0 {
+        return mask.clone();
+    }
+    let r2 = radius * radius;
+    squared_distance_transform(mask).map(|&d2| d2 <= r2 + 1e-9)
+}
+
+/// Erodes the `true` region of `mask` by a Euclidean disk of the given
+/// radius (in pixels).
+///
+/// A pixel survives iff every pixel within `radius` of it (including
+/// outside the grid? — no: the grid boundary is treated as background, so
+/// pixels near the border erode away) is `true`. `radius <= 0` returns the
+/// mask unchanged.
+pub fn erode(mask: &Grid<bool>, radius: f64) -> Grid<bool> {
+    if radius <= 0.0 {
+        return mask.clone();
+    }
+    // Erosion = complement of dilation of the complement. Pad the
+    // complement conceptually with `true` at the border by treating
+    // out-of-grid as background: we add a 1-pixel border of background
+    // around the mask before dilating its complement.
+    let (w, h) = (mask.width(), mask.height());
+    let padded = Grid::from_fn(w + 2, h + 2, |x, y| {
+        if x == 0 || y == 0 || x == w + 1 || y == h + 1 {
+            true // complement of background border
+        } else {
+            !mask[(x - 1, y - 1)]
+        }
+    });
+    let dil = dilate(&padded, radius);
+    Grid::from_fn(w, h, |x, y| !dil[(x + 1, y + 1)])
+}
+
+/// Morphological opening: erosion followed by dilation.
+///
+/// Removes `true` features thinner than `2 * radius` while approximately
+/// preserving larger ones. Used to discard landing-zone slivers.
+pub fn open(mask: &Grid<bool>, radius: f64) -> Grid<bool> {
+    dilate(&erode(mask, radius), radius)
+}
+
+/// Morphological closing: dilation followed by erosion.
+///
+/// Fills `false` gaps thinner than `2 * radius`.
+pub fn close(mask: &Grid<bool>, radius: f64) -> Grid<bool> {
+    erode(&dilate(mask, radius), radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(mask: &Grid<bool>) -> usize {
+        mask.count(|&b| b)
+    }
+
+    #[test]
+    fn dilate_grows_erode_shrinks() {
+        let mut mask = Grid::new(11, 11, false);
+        for y in 4..7 {
+            for x in 4..7 {
+                mask[(x, y)] = true;
+            }
+        }
+        let d = dilate(&mask, 1.0);
+        let e = erode(&mask, 1.0);
+        assert!(count(&d) > count(&mask));
+        assert!(count(&e) < count(&mask));
+        // 3x3 square eroded by radius 1 leaves the single centre pixel.
+        assert_eq!(count(&e), 1);
+        assert!(e[(5, 5)]);
+    }
+
+    #[test]
+    fn zero_radius_identity() {
+        let mask = Grid::from_fn(5, 5, |x, y| (x + y) % 3 == 0);
+        assert_eq!(dilate(&mask, 0.0), mask);
+        assert_eq!(erode(&mask, 0.0), mask);
+        assert_eq!(dilate(&mask, -1.0), mask);
+    }
+
+    #[test]
+    fn dilation_is_euclidean_disk() {
+        let mut mask = Grid::new(15, 15, false);
+        mask[(7, 7)] = true;
+        let d = dilate(&mask, 3.0);
+        for (p, &b) in d.enumerate() {
+            let dist = (((p.x - 7).pow(2) + (p.y - 7).pow(2)) as f64).sqrt();
+            assert_eq!(b, dist <= 3.0 + 1e-9, "at {p} dist {dist}");
+        }
+    }
+
+    #[test]
+    fn erosion_respects_border() {
+        // A fully-true mask eroded by 1 loses its border ring.
+        let mask = Grid::new(5, 5, true);
+        let e = erode(&mask, 1.0);
+        assert_eq!(count(&e), 9); // inner 3x3
+        assert!(e[(2, 2)]);
+        assert!(!e[(0, 2)]);
+    }
+
+    #[test]
+    fn opening_removes_slivers() {
+        // A 1-pixel-wide line plus a 5x5 block.
+        let mut mask = Grid::new(20, 9, false);
+        for x in 0..20 {
+            mask[(x, 0)] = true;
+        }
+        for y in 3..8 {
+            for x in 3..8 {
+                mask[(x, y)] = true;
+            }
+        }
+        let o = open(&mask, 1.0);
+        // Line gone…
+        assert!((0..20).all(|x| !o[(x, 0)]));
+        // …block centre survives.
+        assert!(o[(5, 5)]);
+    }
+
+    #[test]
+    fn closing_fills_gaps() {
+        // A 3-pixel-thick band (rows 3..6) with a one-column gap at x = 7.
+        let mut mask = Grid::new(15, 9, false);
+        for y in 3..6 {
+            for x in 0..15 {
+                if x != 7 {
+                    mask[(x, y)] = true;
+                }
+            }
+        }
+        assert!(!mask[(7, 4)]);
+        let c = close(&mask, 1.5);
+        // Closing bridges the gap at the band centre…
+        assert!(c[(7, 4)]);
+        // …without inventing pixels far from the band.
+        assert!(!c[(7, 0)]);
+        assert!(!c[(7, 8)]);
+    }
+
+    #[test]
+    fn duality_on_interior() {
+        // erode(mask) == !dilate(!mask) away from the border.
+        let mask = Grid::from_fn(16, 16, |x, y| ((x / 3) + (y / 2)) % 2 == 0);
+        let e = erode(&mask, 1.5);
+        let comp = mask.map(|&b| !b);
+        let d = dilate(&comp, 1.5);
+        for y in 2..14 {
+            for x in 2..14 {
+                assert_eq!(e[(x, y)], !d[(x, y)], "at ({x}, {y})");
+            }
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Integer pixel coordinates and continuous 2-D vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An integer pixel coordinate `(x, y)`.
+///
+/// `x` grows to the right, `y` grows downwards, matching image raster order.
+/// Coordinates are signed so that intermediate geometry (offsets, clamped
+/// rectangles) can go out of bounds without wrapping.
+///
+/// # Example
+///
+/// ```
+/// use el_geom::Point;
+/// let p = Point::new(3, 4);
+/// assert_eq!(p + Point::new(1, -1), Point::new(4, 3));
+/// assert_eq!(p.l2_norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (column), grows rightwards.
+    pub x: i64,
+    /// Vertical coordinate (row), grows downwards.
+    pub y: i64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean length of the vector from the origin to `self`.
+    #[inline]
+    pub fn l2_norm_sq(self) -> i64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean length of the vector from the origin to `self`.
+    #[inline]
+    pub fn l2_norm(self) -> f64 {
+        (self.l2_norm_sq() as f64).sqrt()
+    }
+
+    /// Euclidean distance between two points.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).l2_norm()
+    }
+
+    /// Manhattan (L1) distance between two points.
+    #[inline]
+    pub fn l1_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance between two points.
+    #[inline]
+    pub fn linf_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Converts to a continuous vector.
+    #[inline]
+    pub fn to_vec2(self) -> Vec2 {
+        Vec2::new(self.x as f64, self.y as f64)
+    }
+
+    /// The four 4-connected neighbours (left, right, up, down).
+    #[inline]
+    pub fn neighbours4(self) -> [Point; 4] {
+        [
+            Point::new(self.x - 1, self.y),
+            Point::new(self.x + 1, self.y),
+            Point::new(self.x, self.y - 1),
+            Point::new(self.x, self.y + 1),
+        ]
+    }
+
+    /// The eight 8-connected neighbours.
+    #[inline]
+    pub fn neighbours8(self) -> [Point; 8] {
+        [
+            Point::new(self.x - 1, self.y - 1),
+            Point::new(self.x, self.y - 1),
+            Point::new(self.x + 1, self.y - 1),
+            Point::new(self.x - 1, self.y),
+            Point::new(self.x + 1, self.y),
+            Point::new(self.x - 1, self.y + 1),
+            Point::new(self.x, self.y + 1),
+            Point::new(self.x + 1, self.y + 1),
+        ]
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<i64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: i64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (i64, i64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// A continuous 2-D vector with `f64` components.
+///
+/// Used for sub-pixel geometry: wind drift offsets, scene-generation
+/// directions and metric-space conversions.
+///
+/// # Example
+///
+/// ```
+/// use el_geom::Vec2;
+/// let wind = Vec2::new(3.0, 4.0);
+/// assert_eq!(wind.norm(), 5.0);
+/// assert!((wind.normalized().norm() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Creates a unit vector at `angle` radians from the +x axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns this vector scaled to unit length.
+    ///
+    /// Returns [`Vec2::ZERO`] if the norm is zero.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec2::ZERO
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise (in image coordinates,
+    /// y-down, this appears as a clockwise turn).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Angle in radians from the +x axis, in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Component-wise linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Rounds to the nearest integer pixel.
+    #[inline]
+    pub fn round(self) -> Point {
+        Point::new(self.x.round() as i64, self.y.round() as i64)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl From<Point> for Vec2 {
+    #[inline]
+    fn from(p: Point) -> Self {
+        p.to_vec2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(2, 3);
+        let b = Point::new(-1, 5);
+        assert_eq!(a + b, Point::new(1, 8));
+        assert_eq!(a - b, Point::new(3, -2));
+        assert_eq!(-a, Point::new(-2, -3));
+        assert_eq!(a * 3, Point::new(6, 9));
+    }
+
+    #[test]
+    fn point_distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.l1_distance(b), 7);
+        assert_eq!(a.linf_distance(b), 4);
+        assert_eq!(b.l2_norm_sq(), 25);
+    }
+
+    #[test]
+    fn point_neighbours() {
+        let p = Point::new(5, 5);
+        let n4 = p.neighbours4();
+        assert_eq!(n4.len(), 4);
+        for n in n4 {
+            assert_eq!(p.l1_distance(n), 1);
+        }
+        let n8 = p.neighbours8();
+        assert_eq!(n8.len(), 8);
+        for n in n8 {
+            assert_eq!(p.linf_distance(n), 1);
+        }
+        // All 8-neighbours are distinct.
+        let mut v: Vec<_> = n8.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn point_conversions() {
+        let p: Point = (7, -2).into();
+        assert_eq!(p, Point::new(7, -2));
+        let t: (i64, i64) = p.into();
+        assert_eq!(t, (7, -2));
+        assert_eq!(p.to_vec2(), Vec2::new(7.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_basics() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(v.cross(Vec2::new(1.0, 0.0)), -4.0);
+        assert_eq!(v.perp(), Vec2::new(-4.0, 3.0));
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn vec2_angle_roundtrip() {
+        for k in 0..16 {
+            let a = -3.0 + 0.4 * k as f64;
+            let v = Vec2::from_angle(a);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+            let b = v.angle();
+            let diff = (a - b).rem_euclid(std::f64::consts::TAU);
+            assert!(diff < 1e-9 || (std::f64::consts::TAU - diff) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vec2_lerp_and_round() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, -2.0));
+        assert_eq!(Vec2::new(2.5, -1.4).round(), Point::new(3, -1));
+    }
+}

@@ -1,0 +1,296 @@
+//! Axis-aligned rectangles in pixel space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle: origin `(x, y)` plus size `(w, h)`.
+///
+/// The rectangle covers pixels `x..x+w` by `y..y+h` (half-open). A rectangle
+/// with zero width or height is *empty* and contains no pixel.
+///
+/// # Example
+///
+/// ```
+/// use el_geom::{Point, Rect};
+/// let r = Rect::new(2, 3, 4, 5);
+/// assert!(r.contains(Point::new(2, 3)));
+/// assert!(!r.contains(Point::new(6, 3))); // half-open
+/// assert_eq!(r.area(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Leftmost column.
+    pub x: i64,
+    /// Topmost row.
+    pub y: i64,
+    /// Width in pixels.
+    pub w: i64,
+    /// Height in pixels.
+    pub h: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from origin and size.
+    ///
+    /// Negative sizes are clamped to zero, producing an empty rectangle.
+    #[inline]
+    pub fn new(x: i64, y: i64, w: i64, h: i64) -> Self {
+        Rect {
+            x,
+            y,
+            w: w.max(0),
+            h: h.max(0),
+        }
+    }
+
+    /// Creates a rectangle spanning two corner points (inclusive of the
+    /// min corner, exclusive of `max + (1,1)`); the points may be given in
+    /// any order.
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        let x0 = a.x.min(b.x);
+        let y0 = a.y.min(b.y);
+        let x1 = a.x.max(b.x);
+        let y1 = a.y.max(b.y);
+        Rect::new(x0, y0, x1 - x0 + 1, y1 - y0 + 1)
+    }
+
+    /// Creates a square rectangle centred (as nearly as possible) on `c`.
+    #[inline]
+    pub fn centered_square(c: Point, side: i64) -> Self {
+        Rect::new(c.x - side / 2, c.y - side / 2, side, side)
+    }
+
+    /// `true` if the rectangle contains no pixel.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Number of pixels covered.
+    #[inline]
+    pub fn area(self) -> i64 {
+        self.w * self.h
+    }
+
+    /// Exclusive right edge (`x + w`).
+    #[inline]
+    pub fn right(self) -> i64 {
+        self.x + self.w
+    }
+
+    /// Exclusive bottom edge (`y + h`).
+    #[inline]
+    pub fn bottom(self) -> i64 {
+        self.y + self.h
+    }
+
+    /// Centre of the rectangle, rounded towards the top-left.
+    #[inline]
+    pub fn center(self) -> Point {
+        Point::new(self.x + self.w / 2, self.y + self.h / 2)
+    }
+
+    /// Top-left corner.
+    #[inline]
+    pub fn top_left(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// `true` if `p` lies inside the rectangle.
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// `true` if `other` is entirely inside `self`.
+    ///
+    /// An empty rectangle is contained in everything.
+    #[inline]
+    pub fn contains_rect(self, other: Rect) -> bool {
+        other.is_empty()
+            || (other.x >= self.x
+                && other.y >= self.y
+                && other.right() <= self.right()
+                && other.bottom() <= self.bottom())
+    }
+
+    /// Intersection of two rectangles (possibly empty).
+    #[inline]
+    pub fn intersect(self, other: Rect) -> Rect {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// `true` if the two rectangles share at least one pixel.
+    #[inline]
+    pub fn intersects(self, other: Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Smallest rectangle containing both operands.
+    ///
+    /// Empty operands are ignored; the union of two empty rectangles is
+    /// empty.
+    #[inline]
+    pub fn union(self, other: Rect) -> Rect {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Grows the rectangle by `margin` pixels on every side.
+    ///
+    /// A negative margin shrinks it (clamping at empty).
+    #[inline]
+    pub fn inflate(self, margin: i64) -> Rect {
+        Rect::new(
+            self.x - margin,
+            self.y - margin,
+            self.w + 2 * margin,
+            self.h + 2 * margin,
+        )
+    }
+
+    /// Translates the rectangle by `delta`.
+    #[inline]
+    pub fn translate(self, delta: Point) -> Rect {
+        Rect::new(self.x + delta.x, self.y + delta.y, self.w, self.h)
+    }
+
+    /// Iterates over every pixel in row-major order.
+    pub fn pixels(self) -> impl Iterator<Item = Point> {
+        (self.y..self.bottom())
+            .flat_map(move |y| (self.x..self.right()).map(move |x| Point::new(x, y)))
+    }
+
+    /// Minimum Euclidean distance from `p` to the rectangle (0 when inside).
+    ///
+    /// Distances are measured between pixel centres, treating the rectangle
+    /// as the set of its pixel coordinates.
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (self.x - p.x).max(p.x - (self.right() - 1)).max(0);
+        let dy = (self.y - p.y).max(p.y - (self.bottom() - 1)).max(0);
+        Point::new(dx, dy).l2_norm()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{} at ({}, {})]", self.w, self.h, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_negative_sizes() {
+        let r = Rect::new(0, 0, -5, 3);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let a = Point::new(5, 1);
+        let b = Point::new(2, 4);
+        let r = Rect::from_corners(a, b);
+        assert_eq!(r, Rect::new(2, 1, 4, 4));
+        assert_eq!(r, Rect::from_corners(b, a));
+        assert!(r.contains(a) && r.contains(b));
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(9, 9)));
+        assert!(!r.contains(Point::new(10, 9)));
+        assert!(!r.contains(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn contains_rect_cases() {
+        let outer = Rect::new(0, 0, 10, 10);
+        assert!(outer.contains_rect(Rect::new(2, 2, 3, 3)));
+        assert!(outer.contains_rect(outer));
+        assert!(!outer.contains_rect(Rect::new(8, 8, 4, 4)));
+        assert!(outer.contains_rect(Rect::new(100, 100, 0, 0))); // empty
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        assert_eq!(a.intersect(b), Rect::new(2, 2, 2, 2));
+        assert!(a.intersects(b));
+        assert_eq!(a.union(b), Rect::new(0, 0, 6, 6));
+
+        let c = Rect::new(10, 10, 2, 2);
+        assert!(!a.intersects(c));
+        assert!(a.intersect(c).is_empty());
+        assert_eq!(a.union(Rect::default()), a);
+        assert_eq!(Rect::default().union(a), a);
+    }
+
+    #[test]
+    fn inflate_and_translate() {
+        let r = Rect::new(5, 5, 2, 2);
+        assert_eq!(r.inflate(1), Rect::new(4, 4, 4, 4));
+        assert_eq!(r.inflate(-2), Rect::new(7, 7, 0, 0));
+        assert!(r.inflate(-2).is_empty());
+        assert_eq!(r.translate(Point::new(-5, 1)), Rect::new(0, 6, 2, 2));
+    }
+
+    #[test]
+    fn pixel_iteration_row_major() {
+        let r = Rect::new(1, 1, 2, 2);
+        let px: Vec<_> = r.pixels().collect();
+        assert_eq!(
+            px,
+            vec![
+                Point::new(1, 1),
+                Point::new(2, 1),
+                Point::new(1, 2),
+                Point::new(2, 2)
+            ]
+        );
+        assert_eq!(px.len() as i64, r.area());
+        assert_eq!(Rect::new(0, 0, 0, 5).pixels().count(), 0);
+    }
+
+    #[test]
+    fn centered_square() {
+        let r = Rect::centered_square(Point::new(10, 10), 5);
+        assert_eq!(r, Rect::new(8, 8, 5, 5));
+        assert_eq!(r.center(), Point::new(10, 10));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert_eq!(r.distance_to_point(Point::new(5, 5)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(12, 5)), 3.0);
+        assert_eq!(r.distance_to_point(Point::new(12, 13)), 5.0);
+        assert_eq!(Rect::default().distance_to_point(Point::ORIGIN), f64::INFINITY);
+    }
+}

@@ -1,0 +1,180 @@
+//! Grid transforms: flips, quarter-turn rotations, nearest-neighbour
+//! resampling.
+//!
+//! Used by the segmentation trainer for data augmentation (the paper's
+//! Table IV Medium-1 "testing in context" implies a model trained with
+//! standard augmentation) and by experiments that rescale imagery across
+//! altitudes.
+
+use crate::grid::Grid;
+
+/// Horizontal mirror (left-right flip).
+pub fn flip_horizontal<T: Clone>(grid: &Grid<T>) -> Grid<T> {
+    let (w, h) = (grid.width(), grid.height());
+    Grid::from_fn(w, h, |x, y| grid[(w - 1 - x, y)].clone())
+}
+
+/// Vertical mirror (top-bottom flip).
+pub fn flip_vertical<T: Clone>(grid: &Grid<T>) -> Grid<T> {
+    let (w, h) = (grid.width(), grid.height());
+    Grid::from_fn(w, h, |x, y| grid[(x, h - 1 - y)].clone())
+}
+
+/// Rotation by `quarter_turns * 90°` counter-clockwise in image
+/// coordinates.
+pub fn rotate90<T: Clone>(grid: &Grid<T>, quarter_turns: u32) -> Grid<T> {
+    let (w, h) = (grid.width(), grid.height());
+    match quarter_turns % 4 {
+        0 => grid.clone(),
+        // (x, y) <- (w-1-y', x') for a single CCW turn of the index map.
+        1 => Grid::from_fn(h, w, |x, y| grid[(w - 1 - y, x)].clone()),
+        2 => Grid::from_fn(w, h, |x, y| grid[(w - 1 - x, h - 1 - y)].clone()),
+        3 => Grid::from_fn(h, w, |x, y| grid[(y, h - 1 - x)].clone()),
+        _ => unreachable!(),
+    }
+}
+
+/// One of the eight axis-aligned symmetries (dihedral group D4),
+/// enumerated for augmentation sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dihedral {
+    /// Identity.
+    Identity,
+    /// 90° rotation.
+    Rot90,
+    /// 180° rotation.
+    Rot180,
+    /// 270° rotation.
+    Rot270,
+    /// Horizontal flip.
+    FlipH,
+    /// Vertical flip.
+    FlipV,
+    /// Transpose (flip across the main diagonal).
+    Transpose,
+    /// Anti-transpose (flip across the anti-diagonal).
+    AntiTranspose,
+}
+
+impl Dihedral {
+    /// All eight symmetries.
+    pub const ALL: [Dihedral; 8] = [
+        Dihedral::Identity,
+        Dihedral::Rot90,
+        Dihedral::Rot180,
+        Dihedral::Rot270,
+        Dihedral::FlipH,
+        Dihedral::FlipV,
+        Dihedral::Transpose,
+        Dihedral::AntiTranspose,
+    ];
+
+    /// Applies the symmetry to a grid.
+    pub fn apply<T: Clone>(self, grid: &Grid<T>) -> Grid<T> {
+        match self {
+            Dihedral::Identity => grid.clone(),
+            Dihedral::Rot90 => rotate90(grid, 1),
+            Dihedral::Rot180 => rotate90(grid, 2),
+            Dihedral::Rot270 => rotate90(grid, 3),
+            Dihedral::FlipH => flip_horizontal(grid),
+            Dihedral::FlipV => flip_vertical(grid),
+            Dihedral::Transpose => rotate90(&flip_horizontal(grid), 1),
+            Dihedral::AntiTranspose => rotate90(&flip_horizontal(grid), 3),
+        }
+    }
+}
+
+/// Nearest-neighbour resampling to a new size.
+///
+/// # Panics
+///
+/// Panics if the source grid or the target size is empty.
+pub fn resize_nearest<T: Clone>(grid: &Grid<T>, new_w: usize, new_h: usize) -> Grid<T> {
+    assert!(!grid.is_empty(), "cannot resample an empty grid");
+    assert!(new_w > 0 && new_h > 0, "target size must be positive");
+    let (w, h) = (grid.width(), grid.height());
+    Grid::from_fn(new_w, new_h, |x, y| {
+        let sx = ((x as f64 + 0.5) * w as f64 / new_w as f64) as usize;
+        let sy = ((y as f64 + 0.5) * h as f64 / new_h as f64) as usize;
+        grid[(sx.min(w - 1), sy.min(h - 1))].clone()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Grid<u32> {
+        Grid::from_fn(3, 2, |x, y| (10 * y + x) as u32)
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let g = sample();
+        assert_eq!(flip_horizontal(&flip_horizontal(&g)), g);
+        assert_eq!(flip_vertical(&flip_vertical(&g)), g);
+        assert_eq!(flip_horizontal(&g)[(0, 0)], g[(2, 0)]);
+        assert_eq!(flip_vertical(&g)[(0, 0)], g[(0, 1)]);
+    }
+
+    #[test]
+    fn rotation_composes() {
+        let g = sample();
+        let r1 = rotate90(&g, 1);
+        assert_eq!(r1.width(), 2);
+        assert_eq!(r1.height(), 3);
+        assert_eq!(rotate90(&r1, 3), g, "four quarter turns = identity");
+        assert_eq!(rotate90(&g, 2), rotate90(&rotate90(&g, 1), 1));
+        assert_eq!(rotate90(&g, 4), g);
+        assert_eq!(rotate90(&g, 5), rotate90(&g, 1));
+    }
+
+    #[test]
+    fn rotate90_moves_corner_correctly() {
+        let g = sample();
+        // CCW in index space: the top-right corner goes to the top-left.
+        let r = rotate90(&g, 1);
+        assert_eq!(r[(0, 0)], g[(2, 0)]);
+    }
+
+    #[test]
+    fn dihedral_elements_are_distinct_on_generic_grid() {
+        let g = Grid::from_fn(3, 3, |x, y| (10 * y + x) as u32);
+        let images: Vec<_> = Dihedral::ALL.iter().map(|d| d.apply(&g)).collect();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(images[i], images[j], "{:?} == {:?}", Dihedral::ALL[i], Dihedral::ALL[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dihedral_preserves_multiset() {
+        let g = Grid::from_fn(4, 3, |x, y| (7 * y + x) as u32);
+        for d in Dihedral::ALL {
+            let t = d.apply(&g);
+            let mut a: Vec<_> = g.iter().copied().collect();
+            let mut b: Vec<_> = t.iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{d:?} changed pixel contents");
+        }
+    }
+
+    #[test]
+    fn resize_identity_and_scaling() {
+        let g = sample();
+        assert_eq!(resize_nearest(&g, 3, 2), g);
+        let up = resize_nearest(&g, 6, 4);
+        assert_eq!(up[(0, 0)], g[(0, 0)]);
+        assert_eq!(up[(5, 3)], g[(2, 1)]);
+        let down = resize_nearest(&up, 3, 2);
+        assert_eq!(down, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "target size must be positive")]
+    fn resize_to_zero_rejected() {
+        let _ = resize_nearest(&sample(), 0, 2);
+    }
+}

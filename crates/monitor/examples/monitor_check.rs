@@ -1,0 +1,38 @@
+//! Crate-level demo of the Figure 4 dynamic: the Bayesian monitor's
+//! miss-coverage and false-alarm rates, in and out of distribution.
+//!
+//! ```text
+//! cargo run --release -p el-monitor --example monitor_check
+//! ```
+use el_monitor::{bayesian_segment, MonitorQuality, MonitorRule};
+use el_scene::{Dataset, DatasetConfig, Split};
+use el_seg::{segment, MsdNet, MsdNetConfig, TrainConfig, Trainer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let ds = Dataset::generate(&DatasetConfig::benchmark(1));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = MsdNet::new(&MsdNetConfig::default_uavid(), &mut rng);
+    Trainer::new(TrainConfig::benchmark()).train(&mut net, &ds);
+    let rule = MonitorRule::paper();
+    for split in [Split::Test, Split::Ood] {
+        let mut q = MonitorQuality::default();
+        let mut unc = 0.0; let mut n = 0;
+        let t0 = std::time::Instant::now();
+        for s in ds.split(split) {
+            let core = segment(&mut net, &s.image);
+            let core_safe = core.labels.map(|c| !c.is_busy_road());
+            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            unc += stats.mean_uncertainty(); n += 1;
+            let warn = rule.warning_map(&stats);
+            q.accumulate(&s.labels, &core_safe, &warn);
+        }
+        println!("{split:?} ({:?}): miss-coverage {:?} false-alarm {:?} road-recall {:?} mean-sigma {:.4}",
+            t0.elapsed(),
+            q.miss_coverage().map(|v|(v*1000.).round()/1000.),
+            q.false_alarm_rate().map(|v|(v*1000.).round()/1000.),
+            q.road_warning_recall().map(|v|(v*1000.).round()/1000.),
+            unc / n as f64);
+    }
+}

@@ -1,0 +1,185 @@
+//! Monitor calibration: operating curves over the rule parameters.
+//!
+//! The paper fixes τ = 0.125 by a first-principles argument (1/8 classes
+//! = uniform guess); the High assurance level (Table IV) additionally
+//! requires *extensive validation* of the monitor. This module provides
+//! the validation machinery as a library: sweep the rule parameters over
+//! labelled data, trace the coverage/false-alarm operating curve, and
+//! select an operating point under an availability constraint.
+
+use el_geom::{Grid, LabelMap};
+use serde::{Deserialize, Serialize};
+
+use crate::bayes::BayesStats;
+use crate::metrics::MonitorQuality;
+use crate::rule::MonitorRule;
+
+/// One labelled evaluation case: ground truth, the core model's safe
+/// mask, and precomputed Bayesian statistics.
+#[derive(Debug, Clone)]
+pub struct CalibrationCase {
+    /// Dense ground-truth labels.
+    pub ground_truth: LabelMap,
+    /// `true` where the core model predicted a non-busy-road class.
+    pub core_safe: Grid<bool>,
+    /// Monte-Carlo-dropout statistics for the same image.
+    pub stats: BayesStats,
+}
+
+/// One point of the operating curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The rule evaluated.
+    pub rule: MonitorRule,
+    /// Dangerous-miss coverage (`None` when the cases had no core miss).
+    pub miss_coverage: Option<f64>,
+    /// False-alarm rate on safe, core-safe pixels.
+    pub false_alarm_rate: Option<f64>,
+    /// Fraction of all true busy-road pixels flagged.
+    pub road_warning_recall: Option<f64>,
+}
+
+/// Evaluates one rule over a set of cases.
+pub fn evaluate_rule(rule: MonitorRule, cases: &[CalibrationCase]) -> OperatingPoint {
+    let mut q = MonitorQuality::default();
+    for case in cases {
+        q.accumulate(&case.ground_truth, &case.core_safe, &rule.warning_map(&case.stats));
+    }
+    OperatingPoint {
+        rule,
+        miss_coverage: q.miss_coverage(),
+        false_alarm_rate: q.false_alarm_rate(),
+        road_warning_recall: q.road_warning_recall(),
+    }
+}
+
+/// Sweeps τ at a fixed σ factor, returning the operating curve ordered by
+/// increasing τ.
+///
+/// # Panics
+///
+/// Panics if `taus` is empty or any resulting rule is invalid.
+pub fn sweep_tau(taus: &[f32], sigma_factor: f32, cases: &[CalibrationCase]) -> Vec<OperatingPoint> {
+    assert!(!taus.is_empty(), "at least one tau is required");
+    let mut taus = taus.to_vec();
+    taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    taus.iter()
+        .map(|&tau| {
+            let rule = MonitorRule { tau, sigma_factor };
+            if let Err(e) = rule.validate() {
+                panic!("invalid rule in sweep: {e}");
+            }
+            evaluate_rule(rule, cases)
+        })
+        .collect()
+}
+
+/// Picks the smallest τ (most conservative rule) whose false-alarm rate
+/// stays within `max_false_alarm` — the availability-constrained safety
+/// optimum. Returns `None` when no swept point satisfies the constraint.
+pub fn select_tau(
+    taus: &[f32],
+    sigma_factor: f32,
+    max_false_alarm: f64,
+    cases: &[CalibrationCase],
+) -> Option<OperatingPoint> {
+    sweep_tau(taus, sigma_factor, cases)
+        .into_iter()
+        .find(|p| p.false_alarm_rate.map_or(true, |fa| fa <= max_false_alarm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::{Grid, SemanticClass};
+    use el_nn::Tensor;
+
+    /// Synthetic case: 4 pixels — [road-missed, road-caught, safe-quiet,
+    /// safe-noisy] with hand-built statistics.
+    fn case() -> CalibrationCase {
+        let ground_truth = Grid::from_vec(
+            4,
+            1,
+            vec![
+                SemanticClass::Road,
+                SemanticClass::Road,
+                SemanticClass::LowVegetation,
+                SemanticClass::LowVegetation,
+            ],
+        )
+        .unwrap();
+        let core_safe = Grid::from_vec(4, 1, vec![true, false, true, true]).unwrap();
+        let mut mean = Tensor::zeros(8, 1, 4);
+        let mut std = Tensor::zeros(8, 1, 4);
+        let road = SemanticClass::Road.index();
+        // Pixel 0: core miss, but mean road score 0.10 with sigma 0.04.
+        mean[(road, 0, 0)] = 0.10;
+        std[(road, 0, 0)] = 0.04;
+        // Pixel 1: confidently road.
+        mean[(road, 0, 1)] = 0.9;
+        // Pixel 2: confidently safe.
+        mean[(road, 0, 2)] = 0.01;
+        // Pixel 3: safe but noisy (sigma 0.06).
+        mean[(road, 0, 3)] = 0.02;
+        std[(road, 0, 3)] = 0.06;
+        CalibrationCase {
+            ground_truth,
+            core_safe,
+            stats: BayesStats {
+                mean,
+                std,
+                samples: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn evaluate_rule_counts() {
+        let cases = [case()];
+        // Paper rule: pixel 0: 0.10 + 0.12 = 0.22 > 0.125 -> covered.
+        // Pixel 3: 0.02 + 0.18 = 0.20 > 0.125 -> false alarm.
+        let p = evaluate_rule(MonitorRule::paper(), &cases);
+        assert_eq!(p.miss_coverage, Some(1.0));
+        assert_eq!(p.false_alarm_rate, Some(0.5));
+        // Point estimate: pixel 0 mean 0.10 <= 0.125 -> NOT covered.
+        let p = evaluate_rule(MonitorRule::point_estimate(0.125), &cases);
+        assert_eq!(p.miss_coverage, Some(0.0));
+        assert_eq!(p.false_alarm_rate, Some(0.0));
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let cases = [case()];
+        let curve = sweep_tau(&[0.05, 0.125, 0.3, 0.6], 3.0, &cases);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            // Larger tau: coverage and false alarms can only drop.
+            let (a, b) = (&w[0], &w[1]);
+            if let (Some(ca), Some(cb)) = (a.miss_coverage, b.miss_coverage) {
+                assert!(cb <= ca);
+            }
+            if let (Some(fa), Some(fb)) = (a.false_alarm_rate, b.false_alarm_rate) {
+                assert!(fb <= fa);
+            }
+        }
+    }
+
+    #[test]
+    fn select_tau_honours_constraint() {
+        let cases = [case()];
+        // With a tight availability budget the selector must skip the
+        // small taus that false-alarm on pixel 3.
+        let p = select_tau(&[0.05, 0.125, 0.25], 3.0, 0.1, &cases).unwrap();
+        assert!(p.rule.tau >= 0.25 - 1e-6);
+        assert!(p.false_alarm_rate.unwrap() <= 0.1);
+        // An impossible constraint yields None.
+        let none = select_tau(&[0.05], 3.0, 0.0, &cases);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tau")]
+    fn empty_sweep_rejected() {
+        let _ = sweep_tau(&[], 3.0, &[case()]);
+    }
+}

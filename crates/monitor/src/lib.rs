@@ -1,0 +1,55 @@
+//! Bayesian runtime monitoring for learned landing-zone selection.
+//!
+//! The paper's safety architecture (Figure 2) pairs the deterministic
+//! MSDnet *core function* with a *monitor* built from the Bayesian version
+//! of the same network: Monte-Carlo dropout (Gal & Ghahramani, 2016) keeps
+//! dropout active at inference, several stochastic passes yield a per-pixel
+//! mean `µ` and standard deviation `σ` of the class scores, and a pixel is
+//! declared safe only when the conservative 99.7% confidence bound clears a
+//! small threshold:
+//!
+//! ```text
+//! µ_ij + 3 σ_ij ≤ τ        (paper Eq. 2, τ = 0.125 = 1/8 classes)
+//! ```
+//!
+//! checked for **each of the three busy-road sub-categories** (road,
+//! static car, moving car). This crate implements:
+//!
+//! - [`bayes`]: Monte-Carlo-dropout inference producing [`BayesStats`]
+//!   (µ and σ tensors).
+//! - [`rule`]: the confidence-interval decision rule and warning maps.
+//! - [`monitor`]: the [`Monitor`] façade that verifies candidate zones.
+//! - [`metrics`]: monitor-quality metrics — how much of the core model's
+//!   dangerous misses the monitor covers, at what false-alarm cost.
+//!
+//! # Example
+//!
+//! ```
+//! use el_monitor::{Monitor, MonitorConfig};
+//! use el_seg::{MsdNet, MsdNetConfig};
+//! use el_scene::{Conditions, Scene, SceneParams};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(0);
+//! let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+//! let scene = Scene::generate(&SceneParams::small(), 1);
+//! let image = scene.render(&Conditions::nominal(), 2);
+//! let monitor = Monitor::new(MonitorConfig { samples: 4, ..MonitorConfig::default() });
+//! let report = monitor.verify(&mut net, &image, 3);
+//! assert_eq!(report.warning_map.width(), image.width());
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bayes;
+pub mod calibration;
+pub mod metrics;
+pub mod monitor;
+pub mod rule;
+
+pub use bayes::{bayesian_segment, BayesStats};
+pub use calibration::{evaluate_rule, select_tau, sweep_tau, CalibrationCase, OperatingPoint};
+pub use metrics::MonitorQuality;
+pub use monitor::{Monitor, MonitorConfig, MonitorReport, Verdict};
+pub use rule::MonitorRule;

@@ -1,0 +1,201 @@
+//! Monitor-quality metrics.
+//!
+//! The paper's qualitative claim (Figure 4b) is that "the monitor seems to
+//! be able to trigger an uncertainty warning for a large part of the road
+//! areas that was not covered by the core model", while raising no warning
+//! on genuinely safe areas (Figure 4b-3). These metrics quantify exactly
+//! that:
+//!
+//! - **miss coverage** — among pixels that are truly busy road but that the
+//!   *core model* predicted as safe (the dangerous misses), the fraction
+//!   the monitor flags;
+//! - **false-alarm rate** — among pixels that are truly safe *and*
+//!   predicted safe, the fraction the monitor flags anyway (availability
+//!   cost);
+//! - **road warning recall** — over all truly busy-road pixels, the
+//!   fraction flagged.
+
+use el_geom::{Grid, LabelMap};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated monitor-quality counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorQuality {
+    /// Truly-busy-road pixels the core model predicted safe (dangerous).
+    pub core_misses: u64,
+    /// Dangerous core misses flagged by the monitor.
+    pub covered_misses: u64,
+    /// Truly-safe pixels predicted safe by the core model.
+    pub safe_pixels: u64,
+    /// Safe pixels flagged by the monitor anyway.
+    pub false_alarms: u64,
+    /// All truly-busy-road pixels.
+    pub road_pixels: u64,
+    /// Truly-busy-road pixels flagged by the monitor.
+    pub road_warnings: u64,
+}
+
+impl MonitorQuality {
+    /// Accumulates one image's worth of maps.
+    ///
+    /// `ground_truth` is the dense label map; `core_safe` is `true` where
+    /// the *core model* predicted a non-busy-road class; `warnings` is the
+    /// monitor's warning map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps differ in shape.
+    pub fn accumulate(
+        &mut self,
+        ground_truth: &LabelMap,
+        core_safe: &Grid<bool>,
+        warnings: &Grid<bool>,
+    ) {
+        assert_eq!(
+            (ground_truth.width(), ground_truth.height()),
+            (core_safe.width(), core_safe.height()),
+            "ground truth and core prediction must share a shape"
+        );
+        assert_eq!(
+            (ground_truth.width(), ground_truth.height()),
+            (warnings.width(), warnings.height()),
+            "ground truth and warnings must share a shape"
+        );
+        for ((gt, &safe), &warn) in ground_truth
+            .iter()
+            .zip(core_safe.iter())
+            .zip(warnings.iter())
+        {
+            let is_road = gt.is_busy_road();
+            if is_road {
+                self.road_pixels += 1;
+                if warn {
+                    self.road_warnings += 1;
+                }
+                if safe {
+                    self.core_misses += 1;
+                    if warn {
+                        self.covered_misses += 1;
+                    }
+                }
+            } else if safe {
+                self.safe_pixels += 1;
+                if warn {
+                    self.false_alarms += 1;
+                }
+            }
+        }
+    }
+
+    /// Fraction of the core model's dangerous misses the monitor covers
+    /// (`None` when the core made no dangerous miss).
+    pub fn miss_coverage(&self) -> Option<f64> {
+        if self.core_misses == 0 {
+            None
+        } else {
+            Some(self.covered_misses as f64 / self.core_misses as f64)
+        }
+    }
+
+    /// Fraction of truly-safe, core-safe pixels the monitor flags anyway
+    /// (`None` when there was no safe pixel).
+    pub fn false_alarm_rate(&self) -> Option<f64> {
+        if self.safe_pixels == 0 {
+            None
+        } else {
+            Some(self.false_alarms as f64 / self.safe_pixels as f64)
+        }
+    }
+
+    /// Fraction of all truly-busy-road pixels the monitor flags (`None`
+    /// when there was no road pixel).
+    pub fn road_warning_recall(&self) -> Option<f64> {
+        if self.road_pixels == 0 {
+            None
+        } else {
+            Some(self.road_warnings as f64 / self.road_pixels as f64)
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MonitorQuality) {
+        self.core_misses += other.core_misses;
+        self.covered_misses += other.covered_misses;
+        self.safe_pixels += other.safe_pixels;
+        self.false_alarms += other.false_alarms;
+        self.road_pixels += other.road_pixels;
+        self.road_warnings += other.road_warnings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::{Grid, SemanticClass};
+
+    fn setup() -> (LabelMap, Grid<bool>, Grid<bool>) {
+        // 4 pixels: [road, road, grass, grass]
+        let gt = Grid::from_vec(
+            4,
+            1,
+            vec![
+                SemanticClass::Road,
+                SemanticClass::Road,
+                SemanticClass::LowVegetation,
+                SemanticClass::LowVegetation,
+            ],
+        )
+        .unwrap();
+        // Core: misses pixel 1 (says safe), correct elsewhere.
+        let core_safe = Grid::from_vec(4, 1, vec![false, true, true, true]).unwrap();
+        // Monitor: warns on pixels 0, 1 and 3.
+        let warnings = Grid::from_vec(4, 1, vec![true, true, false, true]).unwrap();
+        (gt, core_safe, warnings)
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let (gt, core_safe, warnings) = setup();
+        let mut q = MonitorQuality::default();
+        q.accumulate(&gt, &core_safe, &warnings);
+        assert_eq!(q.core_misses, 1);
+        assert_eq!(q.covered_misses, 1);
+        assert_eq!(q.safe_pixels, 2);
+        assert_eq!(q.false_alarms, 1);
+        assert_eq!(q.road_pixels, 2);
+        assert_eq!(q.road_warnings, 2);
+        assert_eq!(q.miss_coverage(), Some(1.0));
+        assert_eq!(q.false_alarm_rate(), Some(0.5));
+        assert_eq!(q.road_warning_recall(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_denominators_are_none() {
+        let q = MonitorQuality::default();
+        assert_eq!(q.miss_coverage(), None);
+        assert_eq!(q.false_alarm_rate(), None);
+        assert_eq!(q.road_warning_recall(), None);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let (gt, core_safe, warnings) = setup();
+        let mut a = MonitorQuality::default();
+        a.accumulate(&gt, &core_safe, &warnings);
+        let b = a;
+        let mut m = MonitorQuality::default();
+        m.merge(&a);
+        m.merge(&b);
+        assert_eq!(m.road_pixels, 4);
+        assert_eq!(m.miss_coverage(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn shape_mismatch_panics() {
+        let (gt, core_safe, _) = setup();
+        let bad = Grid::new(2, 1, false);
+        let mut q = MonitorQuality::default();
+        q.accumulate(&gt, &core_safe, &bad);
+    }
+}

@@ -1,0 +1,222 @@
+//! The monitor façade: verifying candidate landing zones.
+
+use el_geom::Grid;
+use el_scene::Image;
+use el_seg::MsdNet;
+use serde::{Deserialize, Serialize};
+
+use crate::bayes::{bayesian_segment, BayesStats};
+use crate::rule::MonitorRule;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// The per-pixel decision rule.
+    pub rule: MonitorRule,
+    /// Number of Monte-Carlo-dropout samples (the paper computes
+    /// prediction statistics on 10).
+    pub samples: usize,
+    /// Maximum fraction of warning pixels tolerated before the zone is
+    /// rejected. The paper's conservative stance is 0 (any warning pixel
+    /// rejects); a small tolerance absorbs isolated sampling speckle.
+    pub max_warning_fraction: f64,
+}
+
+impl MonitorConfig {
+    /// The paper's configuration: Eq. 2 rule, 10 samples, zero tolerance.
+    pub fn paper() -> Self {
+        MonitorConfig {
+            rule: MonitorRule::paper(),
+            samples: 10,
+            max_warning_fraction: 0.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.rule.validate()?;
+        if self.samples == 0 {
+            return Err("samples must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.max_warning_fraction) {
+            return Err("max_warning_fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The monitor's verdict on a candidate zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The zone is confirmed safe: landing may proceed.
+    Confirmed,
+    /// The zone is rejected: try another candidate or abort.
+    Rejected,
+}
+
+/// The result of verifying one image crop.
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// Per-pixel warnings (`true` = busy-road bound violated).
+    pub warning_map: Grid<bool>,
+    /// Fraction of warning pixels.
+    pub warning_fraction: f64,
+    /// The verdict under the configured tolerance.
+    pub verdict: Verdict,
+    /// The underlying Bayesian statistics (exposed for experiments).
+    pub stats: BayesStats,
+}
+
+/// The runtime monitor of the paper's Figure 2 safety architecture.
+///
+/// Owns no model: verification borrows the same MSDnet used by the core
+/// function and runs it in stochastic (Monte-Carlo-dropout) mode, which is
+/// exactly how the paper derives BMSDnet from MSDnet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Monitor {
+    config: MonitorConfig,
+}
+
+impl Monitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MonitorConfig::validate`].
+    pub fn new(config: MonitorConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid monitor configuration: {e}");
+        }
+        Monitor { config }
+    }
+
+    /// The paper's monitor ([`MonitorConfig::paper`]).
+    pub fn paper() -> Self {
+        Self::new(MonitorConfig::paper())
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Verifies an image crop (a candidate landing zone's sub-image).
+    ///
+    /// Runs Monte-Carlo-dropout inference and applies the decision rule.
+    /// Deterministic given `(net, crop, seed)`.
+    pub fn verify(&self, net: &mut MsdNet, crop: &Image, seed: u64) -> MonitorReport {
+        let stats = bayesian_segment(net, crop, self.config.samples, seed);
+        self.report_from_stats(stats)
+    }
+
+    /// Applies the decision rule to precomputed statistics.
+    pub fn report_from_stats(&self, stats: BayesStats) -> MonitorReport {
+        let warning_map = self.config.rule.warning_map(&stats);
+        let warning_fraction = warning_map.fraction_set();
+        let verdict = if warning_fraction <= self.config.max_warning_fraction {
+            Verdict::Confirmed
+        } else {
+            Verdict::Rejected
+        };
+        MonitorReport {
+            warning_map,
+            warning_fraction,
+            verdict,
+            stats,
+        }
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::{Rect, SemanticClass};
+    use el_scene::{Conditions, Scene, SceneParams};
+    use el_seg::MsdNetConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quick_monitor(samples: usize) -> Monitor {
+        Monitor::new(MonitorConfig {
+            samples,
+            ..MonitorConfig::paper()
+        })
+    }
+
+    #[test]
+    fn verify_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let scene = Scene::generate(&SceneParams::small(), 2);
+        let image = scene.render(&Conditions::nominal(), 3);
+        let crop = image.crop(Rect::new(0, 0, 24, 24)).unwrap();
+        let m = quick_monitor(4);
+        let a = m.verify(&mut net, &crop, 7);
+        let b = m.verify(&mut net, &crop, 7);
+        assert_eq!(a.warning_map, b.warning_map);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn verdict_follows_tolerance() {
+        // Build stats that warn on exactly one pixel out of four.
+        let mut mean = el_nn::Tensor::zeros(8, 2, 2);
+        mean.channel_mut(SemanticClass::Road.index())[0] = 0.9;
+        let stats = BayesStats {
+            mean,
+            std: el_nn::Tensor::zeros(8, 2, 2),
+            samples: 10,
+        };
+        let strict = Monitor::paper();
+        assert_eq!(strict.report_from_stats(stats.clone()).verdict, Verdict::Rejected);
+        let tolerant = Monitor::new(MonitorConfig {
+            max_warning_fraction: 0.5,
+            ..MonitorConfig::paper()
+        });
+        let report = tolerant.report_from_stats(stats);
+        assert_eq!(report.verdict, Verdict::Confirmed);
+        assert!((report.warning_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untrained_net_warns_on_roads_sometimes() {
+        // An untrained network is uncertain everywhere; with the paper's
+        // conservative rule most pixels should carry warnings.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let scene = Scene::generate(&SceneParams::small(), 5);
+        let image = scene.render(&Conditions::nominal(), 5);
+        let crop = image.crop(Rect::new(0, 0, 32, 32)).unwrap();
+        let report = quick_monitor(6).verify(&mut net, &crop, 11);
+        assert!(
+            report.warning_fraction > 0.2,
+            "untrained net should be widely uncertain, got {}",
+            report.warning_fraction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid monitor configuration")]
+    fn invalid_config_rejected() {
+        let _ = Monitor::new(MonitorConfig {
+            samples: 0,
+            ..MonitorConfig::paper()
+        });
+    }
+}

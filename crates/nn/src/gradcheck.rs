@@ -1,0 +1,266 @@
+//! Finite-difference gradient checking.
+//!
+//! Safety argument for a from-scratch NN substrate: every backward pass in
+//! this crate is validated against numerical differentiation. The helpers
+//! here are `pub` so that higher-level crates (the MSDnet in `el-seg`) can
+//! gradient-check their composite models too.
+
+use rand::RngCore;
+
+use crate::layers::{Layer, Phase};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: maximum relative error over all checked
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Maximum relative error encountered.
+    pub max_rel_error: f64,
+    /// Mean relative error over all checked coordinates.
+    pub mean_rel_error: f64,
+    /// Number of coordinates checked.
+    pub checked: usize,
+}
+
+impl GradCheck {
+    /// `true` if the maximum relative error is below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_error < tol
+    }
+
+    /// `true` if the *mean* relative error is below `tol`.
+    ///
+    /// Finite differences through deep composites occasionally cross a
+    /// ReLU kink at one probed coordinate; the mean is the robust
+    /// acceptance criterion there, the max for single layers.
+    pub fn passes_mean(&self, tol: f64) -> bool {
+        self.mean_rel_error < tol
+    }
+}
+
+fn rel_error(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-7 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Checks a layer's input gradient against central finite differences.
+///
+/// The scalar objective is `L = sum(forward(x) * seed)` for a fixed random
+/// `seed` tensor; its analytic input gradient is `backward(seed)`.
+/// Stochastic layers are made repeatable by cloning `rng` for every
+/// forward evaluation, so the same dropout masks are drawn each time.
+///
+/// `probes` coordinates of the input are perturbed (all of them if
+/// `probes >= x.len()`).
+pub fn check_input_gradient<L, R>(
+    layer: &mut L,
+    x: &Tensor,
+    seed: &Tensor,
+    rng: &R,
+    probes: usize,
+    eps: f32,
+) -> GradCheck
+where
+    L: Layer,
+    R: RngCore + Clone,
+{
+    // Analytic gradient.
+    let mut r = rng.clone();
+    let out = layer.forward(x, Phase::Train, &mut r);
+    assert_eq!(out.shape(), seed.shape(), "seed must match output shape");
+    let analytic = layer.backward(seed);
+
+    let objective = |layer: &mut L, x: &Tensor| -> f64 {
+        let mut r = rng.clone();
+        let out = layer.forward(x, Phase::Train, &mut r);
+        out.as_slice()
+            .iter()
+            .zip(seed.as_slice())
+            .map(|(&o, &s)| o as f64 * s as f64)
+            .sum()
+    };
+
+    let n = x.len();
+    let step = (n / probes.max(1)).max(1);
+    let mut max_rel = 0.0f64;
+    let mut sum_rel = 0.0f64;
+    let mut checked = 0;
+    let mut xp = x.clone();
+    for i in (0..n).step_by(step) {
+        let orig = xp.as_slice()[i];
+        xp.as_mut_slice()[i] = orig + eps;
+        let lp = objective(layer, &xp);
+        xp.as_mut_slice()[i] = orig - eps;
+        let lm = objective(layer, &xp);
+        xp.as_mut_slice()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps as f64);
+        let rel = rel_error(numeric, analytic.as_slice()[i] as f64);
+        max_rel = max_rel.max(rel);
+        sum_rel += rel;
+        checked += 1;
+    }
+    GradCheck {
+        max_rel_error: max_rel,
+        mean_rel_error: if checked > 0 { sum_rel / checked as f64 } else { 0.0 },
+        checked,
+    }
+}
+
+/// Checks a layer's *parameter* gradients against central finite
+/// differences, using the same `sum(out * seed)` objective as
+/// [`check_input_gradient`].
+///
+/// Probes up to `probes` coordinates of each parameter tensor.
+pub fn check_param_gradients<L, R>(
+    layer: &mut L,
+    x: &Tensor,
+    seed: &Tensor,
+    rng: &R,
+    probes: usize,
+    eps: f32,
+) -> GradCheck
+where
+    L: Layer,
+    R: RngCore + Clone,
+{
+    // Analytic gradients.
+    layer.zero_grad();
+    let mut r = rng.clone();
+    let out = layer.forward(x, Phase::Train, &mut r);
+    assert_eq!(out.shape(), seed.shape(), "seed must match output shape");
+    let _ = layer.backward(seed);
+    let analytic: Vec<Vec<f32>> = layer
+        .params()
+        .iter()
+        .map(|p| p.grad.to_vec())
+        .collect();
+
+    let objective = |layer: &mut L| -> f64 {
+        let mut r = rng.clone();
+        let out = layer.forward(x, Phase::Train, &mut r);
+        out.as_slice()
+            .iter()
+            .zip(seed.as_slice())
+            .map(|(&o, &s)| o as f64 * s as f64)
+            .sum()
+    };
+
+    let mut max_rel = 0.0f64;
+    let mut sum_rel = 0.0f64;
+    let mut checked = 0;
+    for (pi, grads) in analytic.iter().enumerate() {
+        let n = grads.len();
+        let step = (n / probes.max(1)).max(1);
+        for j in (0..n).step_by(step) {
+            let orig = layer.params()[pi].value[j];
+            layer.params()[pi].value[j] = orig + eps;
+            let lp = objective(layer);
+            layer.params()[pi].value[j] = orig - eps;
+            let lm = objective(layer);
+            layer.params()[pi].value[j] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let rel = rel_error(numeric, grads[j] as f64);
+            max_rel = max_rel.max(rel);
+            sum_rel += rel;
+            checked += 1;
+        }
+    }
+    GradCheck {
+        max_rel_error: max_rel,
+        mean_rel_error: if checked > 0 { sum_rel / checked as f64 } else { 0.0 },
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dropout, Relu, Sequential};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_tensor(c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(c, h, w, |_, _, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn conv_input_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let x = random_tensor(2, 5, 5, 2);
+        let seed = random_tensor(3, 5, 5, 3);
+        let res = check_input_gradient(&mut conv, &x, &seed, &rng, 25, 1e-2);
+        assert!(res.passes(2e-2), "max rel err {}", res.max_rel_error);
+    }
+
+    #[test]
+    fn conv_param_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 2, 3, 1, &mut rng);
+        let x = random_tensor(2, 4, 4, 5);
+        let seed = random_tensor(2, 4, 4, 6);
+        let res = check_param_gradients(&mut conv, &x, &seed, &rng, 20, 1e-2);
+        assert!(res.passes(2e-2), "max rel err {}", res.max_rel_error);
+    }
+
+    #[test]
+    fn dilated_conv_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut conv = Conv2d::new(1, 2, 3, 2, &mut rng);
+        let x = random_tensor(1, 7, 7, 8);
+        let seed = random_tensor(2, 7, 7, 9);
+        let res = check_input_gradient(&mut conv, &x, &seed, &rng, 30, 1e-2);
+        assert!(res.passes(2e-2), "max rel err {}", res.max_rel_error);
+        let res = check_param_gradients(&mut conv, &x, &seed, &rng, 20, 1e-2);
+        assert!(res.passes(2e-2), "max rel err {}", res.max_rel_error);
+    }
+
+    #[test]
+    fn relu_gradient_away_from_kink() {
+        let rng = ChaCha8Rng::seed_from_u64(10);
+        let mut relu = Relu::default();
+        // Keep inputs away from 0 so finite differences don't cross the kink.
+        let mut x = random_tensor(2, 4, 4, 11);
+        for v in x.as_mut_slice() {
+            if v.abs() < 0.2 {
+                *v += 0.3_f32.copysign(*v + 0.01);
+            }
+        }
+        let seed = random_tensor(2, 4, 4, 12);
+        let res = check_input_gradient(&mut relu, &x, &seed, &rng, 32, 1e-3);
+        assert!(res.passes(1e-2), "max rel err {}", res.max_rel_error);
+    }
+
+    #[test]
+    fn dropout_gradient_with_frozen_mask() {
+        let rng = ChaCha8Rng::seed_from_u64(13);
+        let mut drop = Dropout::new(0.5);
+        let x = random_tensor(1, 6, 6, 14);
+        let seed = random_tensor(1, 6, 6, 15);
+        let res = check_input_gradient(&mut drop, &x, &seed, &rng, 36, 1e-3);
+        assert!(res.passes(1e-2), "max rel err {}", res.max_rel_error);
+    }
+
+    #[test]
+    fn sequential_end_to_end_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 3, 3, 1, &mut rng));
+        net.push(Relu::default());
+        net.push(Dropout::new(0.3));
+        net.push(Conv2d::new(3, 2, 1, 1, &mut rng));
+        // Small eps keeps finite differences from crossing ReLU kinks
+        // inside the composite network.
+        let x = random_tensor(1, 5, 5, 17);
+        let seed = random_tensor(2, 5, 5, 18);
+        let res = check_input_gradient(&mut net, &x, &seed, &rng, 25, 5e-4);
+        assert!(res.passes(3e-2), "max rel err {}", res.max_rel_error);
+        let res = check_param_gradients(&mut net, &x, &seed, &rng, 10, 5e-4);
+        assert!(res.passes(3e-2), "max rel err {}", res.max_rel_error);
+    }
+}

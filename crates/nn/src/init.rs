@@ -1,0 +1,80 @@
+//! Weight initialisation.
+
+use rand::{Rng, RngCore};
+
+/// Samples a standard-normal value via the Box–Muller transform.
+///
+/// Kept dependency-free (the allowed crate set has `rand` but not
+/// `rand_distr`).
+pub fn standard_normal(rng: &mut dyn RngCore) -> f32 {
+    // Avoid ln(0).
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// He-normal initialisation: `N(0, sqrt(2 / fan_in))`, the standard choice
+/// for layers followed by ReLU.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_normal(n: usize, fan_in: usize, rng: &mut dyn RngCore) -> Vec<f32> {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    (0..n).map(|_| standard_normal(rng) * std).collect()
+}
+
+/// Xavier/Glorot-uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(n: usize, fan_in: usize, fan_out: usize, rng: &mut dyn RngCore) -> Vec<f32> {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..n).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn he_normal_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let fan_in = 50;
+        let v = he_normal(20_000, fan_in, &mut rng);
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / v.len() as f32;
+        let expected_var = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.1,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let v = xavier_uniform(10_000, 30, 30, &mut rng);
+        let a = (6.0f32 / 60.0).sqrt();
+        assert!(v.iter().all(|&x| x > -a && x < a));
+        // Uses a good part of the range.
+        let max = v.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max > 0.8 * a);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = standard_normal(&mut rng);
+            assert!(x.is_finite());
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! 2-D convolution with arbitrary dilation ("same" padding, stride 1).
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use super::{Layer, ParamRef, Phase};
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer with square kernels, stride 1, "same" zero
+/// padding and configurable dilation.
+///
+/// Dilation is the heart of the paper's MSDnet ("Multi-Scale-Dilation
+/// net"): parallel branches with dilations 1, 2, 4, … see increasingly
+/// large receptive fields at constant cost.
+///
+/// Weights are stored as `[out][in][ky][kx]`, initialised with He-normal
+/// scaling (appropriate for the ReLU non-linearities that follow).
+///
+/// # Example
+///
+/// ```
+/// use el_nn::{layers::{Conv2d, Layer}, Phase, Tensor};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(2, 5, 3, 2, &mut rng); // dilation 2
+/// let out = conv.forward(&Tensor::zeros(2, 10, 10), Phase::Eval, &mut rng);
+/// assert_eq!(out.shape(), (5, 10, 10)); // "same" padding preserves H x W
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    dilation: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    #[serde(skip)]
+    grad_weight: Vec<f32>,
+    #[serde(skip)]
+    grad_bias: Vec<f32>,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal initialised weights and zero
+    /// biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even or zero, if any channel count is zero, or
+    /// if `dilation` is zero — "same" padding requires odd kernels.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        dilation: usize,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        assert!(kernel % 2 == 1 && kernel > 0, "kernel must be odd, got {kernel}");
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(dilation > 0, "dilation must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let n = out_channels * fan_in;
+        let weight = init::he_normal(n, fan_in, rng);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            dilation,
+            weight,
+            bias: vec![0.0; out_channels],
+            grad_weight: vec![0.0; n],
+            grad_bias: vec![0.0; out_channels],
+            cached_input: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Dilation factor.
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Effective receptive-field side: `dilation * (kernel - 1) + 1`.
+    pub fn receptive_field(&self) -> usize {
+        self.dilation * (self.kernel - 1) + 1
+    }
+
+    /// Direct read access to the weights (`[out][in][ky][kx]` layout).
+    pub fn weight(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Mutable access to the weights (for tests and serialization round
+    /// trips).
+    pub fn weight_mut(&mut self) -> &mut [f32] {
+        &mut self.weight
+    }
+
+    /// Direct read access to the biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Restores gradient/caching buffers after deserialization.
+    ///
+    /// Serde skips gradient state; call this after loading a model if you
+    /// intend to continue training it.
+    pub fn reset_state(&mut self) {
+        self.grad_weight = vec![0.0; self.weight.len()];
+        self.grad_bias = vec![0.0; self.bias.len()];
+        self.cached_input = None;
+    }
+
+    #[inline]
+    fn w_idx(&self, o: usize, i: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_channels + i) * self.kernel + ky) * self.kernel + kx
+    }
+
+    fn forward_impl(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.channels(),
+            self.in_channels,
+            "Conv2d expected {} input channels, got {}",
+            self.in_channels,
+            input.channels()
+        );
+        let (h, w) = (input.height(), input.width());
+        let pad = (self.dilation * (self.kernel - 1)) / 2;
+        let mut out = Tensor::zeros(self.out_channels, h, w);
+        let inp = input.as_slice();
+        let hw = h * w;
+        for o in 0..self.out_channels {
+            let out_plane = out.channel_mut(o);
+            out_plane.fill(self.bias[o]);
+            for i in 0..self.in_channels {
+                let in_plane = &inp[i * hw..(i + 1) * hw];
+                for ky in 0..self.kernel {
+                    let dy = (ky * self.dilation) as isize - pad as isize;
+                    for kx in 0..self.kernel {
+                        let dx = (kx * self.dilation) as isize - pad as isize;
+                        let wv = self.weight[self.w_idx(o, i, ky, kx)];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        // Valid output rows for this tap.
+                        let y0 = (-dy).max(0) as usize;
+                        let y1 = ((h as isize - dy).min(h as isize)).max(0) as usize;
+                        let x0 = (-dx).max(0) as usize;
+                        let x1 = ((w as isize - dx).min(w as isize)).max(0) as usize;
+                        for y in y0..y1 {
+                            let iy = (y as isize + dy) as usize;
+                            let orow = y * w;
+                            let irow = iy * w;
+                            for x in x0..x1 {
+                                let ix = (x as isize + dx) as usize;
+                                out_plane[orow + x] += wv * in_plane[irow + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, phase: Phase, _rng: &mut dyn RngCore) -> Tensor {
+        let out = self.forward_impl(input);
+        self.cached_input = if phase == Phase::Train {
+            Some(input.clone())
+        } else {
+            None
+        };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward called without a Train-phase forward");
+        assert_eq!(
+            grad_out.shape(),
+            (self.out_channels, input.height(), input.width()),
+            "grad_out shape mismatch"
+        );
+        let (h, w) = (input.height(), input.width());
+        let pad = (self.dilation * (self.kernel - 1)) / 2;
+        let mut grad_in = Tensor::zeros(self.in_channels, h, w);
+        let hw = h * w;
+        let inp = input.as_slice();
+        let go = grad_out.as_slice();
+
+        for o in 0..self.out_channels {
+            let go_plane = &go[o * hw..(o + 1) * hw];
+            self.grad_bias[o] += go_plane.iter().sum::<f32>();
+            for i in 0..self.in_channels {
+                let in_plane = &inp[i * hw..(i + 1) * hw];
+                let gi_plane = grad_in.channel_mut(i);
+                for ky in 0..self.kernel {
+                    let dy = (ky * self.dilation) as isize - pad as isize;
+                    for kx in 0..self.kernel {
+                        let dx = (kx * self.dilation) as isize - pad as isize;
+                        let widx = self.w_idx(o, i, ky, kx);
+                        let wv = self.weight[widx];
+                        let mut gw = 0.0f32;
+                        let y0 = (-dy).max(0) as usize;
+                        let y1 = ((h as isize - dy).min(h as isize)).max(0) as usize;
+                        let x0 = (-dx).max(0) as usize;
+                        let x1 = ((w as isize - dx).min(w as isize)).max(0) as usize;
+                        for y in y0..y1 {
+                            let iy = (y as isize + dy) as usize;
+                            let orow = y * w;
+                            let irow = iy * w;
+                            for x in x0..x1 {
+                                let ix = (x as isize + dx) as usize;
+                                let g = go_plane[orow + x];
+                                gw += g * in_plane[irow + ix];
+                                gi_plane[irow + ix] += g * wv;
+                            }
+                        }
+                        self.grad_weight[widx] += gw;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef {
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+            },
+            ParamRef {
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut r);
+        conv.weight_mut().fill(0.0);
+        // Centre tap = 1.
+        let idx = conv.w_idx(0, 0, 1, 1);
+        conv.weight_mut()[idx] = 1.0;
+        let input = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let out = conv.forward(&input, Phase::Eval, &mut r);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn shift_kernel_shifts() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut r);
+        conv.weight_mut().fill(0.0);
+        // Tap at (ky=1, kx=0): out(y, x) = in(y, x - 1) with zero padding.
+        let idx = conv.w_idx(0, 0, 1, 0);
+        conv.weight_mut()[idx] = 1.0;
+        let input = Tensor::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as f32 + 1.0);
+        let out = conv.forward(&input, Phase::Eval, &mut r);
+        assert_eq!(out[(0, 0, 0)], 0.0); // zero padding
+        assert_eq!(out[(0, 0, 1)], input[(0, 0, 0)]);
+        assert_eq!(out[(0, 2, 2)], input[(0, 2, 1)]);
+    }
+
+    #[test]
+    fn dilation_extends_receptive_field() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 3, 2, &mut r);
+        assert_eq!(conv.receptive_field(), 5);
+        conv.weight_mut().fill(0.0);
+        // Corner tap at dilation 2 reaches 2 pixels away.
+        let idx = conv.w_idx(0, 0, 0, 0);
+        conv.weight_mut()[idx] = 1.0;
+        let mut input = Tensor::zeros(1, 7, 7);
+        input[(0, 1, 1)] = 5.0;
+        let out = conv.forward(&input, Phase::Eval, &mut r);
+        // out(y, x) = in(y - 2, x - 2): the impulse appears at (3, 3).
+        assert_eq!(out[(0, 3, 3)], 5.0);
+        assert_eq!(out[(0, 1, 1)], 0.0);
+    }
+
+    #[test]
+    fn bias_applied_everywhere() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 1, 1, &mut r);
+        conv.weight_mut().fill(0.0);
+        conv.bias = vec![1.5, -2.0];
+        let out = conv.forward(&Tensor::zeros(1, 2, 2), Phase::Eval, &mut r);
+        assert!(out.channel(0).iter().all(|&v| v == 1.5));
+        assert!(out.channel(1).iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn multi_channel_sums() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 1, 1, 1, &mut r);
+        conv.weight_mut().copy_from_slice(&[2.0, 3.0]);
+        let input = Tensor::from_fn(2, 2, 2, |c, _, _| (c + 1) as f32);
+        let out = conv.forward(&input, Phase::Eval, &mut r);
+        // 2*1 + 3*2 = 8 everywhere.
+        assert!(out.as_slice().iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn param_count_and_zero_grad() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(3, 4, 3, 1, &mut r);
+        assert_eq!(conv.param_count(), 3 * 4 * 9 + 4);
+        let input = Tensor::full(3, 4, 4, 1.0);
+        let out = conv.forward(&input, Phase::Train, &mut r);
+        let _ = conv.backward(&out.map(|_| 1.0));
+        assert!(conv.grad_bias.iter().any(|&g| g != 0.0));
+        conv.zero_grad();
+        assert!(conv.grad_weight.iter().all(|&g| g == 0.0));
+        assert!(conv.grad_bias.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a Train-phase forward")]
+    fn backward_requires_train_forward() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut r);
+        let _ = conv.forward(&Tensor::zeros(1, 2, 2), Phase::Eval, &mut r);
+        let _ = conv.backward(&Tensor::zeros(1, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be odd")]
+    fn even_kernel_rejected() {
+        let mut r = rng();
+        let _ = Conv2d::new(1, 1, 2, 1, &mut r);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_weights() {
+        let mut r = rng();
+        let conv = Conv2d::new(2, 3, 3, 2, &mut r);
+        let json = serde_json::to_string(&conv).unwrap();
+        let mut back: Conv2d = serde_json::from_str(&json).unwrap();
+        back.reset_state();
+        assert_eq!(back.weight(), conv.weight());
+        assert_eq!(back.bias(), conv.bias());
+        assert_eq!(back.dilation(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! From-scratch neural-network substrate for the certel stack.
+//!
+//! The paper's landing-zone selector is a semantic-segmentation CNN
+//! (MSDnet) and its runtime monitor is the *Bayesian* version of the same
+//! network obtained by Monte-Carlo dropout (Gal & Ghahramani, 2016): keep
+//! dropout active at inference and run several stochastic passes. Rust's
+//! ML crate ecosystem is thin, so this crate implements the required
+//! substrate from scratch:
+//!
+//! - [`Tensor`]: a dense `C x H x W` feature map with `f32` storage.
+//! - [`layers`]: 2-D convolution with arbitrary dilation (the "multi-scale
+//!   dilation" of MSDnet), ReLU, inverted dropout and a sequential
+//!   container — every layer implements forward *and* backward.
+//! - [`loss`]: per-pixel softmax cross-entropy with optional class weights.
+//! - [`optim`]: SGD with momentum and Adam.
+//! - [`init`]: He/Xavier weight initialisation.
+//! - [`gradcheck`]: finite-difference gradient checking used by the test
+//!   suite to validate every backward pass.
+//!
+//! The key design point for the monitor is [`Phase`]: layers behave
+//! differently in [`Phase::Train`], deterministic [`Phase::Eval`] and
+//! [`Phase::Stochastic`] — the last keeps dropout live without gradient
+//! bookkeeping, which is exactly Monte-Carlo-dropout Bayesian inference.
+//!
+//! # Example
+//!
+//! ```
+//! use el_nn::{layers::{Conv2d, Dropout, Layer, Relu}, Phase, Tensor};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let mut conv = Conv2d::new(3, 4, 3, 1, &mut rng); // 3 -> 4 channels, 3x3, dilation 1
+//! let mut relu = Relu::default();
+//! let mut drop = Dropout::new(0.5);
+//!
+//! let input = Tensor::zeros(3, 8, 8);
+//! let y = conv.forward(&input, Phase::Eval, &mut rng);
+//! let y = relu.forward(&y, Phase::Eval, &mut rng);
+//! let y = drop.forward(&y, Phase::Eval, &mut rng);
+//! assert_eq!(y.shape(), (4, 8, 8));
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod tensor;
+
+pub use layers::{Layer, Phase};
+pub use tensor::{NnError, Tensor};

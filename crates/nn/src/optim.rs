@@ -1,0 +1,282 @@
+//! First-order optimizers: SGD with momentum, and Adam.
+//!
+//! Optimizers consume the `(value, grad)` pairs returned by
+//! [`Layer::params`](crate::layers::Layer::params). Per-parameter state
+//! (momentum/moment buffers) is keyed by position, so the same layer
+//! traversal order must be used on every step — which
+//! [`Sequential`](crate::layers::Sequential) and the MSDnet builder
+//! guarantee.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::ParamRef;
+
+/// Stochastic gradient descent with (optional) classical momentum and
+/// decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use el_nn::{layers::{Conv2d, Layer}, optim::Sgd, Phase, Tensor};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(1, 1, 1, 1, &mut rng);
+/// let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+/// let x = Tensor::full(1, 2, 2, 1.0);
+/// let y = conv.forward(&x, Phase::Train, &mut rng);
+/// conv.backward(&y.map(|_| 1.0));
+/// let before = conv.weight()[0];
+/// sgd.step(&mut conv.params());
+/// assert_ne!(conv.weight()[0], before);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= momentum < 1`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables decoupled L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to the given parameters.
+    pub fn step(&mut self, params: &mut [ParamRef<'_>]) {
+        if self.velocity.len() < params.len() {
+            for p in params.iter().skip(self.velocity.len()) {
+                self.velocity.push(vec![0.0; p.value.len()]);
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            debug_assert_eq!(self.velocity[i].len(), p.value.len());
+            for j in 0..p.value.len() {
+                let mut g = p.grad[j];
+                if self.weight_decay > 0.0 {
+                    g += self.weight_decay * p.value[j];
+                }
+                if self.momentum > 0.0 {
+                    let v = self.momentum * self.velocity[i][j] + g;
+                    self.velocity[i][j] = v;
+                    g = v;
+                }
+                p.value[j] -= self.lr * g;
+            }
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard hyper-parameters
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update step to the given parameters.
+    pub fn step(&mut self, params: &mut [ParamRef<'_>]) {
+        if self.m.len() < params.len() {
+            for p in params.iter().skip(self.m.len()) {
+                self.m.push(vec![0.0; p.value.len()]);
+                self.v.push(vec![0.0; p.value.len()]);
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            for j in 0..p.value.len() {
+                let g = p.grad[j];
+                self.m[i][j] = self.beta1 * self.m[i][j] + (1.0 - self.beta1) * g;
+                self.v[i][j] = self.beta2 * self.v[i][j] + (1.0 - self.beta2) * g * g;
+                let mhat = self.m[i][j] / bc1;
+                let vhat = self.v[i][j] / bc2;
+                p.value[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimises f(x) = 0.5 * (x - target)^2 with the given step closure.
+    fn minimise(mut stepper: impl FnMut(&mut [f32], &[f32]), iters: usize) -> f32 {
+        let target = 3.0f32;
+        let mut x = vec![0.0f32];
+        for _ in 0..iters {
+            let grad = vec![x[0] - target];
+            stepper(&mut x, &grad);
+        }
+        (x[0] - target).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let err = minimise(
+            |x, g| {
+                let mut gbuf = g.to_vec();
+                let mut params = vec![ParamRef {
+                    value: x,
+                    grad: &mut gbuf,
+                }];
+                sgd.step(&mut params);
+            },
+            200,
+        );
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32, iters: usize| {
+            let mut sgd = Sgd::new(0.01).with_momentum(mom);
+            minimise(
+                |x, g| {
+                    let mut gbuf = g.to_vec();
+                    let mut params = vec![ParamRef {
+                        value: x,
+                        grad: &mut gbuf,
+                    }];
+                    sgd.step(&mut params);
+                },
+                iters,
+            )
+        };
+        assert!(run(0.9, 100) < run(0.0, 100));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1);
+        let err = minimise(
+            |x, g| {
+                let mut gbuf = g.to_vec();
+                let mut params = vec![ParamRef {
+                    value: x,
+                    grad: &mut gbuf,
+                }];
+                adam.step(&mut params);
+            },
+            500,
+        );
+        assert!(err < 1e-3, "err {err}");
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut sgd = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut x = vec![2.0f32];
+        let mut g = vec![0.0f32];
+        let mut params = vec![ParamRef {
+            value: &mut x,
+            grad: &mut g,
+        }];
+        sgd.step(&mut params);
+        assert!(x[0] < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn invalid_lr_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Dense `C x H x W` feature-map tensors.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A buffer's length did not match the requested tensor shape.
+    SizeMismatch {
+        /// Expected element count (`c * h * w`).
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape did not.
+    ShapeMismatch {
+        /// Shape of the first operand.
+        a: (usize, usize, usize),
+        /// Shape of the second operand.
+        b: (usize, usize, usize),
+    },
+    /// An invalid hyper-parameter (e.g. dropout rate outside `[0, 1)`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::SizeMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match tensor size {expected}")
+            }
+            NnError::ShapeMismatch { a, b } => write!(
+                f,
+                "tensor shapes {}x{}x{} and {}x{}x{} differ",
+                a.0, a.1, a.2, b.0, b.1, b.2
+            ),
+            NnError::InvalidParameter { message } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// A dense feature map with shape `(channels, height, width)` stored
+/// row-major per channel.
+///
+/// # Example
+///
+/// ```
+/// use el_nn::Tensor;
+/// let mut t = Tensor::zeros(2, 3, 4);
+/// t[(1, 2, 3)] = 5.0;
+/// assert_eq!(t[(1, 2, 3)], 5.0);
+/// assert_eq!(t.shape(), (2, 3, 4));
+/// assert_eq!(t.len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Tensor {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(channels: usize, height: usize, width: usize, value: f32) -> Self {
+        Tensor {
+            channels,
+            height,
+            width,
+            data: vec![value; channels * height * width],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f(c, y, x)` at every element.
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(channels * height * width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        Tensor {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Wraps an existing buffer laid out as `[c][y][x]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SizeMismatch`] if the buffer length is not
+    /// `channels * height * width`.
+    pub fn from_vec(
+        channels: usize,
+        height: usize,
+        width: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, NnError> {
+        if data.len() != channels * height * width {
+            return Err(NnError::SizeMismatch {
+                expected: channels * height * width,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            channels,
+            height,
+            width,
+            data,
+        })
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `(channels, height, width)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Returns the element at `(c, y, x)`, or `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> Option<f32> {
+        if c < self.channels && y < self.height && x < self.width {
+            Some(self.data[self.offset(c, y, x)])
+        } else {
+            None
+        }
+    }
+
+    /// The raw buffer in `[c][y][x]` order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of one channel plane (`height * width` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels`.
+    #[inline]
+    pub fn channel(&self, c: usize) -> &[f32] {
+        assert!(c < self.channels, "channel {c} out of bounds ({})", self.channels);
+        let plane = self.height * self.width;
+        &self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Mutable view of one channel plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels`.
+    #[inline]
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f32] {
+        assert!(c < self.channels, "channel {c} out of bounds ({})", self.channels);
+        let plane = self.height * self.width;
+        &mut self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Tensor {
+        Tensor {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Adds `other` element-wise in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), NnError> {
+        if self.shape() != other.shape() {
+            return Err(NnError::ShapeMismatch {
+                a: self.shape(),
+                b: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Concatenates tensors along the channel axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if spatial dimensions differ, or
+    /// [`NnError::InvalidParameter`] if `parts` is empty.
+    pub fn concat_channels(parts: &[&Tensor]) -> Result<Tensor, NnError> {
+        let first = parts.first().ok_or_else(|| NnError::InvalidParameter {
+            message: "concat_channels requires at least one tensor".into(),
+        })?;
+        let (h, w) = (first.height, first.width);
+        let mut channels = 0;
+        for p in parts {
+            if p.height != h || p.width != w {
+                return Err(NnError::ShapeMismatch {
+                    a: first.shape(),
+                    b: p.shape(),
+                });
+            }
+            channels += p.channels;
+        }
+        let mut data = Vec::with_capacity(channels * h * w);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor {
+            channels,
+            height: h,
+            width: w,
+            data,
+        })
+    }
+
+    /// Splits the tensor back into channel groups of the given sizes
+    /// (inverse of [`Tensor::concat_channels`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if the sizes do not sum to the
+    /// channel count.
+    pub fn split_channels(&self, sizes: &[usize]) -> Result<Vec<Tensor>, NnError> {
+        if sizes.iter().sum::<usize>() != self.channels {
+            return Err(NnError::InvalidParameter {
+                message: format!(
+                    "split sizes sum to {} but tensor has {} channels",
+                    sizes.iter().sum::<usize>(),
+                    self.channels
+                ),
+            });
+        }
+        let plane = self.height * self.width;
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut start = 0;
+        for &s in sizes {
+            let data = self.data[start * plane..(start + s) * plane].to_vec();
+            out.push(Tensor {
+                channels: s,
+                height: self.height,
+                width: self.width,
+                data,
+            });
+            start += s;
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+}
+
+impl Index<(usize, usize, usize)> for Tensor {
+    type Output = f32;
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    fn index(&self, (c, y, x): (usize, usize, usize)) -> &f32 {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index ({c}, {y}, {x}) out of bounds for {:?}",
+            self.shape()
+        );
+        &self.data[(c * self.height + y) * self.width + x]
+    }
+}
+
+impl IndexMut<(usize, usize, usize)> for Tensor {
+    #[inline]
+    fn index_mut(&mut self, (c, y, x): (usize, usize, usize)) -> &mut f32 {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index ({c}, {y}, {x}) out of bounds for {:?}",
+            self.shape()
+        );
+        &mut self.data[(c * self.height + y) * self.width + x]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(2, 3, 4);
+        assert_eq!(t.shape(), (2, 3, 4));
+        assert_eq!(t.len(), 24);
+        t[(1, 2, 3)] = 7.5;
+        assert_eq!(t[(1, 2, 3)], 7.5);
+        assert_eq!(t.get(1, 2, 3), Some(7.5));
+        assert_eq!(t.get(2, 0, 0), None);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(1, 2, 2, vec![0.0; 3]).is_err());
+        let t = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t[(0, 1, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let t = Tensor::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.as_slice()[0], 0.0);
+        assert_eq!(t.as_slice()[1], 1.0);
+        assert_eq!(t.as_slice()[2], 10.0);
+        assert_eq!(t.as_slice()[4], 100.0);
+    }
+
+    #[test]
+    fn channel_views() {
+        let t = Tensor::from_fn(3, 2, 2, |c, _, _| c as f32);
+        assert!(t.channel(1).iter().all(|&v| v == 1.0));
+        let mut t = t;
+        t.channel_mut(2)[0] = 9.0;
+        assert_eq!(t[(2, 0, 0)], 9.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::full(1, 2, 2, 2.0);
+        let mut b = Tensor::full(1, 2, 2, 3.0);
+        b.add_assign(&a).unwrap();
+        assert!(b.as_slice().iter().all(|&v| v == 5.0));
+        b.scale(0.5);
+        assert!(b.as_slice().iter().all(|&v| v == 2.5));
+        let c = Tensor::zeros(2, 2, 2);
+        assert!(b.add_assign(&c).is_err());
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.map(|v| -v).max_abs(), 2.0);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::full(2, 3, 3, 1.0);
+        let b = Tensor::full(1, 3, 3, 2.0);
+        let cat = Tensor::concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(cat.shape(), (3, 3, 3));
+        assert_eq!(cat[(2, 0, 0)], 2.0);
+        let parts = cat.split_channels(&[2, 1]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+        assert!(cat.split_channels(&[1, 1]).is_err());
+        let bad = Tensor::zeros(1, 2, 2);
+        assert!(Tensor::concat_channels(&[&a, &bad]).is_err());
+        assert!(Tensor::concat_channels(&[]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NnError::ShapeMismatch {
+            a: (1, 2, 3),
+            b: (4, 5, 6),
+        };
+        assert!(e.to_string().contains("1x2x3"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The on-board camera model: relating flight altitude to ground
+//! resolution.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple nadir-pointing pinhole camera.
+///
+/// Relates the UAV's operating altitude to the ground sampling distance of
+/// the rendered scenes — and therefore to the pixel size of metric safety
+/// buffers (parachute drift margins) in the landing-zone selector.
+///
+/// # Example
+///
+/// ```
+/// use el_scene::Camera;
+/// // MEDI DELIVERY: 120 m altitude, 60 degree FOV, 256 px frames.
+/// let cam = Camera::new(120.0, 60.0, 256);
+/// let mpp = cam.meters_per_pixel();
+/// assert!((mpp - 0.54).abs() < 0.01);
+/// assert!((cam.ground_footprint_m() - 138.56).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    /// Altitude above ground level, metres.
+    pub altitude_m: f64,
+    /// Full horizontal field of view, degrees.
+    pub fov_deg: f64,
+    /// Image width in pixels.
+    pub image_width_px: usize,
+}
+
+impl Camera {
+    /// Creates a camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `altitude_m > 0`, `0 < fov_deg < 180` and
+    /// `image_width_px > 0`.
+    pub fn new(altitude_m: f64, fov_deg: f64, image_width_px: usize) -> Self {
+        assert!(altitude_m > 0.0, "altitude must be positive");
+        assert!(
+            fov_deg > 0.0 && fov_deg < 180.0,
+            "field of view must be in (0, 180) degrees"
+        );
+        assert!(image_width_px > 0, "image width must be positive");
+        Camera {
+            altitude_m,
+            fov_deg,
+            image_width_px,
+        }
+    }
+
+    /// Width of the ground footprint covered by the image, metres.
+    pub fn ground_footprint_m(&self) -> f64 {
+        2.0 * self.altitude_m * (self.fov_deg.to_radians() / 2.0).tan()
+    }
+
+    /// Ground sampling distance, metres per pixel.
+    pub fn meters_per_pixel(&self) -> f64 {
+        self.ground_footprint_m() / self.image_width_px as f64
+    }
+
+    /// Converts a metric ground distance to pixels at this camera's
+    /// resolution.
+    pub fn meters_to_pixels(&self, meters: f64) -> f64 {
+        meters / self.meters_per_pixel()
+    }
+
+    /// Returns a camera at a different altitude (same sensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `altitude_m > 0`.
+    pub fn at_altitude(&self, altitude_m: f64) -> Camera {
+        Camera::new(altitude_m, self.fov_deg, self.image_width_px)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_scales_with_altitude() {
+        let low = Camera::new(60.0, 60.0, 256);
+        let high = low.at_altitude(120.0);
+        assert!((high.ground_footprint_m() / low.ground_footprint_m() - 2.0).abs() < 1e-9);
+        assert!(high.meters_per_pixel() > low.meters_per_pixel());
+    }
+
+    #[test]
+    fn meters_to_pixels_roundtrip() {
+        let cam = Camera::new(120.0, 60.0, 256);
+        let px = cam.meters_to_pixels(10.0);
+        assert!((px * cam.meters_per_pixel() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ninety_degree_fov() {
+        // At 90 degrees FOV, footprint = 2 * altitude.
+        let cam = Camera::new(100.0, 90.0, 100);
+        assert!((cam.ground_footprint_m() - 200.0).abs() < 1e-9);
+        assert!((cam.meters_per_pixel() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "altitude must be positive")]
+    fn zero_altitude_rejected() {
+        let _ = Camera::new(0.0, 60.0, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "field of view")]
+    fn flat_fov_rejected() {
+        let _ = Camera::new(100.0, 180.0, 256);
+    }
+}

@@ -1,0 +1,221 @@
+//! Environmental conditions for rendering: lighting, season, sensor noise.
+//!
+//! The paper's assurance criteria (Table IV, High-2) require validating the
+//! EL system "under a wide range of external conditions (lighting,
+//! weather)". Conditions are the renderer's knobs for that validation — and
+//! [`Conditions::sunset`] reproduces the Figure 4b out-of-distribution
+//! evaluation (an online sunset image at a different altitude on which the
+//! core model fails).
+
+use serde::{Deserialize, Serialize};
+
+/// Global lighting regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Lighting {
+    /// Clear mid-day lighting — the training distribution.
+    #[default]
+    Nominal,
+    /// Low, warm sun: strong orange cast and compressed contrast
+    /// (the paper's OOD test condition).
+    Sunset,
+    /// Flat grey lighting, mildly reduced contrast.
+    Overcast,
+    /// Very low light with heavy sensor noise.
+    Night,
+}
+
+/// Season, shifting vegetation appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Season {
+    /// Green vegetation — the training distribution.
+    #[default]
+    Summer,
+    /// Browner vegetation.
+    Autumn,
+    /// Desaturated, greyish vegetation.
+    Winter,
+}
+
+/// Full rendering conditions.
+///
+/// The renderer computes, per pixel and channel:
+/// `out = clamp(cast_c * (contrast * (base - 0.5) + 0.5 + brightness) + noise)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conditions {
+    /// Lighting regime (drives the defaults of the numeric fields).
+    pub lighting: Lighting,
+    /// Season for vegetation tinting.
+    pub season: Season,
+    /// Additive brightness shift in `[-1, 1]`.
+    pub brightness: f64,
+    /// Contrast multiplier around mid-grey (1 = unchanged).
+    pub contrast: f64,
+    /// Per-channel (R, G, B) colour cast multipliers.
+    pub color_cast: [f64; 3],
+    /// Standard deviation of additive Gaussian sensor noise.
+    pub noise_std: f64,
+}
+
+impl Conditions {
+    /// Clear mid-day conditions — the training distribution.
+    pub fn nominal() -> Self {
+        Conditions {
+            lighting: Lighting::Nominal,
+            season: Season::Summer,
+            brightness: 0.0,
+            contrast: 1.0,
+            color_cast: [1.0, 1.0, 1.0],
+            noise_std: 0.02,
+        }
+    }
+
+    /// The paper's Figure 4b out-of-distribution condition: sunset.
+    ///
+    /// Warm cast, compressed contrast, slightly darker, noisier. The
+    /// severity is calibrated so a model trained on nominal conditions
+    /// reproduces the paper's failure *shape*: a large fraction of road
+    /// pixels is misclassified as safe classes (the dangerous direction
+    /// the monitor must catch) while most genuinely safe areas are still
+    /// recognised, so candidate zones keep being proposed.
+    pub fn sunset() -> Self {
+        Conditions {
+            lighting: Lighting::Sunset,
+            season: Season::Summer,
+            brightness: -0.044,
+            contrast: 0.75,
+            color_cast: [1.14, 0.90, 0.75],
+            noise_std: 0.031,
+        }
+    }
+
+    /// Flat overcast lighting: a mild, *near*-distribution shift.
+    pub fn overcast() -> Self {
+        Conditions {
+            lighting: Lighting::Overcast,
+            season: Season::Summer,
+            brightness: -0.03,
+            contrast: 0.85,
+            color_cast: [0.95, 0.97, 1.02],
+            noise_std: 0.03,
+        }
+    }
+
+    /// Night operation: heavily darkened and noisy — far out of
+    /// distribution.
+    pub fn night() -> Self {
+        Conditions {
+            lighting: Lighting::Night,
+            season: Season::Summer,
+            brightness: -0.38,
+            contrast: 0.45,
+            color_cast: [0.55, 0.6, 0.8],
+            noise_std: 0.08,
+        }
+    }
+
+    /// Returns a copy with the given season.
+    pub fn with_season(mut self, season: Season) -> Self {
+        self.season = season;
+        self
+    }
+
+    /// Vegetation tint multipliers (R, G, B) for the season.
+    pub fn season_vegetation_cast(&self) -> [f64; 3] {
+        match self.season {
+            Season::Summer => [1.0, 1.0, 1.0],
+            Season::Autumn => [1.25, 0.85, 0.55],
+            Season::Winter => [0.9, 0.8, 0.75],
+        }
+    }
+
+    /// `true` for the conditions the paper treats as in-distribution
+    /// (the training regime: nominal summer lighting).
+    pub fn is_training_distribution(&self) -> bool {
+        self.lighting == Lighting::Nominal && self.season == Season::Summer
+    }
+
+    /// Validates numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(-1.0..=1.0).contains(&self.brightness) {
+            return Err("brightness must be in [-1, 1]".into());
+        }
+        if self.contrast <= 0.0 || self.contrast > 4.0 {
+            return Err("contrast must be in (0, 4]".into());
+        }
+        if self.color_cast.iter().any(|&c| c <= 0.0 || c > 4.0) {
+            return Err("color cast channels must be in (0, 4]".into());
+        }
+        if self.noise_std < 0.0 || self.noise_std > 1.0 {
+            return Err("noise_std must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Conditions {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            Conditions::nominal(),
+            Conditions::sunset(),
+            Conditions::overcast(),
+            Conditions::night(),
+        ] {
+            assert!(c.validate().is_ok(), "{:?}", c.lighting);
+        }
+    }
+
+    #[test]
+    fn only_nominal_summer_is_training_distribution() {
+        assert!(Conditions::nominal().is_training_distribution());
+        assert!(!Conditions::sunset().is_training_distribution());
+        assert!(!Conditions::nominal()
+            .with_season(Season::Winter)
+            .is_training_distribution());
+    }
+
+    #[test]
+    fn sunset_is_warm_and_low_contrast() {
+        let s = Conditions::sunset();
+        assert!(s.color_cast[0] > s.color_cast[2], "sunset must be warm");
+        assert!(s.contrast < Conditions::nominal().contrast);
+        assert!(s.noise_std > Conditions::nominal().noise_std);
+    }
+
+    #[test]
+    fn season_casts_differ() {
+        assert_ne!(
+            Conditions::nominal().with_season(Season::Autumn).season_vegetation_cast(),
+            Conditions::nominal().with_season(Season::Summer).season_vegetation_cast()
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = Conditions::nominal();
+        c.brightness = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = Conditions::nominal();
+        c.contrast = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = Conditions::nominal();
+        c.color_cast = [1.0, -0.5, 1.0];
+        assert!(c.validate().is_err());
+        let mut c = Conditions::nominal();
+        c.noise_std = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Datasets of rendered scenes with train/val/test/OOD splits.
+
+use el_geom::{LabelMap, SemanticClass};
+use serde::{Deserialize, Serialize};
+
+use crate::conditions::Conditions;
+use crate::params::SceneParams;
+use crate::render::Image;
+use crate::scene::Scene;
+
+/// Dataset split membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Training samples (nominal conditions).
+    Train,
+    /// Validation samples (nominal conditions, unseen seeds).
+    Val,
+    /// Test samples (nominal conditions, unseen seeds) — Figure 4a's
+    /// in-distribution evaluation.
+    Test,
+    /// Out-of-distribution samples (shifted conditions and altitude) —
+    /// Figure 4b's evaluation.
+    Ood,
+}
+
+/// One dataset sample: a rendered image with its ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Rendered RGB image.
+    pub image: Image,
+    /// Dense ground-truth labels.
+    pub labels: LabelMap,
+    /// Which split the sample belongs to.
+    pub split: Split,
+    /// Conditions used to render it.
+    pub conditions: Conditions,
+    /// Generation seed of the underlying scene.
+    pub scene_seed: u64,
+}
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Scene-generation parameters for the in-distribution splits.
+    pub params: SceneParams,
+    /// Number of training samples.
+    pub n_train: usize,
+    /// Number of validation samples.
+    pub n_val: usize,
+    /// Number of test samples.
+    pub n_test: usize,
+    /// Number of out-of-distribution samples.
+    pub n_ood: usize,
+    /// Base seed; all scene and render seeds derive from it.
+    pub base_seed: u64,
+    /// Conditions of the OOD split (default: sunset).
+    pub ood_conditions: Conditions,
+    /// Altitude scale of the OOD split (default 0.7: flying higher, as in
+    /// the paper's Figure 4b image whose "altitude of the drone is
+    /// different from UAVid").
+    pub ood_scale: f64,
+}
+
+impl DatasetConfig {
+    /// A small configuration for tests and quick demos.
+    pub fn small(base_seed: u64) -> Self {
+        DatasetConfig {
+            params: SceneParams::small(),
+            n_train: 4,
+            n_val: 1,
+            n_test: 2,
+            n_ood: 2,
+            base_seed,
+            ood_conditions: Conditions::sunset(),
+            ood_scale: 0.7,
+        }
+    }
+
+    /// The benchmark-scale configuration used by the experiment harness.
+    pub fn benchmark(base_seed: u64) -> Self {
+        DatasetConfig {
+            params: SceneParams::default_urban(),
+            n_train: 12,
+            n_val: 2,
+            n_test: 4,
+            n_ood: 4,
+            base_seed,
+            ood_conditions: Conditions::sunset(),
+            ood_scale: 0.7,
+        }
+    }
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All samples, grouped contiguously by split.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Generates a dataset deterministically from its configuration.
+    ///
+    /// Seeds are structured so that no scene seed is shared across splits:
+    /// train/val/test differ by seed, OOD differs by seed *and* by
+    /// conditions *and* by altitude scale.
+    pub fn generate(config: &DatasetConfig) -> Dataset {
+        let mut samples = Vec::new();
+        let nominal = Conditions::nominal();
+        let mut idx = 0u64;
+        let push = |samples: &mut Vec<Sample>,
+                        split: Split,
+                        params: &SceneParams,
+                        conditions: &Conditions,
+                        idx: &mut u64| {
+            let scene_seed = config.base_seed.wrapping_add(*idx * 1009 + 1);
+            let render_seed = config.base_seed.wrapping_add(*idx * 2003 + 7);
+            *idx += 1;
+            let scene = Scene::generate(params, scene_seed);
+            samples.push(Sample {
+                image: scene.render(conditions, render_seed),
+                labels: scene.labels,
+                split,
+                conditions: conditions.clone(),
+                scene_seed,
+            });
+        };
+
+        for _ in 0..config.n_train {
+            push(&mut samples, Split::Train, &config.params, &nominal, &mut idx);
+        }
+        for _ in 0..config.n_val {
+            push(&mut samples, Split::Val, &config.params, &nominal, &mut idx);
+        }
+        for _ in 0..config.n_test {
+            push(&mut samples, Split::Test, &config.params, &nominal, &mut idx);
+        }
+        let ood_params = config.params.scaled(config.ood_scale);
+        for _ in 0..config.n_ood {
+            push(
+                &mut samples,
+                Split::Ood,
+                &ood_params,
+                &config.ood_conditions,
+                &mut idx,
+            );
+        }
+        Dataset { samples }
+    }
+
+    /// All samples of one split.
+    pub fn split(&self, split: Split) -> impl Iterator<Item = &Sample> {
+        self.samples.iter().filter(move |s| s.split == split)
+    }
+
+    /// Number of samples in one split.
+    pub fn split_len(&self, split: Split) -> usize {
+        self.split(split).count()
+    }
+
+    /// Aggregate per-class pixel fractions over a split — the Figure 3
+    /// class-distribution statistic.
+    pub fn class_fractions(&self, split: Split) -> [f64; SemanticClass::COUNT] {
+        let mut counts = [0usize; SemanticClass::COUNT];
+        let mut total = 0usize;
+        for s in self.split(split) {
+            for c in s.labels.iter() {
+                counts[c.index()] += 1;
+            }
+            total += s.labels.len();
+        }
+        let mut out = [0.0; SemanticClass::COUNT];
+        if total > 0 {
+            for i in 0..SemanticClass::COUNT {
+                out[i] = counts[i] as f64 / total as f64;
+            }
+        }
+        out
+    }
+
+    /// Inverse-frequency class weights computed on the training split,
+    /// normalised to mean 1 — used by the segmentation trainer to counter
+    /// class imbalance (humans and cars are tiny classes).
+    pub fn train_class_weights(&self) -> [f32; SemanticClass::COUNT] {
+        let fr = self.class_fractions(Split::Train);
+        let mut w = [0.0f32; SemanticClass::COUNT];
+        let mut sum = 0.0f32;
+        for i in 0..SemanticClass::COUNT {
+            // Clamp so absent classes don't blow up the weights.
+            w[i] = (1.0 / (fr[i] + 0.01)) as f32;
+            sum += w[i];
+        }
+        let mean = sum / SemanticClass::COUNT as f32;
+        for v in &mut w {
+            *v /= mean;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes_match_config() {
+        let ds = Dataset::generate(&DatasetConfig::small(1));
+        assert_eq!(ds.split_len(Split::Train), 4);
+        assert_eq!(ds.split_len(Split::Val), 1);
+        assert_eq!(ds.split_len(Split::Test), 2);
+        assert_eq!(ds.split_len(Split::Ood), 2);
+        assert_eq!(ds.samples.len(), 9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Dataset::generate(&DatasetConfig::small(2));
+        let b = Dataset::generate(&DatasetConfig::small(2));
+        assert_eq!(a.samples[0].image, b.samples[0].image);
+        assert_eq!(a.samples[8].labels, b.samples[8].labels);
+    }
+
+    #[test]
+    fn scene_seeds_unique_across_samples() {
+        let ds = Dataset::generate(&DatasetConfig::small(3));
+        let mut seeds: Vec<_> = ds.samples.iter().map(|s| s.scene_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), ds.samples.len());
+    }
+
+    #[test]
+    fn ood_split_uses_shifted_conditions() {
+        let ds = Dataset::generate(&DatasetConfig::small(4));
+        for s in ds.split(Split::Ood) {
+            assert!(!s.conditions.is_training_distribution());
+        }
+        for s in ds.split(Split::Train) {
+            assert!(s.conditions.is_training_distribution());
+        }
+    }
+
+    #[test]
+    fn class_fractions_sum_to_one() {
+        let ds = Dataset::generate(&DatasetConfig::small(5));
+        let fr = ds.class_fractions(Split::Train);
+        let sum: f64 = fr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Vegetation dominates urban scenes; humans are rare.
+        assert!(fr[SemanticClass::LowVegetation.index()] > fr[SemanticClass::Humans.index()]);
+    }
+
+    #[test]
+    fn class_weights_upweight_rare_classes() {
+        let ds = Dataset::generate(&DatasetConfig::small(6));
+        let w = ds.train_class_weights();
+        assert!(
+            w[SemanticClass::Humans.index()] > w[SemanticClass::LowVegetation.index()],
+            "rare classes should get larger weights"
+        );
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!((mean - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Camera-fault injection: localized sensor failures.
+//!
+//! The paper's Table III Medium-1 integrity criterion requires zone
+//! selection to account for "improbable single malfunctions or failures".
+//! For a vision-based EL, the canonical single failure is a *localized*
+//! sensor fault — bloom/saturation from a specular reflection, a fogged
+//! lens sector, dead sensor rows — that washes out a coherent image
+//! region. Unlike global lighting shifts, such faults can erase a whole
+//! road from the segmentation, which is precisely the fatal-direction
+//! failure a runtime monitor must catch.
+
+use el_geom::Rect;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::render::Image;
+
+/// A localized sensor fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SensorFault {
+    /// Saturation bloom: the region is washed out to a bright, nearly
+    /// uniform level (specular highlight, low sun in the optical path).
+    Bloom {
+        /// Saturation level in `[0, 1]` (typically close to 1).
+        level: f32,
+    },
+    /// A fogged/condensated patch: heavy low-pass averaging towards the
+    /// region mean with desaturation.
+    Fog {
+        /// Blend factor towards the regional mean, `[0, 1]`.
+        strength: f32,
+    },
+    /// Dead sensor region: pixels stuck at a constant dark value.
+    Dead,
+}
+
+impl SensorFault {
+    /// Validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SensorFault::Bloom { level } => {
+                if !(0.0..=1.0).contains(level) {
+                    return Err("bloom level must be in [0, 1]".into());
+                }
+            }
+            SensorFault::Fog { strength } => {
+                if !(0.0..=1.0).contains(strength) {
+                    return Err("fog strength must be in [0, 1]".into());
+                }
+            }
+            SensorFault::Dead => {}
+        }
+        Ok(())
+    }
+}
+
+/// Applies a fault to the (clipped) region of an image, in place.
+///
+/// Deterministic given `seed` (bloom and fog carry small residual noise so
+/// the faulted region is not perfectly uniform).
+///
+/// # Panics
+///
+/// Panics if the fault parameters are invalid.
+pub fn apply_fault(image: &mut Image, region: Rect, fault: SensorFault, seed: u64) {
+    if let Err(e) = fault.validate() {
+        panic!("invalid sensor fault: {e}");
+    }
+    let clip = image.bounds().intersect(region);
+    if clip.is_empty() {
+        return;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match fault {
+        SensorFault::Bloom { level } => {
+            for p in clip.pixels() {
+                let px = &mut image[p];
+                for c in 0..3 {
+                    let n: f32 = rng.gen_range(-0.02..0.02);
+                    px[c] = (level + n).clamp(0.0, 1.0);
+                }
+            }
+        }
+        SensorFault::Fog { strength } => {
+            // Regional mean.
+            let mut mean = [0.0f32; 3];
+            for p in clip.pixels() {
+                for c in 0..3 {
+                    mean[c] += image[p][c];
+                }
+            }
+            let n = clip.area() as f32;
+            for m in &mut mean {
+                *m /= n;
+            }
+            let grey = (mean[0] + mean[1] + mean[2]) / 3.0;
+            for p in clip.pixels() {
+                let px = &mut image[p];
+                for c in 0..3 {
+                    let target = mean[c] * 0.4 + grey * 0.6;
+                    let noise: f32 = rng.gen_range(-0.01..0.01);
+                    px[c] = (px[c] * (1.0 - strength) + target * strength + noise)
+                        .clamp(0.0, 1.0);
+                }
+            }
+        }
+        SensorFault::Dead => {
+            for p in clip.pixels() {
+                image[p] = [0.05, 0.05, 0.05];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::Conditions;
+    use crate::params::SceneParams;
+    use crate::scene::Scene;
+
+    fn image() -> Image {
+        Scene::generate(&SceneParams::small(), 1).render(&Conditions::nominal(), 1)
+    }
+
+    #[test]
+    fn bloom_saturates_region_only() {
+        let mut img = image();
+        let before = img.clone();
+        let region = Rect::new(10, 10, 20, 20);
+        apply_fault(&mut img, region, SensorFault::Bloom { level: 0.95 }, 7);
+        for (p, px) in img.enumerate() {
+            if region.contains(p) {
+                assert!(px.iter().all(|&v| v > 0.9), "not saturated at {p}");
+            } else {
+                assert_eq!(*px, before[p], "pixel outside region changed at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_region_is_dark() {
+        let mut img = image();
+        apply_fault(&mut img, Rect::new(0, 0, 5, 5), SensorFault::Dead, 0);
+        assert_eq!(img[(2, 2)], [0.05, 0.05, 0.05]);
+    }
+
+    #[test]
+    fn fog_pulls_towards_mean() {
+        let mut img = image();
+        let region = Rect::new(5, 5, 30, 30);
+        let variance = |img: &Image| {
+            let mut mean = 0.0f64;
+            let mut n = 0.0;
+            for p in region.pixels() {
+                mean += img[p][1] as f64;
+                n += 1.0;
+            }
+            mean /= n;
+            let mut var = 0.0;
+            for p in region.pixels() {
+                var += (img[p][1] as f64 - mean).powi(2);
+            }
+            var / n
+        };
+        let before = variance(&img);
+        apply_fault(&mut img, region, SensorFault::Fog { strength: 0.9 }, 3);
+        let after = variance(&img);
+        assert!(after < before * 0.3, "fog must crush contrast: {before} -> {after}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = image();
+        let mut b = image();
+        apply_fault(&mut a, Rect::new(3, 3, 10, 10), SensorFault::Bloom { level: 0.9 }, 5);
+        apply_fault(&mut b, Rect::new(3, 3, 10, 10), SensorFault::Bloom { level: 0.9 }, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_bounds_region_is_noop_outside() {
+        let mut img = image();
+        let before = img.clone();
+        apply_fault(&mut img, Rect::new(-100, -100, 10, 10), SensorFault::Dead, 0);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sensor fault")]
+    fn invalid_bloom_rejected() {
+        let mut img = image();
+        apply_fault(&mut img, Rect::new(0, 0, 2, 2), SensorFault::Bloom { level: 2.0 }, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Road-network and city-block layout.
+
+use el_geom::draw::{fill_capsule, fill_rect};
+use el_geom::{Grid, LabelMap, Rect, SemanticClass, Vec2};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::params::SceneParams;
+
+/// The generated road network: axis-aligned centre lines plus width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    /// X coordinates of vertical road centre lines.
+    pub vertical_x: Vec<f64>,
+    /// Y coordinates of horizontal road centre lines.
+    pub horizontal_y: Vec<f64>,
+    /// Road half-width in pixels.
+    pub half_width: f64,
+}
+
+impl RoadNetwork {
+    /// Total number of roads.
+    pub fn count(&self) -> usize {
+        self.vertical_x.len() + self.horizontal_y.len()
+    }
+
+    /// Distance from a point to the nearest road centre line, in pixels.
+    pub fn distance_to_centerline(&self, x: f64, y: f64) -> f64 {
+        let dv = self
+            .vertical_x
+            .iter()
+            .map(|&rx| (x - rx).abs())
+            .fold(f64::INFINITY, f64::min);
+        let dh = self
+            .horizontal_y
+            .iter()
+            .map(|&ry| (y - ry).abs())
+            .fold(f64::INFINITY, f64::min);
+        dv.min(dh)
+    }
+}
+
+/// One city block: the open space between roads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The usable interior (roads and margins excluded).
+    pub rect: Rect,
+    /// Parks stay vegetated; non-parks receive buildings.
+    pub is_park: bool,
+}
+
+/// The full layout stage output.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Label map after roads and buildings are drawn (base class:
+    /// [`SemanticClass::LowVegetation`]).
+    pub labels: LabelMap,
+    /// The road network, kept for vehicle placement.
+    pub roads: RoadNetwork,
+    /// City blocks, kept for vegetation/pedestrian placement.
+    pub blocks: Vec<Block>,
+}
+
+/// Samples jittered road positions along one axis.
+fn road_positions(extent: f64, spacing: f64, rng: &mut impl Rng) -> Vec<f64> {
+    let mut xs = Vec::new();
+    let mut x = rng.gen_range(0.25 * spacing..0.75 * spacing);
+    while x < extent {
+        xs.push(x);
+        x += spacing * rng.gen_range(0.8..1.25);
+    }
+    xs
+}
+
+/// Generates roads, blocks and buildings.
+///
+/// The base map is [`SemanticClass::LowVegetation`]; roads are drawn as
+/// full-extent capsules; the space between roads becomes [`Block`]s which
+/// are either parks (left vegetated) or built blocks receiving
+/// [`SemanticClass::Building`] rectangles separated by vegetated gaps.
+pub fn generate_layout(params: &SceneParams, rng: &mut impl Rng) -> Layout {
+    let (w, h) = (params.width, params.height);
+    let mut labels: LabelMap = Grid::new(w, h, SemanticClass::LowVegetation);
+
+    let roads = RoadNetwork {
+        vertical_x: road_positions(w as f64, params.road_spacing, rng),
+        horizontal_y: road_positions(h as f64, params.road_spacing, rng),
+        half_width: params.road_half_width,
+    };
+
+    for &rx in &roads.vertical_x {
+        fill_capsule(
+            &mut labels,
+            Vec2::new(rx, -params.road_half_width),
+            Vec2::new(rx, h as f64 + params.road_half_width),
+            params.road_half_width,
+            SemanticClass::Road,
+        );
+    }
+    for &ry in &roads.horizontal_y {
+        fill_capsule(
+            &mut labels,
+            Vec2::new(-params.road_half_width, ry),
+            Vec2::new(w as f64 + params.road_half_width, ry),
+            params.road_half_width,
+            SemanticClass::Road,
+        );
+    }
+
+    // Blocks: regions between consecutive road centre lines (including the
+    // image borders as virtual roads).
+    let mut xs = vec![-params.road_half_width];
+    xs.extend(&roads.vertical_x);
+    xs.push(w as f64 + params.road_half_width);
+    let mut ys = vec![-params.road_half_width];
+    ys.extend(&roads.horizontal_y);
+    ys.push(h as f64 + params.road_half_width);
+
+    let inset = params.road_half_width + params.building_margin;
+    let mut blocks = Vec::new();
+    for wy in ys.windows(2) {
+        for wx in xs.windows(2) {
+            let x0 = (wx[0] + inset).ceil() as i64;
+            let x1 = (wx[1] - inset).floor() as i64;
+            let y0 = (wy[0] + inset).ceil() as i64;
+            let y1 = (wy[1] - inset).floor() as i64;
+            let rect = Rect::new(x0, y0, x1 - x0, y1 - y0);
+            // Clip to the image and require a usable interior.
+            let rect = rect.intersect(labels.bounds());
+            if rect.w < 8 || rect.h < 8 {
+                continue;
+            }
+            let is_park = rng.gen_bool(params.park_fraction);
+            if !is_park {
+                place_buildings(&mut labels, rect, rng);
+            }
+            blocks.push(Block { rect, is_park });
+        }
+    }
+
+    Layout {
+        labels,
+        roads,
+        blocks,
+    }
+}
+
+/// Fills a block with a grid of building footprints separated by vegetated
+/// gaps.
+fn place_buildings(labels: &mut LabelMap, block: Rect, rng: &mut impl Rng) {
+    // Choose a subdivision so buildings are roughly 10–30 px on a side.
+    let cols = ((block.w as f64 / rng.gen_range(14.0..30.0)).round() as i64).max(1);
+    let rows = ((block.h as f64 / rng.gen_range(14.0..30.0)).round() as i64).max(1);
+    let cell_w = block.w as f64 / cols as f64;
+    let cell_h = block.h as f64 / rows as f64;
+    for r in 0..rows {
+        for c in 0..cols {
+            // Occasional empty lot.
+            if rng.gen_bool(0.12) {
+                continue;
+            }
+            let gap_x = (cell_w * rng.gen_range(0.08..0.22)).max(1.0);
+            let gap_y = (cell_h * rng.gen_range(0.08..0.22)).max(1.0);
+            let x0 = block.x as f64 + c as f64 * cell_w + gap_x;
+            let y0 = block.y as f64 + r as f64 * cell_h + gap_y;
+            let x1 = block.x as f64 + (c + 1) as f64 * cell_w - gap_x;
+            let y1 = block.y as f64 + (r + 1) as f64 * cell_h - gap_y;
+            let rect = Rect::new(
+                x0.round() as i64,
+                y0.round() as i64,
+                (x1 - x0).round() as i64,
+                (y1 - y0).round() as i64,
+            );
+            if rect.w >= 3 && rect.h >= 3 {
+                fill_rect(labels, rect, SemanticClass::Building);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::label::class_histogram;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layout(seed: u64) -> Layout {
+        let params = SceneParams::small();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate_layout(&params, &mut rng)
+    }
+
+    #[test]
+    fn produces_roads_and_buildings() {
+        let l = layout(1);
+        let hist = class_histogram(&l.labels);
+        assert!(hist[SemanticClass::Road.index()] > 0, "no road pixels");
+        assert!(hist[SemanticClass::Building.index()] > 0, "no buildings");
+        assert!(hist[SemanticClass::LowVegetation.index()] > 0, "no vegetation");
+        assert!(l.roads.count() >= 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = layout(5);
+        let b = layout(5);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.roads, b.roads);
+        let c = layout(6);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn road_pixels_near_centerlines() {
+        let l = layout(2);
+        for (p, &c) in l.labels.enumerate() {
+            if c == SemanticClass::Road {
+                let d = l.roads.distance_to_centerline(p.x as f64, p.y as f64);
+                assert!(
+                    d <= l.roads.half_width + 1.5,
+                    "road pixel {p} is {d} px from any centerline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buildings_stay_clear_of_roads() {
+        let params = SceneParams::small();
+        let l = layout(3);
+        for (p, &c) in l.labels.enumerate() {
+            if c == SemanticClass::Building {
+                let d = l.roads.distance_to_centerline(p.x as f64, p.y as f64);
+                assert!(
+                    d >= params.road_half_width + 1.0,
+                    "building pixel {p} too close to a road ({d} px)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_do_not_overlap_roads() {
+        let l = layout(4);
+        for b in &l.blocks {
+            for p in b.rect.pixels() {
+                assert_ne!(l.labels[p], SemanticClass::Road, "block pixel {p} on road");
+            }
+        }
+    }
+
+    #[test]
+    fn park_blocks_have_no_buildings() {
+        // Generate until we get at least one park (seeded, so stable).
+        let l = layout(7);
+        for b in l.blocks.iter().filter(|b| b.is_park) {
+            for p in b.rect.pixels() {
+                assert_ne!(l.labels[p], SemanticClass::Building);
+            }
+        }
+    }
+}

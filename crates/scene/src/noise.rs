@@ -1,0 +1,130 @@
+//! Lattice value noise for texturing rendered scenes.
+
+use el_geom::Grid;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic hash of a lattice point to `[0, 1)`.
+fn lattice_value(seed: u64, x: i64, y: i64) -> f64 {
+    let mut h = seed ^ 0x9E3779B97F4A7C15;
+    h = h.wrapping_add((x as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+    h ^= h >> 27;
+    h = h.wrapping_add((y as u64).wrapping_mul(0x94D049BB133111EB));
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xD6E8FEB86659FD93);
+    h ^= h >> 32;
+    (h & 0xFFFF_FFFF) as f64 / 4294967296.0
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Single-octave value noise at continuous coordinates, in `[0, 1)`.
+pub fn value_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let tx = smoothstep(x - x0);
+    let ty = smoothstep(y - y0);
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let v00 = lattice_value(seed, xi, yi);
+    let v10 = lattice_value(seed, xi + 1, yi);
+    let v01 = lattice_value(seed, xi, yi + 1);
+    let v11 = lattice_value(seed, xi + 1, yi + 1);
+    let a = v00 + (v10 - v00) * tx;
+    let b = v01 + (v11 - v01) * tx;
+    a + (b - a) * ty
+}
+
+/// Fractal (multi-octave) value noise in roughly `[0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `octaves == 0` or `base_scale <= 0`.
+pub fn fractal_noise(seed: u64, x: f64, y: f64, octaves: u32, base_scale: f64) -> f64 {
+    assert!(octaves > 0, "octaves must be positive");
+    assert!(base_scale > 0.0, "base_scale must be positive");
+    let mut total = 0.0;
+    let mut amplitude = 1.0;
+    let mut norm = 0.0;
+    let mut scale = base_scale;
+    for o in 0..octaves {
+        total += amplitude * value_noise(seed.wrapping_add(o as u64), x / scale, y / scale);
+        norm += amplitude;
+        amplitude *= 0.5;
+        scale *= 0.5;
+    }
+    total / norm
+}
+
+/// A full-grid fractal noise field in `[0, 1)`.
+pub fn noise_grid(seed: u64, width: usize, height: usize, octaves: u32, base_scale: f64) -> Grid<f64> {
+    Grid::from_fn(width, height, |x, y| {
+        fractal_noise(seed, x as f64, y as f64, octaves, base_scale)
+    })
+}
+
+/// A grid of i.i.d. Gaussian samples `N(0, std^2)` (Box–Muller).
+pub fn gaussian_grid(seed: u64, width: usize, height: usize, std: f64) -> Grid<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Grid::from_fn(width, height, |_, _| {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(value_noise(5, 1.3, 2.7), value_noise(5, 1.3, 2.7));
+        assert_ne!(value_noise(5, 1.3, 2.7), value_noise(6, 1.3, 2.7));
+    }
+
+    #[test]
+    fn noise_in_unit_interval() {
+        for i in 0..200 {
+            let v = value_noise(9, i as f64 * 0.37, i as f64 * 0.61);
+            assert!((0.0..1.0).contains(&v), "{v}");
+            let f = fractal_noise(9, i as f64 * 0.37, i as f64 * 0.61, 4, 16.0);
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn noise_matches_lattice_at_integers() {
+        let v = value_noise(3, 4.0, 7.0);
+        assert!((v - lattice_value(3, 4, 7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Neighbouring samples differ by a bounded amount.
+        let mut prev = value_noise(1, 0.0, 0.5);
+        for i in 1..500 {
+            let cur = value_noise(1, i as f64 * 0.01, 0.5);
+            assert!((cur - prev).abs() < 0.1, "jump at {i}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let g = gaussian_grid(11, 100, 100, 2.0);
+        let n = g.len() as f64;
+        let mean = g.iter().sum::<f64>() / n;
+        let var = g.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn noise_grid_shape() {
+        let g = noise_grid(2, 32, 16, 3, 8.0);
+        assert_eq!(g.width(), 32);
+        assert_eq!(g.height(), 16);
+    }
+}

@@ -1,0 +1,283 @@
+//! Scene population: vehicles, trees, pedestrians and clutter.
+
+use el_geom::draw::{fill_circle, fill_rect};
+use el_geom::{Point, Rect, SemanticClass};
+use rand::Rng;
+
+use crate::layout::Layout;
+use crate::params::SceneParams;
+
+/// Places cars on roads (moving in lanes, static near the kerb), trees and
+/// clutter on vegetated areas, and humans on walkable pixels.
+///
+/// Mutates `layout.labels` in place.
+pub fn populate(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
+    place_cars(layout, params, rng);
+    place_trees(layout, params, rng);
+    place_clutter(layout, rng);
+    place_humans(layout, params, rng);
+}
+
+/// A car footprint: a small axis-aligned rectangle sized relative to the
+/// road width and oriented along it.
+fn car_rect(along_vertical: bool, cx: f64, cy: f64, half_width: f64) -> Rect {
+    // Car ~2.0 m x 4.5 m; with default roads (half-width 6 px at 0.5 m/px)
+    // this gives roughly 2x5 px. Scale with road size, clamp to >= 1 px.
+    let half_w = (half_width * 0.18).max(0.8);
+    let half_l = (half_width * 0.40).max(1.6);
+    let (hx, hy) = if along_vertical {
+        (half_w, half_l)
+    } else {
+        (half_l, half_w)
+    };
+    Rect::new(
+        (cx - hx).round() as i64,
+        (cy - hy).round() as i64,
+        (2.0 * hx).round().max(1.0) as i64,
+        (2.0 * hy).round().max(1.0) as i64,
+    )
+}
+
+fn place_cars(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
+    let road_pixels = layout.labels.count(|&c| c == SemanticClass::Road);
+    let n_cars = (params.car_density * road_pixels as f64 / 1000.0).round() as usize;
+    let hw = layout.roads.half_width;
+    let (w, h) = (layout.labels.width() as f64, layout.labels.height() as f64);
+    let n_roads = layout.roads.count();
+    if n_roads == 0 {
+        return;
+    }
+    for _ in 0..n_cars {
+        let is_static = rng.gen_bool(params.static_car_fraction);
+        let class = if is_static {
+            SemanticClass::StaticCar
+        } else {
+            SemanticClass::MovingCar
+        };
+        // Lane offset: moving cars drive near the lane centres, parked cars
+        // hug the kerb.
+        let offset_mag = if is_static {
+            hw - (hw * 0.2).max(1.0)
+        } else {
+            hw * rng.gen_range(0.15..0.55)
+        };
+        let offset = if rng.gen_bool(0.5) { offset_mag } else { -offset_mag };
+        let idx = rng.gen_range(0..n_roads);
+        let (along_vertical, cx, cy) = if idx < layout.roads.vertical_x.len() {
+            let rx = layout.roads.vertical_x[idx];
+            (true, rx + offset, rng.gen_range(0.0..h))
+        } else {
+            let ry = layout.roads.horizontal_y[idx - layout.roads.vertical_x.len()];
+            (false, rng.gen_range(0.0..w), ry + offset)
+        };
+        let rect = car_rect(along_vertical, cx, cy, hw);
+        // Only paint over road pixels so ground truth stays consistent:
+        // cars exist on the roadway, never on buildings or grass.
+        let clip = layout.labels.bounds().intersect(rect);
+        for p in clip.pixels() {
+            if layout.labels[p] == SemanticClass::Road {
+                layout.labels[p] = class;
+            }
+        }
+    }
+}
+
+fn place_trees(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
+    let veg_pixels = layout
+        .labels
+        .count(|&c| c == SemanticClass::LowVegetation);
+    let mut n_trees = (params.tree_density * veg_pixels as f64 / 1000.0).round() as usize;
+    // Parks get denser canopy: one extra tree per park block.
+    n_trees += layout.blocks.iter().filter(|b| b.is_park).count();
+    let (w, h) = (layout.labels.width(), layout.labels.height());
+    for _ in 0..n_trees {
+        // Bias tree positions towards park blocks when available.
+        let (cx, cy) = if !layout.blocks.is_empty() && rng.gen_bool(0.5) {
+            let b = &layout.blocks[rng.gen_range(0..layout.blocks.len())];
+            (
+                rng.gen_range(b.rect.x..b.rect.right()),
+                rng.gen_range(b.rect.y..b.rect.bottom()),
+            )
+        } else {
+            (
+                rng.gen_range(0..w as i64),
+                rng.gen_range(0..h as i64),
+            )
+        };
+        let center = Point::new(cx, cy);
+        if layout.labels.get(center) != Some(&SemanticClass::LowVegetation) {
+            continue;
+        }
+        let radius: f64 = rng.gen_range(1.5..4.0);
+        // Canopies cover only vegetated ground: paint a disk restricted to
+        // LowVegetation so roads/buildings keep their labels.
+        let r = radius.ceil() as i64;
+        let bbox = Rect::new(center.x - r, center.y - r, 2 * r + 1, 2 * r + 1);
+        let clip = layout.labels.bounds().intersect(bbox);
+        for p in clip.pixels() {
+            let dx = (p.x - center.x) as f64;
+            let dy = (p.y - center.y) as f64;
+            if dx * dx + dy * dy <= radius * radius
+                && layout.labels[p] == SemanticClass::LowVegetation
+            {
+                layout.labels[p] = SemanticClass::Tree;
+            }
+        }
+    }
+}
+
+fn place_clutter(layout: &mut Layout, rng: &mut impl Rng) {
+    // A few small background-clutter patches (bins, street furniture,
+    // bare ground) on vegetated areas.
+    let (w, h) = (layout.labels.width(), layout.labels.height());
+    let n = (w * h) / 4000;
+    for _ in 0..n {
+        let cx = rng.gen_range(0..w as i64);
+        let cy = rng.gen_range(0..h as i64);
+        let p = Point::new(cx, cy);
+        if layout.labels.get(p) != Some(&SemanticClass::LowVegetation) {
+            continue;
+        }
+        if rng.gen_bool(0.5) {
+            fill_circle(&mut layout.labels, p, rng.gen_range(1.0..2.5), SemanticClass::Clutter);
+        } else {
+            fill_rect(
+                &mut layout.labels,
+                Rect::new(cx, cy, rng.gen_range(2..5), rng.gen_range(2..5)),
+                SemanticClass::Clutter,
+            );
+        }
+    }
+}
+
+fn place_humans(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
+    let walkable = layout.labels.count(|&c| {
+        matches!(c, SemanticClass::LowVegetation | SemanticClass::Clutter)
+    });
+    let n = (params.human_density * walkable as f64 / 1000.0).round() as usize;
+    let (w, h) = (layout.labels.width(), layout.labels.height());
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < n && attempts < n * 20 {
+        attempts += 1;
+        let p = Point::new(rng.gen_range(0..w as i64), rng.gen_range(0..h as i64));
+        if matches!(
+            layout.labels.get(p),
+            Some(&SemanticClass::LowVegetation) | Some(&SemanticClass::Clutter)
+        ) {
+            // A human seen from 120 m is 1–2 px.
+            layout.labels[p] = SemanticClass::Humans;
+            if rng.gen_bool(0.5) {
+                let q = Point::new(p.x + 1, p.y);
+                if matches!(
+                    layout.labels.get(q),
+                    Some(&SemanticClass::LowVegetation) | Some(&SemanticClass::Clutter)
+                ) {
+                    layout.labels[q] = SemanticClass::Humans;
+                }
+            }
+            placed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::generate_layout;
+    use el_geom::label::class_histogram;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn populated(seed: u64) -> Layout {
+        let params = SceneParams::small();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layout = generate_layout(&params, &mut rng);
+        populate(&mut layout, &params, &mut rng);
+        layout
+    }
+
+    #[test]
+    fn all_eight_classes_appear() {
+        // Across a couple of seeds every class should show up.
+        let mut seen = [false; SemanticClass::COUNT];
+        for seed in 0..4 {
+            let l = populated(seed);
+            for (i, &n) in class_histogram(&l.labels).iter().enumerate() {
+                if n > 0 {
+                    seen[i] = true;
+                }
+            }
+        }
+        for (i, s) in seen.iter().enumerate() {
+            assert!(s, "class {:?} never appeared", SemanticClass::from_index(i));
+        }
+    }
+
+    #[test]
+    fn cars_only_on_roadway() {
+        let l = populated(1);
+        // Every car pixel must be adjacent to (or on) what was road:
+        // verify cars are within road distance of centre lines.
+        for (p, &c) in l.labels.enumerate() {
+            if c.is_busy_road() && c != SemanticClass::Road {
+                let d = l.roads.distance_to_centerline(p.x as f64, p.y as f64);
+                assert!(
+                    d <= l.roads.half_width + 1.5,
+                    "car pixel {p} off the roadway ({d} px)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_car_kinds_exist() {
+        let mut static_seen = 0usize;
+        let mut moving_seen = 0usize;
+        for seed in 0..4 {
+            let l = populated(seed);
+            let hist = class_histogram(&l.labels);
+            static_seen += hist[SemanticClass::StaticCar.index()];
+            moving_seen += hist[SemanticClass::MovingCar.index()];
+        }
+        assert!(static_seen > 0, "no static cars in 4 seeds");
+        assert!(moving_seen > 0, "no moving cars in 4 seeds");
+    }
+
+    #[test]
+    fn trees_do_not_cover_roads_or_buildings() {
+        let before = {
+            let params = SceneParams::small();
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            generate_layout(&params, &mut rng)
+        };
+        let after = populated(9);
+        for (p, &c) in after.labels.enumerate() {
+            if c == SemanticClass::Tree {
+                assert_eq!(
+                    before.labels[p],
+                    SemanticClass::LowVegetation,
+                    "tree at {p} painted over {:?}",
+                    before.labels[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn humans_are_rare_and_small() {
+        let l = populated(2);
+        let hist = class_histogram(&l.labels);
+        let humans = hist[SemanticClass::Humans.index()];
+        assert!(humans > 0, "no humans placed");
+        assert!(
+            (humans as f64) < 0.01 * l.labels.len() as f64,
+            "humans cover too much of the scene"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(populated(3).labels, populated(3).labels);
+    }
+}

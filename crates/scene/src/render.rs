@@ -1,0 +1,180 @@
+//! Rendering label maps into noisy RGB images.
+
+use el_geom::{Grid, LabelMap, SemanticClass};
+
+use crate::conditions::Conditions;
+use crate::noise::{fractal_noise, gaussian_grid};
+
+/// A rendered RGB image: per-pixel `[r, g, b]` in `[0, 1]`.
+pub type Image = Grid<[f32; 3]>;
+
+/// Base albedo (R, G, B) for each semantic class under neutral lighting.
+pub fn base_color(class: SemanticClass) -> [f64; 3] {
+    match class {
+        SemanticClass::Building => [0.48, 0.38, 0.36],
+        SemanticClass::Road => [0.26, 0.26, 0.29],
+        SemanticClass::StaticCar => [0.62, 0.63, 0.70],
+        SemanticClass::Tree => [0.10, 0.33, 0.12],
+        SemanticClass::LowVegetation => [0.36, 0.54, 0.22],
+        SemanticClass::Humans => [0.78, 0.58, 0.48],
+        SemanticClass::MovingCar => [0.66, 0.22, 0.22],
+        SemanticClass::Clutter => [0.50, 0.47, 0.43],
+    }
+}
+
+/// `true` for classes whose albedo gets the seasonal vegetation tint.
+fn is_vegetation(class: SemanticClass) -> bool {
+    matches!(class, SemanticClass::Tree | SemanticClass::LowVegetation)
+}
+
+/// Renders a label map to an RGB image under the given conditions.
+///
+/// Per pixel: class albedo, modulated by fractal texture noise (so classes
+/// are *not* trivially separable by colour alone), then the conditions
+/// transform (contrast/brightness/colour cast), then additive Gaussian
+/// sensor noise, clamped to `[0, 1]`.
+///
+/// Rendering is deterministic given `(labels, conditions, seed)`.
+///
+/// # Panics
+///
+/// Panics if `conditions` fail [`Conditions::validate`].
+pub fn render_labels(labels: &LabelMap, conditions: &Conditions, seed: u64) -> Image {
+    if let Err(e) = conditions.validate() {
+        panic!("invalid rendering conditions: {e}");
+    }
+    let (w, h) = (labels.width(), labels.height());
+    let season_cast = conditions.season_vegetation_cast();
+    // Independent noise per channel; texture shared across channels plus a
+    // per-channel tweak so textures are coloured.
+    let sensor: [Grid<f64>; 3] = [
+        gaussian_grid(seed ^ 0xA1, w, h, conditions.noise_std),
+        gaussian_grid(seed ^ 0xA2, w, h, conditions.noise_std),
+        gaussian_grid(seed ^ 0xA3, w, h, conditions.noise_std),
+    ];
+
+    Grid::from_fn(w, h, |x, y| {
+        let class = labels[(x, y)];
+        let albedo = base_color(class);
+        // Texture: per-class seed so building texture differs from grass.
+        let t = fractal_noise(
+            seed.wrapping_add(class.index() as u64 * 7919),
+            x as f64,
+            y as f64,
+            3,
+            11.0,
+        );
+        let texture = 0.78 + 0.44 * t; // in [0.78, 1.22]
+        let mut px = [0.0f32; 3];
+        for c in 0..3 {
+            let mut v = albedo[c] * texture;
+            if is_vegetation(class) {
+                v *= season_cast[c];
+            }
+            // Conditions transform around mid-grey.
+            v = conditions.contrast * (v - 0.5) + 0.5 + conditions.brightness;
+            v *= conditions.color_cast[c];
+            v += sensor[c][(x, y)];
+            px[c] = v.clamp(0.0, 1.0) as f32;
+        }
+        px
+    })
+}
+
+/// Per-channel mean of an image — used by tests and dataset statistics.
+pub fn channel_means(image: &Image) -> [f64; 3] {
+    let mut sums = [0.0f64; 3];
+    for px in image.iter() {
+        for c in 0..3 {
+            sums[c] += px[c] as f64;
+        }
+    }
+    let n = image.len().max(1) as f64;
+    [sums[0] / n, sums[1] / n, sums[2] / n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::Grid;
+
+    fn road_and_grass() -> LabelMap {
+        Grid::from_fn(32, 32, |x, _| {
+            if x < 16 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::LowVegetation
+            }
+        })
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let labels = road_and_grass();
+        let a = render_labels(&labels, &Conditions::nominal(), 3);
+        let b = render_labels(&labels, &Conditions::nominal(), 3);
+        assert_eq!(a, b);
+        let c = render_labels(&labels, &Conditions::nominal(), 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let labels = road_and_grass();
+        for cond in [Conditions::nominal(), Conditions::sunset(), Conditions::night()] {
+            let img = render_labels(&labels, &cond, 1);
+            for px in img.iter() {
+                for &v in px {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grass_greener_than_road() {
+        let labels = road_and_grass();
+        let img = render_labels(&labels, &Conditions::nominal(), 2);
+        // Average green of grass half vs road half.
+        let mut g_grass = 0.0;
+        let mut g_road = 0.0;
+        for (p, px) in img.enumerate() {
+            if p.x < 16 {
+                g_road += px[1] as f64;
+            } else {
+                g_grass += px[1] as f64;
+            }
+        }
+        assert!(g_grass > g_road * 1.3);
+    }
+
+    #[test]
+    fn sunset_shifts_channels_warm() {
+        let labels = road_and_grass();
+        let nominal = channel_means(&render_labels(&labels, &Conditions::nominal(), 5));
+        let sunset = channel_means(&render_labels(&labels, &Conditions::sunset(), 5));
+        // Blue drops much more than red under the warm cast.
+        let red_ratio = sunset[0] / nominal[0];
+        let blue_ratio = sunset[2] / nominal[2];
+        assert!(blue_ratio < red_ratio, "sunset not warm: {red_ratio} vs {blue_ratio}");
+    }
+
+    #[test]
+    fn night_is_darker() {
+        let labels = road_and_grass();
+        let nominal = channel_means(&render_labels(&labels, &Conditions::nominal(), 6));
+        let night = channel_means(&render_labels(&labels, &Conditions::night(), 6));
+        let lum_n: f64 = nominal.iter().sum();
+        let lum_d: f64 = night.iter().sum();
+        assert!(lum_d < 0.6 * lum_n, "night not dark enough: {lum_d} vs {lum_n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rendering conditions")]
+    fn invalid_conditions_rejected() {
+        let labels = road_and_grass();
+        let mut cond = Conditions::nominal();
+        cond.noise_std = 5.0;
+        let _ = render_labels(&labels, &cond, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! A complete generated scene.
+
+use el_geom::label::{busy_road_mask, class_histogram};
+use el_geom::{Grid, LabelMap, SemanticClass};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::conditions::Conditions;
+use crate::layout::{generate_layout, RoadNetwork};
+use crate::params::SceneParams;
+use crate::populate::populate;
+use crate::render::{render_labels, Image};
+
+/// A generated urban scene: dense ground-truth labels plus generation
+/// metadata.
+///
+/// # Example
+///
+/// ```
+/// use el_scene::{Conditions, Scene, SceneParams};
+/// let scene = Scene::generate(&SceneParams::small(), 1);
+/// let img = scene.render(&Conditions::nominal(), 2);
+/// assert_eq!(img.width(), scene.labels.width());
+/// assert!(scene.busy_road_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Generation parameters.
+    pub params: SceneParams,
+    /// The generation seed (renders may use independent seeds).
+    pub seed: u64,
+    /// Dense ground-truth semantic labels.
+    pub labels: LabelMap,
+    /// The road network used during generation.
+    pub roads: RoadNetwork,
+}
+
+impl Scene {
+    /// Generates a scene deterministically from `params` and `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`SceneParams::validate`].
+    pub fn generate(params: &SceneParams, seed: u64) -> Scene {
+        if let Err(e) = params.validate() {
+            panic!("invalid scene parameters: {e}");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layout = generate_layout(params, &mut rng);
+        populate(&mut layout, params, &mut rng);
+        Scene {
+            params: params.clone(),
+            seed,
+            labels: layout.labels,
+            roads: layout.roads,
+        }
+    }
+
+    /// Renders the scene to an RGB image under `conditions`.
+    ///
+    /// The render seed is independent of the generation seed so the same
+    /// scene can be imaged under many conditions (the paper's Table IV
+    /// High-2 validation sweep).
+    pub fn render(&self, conditions: &Conditions, render_seed: u64) -> Image {
+        render_labels(&self.labels, conditions, render_seed)
+    }
+
+    /// Boolean mask of the busy-road super-category
+    /// (`{road, static car, moving car}`).
+    pub fn busy_road(&self) -> Grid<bool> {
+        busy_road_mask(&self.labels)
+    }
+
+    /// Fraction of pixels in the busy-road super-category.
+    pub fn busy_road_fraction(&self) -> f64 {
+        self.busy_road().fraction_set()
+    }
+
+    /// Per-class pixel counts.
+    pub fn class_histogram(&self) -> [usize; SemanticClass::COUNT] {
+        class_histogram(&self.labels)
+    }
+
+    /// Scene width in pixels.
+    pub fn width(&self) -> usize {
+        self.labels.width()
+    }
+
+    /// Scene height in pixels.
+    pub fn height(&self) -> usize {
+        self.labels.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SceneParams::small();
+        let a = Scene::generate(&p, 10);
+        let b = Scene::generate(&p, 10);
+        assert_eq!(a.labels, b.labels);
+        assert_ne!(a.labels, Scene::generate(&p, 11).labels);
+    }
+
+    #[test]
+    fn busy_road_fraction_is_sane() {
+        let scene = Scene::generate(&SceneParams::small(), 3);
+        let f = scene.busy_road_fraction();
+        // Urban scenes: a meaningful but minority share of road pixels.
+        assert!(f > 0.05, "too little road: {f}");
+        assert!(f < 0.6, "too much road: {f}");
+    }
+
+    #[test]
+    fn histogram_matches_mask() {
+        let scene = Scene::generate(&SceneParams::small(), 4);
+        let hist = scene.class_histogram();
+        let busy: usize = SemanticClass::BUSY_ROAD
+            .iter()
+            .map(|c| hist[c.index()])
+            .sum();
+        assert_eq!(busy, scene.busy_road().count(|&b| b));
+    }
+
+    #[test]
+    fn renders_under_multiple_conditions() {
+        let scene = Scene::generate(&SceneParams::small(), 5);
+        let a = scene.render(&Conditions::nominal(), 0);
+        let b = scene.render(&Conditions::sunset(), 0);
+        assert_eq!(a.width(), scene.width());
+        assert_ne!(a, b, "conditions must change the rendering");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scene parameters")]
+    fn invalid_params_rejected() {
+        let mut p = SceneParams::small();
+        p.meters_per_pixel = -1.0;
+        let _ = Scene::generate(&p, 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Crate-level demo: train the benchmark MSDnet and report how well it
+//! fits the synthetic distribution vs. how it degrades out of
+//! distribution (the premise of the paper's Figure 4 experiment).
+//!
+//! ```text
+//! cargo run --release -p el-seg --example train_check
+//! ```
+use el_scene::{Dataset, DatasetConfig, Split};
+use el_seg::{MsdNet, MsdNetConfig, TrainConfig, Trainer};
+use el_seg::train::evaluate_split;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let ds = Dataset::generate(&DatasetConfig::benchmark(1));
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = MsdNet::new(&MsdNetConfig::default_uavid(), &mut rng);
+    let t0 = std::time::Instant::now();
+    let report = Trainer::new(TrainConfig::benchmark()).train(&mut net, &ds);
+    println!("train {:?}  loss {:.3} -> {:.3}", t0.elapsed(), report.initial_loss, report.final_loss);
+    for split in [Split::Test, Split::Ood] {
+        let cm = evaluate_split(&mut net, &ds, split);
+        println!("{split:?}: acc {:.3} mIoU {:.3} road-recall {:?}",
+            cm.pixel_accuracy(), cm.mean_iou(), cm.busy_road_recall().map(|v| (v*1000.0).round()/1000.0));
+    }
+}

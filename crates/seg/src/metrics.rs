@@ -1,0 +1,220 @@
+//! Segmentation evaluation metrics.
+
+use el_geom::{LabelMap, SemanticClass};
+use serde::{Deserialize, Serialize};
+
+/// A class-by-class confusion matrix over pixels.
+///
+/// `counts[gt][pred]` is the number of pixels with ground truth `gt`
+/// predicted as `pred`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for [`SemanticClass::COUNT`] classes.
+    pub fn new() -> Self {
+        ConfusionMatrix {
+            counts: vec![vec![0; SemanticClass::COUNT]; SemanticClass::COUNT],
+        }
+    }
+
+    /// Accumulates one prediction/ground-truth pair of label maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps differ in shape.
+    pub fn accumulate(&mut self, prediction: &LabelMap, ground_truth: &LabelMap) {
+        assert_eq!(
+            (prediction.width(), prediction.height()),
+            (ground_truth.width(), ground_truth.height()),
+            "prediction and ground truth must share a shape"
+        );
+        for (p, g) in prediction.iter().zip(ground_truth.iter()) {
+            self.counts[g.index()][p.index()] += 1;
+        }
+    }
+
+    /// Builds a matrix from a single pair of label maps.
+    pub fn from_maps(prediction: &LabelMap, ground_truth: &LabelMap) -> Self {
+        let mut m = Self::new();
+        m.accumulate(prediction, ground_truth);
+        m
+    }
+
+    /// Raw count of pixels with the given ground truth and prediction.
+    pub fn count(&self, ground_truth: SemanticClass, prediction: SemanticClass) -> u64 {
+        self.counts[ground_truth.index()][prediction.index()]
+    }
+
+    /// Total pixels accumulated.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction of correctly classified pixels (0 when empty).
+    pub fn pixel_accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..SemanticClass::COUNT)
+            .map(|i| self.counts[i][i])
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Intersection-over-union for one class, or `None` if the class never
+    /// appears in ground truth or prediction.
+    pub fn iou(&self, class: SemanticClass) -> Option<f64> {
+        let i = class.index();
+        let tp = self.counts[i][i];
+        let fp: u64 = (0..SemanticClass::COUNT)
+            .filter(|&g| g != i)
+            .map(|g| self.counts[g][i])
+            .sum();
+        let fn_: u64 = (0..SemanticClass::COUNT)
+            .filter(|&p| p != i)
+            .map(|p| self.counts[i][p])
+            .sum();
+        let union = tp + fp + fn_;
+        if union == 0 {
+            None
+        } else {
+            Some(tp as f64 / union as f64)
+        }
+    }
+
+    /// Mean IoU over classes present in the data.
+    pub fn mean_iou(&self) -> f64 {
+        let ious: Vec<f64> = SemanticClass::ALL
+            .iter()
+            .filter_map(|&c| self.iou(c))
+            .collect();
+        if ious.is_empty() {
+            0.0
+        } else {
+            ious.iter().sum::<f64>() / ious.len() as f64
+        }
+    }
+
+    /// Recall of the busy-road super-category: the fraction of true
+    /// busy-road pixels predicted as *any* busy-road class.
+    ///
+    /// This is the safety-critical metric — a missed road pixel is a
+    /// candidate fatal landing site (paper Table II, risk R1).
+    pub fn busy_road_recall(&self) -> Option<f64> {
+        let mut tp = 0u64;
+        let mut total = 0u64;
+        for g in SemanticClass::BUSY_ROAD {
+            for p in SemanticClass::ALL {
+                let n = self.counts[g.index()][p.index()];
+                total += n;
+                if p.is_busy_road() {
+                    tp += n;
+                }
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(tp as f64 / total as f64)
+        }
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for g in 0..SemanticClass::COUNT {
+            for p in 0..SemanticClass::COUNT {
+                self.counts[g][p] += other.counts[g][p];
+            }
+        }
+    }
+}
+
+impl Default for ConfusionMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_geom::Grid;
+
+    fn map(classes: &[SemanticClass]) -> LabelMap {
+        Grid::from_vec(classes.len(), 1, classes.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let gt = map(&[SemanticClass::Road, SemanticClass::Tree, SemanticClass::Humans]);
+        let m = ConfusionMatrix::from_maps(&gt, &gt);
+        assert_eq!(m.pixel_accuracy(), 1.0);
+        assert_eq!(m.mean_iou(), 1.0);
+        assert_eq!(m.busy_road_recall(), Some(1.0));
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn all_wrong_prediction() {
+        let gt = map(&[SemanticClass::Road, SemanticClass::Road]);
+        let pred = map(&[SemanticClass::Tree, SemanticClass::Tree]);
+        let m = ConfusionMatrix::from_maps(&pred, &gt);
+        assert_eq!(m.pixel_accuracy(), 0.0);
+        assert_eq!(m.iou(SemanticClass::Road), Some(0.0));
+        assert_eq!(m.busy_road_recall(), Some(0.0));
+        // Classes never seen have no IoU.
+        assert_eq!(m.iou(SemanticClass::Humans), None);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let gt = map(&[SemanticClass::Road, SemanticClass::Road, SemanticClass::Tree]);
+        let pred = map(&[SemanticClass::Road, SemanticClass::Tree, SemanticClass::Tree]);
+        let m = ConfusionMatrix::from_maps(&pred, &gt);
+        // Road: tp=1, fn=1, fp=0 → 0.5.
+        assert_eq!(m.iou(SemanticClass::Road), Some(0.5));
+        // Tree: tp=1, fp=1, fn=0 → 0.5.
+        assert_eq!(m.iou(SemanticClass::Tree), Some(0.5));
+        assert!((m.pixel_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_road_recall_counts_cross_category_hits() {
+        // Road predicted as MovingCar still counts as busy-road recall:
+        // the landing selector avoids both.
+        let gt = map(&[SemanticClass::Road, SemanticClass::Road]);
+        let pred = map(&[SemanticClass::MovingCar, SemanticClass::LowVegetation]);
+        let m = ConfusionMatrix::from_maps(&pred, &gt);
+        assert_eq!(m.busy_road_recall(), Some(0.5));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let gt = map(&[SemanticClass::Road]);
+        let mut a = ConfusionMatrix::from_maps(&gt, &gt);
+        let b = ConfusionMatrix::from_maps(&gt, &gt);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count(SemanticClass::Road, SemanticClass::Road), 2);
+    }
+
+    #[test]
+    fn empty_matrix_defaults() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.pixel_accuracy(), 0.0);
+        assert_eq!(m.mean_iou(), 0.0);
+        assert_eq!(m.busy_road_recall(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn shape_mismatch_panics() {
+        let a = map(&[SemanticClass::Road]);
+        let b = map(&[SemanticClass::Road, SemanticClass::Road]);
+        let _ = ConfusionMatrix::from_maps(&a, &b);
+    }
+}

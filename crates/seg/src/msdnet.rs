@@ -1,0 +1,392 @@
+//! The Multi-Scale-Dilation segmentation network.
+
+use el_nn::layers::{Conv2d, Dropout, Layer, ParamRef, Phase, Relu};
+use el_nn::Tensor;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`MsdNet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsdNetConfig {
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Channels produced by each dilated branch.
+    pub branch_channels: usize,
+    /// Dilation factor of each parallel branch (one branch per entry).
+    pub dilations: Vec<usize>,
+    /// Hidden width of the fusion head.
+    pub head_hidden: usize,
+    /// Output classes (8 for UAVid).
+    pub classes: usize,
+    /// Dropout rate on every dropout layer (the paper uses 0.5).
+    pub dropout: f32,
+}
+
+impl MsdNetConfig {
+    /// The default configuration used by the experiments: three branches
+    /// with dilations 1/2/4, 16 channels each, 32 hidden units, 8 classes,
+    /// dropout 0.5 (the paper's rate).
+    ///
+    /// Capacity matters for the monitor: Monte-Carlo dropout yields small
+    /// in-distribution `σ` only when the trained network has *redundant*
+    /// connections for its confident predictions (the paper's own
+    /// intuition) — an under-sized network is uncertain everywhere and the
+    /// monitor would reject every zone.
+    pub fn default_uavid() -> Self {
+        MsdNetConfig {
+            in_channels: 3,
+            branch_channels: 16,
+            dilations: vec![1, 2, 4],
+            head_hidden: 32,
+            classes: 8,
+            dropout: 0.5,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        MsdNetConfig {
+            in_channels: 3,
+            branch_channels: 4,
+            dilations: vec![1, 2],
+            head_hidden: 8,
+            classes: 8,
+            dropout: 0.5,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.in_channels == 0 || self.branch_channels == 0 || self.head_hidden == 0 {
+            return Err("channel counts must be positive".into());
+        }
+        if self.dilations.is_empty() {
+            return Err("at least one dilated branch is required".into());
+        }
+        if self.dilations.contains(&0) {
+            return Err("dilations must be positive".into());
+        }
+        if self.classes < 2 {
+            return Err("at least two classes are required".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err("dropout must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MsdNetConfig {
+    fn default() -> Self {
+        Self::default_uavid()
+    }
+}
+
+/// One dilated branch: conv → ReLU → dropout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Branch {
+    conv: Conv2d,
+    relu: Relu,
+    drop: Dropout,
+}
+
+/// The Multi-Scale-Dilation network.
+///
+/// Architecture (in the spirit of the paper's MSDnet): parallel 3x3
+/// convolution branches with increasing dilation — each seeing a larger
+/// receptive field at the same cost — concatenated and fused by a small
+/// 1x1-convolution head:
+///
+/// ```text
+/// input ─┬─ conv3x3 d=1 ─ relu ─ drop ─┐
+///        ├─ conv3x3 d=2 ─ relu ─ drop ─┼─ concat ─ conv1x1 ─ relu ─ drop ─ conv1x1 → logits
+///        └─ conv3x3 d=4 ─ relu ─ drop ─┘
+/// ```
+///
+/// Dropout appears after every stage, so running the network in
+/// [`Phase::Stochastic`] is exactly the paper's Bayesian MSDnet
+/// (Monte-Carlo dropout with rate 0.5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsdNet {
+    config: MsdNetConfig,
+    branches: Vec<Branch>,
+    head1: Conv2d,
+    head_relu: Relu,
+    head_drop: Dropout,
+    head2: Conv2d,
+}
+
+impl MsdNet {
+    /// Builds a network with freshly initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MsdNetConfig::validate`].
+    pub fn new(config: &MsdNetConfig, rng: &mut dyn RngCore) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid MsdNet configuration: {e}");
+        }
+        let branches = config
+            .dilations
+            .iter()
+            .map(|&d| Branch {
+                conv: Conv2d::new(config.in_channels, config.branch_channels, 3, d, rng),
+                relu: Relu::default(),
+                drop: Dropout::new(config.dropout),
+            })
+            .collect();
+        let fused = config.branch_channels * config.dilations.len();
+        MsdNet {
+            config: config.clone(),
+            branches,
+            head1: Conv2d::new(fused, config.head_hidden, 1, 1, rng),
+            head_relu: Relu::default(),
+            head_drop: Dropout::new(config.dropout),
+            head2: Conv2d::new(config.head_hidden, config.classes, 1, 1, rng),
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &MsdNetConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.config.classes
+    }
+
+    /// Sets the dropout rate on every dropout layer (ablation knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1`.
+    pub fn set_dropout(&mut self, rate: f32) {
+        for b in &mut self.branches {
+            b.drop.set_rate(rate);
+        }
+        self.head_drop.set_rate(rate);
+        self.config.dropout = rate;
+    }
+
+    /// Serializes the model (weights + config) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("MsdNet serialization cannot fail")
+    }
+
+    /// Restores a model from [`MsdNet::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<MsdNet, String> {
+        let mut net: MsdNet = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        for b in &mut net.branches {
+            b.conv.reset_state();
+        }
+        net.head1.reset_state();
+        net.head2.reset_state();
+        Ok(net)
+    }
+}
+
+impl Layer for MsdNet {
+    fn forward(&mut self, input: &Tensor, phase: Phase, rng: &mut dyn RngCore) -> Tensor {
+        let mut outs = Vec::with_capacity(self.branches.len());
+        for b in &mut self.branches {
+            let y = b.conv.forward(input, phase, rng);
+            let y = b.relu.forward(&y, phase, rng);
+            outs.push(b.drop.forward(&y, phase, rng));
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        let fused = Tensor::concat_channels(&refs).expect("branch outputs share shapes");
+        let y = self.head1.forward(&fused, phase, rng);
+        let y = self.head_relu.forward(&y, phase, rng);
+        let y = self.head_drop.forward(&y, phase, rng);
+        self.head2.forward(&y, phase, rng)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.head2.backward(grad_out);
+        let g = self.head_drop.backward(&g);
+        let g = self.head_relu.backward(&g);
+        let g = self.head1.backward(&g);
+        let sizes = vec![self.config.branch_channels; self.branches.len()];
+        let parts = g.split_channels(&sizes).expect("fused gradient splits");
+        let mut grad_in: Option<Tensor> = None;
+        for (b, gp) in self.branches.iter_mut().zip(parts) {
+            let g = b.drop.backward(&gp);
+            let g = b.relu.backward(&g);
+            let g = b.conv.backward(&g);
+            match &mut grad_in {
+                None => grad_in = Some(g),
+                Some(acc) => acc.add_assign(&g).expect("branch input grads share shapes"),
+            }
+        }
+        grad_in.expect("at least one branch")
+    }
+
+    fn zero_grad(&mut self) {
+        for b in &mut self.branches {
+            b.conv.zero_grad();
+        }
+        self.head1.zero_grad();
+        self.head2.zero_grad();
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        let mut out = Vec::new();
+        for b in &mut self.branches {
+            out.extend(b.conv.params());
+        }
+        out.extend(self.head1.params());
+        out.extend(self.head2.params());
+        out
+    }
+
+    fn param_count(&self) -> usize {
+        self.branches
+            .iter()
+            .map(|b| b.conv.param_count())
+            .sum::<usize>()
+            + self.head1.param_count()
+            + self.head2.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_nn::gradcheck::{check_input_gradient, check_param_gradients};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn output_shape_and_params() {
+        let mut r = rng();
+        let cfg = MsdNetConfig::default_uavid();
+        let mut net = MsdNet::new(&cfg, &mut r);
+        let y = net.forward(&Tensor::zeros(3, 12, 10), Phase::Eval, &mut r);
+        assert_eq!(y.shape(), (8, 12, 10));
+        // 3 branches of (3*16*9 + 16) + head1 (48*32 + 32) + head2 (32*8 + 8).
+        assert_eq!(
+            net.param_count(),
+            3 * (3 * 16 * 9 + 16) + (48 * 32 + 32) + (32 * 8 + 8)
+        );
+    }
+
+    #[test]
+    fn eval_is_deterministic_stochastic_is_not() {
+        let mut r = rng();
+        let cfg = MsdNetConfig::tiny();
+        let mut net = MsdNet::new(&cfg, &mut r);
+        let x = Tensor::from_fn(3, 8, 8, |_, y, x| ((y * 8 + x) as f32 * 0.01).sin());
+        let a = net.forward(&x, Phase::Eval, &mut r);
+        let b = net.forward(&x, Phase::Eval, &mut r);
+        assert_eq!(a, b);
+        let s1 = net.forward(&x, Phase::Stochastic, &mut r);
+        let s2 = net.forward(&x, Phase::Stochastic, &mut r);
+        assert_ne!(s1, s2, "MC-dropout passes must differ");
+    }
+
+    #[test]
+    fn gradient_check_composite() {
+        let mut r = rng();
+        let mut cfg = MsdNetConfig::tiny();
+        cfg.dropout = 0.25;
+        let mut net = MsdNet::new(&cfg, &mut r);
+        let mut xr = ChaCha8Rng::seed_from_u64(1);
+        let x = Tensor::from_fn(3, 6, 6, |_, _, _| xr.gen_range(-1.0..1.0f32));
+        let seed = Tensor::from_fn(8, 6, 6, |_, _, _| xr.gen_range(-1.0..1.0f32));
+        // Mean-error criterion: finite differences through a composite can
+        // cross a ReLU kink at isolated coordinates (see el-nn gradcheck
+        // docs); the mean is the robust acceptance test here. Parameter
+        // gradients additionally suffer f32 cancellation noise (each weight
+        // influences every spatial position), so the numeric check is a
+        // loose smoke test and the exact wiring is verified by
+        // `param_grads_match_equivalent_sequential` below.
+        let res = check_input_gradient(&mut net, &x, &seed, &r, 20, 5e-4);
+        assert!(res.passes_mean(1e-2), "input grad err {}", res.mean_rel_error);
+        let res = check_param_gradients(&mut net, &x, &seed, &r, 6, 2e-3);
+        assert!(res.passes_mean(1e-1), "param grad err {}", res.mean_rel_error);
+    }
+
+    #[test]
+    fn param_grads_match_equivalent_sequential() {
+        use el_nn::layers::Sequential;
+        // A single-branch MsdNet with dropout 0 is exactly the stack
+        // conv3x3 - relu - conv1x1 - relu - conv1x1 (dropouts are
+        // identities and consume no RNG at rate 0). Its parameter
+        // gradients must match the Sequential's bit for bit — this pins
+        // down the concat/split wiring without finite-difference noise.
+        let mut r = rng();
+        let mut cfg = MsdNetConfig::tiny();
+        cfg.dilations = vec![2];
+        cfg.dropout = 0.0;
+        let mut net = MsdNet::new(&cfg, &mut r);
+
+        let mut seq = Sequential::new();
+        seq.push(net.branches[0].conv.clone());
+        seq.push(Relu::default());
+        seq.push(net.head1.clone());
+        seq.push(Relu::default());
+        seq.push(net.head2.clone());
+
+        let mut xr = ChaCha8Rng::seed_from_u64(21);
+        let x = Tensor::from_fn(3, 6, 6, |_, _, _| xr.gen_range(-1.0..1.0f32));
+        let seed = Tensor::from_fn(8, 6, 6, |_, _, _| xr.gen_range(-1.0..1.0f32));
+
+        net.zero_grad();
+        let ya = net.forward(&x, Phase::Train, &mut r);
+        let ga = net.backward(&seed);
+        seq.zero_grad();
+        let yb = seq.forward(&x, Phase::Train, &mut r);
+        let gb = seq.backward(&seed);
+
+        assert_eq!(ya, yb, "forward passes diverge");
+        assert_eq!(ga, gb, "input gradients diverge");
+        let pa: Vec<Vec<f32>> = net.params().iter().map(|p| p.grad.to_vec()).collect();
+        let pb: Vec<Vec<f32>> = seq.params().iter().map(|p| p.grad.to_vec()).collect();
+        assert_eq!(pa, pb, "parameter gradients diverge");
+    }
+
+    #[test]
+    fn set_dropout_applies_everywhere() {
+        let mut r = rng();
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        net.set_dropout(0.0);
+        let x = Tensor::from_fn(3, 8, 8, |_, y, x| ((y + x) as f32 * 0.1).cos());
+        // With dropout 0, stochastic == eval.
+        let a = net.forward(&x, Phase::Stochastic, &mut r);
+        let b = net.forward(&x, Phase::Eval, &mut r);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let mut r = rng();
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        let x = Tensor::from_fn(3, 5, 5, |_, y, x| (y * 5 + x) as f32 * 0.02);
+        let y0 = net.forward(&x, Phase::Eval, &mut r);
+        let mut back = MsdNet::from_json(&net.to_json()).unwrap();
+        let y1 = back.forward(&x, Phase::Eval, &mut r);
+        assert_eq!(y0, y1);
+        assert!(MsdNet::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MsdNet configuration")]
+    fn invalid_config_rejected() {
+        let mut cfg = MsdNetConfig::tiny();
+        cfg.dilations.clear();
+        let _ = MsdNet::new(&cfg, &mut rng());
+    }
+}

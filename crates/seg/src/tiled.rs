@@ -1,0 +1,181 @@
+//! Tiled (sliding-window) inference for frames larger than memory or
+//! latency budgets allow in one pass.
+//!
+//! The paper's frames are 3840x2160; even deterministic inference on such
+//! frames is best done in tiles. Predictions are computed on overlapping
+//! tiles and stitched by keeping each tile's *interior* (the overlap
+//! margin absorbs convolution edge effects, so stitched output matches
+//! whole-image inference away from the frame border).
+
+use el_geom::{Grid, LabelMap, Rect, SemanticClass};
+use el_scene::Image;
+
+use crate::infer::segment;
+use crate::msdnet::MsdNet;
+
+/// Tiling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileConfig {
+    /// Tile side length (pixels).
+    pub tile: usize,
+    /// Overlap margin on each side (pixels); should be at least the
+    /// network's receptive-field radius.
+    pub margin: usize,
+}
+
+impl TileConfig {
+    /// Defaults: 128 px tiles with an 8 px margin (enough for dilation-4
+    /// 3x3 branches whose receptive radius is 4).
+    pub fn default_128() -> Self {
+        TileConfig {
+            tile: 128,
+            margin: 8,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tile == 0 {
+            return Err("tile must be positive".into());
+        }
+        if self.margin * 2 >= self.tile {
+            return Err("margin must be smaller than half the tile".into());
+        }
+        Ok(())
+    }
+}
+
+/// Segments an image tile by tile, stitching interior predictions.
+///
+/// Produces the same labels as [`segment`] except possibly within
+/// `margin` pixels of internal tile seams where convolution padding
+/// differs; with `margin >= receptive-field radius` the outputs are
+/// identical (verified by tests).
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`TileConfig::validate`].
+pub fn segment_tiled(net: &mut MsdNet, image: &Image, config: TileConfig) -> LabelMap {
+    if let Err(e) = config.validate() {
+        panic!("invalid tile configuration: {e}");
+    }
+    let (w, h) = (image.width(), image.height());
+    if w <= config.tile && h <= config.tile {
+        return segment(net, image).labels;
+    }
+    let mut out: LabelMap = Grid::new(w, h, SemanticClass::Clutter);
+    let step = config.tile - 2 * config.margin;
+    let mut y0 = 0usize;
+    loop {
+        let ty = y0.min(h.saturating_sub(config.tile));
+        let mut x0 = 0usize;
+        loop {
+            let tx = x0.min(w.saturating_sub(config.tile));
+            let rect = Rect::new(
+                tx as i64,
+                ty as i64,
+                config.tile.min(w) as i64,
+                config.tile.min(h) as i64,
+            );
+            let crop = image.crop(rect).expect("tile within image");
+            let pred = segment(net, &crop).labels;
+            // Interior to keep: everything except the margin, but extend
+            // to the image border on boundary tiles.
+            let keep_x0 = if tx == 0 { 0 } else { config.margin };
+            let keep_y0 = if ty == 0 { 0 } else { config.margin };
+            let keep_x1 = if tx + config.tile >= w {
+                pred.width()
+            } else {
+                pred.width() - config.margin
+            };
+            let keep_y1 = if ty + config.tile >= h {
+                pred.height()
+            } else {
+                pred.height() - config.margin
+            };
+            for yy in keep_y0..keep_y1 {
+                for xx in keep_x0..keep_x1 {
+                    out[(tx + xx, ty + yy)] = pred[(xx, yy)];
+                }
+            }
+            if tx + config.tile >= w {
+                break;
+            }
+            x0 += step;
+        }
+        if ty + config.tile >= h {
+            break;
+        }
+        y0 += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msdnet::MsdNetConfig;
+    use el_scene::{Conditions, Scene, SceneParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net() -> MsdNet {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        MsdNet::new(&MsdNetConfig::tiny(), &mut rng)
+    }
+
+    fn image(w: usize, h: usize) -> Image {
+        let mut p = SceneParams::small();
+        p.width = w;
+        p.height = h;
+        Scene::generate(&p, 3).render(&Conditions::nominal(), 3)
+    }
+
+    #[test]
+    fn small_image_single_tile() {
+        let mut n = net();
+        let img = image(48, 48);
+        let tiled = segment_tiled(&mut n, &img, TileConfig { tile: 64, margin: 4 });
+        let whole = segment(&mut n, &img).labels;
+        assert_eq!(tiled, whole);
+    }
+
+    #[test]
+    fn tiled_matches_whole_image_with_sufficient_margin() {
+        let mut n = net();
+        // tiny config: max dilation 2 on 3x3 -> receptive radius 2 per
+        // branch, plus the 1x1 head: total radius 2. margin 4 suffices.
+        let img = image(96, 80);
+        let tiled = segment_tiled(&mut n, &img, TileConfig { tile: 48, margin: 4 });
+        let whole = segment(&mut n, &img).labels;
+        let mismatches = tiled
+            .iter()
+            .zip(whole.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(mismatches, 0, "{mismatches} mismatching pixels");
+    }
+
+    #[test]
+    fn non_divisible_sizes_covered() {
+        let mut n = net();
+        let img = image(70, 53);
+        let tiled = segment_tiled(&mut n, &img, TileConfig { tile: 32, margin: 4 });
+        assert_eq!(tiled.width(), 70);
+        assert_eq!(tiled.height(), 53);
+        let whole = segment(&mut n, &img).labels;
+        assert_eq!(tiled, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tile configuration")]
+    fn oversized_margin_rejected() {
+        let mut n = net();
+        let img = image(32, 32);
+        let _ = segment_tiled(&mut n, &img, TileConfig { tile: 16, margin: 8 });
+    }
+}

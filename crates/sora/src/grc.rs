@@ -1,0 +1,217 @@
+//! Intrinsic Ground Risk Class determination (SORA v2.0 Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Physical characteristics of the unmanned aircraft.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UavSpec {
+    /// Maximum characteristic dimension (wing span / blade diameter), m.
+    pub max_dimension_m: f64,
+    /// Maximum take-off weight, kg.
+    pub mtow_kg: f64,
+    /// Operating height above ground, m.
+    pub operating_height_m: f64,
+}
+
+impl UavSpec {
+    /// Terminal ballistic speed from the operating height,
+    /// `v = sqrt(2 g h)` (the paper's "typical ballistic vertical
+    /// speed"), m/s.
+    pub fn ballistic_speed_mps(&self) -> f64 {
+        (2.0 * 9.81 * self.operating_height_m).sqrt()
+    }
+
+    /// Typical kinetic energy at impact, `E = m v^2 / 2`, joules.
+    ///
+    /// For MEDI DELIVERY (7 kg from 120 m) this is the paper's 8.23 kJ.
+    pub fn kinetic_energy_j(&self) -> f64 {
+        0.5 * self.mtow_kg * self.ballistic_speed_mps().powi(2)
+    }
+
+    /// The SORA Table 2 size/energy column (0–3).
+    ///
+    /// Columns are `1 m / < 700 J`, `3 m / < 34 kJ`, `8 m / < 1084 kJ`,
+    /// `> 8 m / > 1084 kJ`; the binding constraint is the *worse* of
+    /// dimension and energy.
+    pub fn grc_column(&self) -> usize {
+        let by_dim = if self.max_dimension_m <= 1.0 {
+            0
+        } else if self.max_dimension_m <= 3.0 {
+            1
+        } else if self.max_dimension_m <= 8.0 {
+            2
+        } else {
+            3
+        };
+        let e = self.kinetic_energy_j();
+        let by_energy = if e < 700.0 {
+            0
+        } else if e < 34_000.0 {
+            1
+        } else if e < 1_084_000.0 {
+            2
+        } else {
+            3
+        };
+        by_dim.max(by_energy)
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_dimension_m <= 0.0 {
+            return Err("max dimension must be positive".into());
+        }
+        if self.mtow_kg <= 0.0 {
+            return Err("MTOW must be positive".into());
+        }
+        if self.operating_height_m <= 0.0 {
+            return Err("operating height must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The operational ground scenario (SORA Table 2 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroundScenario {
+    /// VLOS or BVLOS over a controlled ground area.
+    ControlledArea,
+    /// VLOS over a sparsely populated environment.
+    VlosSparselyPopulated,
+    /// BVLOS over a sparsely populated environment.
+    BvlosSparselyPopulated,
+    /// VLOS over a populated environment.
+    VlosPopulated,
+    /// BVLOS over a populated environment.
+    BvlosPopulated,
+    /// VLOS over a gathering of people.
+    VlosGathering,
+    /// BVLOS over a gathering of people.
+    BvlosGathering,
+}
+
+/// Intrinsic GRC (SORA v2.0 Table 2), or `None` where the SORA declares
+/// the operation outside the specific category (grey cells).
+pub fn intrinsic_grc(scenario: GroundScenario, spec: &UavSpec) -> Option<u8> {
+    let col = spec.grc_column();
+    let row: [Option<u8>; 4] = match scenario {
+        GroundScenario::ControlledArea => [Some(1), Some(2), Some(3), Some(4)],
+        GroundScenario::VlosSparselyPopulated => [Some(2), Some(3), Some(4), Some(5)],
+        GroundScenario::BvlosSparselyPopulated => [Some(3), Some(4), Some(5), Some(6)],
+        GroundScenario::VlosPopulated => [Some(4), Some(5), Some(6), Some(8)],
+        GroundScenario::BvlosPopulated => [Some(5), Some(6), Some(8), Some(10)],
+        GroundScenario::VlosGathering => [Some(7), None, None, None],
+        GroundScenario::BvlosGathering => [Some(8), None, None, None],
+    };
+    row[col]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medi_spec() -> UavSpec {
+        UavSpec {
+            max_dimension_m: 1.0,
+            mtow_kg: 7.0,
+            operating_height_m: 120.0,
+        }
+    }
+
+    #[test]
+    fn medi_delivery_ballistics_match_paper() {
+        let spec = medi_spec();
+        // Paper §III-A: 48.5 m/s and 8.23 kJ.
+        assert!((spec.ballistic_speed_mps() - 48.5).abs() < 0.1);
+        assert!((spec.kinetic_energy_j() - 8230.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn energy_dominates_dimension_for_medi() {
+        // 1 m span alone would be column 0, but 8.23 kJ > 700 J pushes to
+        // column 1 — this is why the paper's intrinsic GRC is 6, not 5.
+        let spec = medi_spec();
+        assert_eq!(spec.grc_column(), 1);
+    }
+
+    #[test]
+    fn medi_delivery_intrinsic_grc_is_6() {
+        assert_eq!(
+            intrinsic_grc(GroundScenario::BvlosPopulated, &medi_spec()),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn table2_spot_checks() {
+        let tiny = UavSpec {
+            max_dimension_m: 0.4,
+            mtow_kg: 0.3,
+            operating_height_m: 30.0,
+        };
+        assert_eq!(tiny.grc_column(), 0);
+        assert_eq!(intrinsic_grc(GroundScenario::ControlledArea, &tiny), Some(1));
+        assert_eq!(intrinsic_grc(GroundScenario::VlosPopulated, &tiny), Some(4));
+        assert_eq!(intrinsic_grc(GroundScenario::VlosGathering, &tiny), Some(7));
+
+        let big = UavSpec {
+            max_dimension_m: 10.0,
+            mtow_kg: 150.0,
+            operating_height_m: 150.0,
+        };
+        assert_eq!(big.grc_column(), 3);
+        assert_eq!(intrinsic_grc(GroundScenario::BvlosPopulated, &big), Some(10));
+        assert_eq!(intrinsic_grc(GroundScenario::VlosGathering, &big), None);
+    }
+
+    #[test]
+    fn grc_monotone_in_scenario_risk() {
+        let spec = medi_spec();
+        let order = [
+            GroundScenario::ControlledArea,
+            GroundScenario::VlosSparselyPopulated,
+            GroundScenario::BvlosSparselyPopulated,
+            GroundScenario::VlosPopulated,
+            GroundScenario::BvlosPopulated,
+        ];
+        let mut prev = 0;
+        for s in order {
+            let g = intrinsic_grc(s, &spec).unwrap();
+            assert!(g > prev, "{s:?}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn grc_monotone_in_column() {
+        for scenario in [
+            GroundScenario::ControlledArea,
+            GroundScenario::VlosPopulated,
+            GroundScenario::BvlosPopulated,
+        ] {
+            let mut prev = 0;
+            for dim in [0.8, 2.5, 6.0, 12.0] {
+                let spec = UavSpec {
+                    max_dimension_m: dim,
+                    mtow_kg: 0.1, // keep energy negligible
+                    operating_height_m: 1.0,
+                };
+                let g = intrinsic_grc(scenario, &spec).unwrap();
+                assert!(g >= prev);
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(medi_spec().validate().is_ok());
+        let mut bad = medi_spec();
+        bad.mtow_kg = 0.0;
+        assert!(bad.validate().is_err());
+    }
+}

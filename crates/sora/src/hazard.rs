@@ -1,0 +1,207 @@
+//! The paper's severity scale (Table I) and ground-risk registry
+//! (Table II), extending the hazard analysis of Belcastro et al. (2017).
+
+use serde::{Deserialize, Serialize};
+
+/// Severity of a hazardous outcome — the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Severity {
+    /// 1 — Negligible: no effect.
+    Negligible = 1,
+    /// 2 — Minor: slight injury or damage to the drone.
+    Minor = 2,
+    /// 3 — Serious: important injury or damage to critical
+    /// infrastructures, environment.
+    Serious = 3,
+    /// 4 — Major: single fatal injury.
+    Major = 4,
+    /// 5 — Catastrophic: multiple fatal injuries.
+    Catastrophic = 5,
+}
+
+impl Severity {
+    /// All severities in increasing order.
+    pub const ALL: [Severity; 5] = [
+        Severity::Negligible,
+        Severity::Minor,
+        Severity::Serious,
+        Severity::Major,
+        Severity::Catastrophic,
+    ];
+
+    /// Numeric rating (1–5), as in Table I.
+    pub const fn rating(self) -> u8 {
+        self as u8
+    }
+
+    /// The severity with the given rating.
+    pub fn from_rating(rating: u8) -> Option<Severity> {
+        Self::ALL.get(rating.checked_sub(1)? as usize).copied()
+    }
+
+    /// The Table I description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Severity::Negligible => "Negligible - No effect",
+            Severity::Minor => "Minor - Slight injury or damage to the drone",
+            Severity::Serious => {
+                "Serious - Important injury or damage to critical infrastructures, environment"
+            }
+            Severity::Major => "Major - Single fatal injury",
+            Severity::Catastrophic => "Catastrophic - Multiple fatal injuries",
+        }
+    }
+
+    /// `true` for outcomes involving potential loss of life (4–5).
+    pub fn is_fatal(self) -> bool {
+        self >= Severity::Major
+    }
+}
+
+/// One hazardous ground-risk outcome — a row of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundRisk {
+    /// Identifier (R1–R5).
+    pub id: &'static str,
+    /// The hazardous outcome.
+    pub outcome: &'static str,
+    /// Its severity.
+    pub severity: Severity,
+}
+
+/// The paper's Table II: main ground risks, ordered by decreasing
+/// severity.
+pub const GROUND_RISKS: [GroundRisk; 5] = [
+    GroundRisk {
+        id: "R1",
+        outcome: "UAV causes accident involving ground vehicles",
+        severity: Severity::Catastrophic,
+    },
+    GroundRisk {
+        id: "R2",
+        outcome: "UAV injures people on ground",
+        severity: Severity::Major,
+    },
+    GroundRisk {
+        id: "R3",
+        outcome: "Post-crash fire that threatens wildlife and environment",
+        severity: Severity::Serious,
+    },
+    GroundRisk {
+        id: "R4",
+        outcome: "UAV collides with infrastructure (building, bridge, power lines / sub-station, etc.)",
+        severity: Severity::Serious,
+    },
+    GroundRisk {
+        id: "R5",
+        outcome: "UAV crashes into parked ground vehicle",
+        severity: Severity::Minor,
+    },
+];
+
+/// Looks up a ground risk by id (`"R1"`–`"R5"`).
+pub fn ground_risk(id: &str) -> Option<&'static GroundRisk> {
+    GROUND_RISKS.iter().find(|r| r.id == id)
+}
+
+/// The hazard categories of Belcastro et al. (2017) that can trigger an
+/// emergency procedure — the failure taxonomy the Figure 1 safety switch
+/// routes on. Used by the `el-uavsim` failure injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HazardCategory {
+    /// Temporary unavailability of an external service (e.g. GNSS blip).
+    TemporaryServiceLoss,
+    /// Permanent loss of the command-and-control link.
+    LostCommunication,
+    /// Loss of navigation capabilities with trajectory control retained.
+    LostNavigation,
+    /// Loss of control / critical on-board failure.
+    LossOfControl,
+    /// Fly-away (non-responsive divergence from the mission).
+    FlyAway,
+    /// Degraded propulsion still allowing navigation.
+    DegradedPropulsion,
+}
+
+impl HazardCategory {
+    /// All categories.
+    pub const ALL: [HazardCategory; 6] = [
+        HazardCategory::TemporaryServiceLoss,
+        HazardCategory::LostCommunication,
+        HazardCategory::LostNavigation,
+        HazardCategory::LossOfControl,
+        HazardCategory::FlyAway,
+        HazardCategory::DegradedPropulsion,
+    ];
+
+    /// Short identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            HazardCategory::TemporaryServiceLoss => "temporary_service_loss",
+            HazardCategory::LostCommunication => "lost_communication",
+            HazardCategory::LostNavigation => "lost_navigation",
+            HazardCategory::LossOfControl => "loss_of_control",
+            HazardCategory::FlyAway => "fly_away",
+            HazardCategory::DegradedPropulsion => "degraded_propulsion",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_table_matches_paper() {
+        assert_eq!(Severity::ALL.len(), 5);
+        for (i, s) in Severity::ALL.iter().enumerate() {
+            assert_eq!(s.rating() as usize, i + 1);
+            assert_eq!(Severity::from_rating(s.rating()), Some(*s));
+        }
+        assert_eq!(Severity::from_rating(0), None);
+        assert_eq!(Severity::from_rating(6), None);
+        assert!(Severity::Catastrophic.is_fatal());
+        assert!(Severity::Major.is_fatal());
+        assert!(!Severity::Serious.is_fatal());
+    }
+
+    #[test]
+    fn ground_risks_match_table_ii() {
+        assert_eq!(GROUND_RISKS.len(), 5);
+        assert_eq!(ground_risk("R1").unwrap().severity, Severity::Catastrophic);
+        assert_eq!(ground_risk("R2").unwrap().severity, Severity::Major);
+        assert_eq!(ground_risk("R3").unwrap().severity, Severity::Serious);
+        assert_eq!(ground_risk("R4").unwrap().severity, Severity::Serious);
+        assert_eq!(ground_risk("R5").unwrap().severity, Severity::Minor);
+        assert_eq!(ground_risk("R9"), None);
+        // The worst outcome is the busy-road accident — the design driver.
+        let worst = GROUND_RISKS.iter().max_by_key(|r| r.severity).unwrap();
+        assert_eq!(worst.id, "R1");
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut ids: Vec<_> = GROUND_RISKS.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), GROUND_RISKS.len());
+    }
+
+    #[test]
+    fn hazard_categories_named_uniquely() {
+        let mut names: Vec<_> = HazardCategory::ALL.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HazardCategory::ALL.len());
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Negligible < Severity::Catastrophic);
+        let mut sorted = GROUND_RISKS.to_vec();
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.severity));
+        assert_eq!(sorted[0].id, "R1");
+        assert_eq!(sorted[4].id, "R5");
+    }
+}

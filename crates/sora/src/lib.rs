@@ -1,0 +1,55 @@
+//! A JARUS SORA v2.0 risk-assessment engine.
+//!
+//! The paper's Section III applies the Specific Operations Risk Assessment
+//! (SORA v2.0, JARUS 2019) to the MEDI DELIVERY urban delivery case study
+//! and shows that, without an emergency-landing mitigation, the final
+//! Specific Assurance and Integrity Level (SAIL) makes certification
+//! prohibitively expensive. This crate implements the assessment engine:
+//!
+//! - [`grc`]: intrinsic Ground Risk Class from UAV dimension/energy and
+//!   the operational scenario (SORA Table 2).
+//! - [`arc`]: initial Air Risk Class from the airspace (SORA §2.4).
+//! - [`mitigation`]: M1/M2/M3 mitigations and their GRC adaptation (SORA
+//!   Table 3), the paper's applicability analysis for dense urban
+//!   operations, and the proposed **active-M1 emergency-landing
+//!   mitigation**.
+//! - [`sail`]: SAIL determination (SORA Table 5).
+//! - [`oso`]: the 24 Operational Safety Objectives and their required
+//!   robustness per SAIL (SORA Table 6).
+//! - [`hazard`]: the paper's severity scale (Table I) and ground-risk
+//!   outcome registry (Table II).
+//! - [`casestudy`]: the MEDI DELIVERY operation and its full assessment,
+//!   with and without emergency landing.
+//! - [`report`]: plain-text rendering of every table for the experiment
+//!   harness.
+//!
+//! # Example
+//!
+//! ```
+//! use el_sora::casestudy::medi_delivery;
+//! use el_sora::sail::Sail;
+//!
+//! let assessment = medi_delivery().assess_without_el();
+//! assert_eq!(assessment.intrinsic_grc, 6);   // paper §III-D1
+//! assert_eq!(assessment.final_grc, 6);       // M3 medium keeps 6
+//! assert_eq!(assessment.sail, Some(Sail::V)); // paper §III-D3
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arc;
+pub mod casestudy;
+pub mod grc;
+pub mod hazard;
+pub mod mitigation;
+pub mod oso;
+pub mod report;
+pub mod sail;
+
+pub use arc::{AirRisk, Arc};
+pub use casestudy::{medi_delivery, Operation, SoraAssessment};
+pub use grc::{GroundScenario, UavSpec};
+pub use hazard::{GroundRisk, Severity, GROUND_RISKS};
+pub use mitigation::{ElMitigation, Mitigation, MitigationSet, Robustness};
+pub use oso::{OsoRobustness, OSOS};
+pub use sail::Sail;

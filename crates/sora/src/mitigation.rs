@@ -1,0 +1,298 @@
+//! Ground-risk mitigations and their GRC adaptation (SORA v2.0 Table 3),
+//! including the paper's proposed active-M1 emergency-landing mitigation.
+
+use serde::{Deserialize, Serialize};
+
+/// Robustness level of a mitigation: the combination of *integrity* (how
+/// much risk reduction) and *assurance* (how much confidence in it); SORA
+/// takes the lower of the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Robustness {
+    /// No credit claimed / criteria not met.
+    None,
+    /// Low robustness.
+    Low,
+    /// Medium robustness.
+    Medium,
+    /// High robustness.
+    High,
+}
+
+impl Robustness {
+    /// Combines an integrity level and an assurance level: SORA Annex B
+    /// takes the minimum.
+    pub fn combine(integrity: Robustness, assurance: Robustness) -> Robustness {
+        integrity.min(assurance)
+    }
+}
+
+/// The three SORA ground-risk mitigation types plus the paper's proposed
+/// emergency-landing extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// M1 — strategic mitigation: keep the UAV away from people
+    /// (ground-risk buffers over low-density areas).
+    M1Strategic,
+    /// M2 — reduction of the effects of ground impact (e.g. parachute).
+    M2ImpactReduction,
+    /// M3 — emergency response plan.
+    M3Erp,
+    /// The paper's **active-M1**: emergency landing that actively selects
+    /// a safe landing zone from live data. Scored on the M1 row of
+    /// Table 3 because it, too, reduces the number of people at risk.
+    ActiveM1EmergencyLanding,
+}
+
+impl Mitigation {
+    /// GRC adaptation for this mitigation at the given robustness
+    /// (SORA v2.0 Table 3). Positive values *increase* the GRC (an absent
+    /// or low-robustness M3 adds 1).
+    pub fn grc_adaptation(self, robustness: Robustness) -> i8 {
+        match self {
+            Mitigation::M1Strategic | Mitigation::ActiveM1EmergencyLanding => match robustness {
+                Robustness::None => 0,
+                Robustness::Low => -1,
+                Robustness::Medium => -2,
+                Robustness::High => -4,
+            },
+            Mitigation::M2ImpactReduction => match robustness {
+                Robustness::None | Robustness::Low => 0,
+                Robustness::Medium => -1,
+                Robustness::High => -2,
+            },
+            Mitigation::M3Erp => match robustness {
+                Robustness::None | Robustness::Low => 1,
+                Robustness::Medium => 0,
+                Robustness::High => -1,
+            },
+        }
+    }
+}
+
+/// A claimed set of mitigations with robustness levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationSet {
+    /// Classical strategic mitigation robustness.
+    pub m1: Robustness,
+    /// Impact-effect reduction robustness.
+    pub m2: Robustness,
+    /// Emergency response plan robustness.
+    pub m3: Robustness,
+    /// The paper's active-M1 emergency landing robustness.
+    pub el: Robustness,
+}
+
+impl MitigationSet {
+    /// No mitigation at all (note: the absent M3 still costs +1).
+    pub fn none() -> Self {
+        MitigationSet {
+            m1: Robustness::None,
+            m2: Robustness::None,
+            m3: Robustness::None,
+            el: Robustness::None,
+        }
+    }
+
+    /// Total GRC adaptation of the set.
+    pub fn grc_adaptation(&self) -> i8 {
+        Mitigation::M1Strategic.grc_adaptation(self.m1)
+            + Mitigation::M2ImpactReduction.grc_adaptation(self.m2)
+            + Mitigation::M3Erp.grc_adaptation(self.m3)
+            + Mitigation::ActiveM1EmergencyLanding.grc_adaptation(self.el)
+    }
+
+    /// Applies the adaptation to an intrinsic GRC. The result never drops
+    /// below 1 (SORA: the final GRC cannot be lower than the lowest table
+    /// entry).
+    pub fn final_grc(&self, intrinsic: u8) -> u8 {
+        let adapted = intrinsic as i16 + self.grc_adaptation() as i16;
+        adapted.clamp(1, u8::MAX as i16) as u8
+    }
+}
+
+/// The paper's applicability analysis (§III-D2) of the classical
+/// mitigations for a dense-urban operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrbanApplicability {
+    /// The whole route can be kept over low-density ground (needed by M1).
+    pub low_density_route_exists: bool,
+    /// An impact-effect reduction (parachute) is installed (M2).
+    pub impact_reduction_installed: bool,
+    /// An ERP can significantly reduce the number of people at risk
+    /// before the crash (M3's condition for lowering the GRC; immediate
+    /// road accidents defeat it).
+    pub erp_reduces_people_at_risk: bool,
+}
+
+impl UrbanApplicability {
+    /// The paper's MEDI DELIVERY analysis: no low-density corridor through
+    /// the city, a parachute is installed but cannot address the
+    /// busy-road outcome (R1), and an ERP cannot act before an immediate
+    /// road accident.
+    pub fn medi_delivery() -> Self {
+        UrbanApplicability {
+            low_density_route_exists: false,
+            impact_reduction_installed: true,
+            erp_reduces_people_at_risk: false,
+        }
+    }
+
+    /// The claimable classical mitigations under this analysis
+    /// (§III-D2):
+    ///
+    /// - M1 requires the low-density route — unavailable in town.
+    /// - M2 reduces R2 but not the most severe outcome R1 ("a landing on
+    ///   a busy road could still cause fatal accidents"), so it cannot be
+    ///   considered sufficient to decrease the GRC: no credit.
+    /// - M3 is designed (medium robustness achievable) but only avoids
+    ///   the +1 penalty; it cannot lower the GRC.
+    pub fn claimable(&self, m3_designed: bool) -> MitigationSet {
+        MitigationSet {
+            m1: if self.low_density_route_exists {
+                Robustness::Medium
+            } else {
+                Robustness::None
+            },
+            // M2 alone cannot mitigate R1, the dominating severity —
+            // the paper refuses the GRC credit.
+            m2: Robustness::None,
+            m3: if m3_designed && !self.erp_reduces_people_at_risk {
+                Robustness::Medium // avoids the +1, no reduction
+            } else if m3_designed {
+                Robustness::High
+            } else {
+                Robustness::None
+            },
+            el: Robustness::None,
+        }
+    }
+}
+
+/// The emergency-landing mitigation claim: integrity per the paper's
+/// Table III and assurance per Table IV, combined SORA-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElMitigation {
+    /// Integrity level demonstrated (Table III).
+    pub integrity: Robustness,
+    /// Assurance level demonstrated (Table IV).
+    pub assurance: Robustness,
+}
+
+impl ElMitigation {
+    /// The claimable robustness: `min(integrity, assurance)`.
+    pub fn robustness(&self) -> Robustness {
+        Robustness::combine(self.integrity, self.assurance)
+    }
+
+    /// The paper's implementation target: Low/Medium integrity via the
+    /// core function and drift buffers, Medium assurance via the runtime
+    /// monitor.
+    pub fn paper_target() -> Self {
+        ElMitigation {
+            integrity: Robustness::Medium,
+            assurance: Robustness::Medium,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_m1_row() {
+        use Mitigation::M1Strategic as M1;
+        assert_eq!(M1.grc_adaptation(Robustness::None), 0);
+        assert_eq!(M1.grc_adaptation(Robustness::Low), -1);
+        assert_eq!(M1.grc_adaptation(Robustness::Medium), -2);
+        assert_eq!(M1.grc_adaptation(Robustness::High), -4);
+        // Active-M1 is scored on the same row.
+        assert_eq!(
+            Mitigation::ActiveM1EmergencyLanding.grc_adaptation(Robustness::Medium),
+            -2
+        );
+    }
+
+    #[test]
+    fn table3_m2_m3_rows() {
+        use Mitigation::{M2ImpactReduction as M2, M3Erp as M3};
+        assert_eq!(M2.grc_adaptation(Robustness::Low), 0);
+        assert_eq!(M2.grc_adaptation(Robustness::Medium), -1);
+        assert_eq!(M2.grc_adaptation(Robustness::High), -2);
+        assert_eq!(M3.grc_adaptation(Robustness::None), 1);
+        assert_eq!(M3.grc_adaptation(Robustness::Low), 1);
+        assert_eq!(M3.grc_adaptation(Robustness::Medium), 0);
+        assert_eq!(M3.grc_adaptation(Robustness::High), -1);
+    }
+
+    #[test]
+    fn medi_delivery_classical_mitigations() {
+        // Paper §III-D2/3: none of M1/M2 apply; M3 medium → final GRC 6;
+        // without M3 → 7.
+        let urban = UrbanApplicability::medi_delivery();
+        let with_m3 = urban.claimable(true);
+        assert_eq!(with_m3.final_grc(6), 6);
+        let without_m3 = urban.claimable(false);
+        assert_eq!(without_m3.final_grc(6), 7);
+    }
+
+    #[test]
+    fn el_lowers_grc_where_classical_cannot() {
+        let urban = UrbanApplicability::medi_delivery();
+        let mut set = urban.claimable(true);
+        set.el = ElMitigation::paper_target().robustness();
+        assert_eq!(set.el, Robustness::Medium);
+        // 6 - 2 = 4: the paper's entire point.
+        assert_eq!(set.final_grc(6), 4);
+    }
+
+    #[test]
+    fn robustness_is_minimum_of_integrity_assurance() {
+        let el = ElMitigation {
+            integrity: Robustness::High,
+            assurance: Robustness::Low,
+        };
+        assert_eq!(el.robustness(), Robustness::Low);
+        let el = ElMitigation {
+            integrity: Robustness::Low,
+            assurance: Robustness::High,
+        };
+        assert_eq!(el.robustness(), Robustness::Low);
+    }
+
+    #[test]
+    fn final_grc_clamps_at_one() {
+        let set = MitigationSet {
+            m1: Robustness::High,
+            m2: Robustness::High,
+            m3: Robustness::High,
+            el: Robustness::High,
+        };
+        assert_eq!(set.final_grc(2), 1);
+    }
+
+    #[test]
+    fn more_robust_mitigations_never_raise_grc() {
+        // Monotonicity: upgrading any single mitigation never increases
+        // the final GRC.
+        let levels = [
+            Robustness::None,
+            Robustness::Low,
+            Robustness::Medium,
+            Robustness::High,
+        ];
+        for m in [
+            Mitigation::M1Strategic,
+            Mitigation::M2ImpactReduction,
+            Mitigation::M3Erp,
+            Mitigation::ActiveM1EmergencyLanding,
+        ] {
+            let mut prev = i8::MAX;
+            for l in levels {
+                let a = m.grc_adaptation(l);
+                assert!(a <= prev, "{m:?} at {l:?}");
+                prev = a;
+            }
+        }
+    }
+}

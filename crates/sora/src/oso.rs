@@ -1,0 +1,171 @@
+//! The Operational Safety Objectives and their required robustness per
+//! SAIL (SORA v2.0 Table 6).
+//!
+//! The paper's point (§III-D3): at SAIL V "all the OSOs are requested and
+//! most of them at a high level of integrity and assurance", which is what
+//! makes un-mitigated urban operations prohibitively expensive to certify.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sail::Sail;
+
+/// Robustness demanded of an OSO at a given SAIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OsoRobustness {
+    /// Optional.
+    Optional,
+    /// Low robustness.
+    Low,
+    /// Medium robustness.
+    Medium,
+    /// High robustness.
+    High,
+}
+
+impl OsoRobustness {
+    /// Single-letter code (O/L/M/H) as printed in SORA Table 6.
+    pub fn code(self) -> char {
+        match self {
+            OsoRobustness::Optional => 'O',
+            OsoRobustness::Low => 'L',
+            OsoRobustness::Medium => 'M',
+            OsoRobustness::High => 'H',
+        }
+    }
+}
+
+/// One Operational Safety Objective: number, description, and required
+/// robustness for SAIL I–VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Oso {
+    /// OSO number (1–24).
+    pub number: u8,
+    /// Short description.
+    pub description: &'static str,
+    /// Required robustness at SAIL I, II, III, IV, V, VI.
+    pub per_sail: [OsoRobustness; 6],
+}
+
+impl Oso {
+    /// Required robustness at a SAIL.
+    pub fn required(&self, sail: Sail) -> OsoRobustness {
+        self.per_sail[(sail.level() - 1) as usize]
+    }
+}
+
+use OsoRobustness::{High as H, Low as L, Medium as M, Optional as O};
+
+/// The 24 OSOs of SORA v2.0 Table 6 (technical-issue, deterioration,
+/// human-error and adverse-conditions groups).
+pub const OSOS: [Oso; 24] = [
+    Oso { number: 1, description: "Ensure the operator is competent and/or proven", per_sail: [O, L, M, H, H, H] },
+    Oso { number: 2, description: "UAS manufactured by competent and/or proven entity", per_sail: [O, O, L, M, H, H] },
+    Oso { number: 3, description: "UAS maintained by competent and/or proven entity", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 4, description: "UAS developed to authority recognized design standards", per_sail: [O, O, O, L, M, H] },
+    Oso { number: 5, description: "UAS is designed considering system safety and reliability", per_sail: [O, O, L, M, H, H] },
+    Oso { number: 6, description: "C3 link performance is appropriate for the operation", per_sail: [O, L, L, M, H, H] },
+    Oso { number: 7, description: "Inspection of the UAS (product inspection) to ensure consistency with the ConOps", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 8, description: "Operational procedures are defined, validated and adhered to", per_sail: [L, M, H, H, H, H] },
+    Oso { number: 9, description: "Remote crew trained and current and able to control the abnormal situation", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 10, description: "Safe recovery from technical issue", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 11, description: "Procedures are in-place to handle the deterioration of external systems supporting UAS operation", per_sail: [L, M, H, H, H, H] },
+    Oso { number: 12, description: "The UAS is designed to manage the deterioration of external systems supporting UAS operation", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 13, description: "External services supporting UAS operations are adequate to the operation", per_sail: [L, L, M, H, H, H] },
+    Oso { number: 14, description: "Operational procedures are defined, validated and adhered to (human error)", per_sail: [L, M, H, H, H, H] },
+    Oso { number: 15, description: "Remote crew trained and current and able to control the abnormal situation (human error)", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 16, description: "Multi crew coordination", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 17, description: "Remote crew is fit to operate", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 18, description: "Automatic protection of the flight envelope from human errors", per_sail: [O, O, L, M, H, H] },
+    Oso { number: 19, description: "Safe recovery from human error", per_sail: [O, O, L, M, M, H] },
+    Oso { number: 20, description: "A human factors evaluation has been performed and the HMI found appropriate for the mission", per_sail: [O, L, L, M, M, H] },
+    Oso { number: 21, description: "Operational procedures are defined, validated and adhered to (adverse operating conditions)", per_sail: [L, M, H, H, H, H] },
+    Oso { number: 22, description: "The remote crew is trained to identify critical environmental conditions and to avoid them", per_sail: [L, L, M, M, M, H] },
+    Oso { number: 23, description: "Environmental conditions for safe operations defined, measurable and adhered to", per_sail: [L, L, M, M, H, H] },
+    Oso { number: 24, description: "UAS designed and qualified for adverse environmental conditions", per_sail: [O, O, M, H, H, H] },
+];
+
+/// Counts OSOs per required robustness at a SAIL: `[optional, low,
+/// medium, high]`.
+pub fn oso_profile(sail: Sail) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for oso in &OSOS {
+        let idx = match oso.required(sail) {
+            OsoRobustness::Optional => 0,
+            OsoRobustness::Low => 1,
+            OsoRobustness::Medium => 2,
+            OsoRobustness::High => 3,
+        };
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_osos_numbered() {
+        assert_eq!(OSOS.len(), 24);
+        for (i, oso) in OSOS.iter().enumerate() {
+            assert_eq!(oso.number as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn requirements_monotone_in_sail() {
+        // More demanding SAIL never relaxes an OSO.
+        for oso in &OSOS {
+            for w in oso.per_sail.windows(2) {
+                assert!(w[0] <= w[1], "OSO {} not monotone", oso.number);
+            }
+        }
+    }
+
+    #[test]
+    fn sail_v_is_mostly_high() {
+        // The paper: at SAIL 5, "all the OSOs are requested and most of
+        // them at a high level of integrity and assurance".
+        let profile = oso_profile(Sail::V);
+        assert_eq!(profile[0], 0, "no optional OSO at SAIL V");
+        assert!(
+            profile[3] > 12,
+            "most OSOs high at SAIL V, got {profile:?}"
+        );
+    }
+
+    #[test]
+    fn sail_vi_all_high() {
+        let profile = oso_profile(Sail::VI);
+        assert_eq!(profile, [0, 0, 0, 24]);
+    }
+
+    #[test]
+    fn sail_i_is_light() {
+        let profile = oso_profile(Sail::I);
+        assert!(profile[0] >= 8, "many optional OSOs at SAIL I: {profile:?}");
+        assert_eq!(profile[2] + profile[3], 0, "nothing above low at SAIL I");
+    }
+
+    #[test]
+    fn profile_sums_to_24() {
+        for s in [Sail::I, Sail::II, Sail::III, Sail::IV, Sail::V, Sail::VI] {
+            assert_eq!(oso_profile(s).iter().sum::<usize>(), 24);
+        }
+    }
+
+    #[test]
+    fn sail_iv_vs_v_burden_gap() {
+        // The EL mitigation's value: dropping from SAIL V to IV sheds a
+        // large number of high-robustness OSOs.
+        let v = oso_profile(Sail::V);
+        let iv = oso_profile(Sail::IV);
+        assert!(iv[3] < v[3], "SAIL IV must require fewer high OSOs");
+    }
+
+    #[test]
+    fn codes() {
+        assert_eq!(OsoRobustness::Optional.code(), 'O');
+        assert_eq!(OsoRobustness::High.code(), 'H');
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text rendering of the paper's tables, for the experiment
+//! harness and examples.
+
+use std::fmt::Write as _;
+
+use crate::casestudy::SoraAssessment;
+use crate::hazard::{Severity, GROUND_RISKS};
+use crate::oso::{oso_profile, OSOS};
+use crate::sail::Sail;
+
+/// Renders the paper's Table I (severity scale).
+pub fn severity_table() -> String {
+    let mut out = String::from("Table I: Severity table\n");
+    for s in Severity::ALL {
+        let _ = writeln!(out, "  {}  {}", s.rating(), s.description());
+    }
+    out
+}
+
+/// Renders the paper's Table II (main ground risks).
+pub fn ground_risk_table() -> String {
+    let mut out = String::from("Table II: Main ground risks\n");
+    for r in GROUND_RISKS {
+        let _ = writeln!(out, "  {}  {:<75} severity {}", r.id, r.outcome, r.severity.rating());
+    }
+    out
+}
+
+/// The paper's Table III — proposed Level of Integrity criteria for EL
+/// (active-M1), by level.
+pub const INTEGRITY_CRITERIA: [(&str, &[&str]); 3] = [
+    (
+        "Low",
+        &[
+            "The selected landing zones do not contain high risk areas (as defined in Table I).",
+            "The method is effective under the conditions of the operation (specific city, flight altitude, time of the day, season, etc.).",
+        ],
+    ),
+    (
+        "Medium",
+        &[
+            "Landing zone selection takes into account: improbable single malfunctions or failures; meteorological conditions (e.g., wind); UAV latencies, behavior and performance; UAV behavior when activating measure; UAV performance.",
+            "Selected landing zone is far enough from hazardous areas to guarantee that adverse conditions will not lead the UAV to hazardous situations.",
+        ],
+    ),
+    ("High", &["Same as Medium."]),
+];
+
+/// The paper's Table IV — proposed Level of Assurance criteria for EL
+/// (active-M1), by level.
+pub const ASSURANCE_CRITERIA: [(&str, &[&str]); 3] = [
+    (
+        "Low",
+        &["The applicant declares that the required level of integrity is achieved."],
+    ),
+    (
+        "Medium",
+        &[
+            "Supporting evidence to claim the required level of integrity has been achieved (testing on public datasets, testing in context).",
+            "The video data used for in-context testing are recorded and verified by applicable authority.",
+            "Safety monitoring techniques are in place to ensure proper behavior of any function relying on complex computer vision or machine learning.",
+        ],
+    ),
+    (
+        "High",
+        &[
+            "The claimed level of integrity is validated by a competent third party.",
+            "The method was extensively validated under a wide range of external conditions (lighting, weather).",
+        ],
+    ),
+];
+
+/// Renders the paper's Table III (EL integrity criteria).
+pub fn integrity_criteria_table() -> String {
+    let mut out =
+        String::from("Table III: Level of Integrity Assessment Criteria for Emergency Landing\n");
+    for (level, items) in INTEGRITY_CRITERIA {
+        let _ = writeln!(out, "  {level}:");
+        for (i, item) in items.iter().enumerate() {
+            let _ = writeln!(out, "    {}) {item}", i + 1);
+        }
+    }
+    out
+}
+
+/// Renders the paper's Table IV (EL assurance criteria).
+pub fn assurance_criteria_table() -> String {
+    let mut out =
+        String::from("Table IV: Level of Assurance Assessment Criteria for Emergency Landing\n");
+    for (level, items) in ASSURANCE_CRITERIA {
+        let _ = writeln!(out, "  {level}:");
+        for (i, item) in items.iter().enumerate() {
+            let _ = writeln!(out, "    {}) {item}", i + 1);
+        }
+    }
+    out
+}
+
+/// Renders the OSO robustness table (SORA Table 6) for one SAIL.
+pub fn oso_table(sail: Sail) -> String {
+    let mut out = format!("OSO requirements at SAIL {}\n", sail.label());
+    for oso in &OSOS {
+        let _ = writeln!(
+            out,
+            "  OSO#{:02} [{}] {}",
+            oso.number,
+            oso.required(sail).code(),
+            oso.description
+        );
+    }
+    let p = oso_profile(sail);
+    let _ = writeln!(
+        out,
+        "  profile: {} optional, {} low, {} medium, {} high",
+        p[0], p[1], p[2], p[3]
+    );
+    out
+}
+
+/// Renders a full assessment summary.
+pub fn assessment_summary(name: &str, a: &SoraAssessment) -> String {
+    let mut out = format!("SORA assessment: {name}\n");
+    let _ = writeln!(out, "  intrinsic GRC: {}", a.intrinsic_grc);
+    let _ = writeln!(out, "  initial ARC:   {}", a.initial_arc.label());
+    let _ = writeln!(out, "  residual ARC:  {}", a.residual_arc.label());
+    let _ = writeln!(
+        out,
+        "  mitigations:   M1 {:?}, M2 {:?}, M3 {:?}, EL {:?}",
+        a.mitigations.m1, a.mitigations.m2, a.mitigations.m3, a.mitigations.el
+    );
+    let _ = writeln!(out, "  final GRC:     {}", a.final_grc);
+    match a.sail {
+        Some(s) => {
+            let _ = writeln!(out, "  SAIL:          {} ({})", s.label(), s.level());
+            let p = a.oso_profile;
+            let _ = writeln!(
+                out,
+                "  OSO profile:   {} optional, {} low, {} medium, {} high",
+                p[0], p[1], p[2], p[3]
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  SAIL:          outside specific category (GRC > 7)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::medi_delivery;
+
+    #[test]
+    fn tables_render_nonempty() {
+        assert!(severity_table().contains("Catastrophic"));
+        assert!(ground_risk_table().contains("R1"));
+        assert!(integrity_criteria_table().contains("high risk areas"));
+        assert!(assurance_criteria_table().contains("Safety monitoring"));
+    }
+
+    #[test]
+    fn oso_table_lists_24() {
+        let t = oso_table(Sail::V);
+        assert_eq!(t.matches("OSO#").count(), 24);
+        assert!(t.contains("profile:"));
+    }
+
+    #[test]
+    fn assessment_summary_contains_headline() {
+        let a = medi_delivery().assess_without_el();
+        let s = assessment_summary("MEDI DELIVERY", &a);
+        assert!(s.contains("intrinsic GRC: 6"));
+        assert!(s.contains("ARC-c"));
+        assert!(s.contains("SAIL:          V"));
+    }
+
+    #[test]
+    fn criteria_tables_have_three_levels() {
+        assert_eq!(INTEGRITY_CRITERIA.len(), 3);
+        assert_eq!(ASSURANCE_CRITERIA.len(), 3);
+        assert_eq!(INTEGRITY_CRITERIA[0].0, "Low");
+        assert_eq!(ASSURANCE_CRITERIA[2].0, "High");
+    }
+}

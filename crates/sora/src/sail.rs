@@ -1,0 +1,145 @@
+//! SAIL determination (SORA v2.0 Table 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::arc::Arc;
+
+/// The Specific Assurance and Integrity Level, I (lowest) to VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sail {
+    /// SAIL I.
+    I,
+    /// SAIL II.
+    II,
+    /// SAIL III.
+    III,
+    /// SAIL IV.
+    IV,
+    /// SAIL V.
+    V,
+    /// SAIL VI.
+    VI,
+}
+
+impl Sail {
+    /// Numeric level 1–6.
+    pub fn level(self) -> u8 {
+        match self {
+            Sail::I => 1,
+            Sail::II => 2,
+            Sail::III => 3,
+            Sail::IV => 4,
+            Sail::V => 5,
+            Sail::VI => 6,
+        }
+    }
+
+    /// Roman-numeral label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sail::I => "I",
+            Sail::II => "II",
+            Sail::III => "III",
+            Sail::IV => "IV",
+            Sail::V => "V",
+            Sail::VI => "VI",
+        }
+    }
+}
+
+/// SAIL determination from the final GRC and the residual ARC
+/// (SORA v2.0 Table 5). Returns `None` when the final GRC exceeds 7 —
+/// the operation falls into the *certified* category.
+pub fn sail(final_grc: u8, residual_arc: Arc) -> Option<Sail> {
+    if final_grc > 7 {
+        return None;
+    }
+    Some(match (final_grc, residual_arc) {
+        (0..=2, Arc::A) => Sail::I,
+        (0..=2, Arc::B) => Sail::II,
+        (0..=2, Arc::C) => Sail::IV,
+        (0..=2, Arc::D) => Sail::VI,
+        (3, Arc::A) | (3, Arc::B) => Sail::II,
+        (3, Arc::C) => Sail::IV,
+        (3, Arc::D) => Sail::VI,
+        (4, Arc::A) | (4, Arc::B) => Sail::III,
+        (4, Arc::C) => Sail::IV,
+        (4, Arc::D) => Sail::VI,
+        (5, Arc::D) => Sail::VI,
+        (5, _) => Sail::IV,
+        (6, Arc::D) => Sail::VI,
+        (6, _) => Sail::V,
+        (7, _) => Sail::VI,
+        _ => unreachable!("final_grc > 7 handled above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medi_delivery_sails_match_paper() {
+        // Paper §III-D3: GRC 6 + ARC-c → SAIL 5; GRC 7 (no M3) → SAIL 6.
+        assert_eq!(sail(6, Arc::C), Some(Sail::V));
+        assert_eq!(sail(7, Arc::C), Some(Sail::VI));
+    }
+
+    #[test]
+    fn el_benefit_sail() {
+        // With the EL mitigation at medium robustness the paper's case
+        // study would reach GRC 4 → SAIL IV.
+        assert_eq!(sail(4, Arc::C), Some(Sail::IV));
+    }
+
+    #[test]
+    fn grc_above_7_leaves_specific_category() {
+        assert_eq!(sail(8, Arc::A), None);
+        assert_eq!(sail(10, Arc::D), None);
+    }
+
+    #[test]
+    fn table5_spot_checks() {
+        assert_eq!(sail(1, Arc::A), Some(Sail::I));
+        assert_eq!(sail(2, Arc::B), Some(Sail::II));
+        assert_eq!(sail(3, Arc::B), Some(Sail::II));
+        assert_eq!(sail(4, Arc::B), Some(Sail::III));
+        assert_eq!(sail(5, Arc::A), Some(Sail::IV));
+        assert_eq!(sail(6, Arc::A), Some(Sail::V));
+        for arc in [Arc::A, Arc::B, Arc::C, Arc::D] {
+            assert_eq!(sail(7, arc), Some(Sail::VI));
+        }
+        assert_eq!(sail(1, Arc::D), Some(Sail::VI));
+    }
+
+    #[test]
+    fn sail_monotone_in_grc() {
+        for arc in [Arc::A, Arc::B, Arc::C, Arc::D] {
+            let mut prev = Sail::I;
+            for grc in 1..=7 {
+                let s = sail(grc, arc).unwrap();
+                assert!(s >= prev, "GRC {grc} {arc:?}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn sail_monotone_in_arc() {
+        for grc in 1..=7 {
+            let mut prev = Sail::I;
+            for arc in [Arc::A, Arc::B, Arc::C, Arc::D] {
+                let s = sail(grc, arc).unwrap();
+                assert!(s >= prev, "GRC {grc} {arc:?}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_levels() {
+        assert_eq!(Sail::V.level(), 5);
+        assert_eq!(Sail::V.label(), "V");
+        assert!(Sail::I < Sail::VI);
+    }
+}

@@ -1,0 +1,245 @@
+//! Monte-Carlo failure-injection campaigns.
+//!
+//! A campaign runs many missions under stochastic failure injection and
+//! aggregates (a) the distribution of engaged maneuvers — the Figure 1
+//! experiment — and (b) the distribution of outcome severities on the
+//! Table I scale — the Table II cross-validation, with and without the EL
+//! function.
+
+use el_sora::hazard::Severity;
+use serde::{Deserialize, Serialize};
+
+use crate::elsys::ElSystem;
+use crate::mission::{Mission, MissionConfig, TerminalState};
+use crate::safety::Maneuver;
+
+/// Campaign configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of missions.
+    pub missions: usize,
+    /// The mission template; each run varies the scene seed and the
+    /// stochastic seed.
+    pub mission: MissionConfig,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Vary the terrain per mission (otherwise all missions share the
+    /// template's scene).
+    pub vary_scenes: bool,
+}
+
+impl CampaignConfig {
+    /// A small campaign for tests.
+    pub fn small_test(missions: usize) -> Self {
+        CampaignConfig {
+            missions,
+            mission: MissionConfig::small_test(),
+            base_seed: 11,
+            vary_scenes: true,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.missions == 0 {
+            return Err("missions must be positive".into());
+        }
+        self.mission.validate()
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Number of missions run.
+    pub missions: usize,
+    /// Missions that completed nominally.
+    pub completed: usize,
+    /// Missions ending in a degraded return to base.
+    pub returned_to_base: usize,
+    /// Missions ending in a confirmed emergency landing.
+    pub landed_el: usize,
+    /// Missions ending in flight termination.
+    pub terminated: usize,
+    /// How many missions engaged each maneuver (H, RB, EL, FT).
+    pub maneuver_engagements: [usize; 4],
+    /// Outcome severity histogram, index = rating - 1.
+    pub severity_histogram: [usize; 5],
+}
+
+impl CampaignReport {
+    /// Fraction of missions with a fatal outcome (severity 4–5).
+    pub fn fatal_fraction(&self) -> f64 {
+        let fatal = self.severity_histogram[3] + self.severity_histogram[4];
+        fatal as f64 / self.missions.max(1) as f64
+    }
+
+    /// Fraction of missions with a catastrophic outcome (severity 5 —
+    /// the busy-road accident R1).
+    pub fn catastrophic_fraction(&self) -> f64 {
+        self.severity_histogram[4] as f64 / self.missions.max(1) as f64
+    }
+
+    /// Missions per maneuver as fractions (H, RB, EL, FT).
+    pub fn maneuver_fractions(&self) -> [f64; 4] {
+        let n = self.missions.max(1) as f64;
+        [
+            self.maneuver_engagements[0] as f64 / n,
+            self.maneuver_engagements[1] as f64 / n,
+            self.maneuver_engagements[2] as f64 / n,
+            self.maneuver_engagements[3] as f64 / n,
+        ]
+    }
+}
+
+/// A Monte-Carlo campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CampaignConfig::validate`].
+    pub fn new(config: CampaignConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid campaign configuration: {e}");
+        }
+        Campaign { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign with the given EL system.
+    pub fn run(&self, el: &mut dyn ElSystem) -> CampaignReport {
+        let mut report = CampaignReport {
+            missions: self.config.missions,
+            completed: 0,
+            returned_to_base: 0,
+            landed_el: 0,
+            terminated: 0,
+            maneuver_engagements: [0; 4],
+            severity_histogram: [0; 5],
+        };
+        for i in 0..self.config.missions {
+            let mut mc = self.config.mission.clone();
+            if self.config.vary_scenes {
+                mc.scene_seed = self.config.base_seed.wrapping_add(i as u64 * 131 + 17);
+            }
+            let seed = self.config.base_seed.wrapping_add(i as u64 * 7919 + 3);
+            let outcome = Mission::new(mc).run(el, seed);
+            match outcome.terminal {
+                TerminalState::Completed => report.completed += 1,
+                TerminalState::ReturnedToBase => report.returned_to_base += 1,
+                TerminalState::LandedEl { .. } => report.landed_el += 1,
+                TerminalState::Terminated { .. } => report.terminated += 1,
+            }
+            for m in [
+                Maneuver::Hovering,
+                Maneuver::ReturnToBase,
+                Maneuver::EmergencyLanding,
+                Maneuver::FlightTermination,
+            ] {
+                if outcome.maneuvers.contains(&m) {
+                    report.maneuver_engagements[m as usize] += 1;
+                }
+            }
+            report.severity_histogram[(outcome.severity.rating() - 1) as usize] += 1;
+        }
+        report
+    }
+}
+
+/// Severity labels for report printing, indexed rating-1.
+pub fn severity_labels() -> [&'static str; 5] {
+    let mut out = [""; 5];
+    for (i, s) in Severity::ALL.iter().enumerate() {
+        out[i] = s.description();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elsys::{NoEl, PerfectEl};
+    use crate::failure::FailureRates;
+
+    #[test]
+    fn counts_are_consistent() {
+        let campaign = Campaign::new(CampaignConfig::small_test(20));
+        let r = campaign.run(&mut PerfectEl::default());
+        assert_eq!(
+            r.completed + r.returned_to_base + r.landed_el + r.terminated,
+            r.missions
+        );
+        assert_eq!(r.severity_histogram.iter().sum::<usize>(), r.missions);
+    }
+
+    #[test]
+    fn deterministic() {
+        let campaign = Campaign::new(CampaignConfig::small_test(10));
+        let a = campaign.run(&mut PerfectEl::default());
+        let b = campaign.run(&mut PerfectEl::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn el_reduces_terminations_vs_no_el() {
+        let mut cfg = CampaignConfig::small_test(30);
+        cfg.mission.rates = FailureRates::none();
+        cfg.mission.rates.lost_navigation = 60.0;
+        let campaign = Campaign::new(cfg.clone());
+        let with_el = campaign.run(&mut PerfectEl { clearance_m: 3.0 });
+
+        let mut no_el_cfg = cfg;
+        no_el_cfg.mission.el_installed = false;
+        let without_el = Campaign::new(no_el_cfg).run(&mut NoEl);
+
+        assert!(with_el.landed_el > 0, "EL should land sometimes");
+        assert!(
+            with_el.terminated < without_el.terminated,
+            "EL must convert terminations into landings: {} vs {}",
+            with_el.terminated,
+            without_el.terminated
+        );
+        // And the risk profile improves (fewer severe outcomes).
+        assert!(with_el.fatal_fraction() <= without_el.fatal_fraction());
+    }
+
+    #[test]
+    fn stress_rates_engage_every_maneuver() {
+        let campaign = Campaign::new(CampaignConfig::small_test(60));
+        let r = campaign.run(&mut PerfectEl::default());
+        for (i, &n) in r.maneuver_engagements.iter().enumerate() {
+            assert!(n > 0, "maneuver index {i} never engaged in 60 missions");
+        }
+    }
+
+    #[test]
+    fn fractions_bounded() {
+        let campaign = Campaign::new(CampaignConfig::small_test(15));
+        let r = campaign.run(&mut PerfectEl::default());
+        assert!(r.fatal_fraction() >= 0.0 && r.fatal_fraction() <= 1.0);
+        assert!(r.catastrophic_fraction() <= r.fatal_fraction());
+        for f in r.maneuver_fractions() {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign configuration")]
+    fn zero_missions_rejected() {
+        let _ = Campaign::new(CampaignConfig::small_test(0));
+    }
+}

@@ -1,0 +1,267 @@
+//! Emergency-landing system interfaces for the simulator.
+//!
+//! The simulator is decoupled from the perception stack: it talks to any
+//! [`ElSystem`]. Three reference implementations live here (a ground-truth
+//! oracle, an always-failing stub, and a noisy degraded selector); the
+//! `certel` facade crate adapts the real `el-core` Figure 2 pipeline to
+//! this trait for closed-loop experiments.
+
+use el_geom::distance::distance_from;
+use el_geom::{Point, Vec2};
+use el_scene::Scene;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::mission::scene_extent_m;
+
+/// A landing-zone selection function as seen by the safety switch: given
+/// the world and the UAV position, either commit to a landing point
+/// (metres, scene frame) or report that no safe zone can be confirmed
+/// (→ flight termination).
+pub trait ElSystem {
+    /// Attempts to select a safe landing point near `uav_xy_m`, looking at
+    /// most `view_radius_m` away (the camera footprint).
+    fn select_landing(
+        &mut self,
+        scene: &Scene,
+        uav_xy_m: Vec2,
+        view_radius_m: f64,
+        seed: u64,
+    ) -> Option<Vec2>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Ground-truth oracle: picks the visible landable point farthest from
+/// any true high-risk pixel. The upper bound every perception-based EL is
+/// graded against.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfectEl {
+    /// Required true clearance from high-risk pixels, metres.
+    pub clearance_m: f64,
+}
+
+impl Default for PerfectEl {
+    fn default() -> Self {
+        PerfectEl { clearance_m: 8.0 }
+    }
+}
+
+impl ElSystem for PerfectEl {
+    fn select_landing(
+        &mut self,
+        scene: &Scene,
+        uav_xy_m: Vec2,
+        view_radius_m: f64,
+        _seed: u64,
+    ) -> Option<Vec2> {
+        let mpp = scene.params.meters_per_pixel;
+        let dist = distance_from(&scene.labels, |c| c.endangers_people());
+        let view_px = view_radius_m / mpp;
+        let center = Point::new(
+            (uav_xy_m.x / mpp).round() as i64,
+            (uav_xy_m.y / mpp).round() as i64,
+        );
+        let mut best: Option<(Point, f64)> = None;
+        for (p, &d) in dist.enumerate() {
+            if (p - center).l2_norm() > view_px {
+                continue;
+            }
+            let c = scene.labels[p];
+            if !matches!(
+                c,
+                el_geom::SemanticClass::LowVegetation | el_geom::SemanticClass::Clutter
+            ) {
+                continue;
+            }
+            if d * mpp < self.clearance_m {
+                continue;
+            }
+            if best.map_or(true, |(_, bd)| d > bd) {
+                best = Some((p, d));
+            }
+        }
+        best.map(|(p, _)| Vec2::new(p.x as f64 * mpp, p.y as f64 * mpp))
+    }
+
+    fn name(&self) -> &'static str {
+        "perfect-el"
+    }
+}
+
+/// No EL function installed: every request aborts (→ flight termination).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoEl;
+
+impl ElSystem for NoEl {
+    fn select_landing(
+        &mut self,
+        _scene: &Scene,
+        _uav_xy_m: Vec2,
+        _view_radius_m: f64,
+        _seed: u64,
+    ) -> Option<Vec2> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "no-el"
+    }
+}
+
+/// A degraded, *unmonitored* EL: with probability `blunder_prob` it
+/// commits to a uniformly random visible point (which may be a busy
+/// road — exactly the failure the paper's monitor exists to veto), and
+/// with probability `abort_prob` it gives up; otherwise it behaves like
+/// [`PerfectEl`].
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyEl {
+    /// Probability of committing to a random (unverified) point.
+    pub blunder_prob: f64,
+    /// Probability of finding nothing.
+    pub abort_prob: f64,
+    /// The underlying sound selector.
+    pub inner: PerfectEl,
+}
+
+impl NoisyEl {
+    /// A selector that blunders 30% of the time — the shape of an
+    /// OOD-degraded core model without a monitor.
+    pub fn degraded() -> Self {
+        NoisyEl {
+            blunder_prob: 0.3,
+            abort_prob: 0.05,
+            inner: PerfectEl::default(),
+        }
+    }
+
+    /// Validates probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.blunder_prob)
+            || !(0.0..=1.0).contains(&self.abort_prob)
+            || self.blunder_prob + self.abort_prob > 1.0
+        {
+            return Err("probabilities must be in [0,1] and sum to at most 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl ElSystem for NoisyEl {
+    fn select_landing(
+        &mut self,
+        scene: &Scene,
+        uav_xy_m: Vec2,
+        view_radius_m: f64,
+        seed: u64,
+    ) -> Option<Vec2> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let roll: f64 = rng.gen();
+        if roll < self.blunder_prob {
+            // Commit to an unverified point in view.
+            let (w_m, h_m) = scene_extent_m(scene);
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = rng.gen_range(0.0..view_radius_m);
+            let p = uav_xy_m + Vec2::from_angle(angle) * r;
+            return Some(Vec2::new(p.x.clamp(0.0, w_m - 1.0), p.y.clamp(0.0, h_m - 1.0)));
+        }
+        if roll < self.blunder_prob + self.abort_prob {
+            return None;
+        }
+        self.inner.select_landing(scene, uav_xy_m, view_radius_m, seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "noisy-el"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_scene::SceneParams;
+
+    fn scene() -> Scene {
+        Scene::generate(&SceneParams::small(), 7)
+    }
+
+    #[test]
+    fn perfect_el_avoids_high_risk() {
+        let s = scene();
+        let mpp = s.params.meters_per_pixel;
+        let mut el = PerfectEl { clearance_m: 4.0 };
+        let center = Vec2::new(24.0, 24.0);
+        let pick = el
+            .select_landing(&s, center, 30.0, 0)
+            .expect("a small scene has some safe grass");
+        let p = Point::new((pick.x / mpp).round() as i64, (pick.y / mpp).round() as i64);
+        assert!(!s.labels[p].endangers_people());
+        // Required clearance respected against ground truth.
+        let dist = distance_from(&s.labels, |c| c.endangers_people());
+        assert!(dist[p] * mpp >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn perfect_el_respects_view_radius() {
+        let s = scene();
+        let mut el = PerfectEl { clearance_m: 2.0 };
+        let uav = Vec2::new(10.0, 10.0);
+        let view = 8.0;
+        if let Some(pick) = el.select_landing(&s, uav, view, 0) {
+            assert!(pick.distance(uav) <= view + s.params.meters_per_pixel);
+        }
+    }
+
+    #[test]
+    fn impossible_clearance_returns_none() {
+        let s = scene();
+        let mut el = PerfectEl { clearance_m: 1000.0 };
+        assert_eq!(el.select_landing(&s, Vec2::new(24.0, 24.0), 30.0, 0), None);
+    }
+
+    #[test]
+    fn no_el_always_aborts() {
+        let s = scene();
+        let mut el = NoEl;
+        assert_eq!(el.select_landing(&s, Vec2::new(10.0, 10.0), 50.0, 0), None);
+        assert_eq!(el.name(), "no-el");
+    }
+
+    #[test]
+    fn noisy_el_blunders_sometimes() {
+        let s = scene();
+        let mut el = NoisyEl {
+            blunder_prob: 1.0,
+            abort_prob: 0.0,
+            inner: PerfectEl::default(),
+        };
+        assert!(el.validate().is_ok());
+        // Always commits, even without checking safety.
+        let pick = el.select_landing(&s, Vec2::new(24.0, 24.0), 20.0, 3);
+        assert!(pick.is_some());
+    }
+
+    #[test]
+    fn noisy_el_validation() {
+        let el = NoisyEl {
+            blunder_prob: 0.8,
+            abort_prob: 0.5,
+            inner: PerfectEl::default(),
+        };
+        assert!(el.validate().is_err());
+    }
+
+    #[test]
+    fn noisy_el_deterministic_per_seed() {
+        let s = scene();
+        let mut el = NoisyEl::degraded();
+        let a = el.select_landing(&s, Vec2::new(24.0, 24.0), 20.0, 9);
+        let b = el.select_landing(&s, Vec2::new(24.0, 24.0), 20.0, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Stochastic failure injection over the Belcastro hazard taxonomy.
+
+use el_sora::hazard::HazardCategory;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A failure event injected during flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// The hazard category.
+    pub hazard: HazardCategory,
+    /// Mission time of occurrence, seconds.
+    pub at_time_s: f64,
+    /// For temporary failures: duration before service recovery, seconds.
+    pub duration_s: f64,
+}
+
+/// Per-hazard occurrence rates, events per flight hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureRates {
+    /// Temporary unavailability of an external service.
+    pub temporary_service_loss: f64,
+    /// Permanent command-and-control link loss.
+    pub lost_communication: f64,
+    /// Loss of navigation capabilities (trajectory control retained).
+    pub lost_navigation: f64,
+    /// Loss of control / critical on-board failure.
+    pub loss_of_control: f64,
+    /// Fly-away.
+    pub fly_away: f64,
+    /// Degraded propulsion (navigable).
+    pub degraded_propulsion: f64,
+}
+
+impl FailureRates {
+    /// No failures (baseline sanity runs).
+    pub fn none() -> Self {
+        FailureRates {
+            temporary_service_loss: 0.0,
+            lost_communication: 0.0,
+            lost_navigation: 0.0,
+            loss_of_control: 0.0,
+            fly_away: 0.0,
+            degraded_propulsion: 0.0,
+        }
+    }
+
+    /// A deliberately pessimistic profile used by the failure-injection
+    /// campaigns (rates far above real-world values so a few thousand
+    /// Monte-Carlo missions exercise every branch of the safety switch).
+    pub fn stress() -> Self {
+        FailureRates {
+            temporary_service_loss: 8.0,
+            lost_communication: 3.0,
+            lost_navigation: 3.0,
+            loss_of_control: 1.0,
+            fly_away: 0.5,
+            degraded_propulsion: 2.0,
+        }
+    }
+
+    /// Rate for a hazard category.
+    pub fn rate(&self, hazard: HazardCategory) -> f64 {
+        match hazard {
+            HazardCategory::TemporaryServiceLoss => self.temporary_service_loss,
+            HazardCategory::LostCommunication => self.lost_communication,
+            HazardCategory::LostNavigation => self.lost_navigation,
+            HazardCategory::LossOfControl => self.loss_of_control,
+            HazardCategory::FlyAway => self.fly_away,
+            HazardCategory::DegradedPropulsion => self.degraded_propulsion,
+        }
+    }
+
+    /// Validates non-negativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for h in HazardCategory::ALL {
+            if self.rate(h) < 0.0 {
+                return Err(format!("rate for {} must be non-negative", h.name()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Samples failure events over a mission as independent Poisson processes
+/// per hazard category.
+#[derive(Debug, Clone)]
+pub struct FailureInjector {
+    rates: FailureRates,
+}
+
+impl FailureInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are invalid.
+    pub fn new(rates: FailureRates) -> Self {
+        if let Err(e) = rates.validate() {
+            panic!("invalid failure rates: {e}");
+        }
+        FailureInjector { rates }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &FailureRates {
+        &self.rates
+    }
+
+    /// Samples all failure events in `[0, mission_s)`, sorted by time.
+    pub fn sample_events(&self, mission_s: f64, rng: &mut impl Rng) -> Vec<FailureEvent> {
+        let mut events = Vec::new();
+        for hazard in HazardCategory::ALL {
+            let rate_per_s = self.rates.rate(hazard) / 3600.0;
+            if rate_per_s <= 0.0 {
+                continue;
+            }
+            // Poisson process via exponential inter-arrival times.
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / rate_per_s;
+                if t >= mission_s {
+                    break;
+                }
+                let duration = if hazard == HazardCategory::TemporaryServiceLoss {
+                    rng.gen_range(2.0..20.0)
+                } else {
+                    f64::INFINITY
+                };
+                events.push(FailureEvent {
+                    hazard,
+                    at_time_s: t,
+                    duration_s: duration,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.at_time_s.partial_cmp(&b.at_time_s).unwrap());
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_rates_no_events() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let inj = FailureInjector::new(FailureRates::none());
+        assert!(inj.sample_events(3600.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn event_count_approximates_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rates = FailureRates::none();
+        rates.lost_navigation = 2.0; // 2 per hour
+        let inj = FailureInjector::new(rates);
+        let mut total = 0usize;
+        let trials = 300;
+        for _ in 0..trials {
+            total += inj.sample_events(3600.0, &mut rng).len();
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((avg - 2.0).abs() < 0.3, "avg {avg}");
+    }
+
+    #[test]
+    fn events_sorted_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inj = FailureInjector::new(FailureRates::stress());
+        let events = inj.sample_events(1800.0, &mut rng);
+        for w in events.windows(2) {
+            assert!(w[0].at_time_s <= w[1].at_time_s);
+        }
+        for e in &events {
+            assert!(e.at_time_s >= 0.0 && e.at_time_s < 1800.0);
+        }
+    }
+
+    #[test]
+    fn only_temporary_failures_have_finite_duration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inj = FailureInjector::new(FailureRates::stress());
+        for e in inj.sample_events(7200.0, &mut rng) {
+            if e.hazard == HazardCategory::TemporaryServiceLoss {
+                assert!(e.duration_s.is_finite());
+            } else {
+                assert!(e.duration_s.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid failure rates")]
+    fn negative_rates_rejected() {
+        let mut rates = FailureRates::none();
+        rates.fly_away = -1.0;
+        let _ = FailureInjector::new(rates);
+    }
+}

@@ -1,0 +1,502 @@
+//! One simulated mission under failure injection.
+
+use el_geom::{Point, Vec2};
+use el_scene::{Scene, SceneParams};
+use el_sora::hazard::{HazardCategory, Severity};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::elsys::ElSystem;
+use crate::failure::{FailureInjector, FailureRates};
+use crate::parachute::ParachuteDescent;
+use crate::safety::{FlightMode, Maneuver, SafetySwitch};
+use crate::wind::Wind;
+
+/// Scene extent in metres `(width, height)`.
+pub fn scene_extent_m(scene: &Scene) -> (f64, f64) {
+    let mpp = scene.params.meters_per_pixel;
+    (scene.width() as f64 * mpp, scene.height() as f64 * mpp)
+}
+
+/// Wraps a position into the scene extent (the generated tile stands in
+/// for a statistically homogeneous city that continues beyond its
+/// borders, so drifting off one edge re-enters equivalent terrain).
+pub fn wrap_to_scene(scene: &Scene, p: Vec2) -> Vec2 {
+    let (w, h) = scene_extent_m(scene);
+    Vec2::new(p.x.rem_euclid(w), p.y.rem_euclid(h))
+}
+
+/// Mission configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionConfig {
+    /// Terrain generation parameters.
+    pub scene_params: SceneParams,
+    /// Terrain seed.
+    pub scene_seed: u64,
+    /// Cruise speed, m/s.
+    pub cruise_speed_mps: f64,
+    /// Operating altitude, m AGL.
+    pub altitude_m: f64,
+    /// Wind model.
+    pub wind: Wind,
+    /// Failure injection rates.
+    pub rates: FailureRates,
+    /// Whether an EL function is installed (Figure 1 with/without EL).
+    pub el_installed: bool,
+    /// Whether flight termination opens a parachute (the M2 mitigation).
+    pub parachute_on_ft: bool,
+    /// Mission duration at cruise, s.
+    pub duration_s: f64,
+    /// Camera footprint radius available to the EL system, m.
+    pub view_radius_m: f64,
+    /// Altitude at which the EL maneuver opens its parachute, m AGL.
+    ///
+    /// Emergency landing retains trajectory control ("go to this area and
+    /// open a parachute"), so the UAV descends under control before
+    /// deploying — this bounds the drift the zone clearance must absorb.
+    /// Flight termination, by contrast, deploys at the *current* altitude.
+    pub el_deploy_altitude_m: f64,
+}
+
+impl MissionConfig {
+    /// The MEDI DELIVERY mission profile over a default urban scene.
+    pub fn medi_delivery(scene_seed: u64) -> Self {
+        MissionConfig {
+            scene_params: SceneParams::default_urban(),
+            scene_seed,
+            cruise_speed_mps: 10.0,
+            altitude_m: 120.0,
+            wind: Wind::breeze(0.7),
+            rates: FailureRates::stress(),
+            el_installed: true,
+            parachute_on_ft: true,
+            duration_s: 600.0,
+            view_radius_m: 50.0,
+            el_deploy_altitude_m: 30.0,
+        }
+    }
+
+    /// A fast configuration for unit tests.
+    pub fn small_test() -> Self {
+        MissionConfig {
+            scene_params: SceneParams::small(),
+            scene_seed: 1,
+            cruise_speed_mps: 8.0,
+            altitude_m: 60.0,
+            wind: Wind::calm(),
+            rates: FailureRates::stress(),
+            el_installed: true,
+            parachute_on_ft: true,
+            duration_s: 120.0,
+            view_radius_m: 25.0,
+            el_deploy_altitude_m: 20.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.scene_params.validate()?;
+        self.wind.validate()?;
+        self.rates.validate()?;
+        if self.cruise_speed_mps <= 0.0 || self.altitude_m <= 0.0 {
+            return Err("speed and altitude must be positive".into());
+        }
+        if self.duration_s <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if self.view_radius_m <= 0.0 {
+            return Err("view radius must be positive".into());
+        }
+        if self.el_deploy_altitude_m <= 0.0 || self.el_deploy_altitude_m > self.altitude_m {
+            return Err("EL deploy altitude must be in (0, operating altitude]".into());
+        }
+        Ok(())
+    }
+}
+
+/// How the mission ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TerminalState {
+    /// Mission completed nominally.
+    Completed,
+    /// Returned to base under a degraded mode.
+    ReturnedToBase,
+    /// Landed via the EL function at the given point (metres).
+    LandedEl {
+        /// Touchdown position, metres.
+        at: Vec2,
+    },
+    /// Flight terminated (parachute/ballistic) at the given point.
+    Terminated {
+        /// Touchdown position, metres.
+        at: Vec2,
+    },
+}
+
+/// The graded outcome of one mission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionOutcome {
+    /// Terminal state.
+    pub terminal: TerminalState,
+    /// Every maneuver engaged, in order (deduplicated consecutive).
+    pub maneuvers: Vec<Maneuver>,
+    /// Outcome severity on the paper's Table I scale.
+    pub severity: Severity,
+    /// Injected hazards that occurred before termination.
+    pub hazards: Vec<HazardCategory>,
+}
+
+/// Grades a touchdown point against ground truth: the Table II mapping.
+///
+/// A 1.5 m contact disk is checked; the worst class wins. With a
+/// parachute (M2), direct human impact is reduced from Major to Minor —
+/// the paper's §III-D2 observation that M2 reduces R2 from 4 to 2 — but
+/// the busy-road outcome R1 stays catastrophic.
+pub fn touchdown_severity(scene: &Scene, at: Vec2, with_parachute: bool) -> Severity {
+    let mpp = scene.params.meters_per_pixel;
+    let center = Point::new((at.x / mpp).round() as i64, (at.y / mpp).round() as i64);
+    let radius_px = (1.5 / mpp).ceil() as i64;
+    let mut severity = Severity::Negligible;
+    for dy in -radius_px..=radius_px {
+        for dx in -radius_px..=radius_px {
+            let p = Point::new(center.x + dx, center.y + dy);
+            if (p - center).l2_norm() > radius_px as f64 {
+                continue;
+            }
+            let Some(&class) = scene.labels.get(p) else {
+                continue;
+            };
+            let s = match class {
+                c if c.is_busy_road() => Severity::Catastrophic,
+                el_geom::SemanticClass::Humans => {
+                    if with_parachute {
+                        Severity::Minor
+                    } else {
+                        Severity::Major
+                    }
+                }
+                el_geom::SemanticClass::Building => Severity::Serious,
+                el_geom::SemanticClass::Tree => Severity::Minor,
+                _ => Severity::Negligible,
+            };
+            severity = severity.max(s);
+        }
+    }
+    severity
+}
+
+/// One simulated mission.
+#[derive(Debug, Clone)]
+pub struct Mission {
+    config: MissionConfig,
+}
+
+impl Mission {
+    /// Creates a mission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MissionConfig::validate`].
+    pub fn new(config: MissionConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid mission configuration: {e}");
+        }
+        Mission { config }
+    }
+
+    /// The mission configuration.
+    pub fn config(&self) -> &MissionConfig {
+        &self.config
+    }
+
+    /// UAV position at mission time `t` (a bouncing diagonal patrol over
+    /// the scene, margins of 10% kept from the borders).
+    fn position_at(&self, scene: &Scene, t: f64) -> Vec2 {
+        let (w, h) = scene_extent_m(scene);
+        let margin = 0.1;
+        let (x0, x1) = (w * margin, w * (1.0 - margin));
+        let (y0, y1) = (h * margin, h * (1.0 - margin));
+        let bounce = |lo: f64, hi: f64, s: f64| {
+            let span = hi - lo;
+            let period = 2.0 * span;
+            let m = s.rem_euclid(period);
+            lo + if m < span { m } else { period - m }
+        };
+        let dist = self.config.cruise_speed_mps * t;
+        Vec2::new(
+            bounce(x0, x1, x0 + dist * 0.83),
+            bounce(y0, y1, y0 + dist * 0.56),
+        )
+    }
+
+    /// Runs the mission with the given EL system.
+    ///
+    /// Deterministic given `(config, el, seed)`.
+    pub fn run(&self, el: &mut dyn ElSystem, seed: u64) -> MissionOutcome {
+        let scene = Scene::generate(&self.config.scene_params, self.config.scene_seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let injector = FailureInjector::new(self.config.rates);
+        let events = injector.sample_events(self.config.duration_s, &mut rng);
+
+        let mut switch = SafetySwitch::new(self.config.el_installed);
+        let mut maneuvers = Vec::new();
+        let mut hazards = Vec::new();
+        let record = |m: Maneuver, maneuvers: &mut Vec<Maneuver>| {
+            if maneuvers.last() != Some(&m) {
+                maneuvers.push(m);
+            }
+        };
+
+        for event in &events {
+            hazards.push(event.hazard);
+            let mode = switch.on_hazard(event.hazard);
+            let FlightMode::Emergency(m) = mode else {
+                continue;
+            };
+            record(m, &mut maneuvers);
+            match m {
+                Maneuver::Hovering => {
+                    // Wait out the outage; service recovery resolves back
+                    // to nominal (handled by the switch).
+                    switch.on_recovery();
+                }
+                Maneuver::ReturnToBase => {
+                    // Fly home under degraded control. Further events are
+                    // injected by the remaining loop iterations; if none
+                    // escalates, the mission ends at base.
+                }
+                Maneuver::EmergencyLanding => {
+                    let uav = self.position_at(&scene, event.at_time_s);
+                    let pick = el.select_landing(
+                        &scene,
+                        uav,
+                        self.config.view_radius_m,
+                        seed ^ 0xE1,
+                    );
+                    match pick {
+                        Some(target) => {
+                            // Navigate to the zone under trajectory
+                            // control, descend to the deploy altitude,
+                            // then open the parachute.
+                            let descent =
+                                ParachuteDescent::canopy(self.config.el_deploy_altitude_m);
+                            let touchdown = wrap_to_scene(
+                                &scene,
+                                descent.touchdown(target, &self.config.wind, &mut rng),
+                            );
+                            let severity = touchdown_severity(&scene, touchdown, true);
+                            return MissionOutcome {
+                                terminal: TerminalState::LandedEl { at: touchdown },
+                                maneuvers,
+                                severity,
+                                hazards,
+                            };
+                        }
+                        None => {
+                            switch.on_el_abort();
+                            record(Maneuver::FlightTermination, &mut maneuvers);
+                            return self.terminate(
+                                &scene,
+                                event.at_time_s,
+                                maneuvers,
+                                hazards,
+                                &mut rng,
+                            );
+                        }
+                    }
+                }
+                Maneuver::FlightTermination => {
+                    return self.terminate(
+                        &scene,
+                        event.at_time_s,
+                        maneuvers,
+                        hazards,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+
+        // No terminal event: either still in RB (degraded return) or
+        // nominal completion.
+        let severity = Severity::Negligible;
+        let terminal = match switch.mode() {
+            FlightMode::Emergency(Maneuver::ReturnToBase) => TerminalState::ReturnedToBase,
+            _ => TerminalState::Completed,
+        };
+        MissionOutcome {
+            terminal,
+            maneuvers,
+            severity,
+            hazards,
+        }
+    }
+
+    fn terminate(
+        &self,
+        scene: &Scene,
+        at_time_s: f64,
+        maneuvers: Vec<Maneuver>,
+        hazards: Vec<HazardCategory>,
+        rng: &mut ChaCha8Rng,
+    ) -> MissionOutcome {
+        let uav = self.position_at(scene, at_time_s);
+        let descent = if self.config.parachute_on_ft {
+            ParachuteDescent::canopy(self.config.altitude_m)
+        } else {
+            ParachuteDescent::ballistic(self.config.altitude_m)
+        };
+        let touchdown = wrap_to_scene(scene, descent.touchdown(uav, &self.config.wind, rng));
+        let severity = touchdown_severity(scene, touchdown, self.config.parachute_on_ft);
+        MissionOutcome {
+            terminal: TerminalState::Terminated { at: touchdown },
+            maneuvers,
+            severity,
+            hazards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elsys::{NoEl, PerfectEl};
+
+    #[test]
+    fn no_failures_completes() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        let out = Mission::new(cfg).run(&mut PerfectEl::default(), 0);
+        assert_eq!(out.terminal, TerminalState::Completed);
+        assert_eq!(out.severity, Severity::Negligible);
+        assert!(out.maneuvers.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = MissionConfig::small_test();
+        let a = Mission::new(cfg.clone()).run(&mut PerfectEl::default(), 5);
+        let b = Mission::new(cfg).run(&mut PerfectEl::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lost_navigation_without_el_terminates() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.el_installed = false;
+        cfg.rates = FailureRates::none();
+        cfg.rates.lost_navigation = 200.0; // certain failure, quickly
+        let out = Mission::new(cfg).run(&mut NoEl, 1);
+        assert!(matches!(out.terminal, TerminalState::Terminated { .. }));
+        assert!(out.maneuvers.contains(&Maneuver::FlightTermination));
+        assert!(!out.maneuvers.contains(&Maneuver::EmergencyLanding));
+    }
+
+    #[test]
+    fn lost_navigation_with_el_lands() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        cfg.rates.lost_navigation = 200.0;
+        let out = Mission::new(cfg).run(&mut PerfectEl { clearance_m: 3.0 }, 2);
+        match out.terminal {
+            TerminalState::LandedEl { .. } => {
+                assert!(out.maneuvers.contains(&Maneuver::EmergencyLanding));
+            }
+            TerminalState::Terminated { .. } => {
+                // EL aborted (no zone in view) — allowed, but must have
+                // tried EL first.
+                assert!(out.maneuvers.contains(&Maneuver::EmergencyLanding));
+                assert!(out.maneuvers.contains(&Maneuver::FlightTermination));
+            }
+            other => panic!("unexpected terminal {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporary_outage_recovers() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        cfg.rates.temporary_service_loss = 100.0;
+        let out = Mission::new(cfg).run(&mut PerfectEl::default(), 3);
+        assert_eq!(out.terminal, TerminalState::Completed);
+        assert!(out.maneuvers.contains(&Maneuver::Hovering));
+    }
+
+    #[test]
+    fn comm_loss_returns_to_base() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        cfg.rates.lost_communication = 100.0;
+        let out = Mission::new(cfg).run(&mut PerfectEl::default(), 4);
+        assert_eq!(out.terminal, TerminalState::ReturnedToBase);
+        assert_eq!(out.severity, Severity::Negligible);
+    }
+
+    #[test]
+    fn perfect_el_touchdowns_avoid_roads_in_calm_air() {
+        // In calm wind the canopy lands exactly on the selected point,
+        // which the oracle guarantees is clear of high-risk pixels.
+        let mut cfg = MissionConfig::small_test();
+        cfg.wind = Wind::calm();
+        cfg.rates = FailureRates::none();
+        cfg.rates.lost_navigation = 300.0;
+        for seed in 0..10 {
+            let out = Mission::new(cfg.clone()).run(&mut PerfectEl { clearance_m: 4.0 }, seed);
+            if let TerminalState::LandedEl { .. } = out.terminal {
+                assert!(
+                    out.severity <= Severity::Minor,
+                    "seed {seed}: severity {:?}",
+                    out.severity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patrol_stays_in_bounds() {
+        let cfg = MissionConfig::small_test();
+        let m = Mission::new(cfg.clone());
+        let scene = Scene::generate(&cfg.scene_params, cfg.scene_seed);
+        let (w, h) = scene_extent_m(&scene);
+        for i in 0..200 {
+            let p = m.position_at(&scene, i as f64 * 3.7);
+            assert!(p.x >= 0.0 && p.x <= w);
+            assert!(p.y >= 0.0 && p.y <= h);
+        }
+    }
+
+    #[test]
+    fn touchdown_severity_grades_terrain() {
+        let scene = Scene::generate(&SceneParams::small(), 3);
+        // Find a road pixel and a grass pixel.
+        let mpp = scene.params.meters_per_pixel;
+        let mut road = None;
+        let mut grass = None;
+        for (p, &c) in scene.labels.enumerate() {
+            if c == el_geom::SemanticClass::Road && road.is_none() {
+                road = Some(p);
+            }
+            if c == el_geom::SemanticClass::LowVegetation && grass.is_none() {
+                // Require some margin from anything risky.
+                grass = Some(p);
+            }
+        }
+        let road = road.unwrap();
+        let at = Vec2::new(road.x as f64 * mpp, road.y as f64 * mpp);
+        assert_eq!(touchdown_severity(&scene, at, true), Severity::Catastrophic);
+        let _ = grass;
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mission configuration")]
+    fn invalid_config_rejected() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.duration_s = 0.0;
+        let _ = Mission::new(cfg);
+    }
+}

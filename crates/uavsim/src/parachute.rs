@@ -1,0 +1,163 @@
+//! Parachute and ballistic descent with wind drift.
+
+use el_geom::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::wind::Wind;
+
+/// A descent from altitude to the ground, either under canopy or
+/// ballistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParachuteDescent {
+    /// Altitude at descent start, m AGL.
+    pub altitude_m: f64,
+    /// Sink rate under canopy, m/s (ignored for ballistic falls).
+    pub sink_rate_mps: f64,
+    /// Fraction of the wind the canopy acquires (ballistic ≈ 0.1).
+    pub wind_coupling: f64,
+}
+
+impl ParachuteDescent {
+    /// A canopy descent matching the MEDI DELIVERY drift model.
+    pub fn canopy(altitude_m: f64) -> Self {
+        ParachuteDescent {
+            altitude_m,
+            sink_rate_mps: 4.0,
+            wind_coupling: 1.0,
+        }
+    }
+
+    /// A ballistic fall (engines stopped, no parachute): terminal
+    /// velocity limits exposure to wind.
+    pub fn ballistic(altitude_m: f64) -> Self {
+        ParachuteDescent {
+            altitude_m,
+            sink_rate_mps: (2.0 * 9.81 * altitude_m).sqrt().max(1.0) / 2.0,
+            wind_coupling: 0.1,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.altitude_m < 0.0 {
+            return Err("altitude must be non-negative".into());
+        }
+        if self.sink_rate_mps <= 0.0 {
+            return Err("sink rate must be positive".into());
+        }
+        if !(0.0..=1.5).contains(&self.wind_coupling) {
+            return Err("wind coupling must be in [0, 1.5]".into());
+        }
+        Ok(())
+    }
+
+    /// Descent duration, s.
+    pub fn duration_s(&self) -> f64 {
+        self.altitude_m / self.sink_rate_mps
+    }
+
+    /// Simulates the descent from `start_xy` (metres), integrating wind
+    /// gusts at 1 Hz; returns the touchdown position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails [`ParachuteDescent::validate`].
+    pub fn touchdown(&self, start_xy: Vec2, wind: &Wind, rng: &mut impl Rng) -> Vec2 {
+        if let Err(e) = self.validate() {
+            panic!("invalid descent model: {e}");
+        }
+        let total = self.duration_s();
+        let mut pos = start_xy;
+        let mut t = 0.0;
+        while t < total {
+            let dt = (total - t).min(1.0);
+            let v = wind.sample(rng) * self.wind_coupling;
+            pos += v * dt;
+            t += dt;
+        }
+        pos
+    }
+
+    /// Expected drift magnitude in steady (gust-free) wind, m.
+    pub fn expected_drift_m(&self, wind: &Wind) -> f64 {
+        self.duration_s() * wind.mean_speed_mps * self.wind_coupling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn calm_descent_lands_below() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = ParachuteDescent::canopy(120.0);
+        let td = d.touchdown(Vec2::new(10.0, 20.0), &Wind::calm(), &mut rng);
+        assert_eq!(td, Vec2::new(10.0, 20.0));
+        assert!((d.duration_s() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_wind_drifts_downwind() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = ParachuteDescent::canopy(120.0);
+        let wind = Wind {
+            mean_speed_mps: 2.0,
+            direction_rad: 0.0,
+            gust_std_mps: 0.0,
+        };
+        let td = d.touchdown(Vec2::ZERO, &wind, &mut rng);
+        // 30 s at 2 m/s downwind: 60 m east.
+        assert!((td.x - 60.0).abs() < 1e-9);
+        assert!(td.y.abs() < 1e-9);
+        assert!((d.expected_drift_m(&wind) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ballistic_drifts_far_less() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let wind = Wind {
+            mean_speed_mps: 5.0,
+            direction_rad: 1.0,
+            gust_std_mps: 0.0,
+        };
+        let canopy = ParachuteDescent::canopy(120.0);
+        let ballistic = ParachuteDescent::ballistic(120.0);
+        let dc = canopy
+            .touchdown(Vec2::ZERO, &wind, &mut rng)
+            .norm();
+        let db = ballistic
+            .touchdown(Vec2::ZERO, &wind, &mut rng)
+            .norm();
+        assert!(db < dc / 5.0, "ballistic {db} vs canopy {dc}");
+        assert!(ballistic.duration_s() < canopy.duration_s());
+    }
+
+    #[test]
+    fn gusty_descent_is_random_but_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = ParachuteDescent::canopy(60.0);
+        let wind = Wind::breeze(0.0);
+        let a = d.touchdown(Vec2::ZERO, &wind, &mut rng);
+        let b = d.touchdown(Vec2::ZERO, &wind, &mut rng);
+        assert_ne!(a, b);
+        // 15 s at ~3 m/s: drift around 45 m, certainly below 120 m.
+        assert!(a.norm() < 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid descent model")]
+    fn invalid_model_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut d = ParachuteDescent::canopy(100.0);
+        d.sink_rate_mps = 0.0;
+        let _ = d.touchdown(Vec2::ZERO, &Wind::calm(), &mut rng);
+    }
+}

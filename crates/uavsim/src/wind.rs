@@ -1,0 +1,125 @@
+//! Wind model: mean flow plus gusts.
+
+use el_geom::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A horizontally uniform wind field with Gaussian gusts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wind {
+    /// Mean wind speed, m/s.
+    pub mean_speed_mps: f64,
+    /// Wind direction, radians (direction the air moves *towards*).
+    pub direction_rad: f64,
+    /// Standard deviation of gust speed, m/s.
+    pub gust_std_mps: f64,
+}
+
+impl Wind {
+    /// Calm air.
+    pub fn calm() -> Self {
+        Wind {
+            mean_speed_mps: 0.0,
+            direction_rad: 0.0,
+            gust_std_mps: 0.0,
+        }
+    }
+
+    /// A moderate urban breeze: 3 m/s with 1 m/s gusts.
+    pub fn breeze(direction_rad: f64) -> Self {
+        Wind {
+            mean_speed_mps: 3.0,
+            direction_rad,
+            gust_std_mps: 1.0,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mean_speed_mps < 0.0 {
+            return Err("mean wind speed must be non-negative".into());
+        }
+        if self.gust_std_mps < 0.0 {
+            return Err("gust standard deviation must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// The mean wind velocity vector, m/s.
+    pub fn mean_velocity(&self) -> Vec2 {
+        Vec2::from_angle(self.direction_rad) * self.mean_speed_mps
+    }
+
+    /// Samples an instantaneous wind velocity (mean + isotropic gust).
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec2 {
+        let gauss = |rng: &mut dyn rand::RngCore| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let gx = gauss(rng) * self.gust_std_mps;
+        let gy = gauss(rng) * self.gust_std_mps;
+        self.mean_velocity() + Vec2::new(gx, gy)
+    }
+}
+
+impl Default for Wind {
+    fn default() -> Self {
+        Self::calm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn calm_wind_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = Wind::calm();
+        assert_eq!(w.sample(&mut rng), Vec2::ZERO);
+        assert_eq!(w.mean_velocity(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn mean_velocity_direction() {
+        let w = Wind {
+            mean_speed_mps: 2.0,
+            direction_rad: std::f64::consts::FRAC_PI_2,
+            gust_std_mps: 0.0,
+        };
+        let v = w.mean_velocity();
+        assert!(v.x.abs() < 1e-12);
+        assert!((v.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gusts_average_to_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = Wind::breeze(0.3);
+        let n = 4000;
+        let mut acc = Vec2::ZERO;
+        for _ in 0..n {
+            acc += w.sample(&mut rng);
+        }
+        let avg = acc * (1.0 / n as f64);
+        let mean = w.mean_velocity();
+        assert!((avg - mean).norm() < 0.1, "avg {avg} vs mean {mean}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Wind::breeze(0.0).validate().is_ok());
+        let w = Wind {
+            mean_speed_mps: -1.0,
+            ..Wind::calm()
+        };
+        assert!(w.validate().is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! The Figure 1 experiment: Monte-Carlo failure-injection campaigns over
+//! the safety-switch architecture, comparing emergency-landing policies.
+//!
+//! ```text
+//! cargo run --release --example failure_campaign
+//! ```
+
+use certel::prelude::*;
+
+fn main() {
+    let mut config = CampaignConfig::small_test(300);
+    config.mission = MissionConfig::medi_delivery(1);
+    config.mission.duration_s = 240.0;
+    // Moderate wind; the EL clearance below is derived from the drift
+    // model so confirmed zones absorb the canopy drift (Table III
+    // Medium-1) — an 8 m clearance under a 22 m drift would land
+    // "perfect" selections on roads.
+    config.mission.wind = Wind {
+        mean_speed_mps: 1.5,
+        direction_rad: 0.7,
+        gust_std_mps: 0.5,
+    };
+    config.mission.view_radius_m = 80.0; // trajectory control is retained: the UAV can reach any zone in this radius
+    config.missions = 300;
+
+    let drift = certel::el_core::DriftModel {
+        deploy_altitude_m: config.mission.el_deploy_altitude_m,
+        ..certel::el_core::DriftModel::medi_delivery()
+    };
+    let clearance_m = drift
+        .required_clearance_m(config.mission.wind.mean_speed_mps, certel::el_core::IntegrityLevel::Low);
+    println!(
+        "EL zone clearance from drift model: {:.1} m (deploy {:.0} m, wind {:.1} m/s)",
+        clearance_m, drift.deploy_altitude_m, config.mission.wind.mean_speed_mps
+    );
+
+    println!(
+        "running {} missions x 3 EL policies under stress failure rates...\n",
+        config.missions
+    );
+
+    let campaign = Campaign::new(config.clone());
+    let mut no_el_cfg = config.clone();
+    no_el_cfg.mission.el_installed = false;
+    let no_el_campaign = Campaign::new(no_el_cfg);
+
+    let mut degraded = NoisyEl::degraded();
+    degraded.inner.clearance_m = clearance_m;
+    let reports = [
+        ("no EL (FT on navigation loss)", no_el_campaign.run(&mut NoEl)),
+        ("unmonitored degraded EL", campaign.run(&mut degraded)),
+        (
+            "ground-truth EL (upper bound)",
+            campaign.run(&mut PerfectEl { clearance_m }),
+        ),
+    ];
+
+    println!(
+        "{:<32} {:>6} {:>6} {:>6} {:>6}  {:>22}  {:>8} {:>8}",
+        "policy", "done", "RTB", "EL-land", "FT", "severity 1/2/3/4/5", "fatal%", "cat%"
+    );
+    for (name, r) in &reports {
+        println!(
+            "{:<32} {:>6} {:>6} {:>7} {:>6}  {:>3}/{:>3}/{:>3}/{:>3}/{:>3}     {:>7.2}% {:>7.2}%",
+            name,
+            r.completed,
+            r.returned_to_base,
+            r.landed_el,
+            r.terminated,
+            r.severity_histogram[0],
+            r.severity_histogram[1],
+            r.severity_histogram[2],
+            r.severity_histogram[3],
+            r.severity_histogram[4],
+            100.0 * r.fatal_fraction(),
+            100.0 * r.catastrophic_fraction(),
+        );
+    }
+
+    println!("\nmaneuver engagement fractions (H / RB / EL / FT):");
+    for (name, r) in &reports {
+        let f = r.maneuver_fractions();
+        println!(
+            "{:<32} {:.2} / {:.2} / {:.2} / {:.2}",
+            name, f[0], f[1], f[2], f[3]
+        );
+    }
+
+    let no_el = &reports[0].1;
+    let perfect = &reports[2].1;
+    println!(
+        "\nEL converts {} flight terminations into {} confirmed landings and cuts the catastrophic rate from {:.2}% to {:.2}%.",
+        no_el.terminated,
+        perfect.landed_el,
+        100.0 * no_el.catastrophic_fraction(),
+        100.0 * perfect.catastrophic_fraction(),
+    );
+}

@@ -1,0 +1,64 @@
+//! The MEDI DELIVERY case study (paper §III): apply the SORA v2.0 with
+//! and without the proposed emergency-landing mitigation and show the
+//! certification-burden difference.
+//!
+//! ```text
+//! cargo run --example medi_delivery
+//! ```
+
+use el_sora::casestudy::{medi_delivery, paper_numbers};
+use el_sora::report::assessment_summary;
+use el_sora::{ElMitigation, Robustness};
+
+fn main() {
+    let op = medi_delivery();
+    println!("== Operation: {} ==", op.name);
+    println!(
+        "  span {:.1} m, MTOW {:.0} kg, height {:.0} m",
+        op.spec.max_dimension_m, op.spec.mtow_kg, op.spec.operating_height_m
+    );
+    let n = paper_numbers();
+    println!(
+        "  ballistic speed {:.1} m/s (paper: 48.5), kinetic energy {:.2} kJ (paper: 8.23)",
+        n.ballistic_speed_mps, n.kinetic_energy_kj
+    );
+    println!();
+
+    println!("-- Baseline: current SORA, classical mitigations only --");
+    let baseline = op.assess_without_el();
+    print!("{}", assessment_summary(&op.name, &baseline));
+    println!();
+
+    println!("-- Without even an ERP (M3): the +1 penalty --");
+    let no_m3 = op.assess_without_m3();
+    print!("{}", assessment_summary(&op.name, &no_m3));
+    println!();
+
+    println!("-- With the proposed EL (active-M1) mitigation --");
+    for (label, el) in [
+        (
+            "EL at low robustness (declaration only)",
+            ElMitigation {
+                integrity: Robustness::Medium,
+                assurance: Robustness::Low,
+            },
+        ),
+        (
+            "EL at the paper's target (medium integrity + monitored assurance)",
+            ElMitigation::paper_target(),
+        ),
+        (
+            "EL at high robustness (third-party validated, condition sweep)",
+            ElMitigation {
+                integrity: Robustness::High,
+                assurance: Robustness::High,
+            },
+        ),
+    ] {
+        println!("  [{label}]");
+        let a = op.assess_with_el(el);
+        print!("{}", assessment_summary(&op.name, &a));
+        let delta = baseline.oso_profile[3] as i64 - a.oso_profile[3] as i64;
+        println!("  -> {delta} fewer high-robustness OSOs than the baseline\n");
+    }
+}

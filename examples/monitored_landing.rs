@@ -1,0 +1,116 @@
+//! The Figure 2 / Figure 4 experiment at benchmark scale: train the core
+//! function, quantify its in-distribution vs out-of-distribution
+//! behaviour, show what the Bayesian monitor catches, and run the full
+//! pipeline end to end on both regimes.
+//!
+//! Run in release mode (training and Monte-Carlo dropout are compute
+//! heavy):
+//!
+//! ```text
+//! cargo run --release --example monitored_landing
+//! ```
+
+use certel::prelude::*;
+use el_seg::train::evaluate_split;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("generating benchmark dataset (nominal + sunset-OOD splits)...");
+    let dataset = Dataset::generate(&DatasetConfig::benchmark(1));
+
+    println!("training MSDnet (benchmark config)...");
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = MsdNet::new(&MsdNetConfig::default_uavid(), &mut rng);
+    let report = Trainer::new(TrainConfig::benchmark()).train(&mut net, &dataset);
+    println!(
+        "  loss {:.3} -> {:.3}",
+        report.initial_loss, report.final_loss
+    );
+
+    // --- Figure 4a/4b, quantified: core model quality per split. ---
+    println!("\n== Core function (deterministic MSDnet) ==");
+    for split in [Split::Test, Split::Ood] {
+        let cm = evaluate_split(&mut net, &dataset, split);
+        println!(
+            "  {split:?}: pixel-acc {:.3}  mean-IoU {:.3}  busy-road recall {:.3}",
+            cm.pixel_accuracy(),
+            cm.mean_iou(),
+            cm.busy_road_recall().unwrap_or(f64::NAN),
+        );
+    }
+
+    // --- The monitor: what Eq. 2 catches of the core model's misses. ---
+    println!("\n== Bayesian monitor (MC-dropout, 10 samples, tau=0.125, mu+3sigma) ==");
+    let rule = MonitorRule::paper();
+    for split in [Split::Test, Split::Ood] {
+        let mut quality = MonitorQuality::default();
+        let mut sigma = 0.0;
+        let mut n = 0;
+        for sample in dataset.split(split) {
+            let core = segment(&mut net, &sample.image);
+            let core_safe = core.labels.map(|c| !c.is_busy_road());
+            let stats = bayesian_segment(&mut net, &sample.image, 10, 42);
+            sigma += stats.mean_uncertainty();
+            n += 1;
+            quality.accumulate(&sample.labels, &core_safe, &rule.warning_map(&stats));
+        }
+        println!(
+            "  {split:?}: miss-coverage {:.3}  false-alarm {:.3}  road-warning recall {:.3}  mean-sigma {:.4}",
+            quality.miss_coverage().unwrap_or(f64::NAN),
+            quality.false_alarm_rate().unwrap_or(f64::NAN),
+            quality.road_warning_recall().unwrap_or(f64::NAN),
+            sigma / n as f64
+        );
+    }
+
+    // --- Figure 2 end to end: monitored vs unmonitored pipeline. ---
+    println!("\n== Figure 2 pipeline, end to end ==");
+    let camera = Camera::new(120.0, 60.0, 256);
+    let drift = DriftModel::medi_delivery();
+    let clearance =
+        drift.required_clearance_px(3.0, IntegrityLevel::Medium, &camera);
+    println!(
+        "  drift buffer at 3 m/s wind, Medium integrity: {:.1} m = {:.1} px",
+        drift.required_clearance_m(3.0, IntegrityLevel::Medium),
+        clearance
+    );
+
+    for (label, monitored) in [("monitored", true), ("unmonitored baseline", false)] {
+        for split in [Split::Test, Split::Ood] {
+            let mut config = PipelineConfig::paper();
+            config.monitor.max_warning_fraction = 0.02;
+            config.monitored = monitored;
+            let mut pipeline = ElPipeline::new(
+                MsdNet::from_json(&netify(&net)).expect("roundtrip"),
+                config,
+            );
+            let mut landed = 0;
+            let mut aborted = 0;
+            let mut fatal = 0;
+            let mut total = 0;
+            for (i, sample) in dataset.split(split).enumerate() {
+                let outcome = pipeline.run(&sample.image, 1000 + i as u64);
+                total += 1;
+                match outcome.decision {
+                    FinalDecision::Land(zone) => {
+                        landed += 1;
+                        if assess_zone(&sample.labels, zone.rect).fatal {
+                            fatal += 1;
+                        }
+                    }
+                    FinalDecision::Abort(_) => aborted += 1,
+                }
+            }
+            println!(
+                "  {label:<22} {split:?}: {landed} landed / {aborted} aborted of {total}; fatal zones: {fatal}"
+            );
+        }
+    }
+}
+
+/// Clones a network through its JSON form (keeps the example independent
+/// of internal Clone semantics).
+fn netify(net: &MsdNet) -> String {
+    net.to_json()
+}

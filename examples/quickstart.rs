@@ -1,0 +1,80 @@
+//! Quickstart: train a small core function, run the certified landing
+//! pipeline once, and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use certel::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A synthetic urban world (roads, buildings, parks, cars, people) and
+    // a rendered dataset: nominal-condition train/test splits plus a
+    // sunset out-of-distribution split.
+    println!("generating synthetic urban dataset...");
+    let dataset = Dataset::generate(&DatasetConfig::small(1));
+
+    // Train the MSDnet-style segmenter (the core function of Figure 2).
+    // The smoke configuration is quick; see `monitored_landing` for the
+    // benchmark-scale training.
+    println!("training MSDnet core function (smoke config)...");
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = MsdNet::new(&MsdNetConfig::default_uavid(), &mut rng);
+    let mut train_cfg = TrainConfig::smoke();
+    train_cfg.steps = 2500;
+    train_cfg.tile = 32;
+    let report = Trainer::new(train_cfg).train(&mut net, &dataset);
+    println!(
+        "  loss {:.3} -> {:.3} over {} steps",
+        report.initial_loss,
+        report.final_loss,
+        report.losses.len()
+    );
+
+    // An emergency frame: the UAV loses navigation above an unseen part
+    // of town and must pick a landing zone.
+    let scene = Scene::generate(&SceneParams::small(), 4242);
+    let image = scene.render(&Conditions::nominal(), 7);
+
+    // The Figure 2 safety architecture: core function proposes zones far
+    // from predicted busy roads, the Bayesian monitor (Monte-Carlo
+    // dropout, Eq. 2 with tau = 0.125) verifies each candidate crop, the
+    // decision module lands, retries, or aborts.
+    let mut config = PipelineConfig::benchmark();
+    config.zone = ZoneParams::small();
+    config.monitor.samples = 10;
+    let mut pipeline = ElPipeline::new(net, config);
+    let outcome = pipeline.run(&image, 42);
+
+    println!("pipeline trials:");
+    for (i, t) in outcome.trials.iter().enumerate() {
+        println!(
+            "  trial {}: zone at {} (clearance {:.1} px) -> {:?} ({:.1}% warnings)",
+            i + 1,
+            t.candidate.center,
+            t.candidate.clearance_px,
+            t.verdict,
+            100.0 * t.warning_fraction
+        );
+    }
+    match &outcome.decision {
+        FinalDecision::Land(zone) => {
+            println!("DECISION: land at {}", zone.center);
+            // Grade the decision against ground truth (experiment only —
+            // the airborne system never sees this).
+            let assessment = assess_zone(&scene.labels, zone.rect);
+            println!(
+                "  ground truth: fatal={} high-risk={} clearance={:.1}px landable={:.0}%",
+                assessment.fatal,
+                assessment.contains_high_risk,
+                assessment.center_clearance_px,
+                100.0 * assessment.landable_fraction
+            );
+        }
+        FinalDecision::Abort(reason) => {
+            println!("DECISION: abort ({reason:?}) -> flight termination with parachute");
+        }
+    }
+}

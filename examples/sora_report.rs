@@ -1,0 +1,21 @@
+//! Regenerates the paper's normative tables: severity scale (Table I),
+//! ground risks (Table II), the proposed EL integrity and assurance
+//! criteria (Tables III and IV), and the OSO burden at the relevant
+//! SAILs.
+//!
+//! ```text
+//! cargo run --example sora_report
+//! ```
+
+use el_sora::report;
+use el_sora::Sail;
+
+fn main() {
+    println!("{}", report::severity_table());
+    println!("{}", report::ground_risk_table());
+    println!("{}", report::integrity_criteria_table());
+    println!("{}", report::assurance_criteria_table());
+    for sail in [Sail::IV, Sail::V, Sail::VI] {
+        println!("{}", report::oso_table(sail));
+    }
+}

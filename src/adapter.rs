@@ -1,0 +1,132 @@
+//! Mounting the Figure 2 perception pipeline into the flight simulator.
+
+use el_core::{ElPipeline, FinalDecision};
+use el_geom::{Rect, Vec2};
+use el_scene::{Conditions, Scene};
+use el_uavsim::ElSystem;
+
+/// Adapts the real [`ElPipeline`] (MSDnet core function + Bayesian
+/// monitor + decision module) to the simulator's [`ElSystem`] interface.
+///
+/// On an emergency-landing request, the adapter renders what the on-board
+/// camera would see — a window of the scene around the UAV under the
+/// mission's [`Conditions`] — runs the full Figure 2 loop on it, and maps
+/// a confirmed zone back to metric scene coordinates. An abort decision
+/// becomes `None`, which the safety switch escalates to flight
+/// termination, exactly as the paper's architecture prescribes.
+#[derive(Debug)]
+pub struct PipelineElSystem {
+    pipeline: ElPipeline,
+    conditions: Conditions,
+}
+
+impl PipelineElSystem {
+    /// Wraps a pipeline; `conditions` model the lighting/weather at the
+    /// time of the emergency (use [`Conditions::sunset`] for the paper's
+    /// OOD scenario).
+    pub fn new(pipeline: ElPipeline, conditions: Conditions) -> Self {
+        PipelineElSystem {
+            pipeline,
+            conditions,
+        }
+    }
+
+    /// The rendering conditions.
+    pub fn conditions(&self) -> &Conditions {
+        &self.conditions
+    }
+
+    /// Borrows the inner pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut ElPipeline {
+        &mut self.pipeline
+    }
+}
+
+impl ElSystem for PipelineElSystem {
+    fn select_landing(
+        &mut self,
+        scene: &Scene,
+        uav_xy_m: Vec2,
+        view_radius_m: f64,
+        seed: u64,
+    ) -> Option<Vec2> {
+        let mpp = scene.params.meters_per_pixel;
+        let view_px = (view_radius_m / mpp).round() as i64;
+        let cx = (uav_xy_m.x / mpp).round() as i64;
+        let cy = (uav_xy_m.y / mpp).round() as i64;
+        let window = Rect::new(cx - view_px, cy - view_px, 2 * view_px + 1, 2 * view_px + 1)
+            .intersect(scene.labels.bounds());
+        if window.is_empty() {
+            return None;
+        }
+        // What the camera sees: the windowed scene under the mission's
+        // conditions. Rendering the full scene and cropping keeps the
+        // texture field identical to the world's.
+        let full = scene.render(&self.conditions, seed);
+        let image = full.crop(window).expect("window clipped to bounds");
+        match self.pipeline.run(&image, seed).decision {
+            FinalDecision::Land(zone) => {
+                let px = zone.center.x + window.x;
+                let py = zone.center.y + window.y;
+                Some(Vec2::new(px as f64 * mpp, py as f64 * mpp))
+            }
+            FinalDecision::Abort(_) => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pipeline-el"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use el_core::PipelineConfig;
+    use el_scene::SceneParams;
+    use el_seg::{MsdNet, MsdNetConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn adapter() -> PipelineElSystem {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        PipelineElSystem::new(
+            ElPipeline::new(net, PipelineConfig::fast_test()),
+            Conditions::nominal(),
+        )
+    }
+
+    #[test]
+    fn returns_point_inside_scene_or_none() {
+        let scene = Scene::generate(&SceneParams::small(), 5);
+        let mut el = adapter();
+        let pick = el.select_landing(&scene, Vec2::new(24.0, 24.0), 20.0, 3);
+        if let Some(p) = pick {
+            let (w, h) = (
+                scene.width() as f64 * scene.params.meters_per_pixel,
+                scene.height() as f64 * scene.params.meters_per_pixel,
+            );
+            assert!(p.x >= 0.0 && p.x < w);
+            assert!(p.y >= 0.0 && p.y < h);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let scene = Scene::generate(&SceneParams::small(), 6);
+        let mut el = adapter();
+        let a = el.select_landing(&scene, Vec2::new(20.0, 20.0), 18.0, 9);
+        let b = el.select_landing(&scene, Vec2::new(20.0, 20.0), 18.0, 9);
+        assert_eq!(a, b);
+        assert_eq!(el.name(), "pipeline-el");
+    }
+
+    #[test]
+    fn window_outside_scene_returns_none() {
+        let scene = Scene::generate(&SceneParams::small(), 7);
+        let mut el = adapter();
+        let pick = el.select_landing(&scene, Vec2::new(-500.0, -500.0), 5.0, 0);
+        assert_eq!(pick, None);
+    }
+}

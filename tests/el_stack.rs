@@ -1,0 +1,166 @@
+//! Integration across the perception stack: scene → segmentation →
+//! monitor → pipeline, at unit-test scale (small scenes, short training).
+
+use certel::prelude::*;
+use el_seg::train::evaluate_split;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Shared small dataset + briefly trained model for the stack tests.
+///
+/// The network is sized between the unit-test `tiny` config and the
+/// benchmark config: Monte-Carlo-dropout uncertainty only separates the
+/// in/out-of-distribution regimes once the trained network has some
+/// redundancy, which the 4-channel tiny config cannot develop.
+fn trained_setup() -> (Dataset, MsdNet) {
+    let mut config = DatasetConfig::small(3);
+    config.n_train = 6;
+    config.n_test = 3;
+    config.n_ood = 3;
+    let dataset = Dataset::generate(&config);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let net_cfg = MsdNetConfig {
+        branch_channels: 8,
+        head_hidden: 16,
+        dilations: vec![1, 2],
+        ..MsdNetConfig::tiny()
+    };
+    let mut net = MsdNet::new(&net_cfg, &mut rng);
+    let train = TrainConfig {
+        steps: 900,
+        tile: 32,
+        lr: 3e-3,
+        class_weighted: true,
+        augment: false,
+        seed: 7,
+    };
+    Trainer::new(train).train(&mut net, &dataset);
+    (dataset, net)
+}
+
+#[test]
+fn training_beats_chance_and_ood_degrades() {
+    let (dataset, mut net) = trained_setup();
+    let test = evaluate_split(&mut net, &dataset, Split::Test);
+    let ood = evaluate_split(&mut net, &dataset, Split::Ood);
+    // Even a briefly-trained tiny net must beat the 1/8 chance level
+    // comfortably in distribution…
+    assert!(
+        test.pixel_accuracy() > 0.5,
+        "test accuracy too low: {}",
+        test.pixel_accuracy()
+    );
+    // …and the sunset shift must hurt (the Figure 4b premise).
+    assert!(
+        ood.pixel_accuracy() < test.pixel_accuracy(),
+        "OOD did not degrade: {} vs {}",
+        ood.pixel_accuracy(),
+        test.pixel_accuracy()
+    );
+}
+
+#[test]
+fn mc_dropout_uncertainty_rises_out_of_distribution() {
+    let (dataset, mut net) = trained_setup();
+    let mean_sigma = |net: &mut MsdNet, dataset: &Dataset, split: Split| {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for s in dataset.split(split) {
+            acc += bayesian_segment(net, &s.image, 6, 11).mean_uncertainty();
+            n += 1;
+        }
+        acc / n as f64
+    };
+    let sigma_test = mean_sigma(&mut net, &dataset, Split::Test);
+    let sigma_ood = mean_sigma(&mut net, &dataset, Split::Ood);
+    assert!(
+        sigma_ood > sigma_test,
+        "OOD sigma {sigma_ood} not above test sigma {sigma_test}"
+    );
+}
+
+#[test]
+fn monitor_covers_core_misses_on_ood() {
+    let (dataset, mut net) = trained_setup();
+    let rule = MonitorRule::paper();
+    let mut quality = MonitorQuality::default();
+    for s in dataset.split(Split::Ood) {
+        let core = segment(&mut net, &s.image);
+        let core_safe = core.labels.map(|c| !c.is_busy_road());
+        let stats = bayesian_segment(&mut net, &s.image, 6, 21);
+        quality.accumulate(&s.labels, &core_safe, &rule.warning_map(&stats));
+    }
+    // The paper's Figure 4b claim: the monitor flags "a large part" of
+    // the road areas the core model missed.
+    if let Some(coverage) = quality.miss_coverage() {
+        assert!(
+            coverage > 0.5,
+            "monitor covers too few dangerous misses: {coverage}"
+        );
+    }
+    // And the monitor must flag most true road pixels overall.
+    assert!(quality.road_warning_recall().unwrap_or(0.0) > 0.5);
+}
+
+#[test]
+fn pipeline_decisions_are_gt_safe_or_abort_in_distribution() {
+    let (dataset, net) = trained_setup();
+    let mut config = PipelineConfig::fast_test();
+    config.monitor.samples = 6;
+    config.monitor.max_warning_fraction = 0.3; // tiny net: generous zone tolerance
+    let mut pipeline = ElPipeline::new(net, config);
+    let mut decisions = 0;
+    for (i, s) in dataset.split(Split::Test).enumerate() {
+        let outcome = pipeline.run(&s.image, 100 + i as u64);
+        decisions += 1;
+        if let FinalDecision::Land(zone) = &outcome.decision {
+            let a = assess_zone(&s.labels, zone.rect);
+            assert!(
+                !a.fatal,
+                "sample {i}: confirmed zone on a true busy road"
+            );
+        }
+    }
+    assert!(decisions > 0);
+}
+
+#[test]
+fn pipeline_trials_never_exceed_budget() {
+    let (dataset, net) = trained_setup();
+    let config = PipelineConfig::fast_test();
+    let budget = config.decision.max_trials;
+    let mut pipeline = ElPipeline::new(net, config);
+    for (i, s) in dataset.samples.iter().enumerate() {
+        let outcome = pipeline.run(&s.image, i as u64);
+        assert!(outcome.trials.len() <= budget);
+    }
+}
+
+#[test]
+fn model_roundtrip_preserves_pipeline_behaviour() {
+    let (dataset, net) = trained_setup();
+    let json = net.to_json();
+    let restored = MsdNet::from_json(&json).expect("roundtrip");
+    let sample = dataset.split(Split::Test).next().unwrap();
+    let mut p1 = ElPipeline::new(net, PipelineConfig::fast_test());
+    let mut p2 = ElPipeline::new(restored, PipelineConfig::fast_test());
+    let a = p1.run(&sample.image, 9);
+    let b = p2.run(&sample.image, 9);
+    assert_eq!(a.decision, b.decision);
+    assert_eq!(a.trials, b.trials);
+}
+
+#[test]
+fn edge_density_baseline_is_semantically_blind() {
+    // The classical baseline picks low-texture windows; nothing stops it
+    // from proposing a smooth road. This documents *why* the learned
+    // approach exists.
+    let (dataset, _) = trained_setup();
+    let sample = dataset.split(Split::Test).next().unwrap();
+    let zones = el_core::pipeline::edge_density_zones(&sample.image, &ZoneParams::small());
+    assert!(!zones.is_empty(), "baseline should find low-texture windows");
+    // Its candidates carry no semantic clearance information.
+    for z in &zones {
+        assert_eq!(z.clearance_px, 0.0);
+    }
+}

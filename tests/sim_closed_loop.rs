@@ -1,0 +1,114 @@
+//! Integration: the real Figure 2 pipeline mounted in the Figure 1
+//! safety-switch simulator (closed loop), plus cross-policy campaign
+//! comparisons.
+
+use certel::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn quick_pipeline_el(conditions: Conditions) -> PipelineElSystem {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+    // Brief training so the adapter's decisions are meaningful.
+    let mut cfg = DatasetConfig::small(5);
+    cfg.n_train = 4;
+    let dataset = Dataset::generate(&cfg);
+    Trainer::new(TrainConfig {
+        steps: 250,
+        tile: 32,
+        lr: 3e-3,
+        class_weighted: true,
+        augment: false,
+        seed: 3,
+    })
+    .train(&mut net, &dataset);
+    let mut pcfg = PipelineConfig::fast_test();
+    pcfg.monitor.samples = 4;
+    pcfg.monitor.max_warning_fraction = 0.35;
+    PipelineElSystem::new(ElPipeline::new(net, pcfg), conditions)
+}
+
+#[test]
+fn pipeline_el_flies_closed_loop() {
+    let mut cfg = MissionConfig::small_test();
+    cfg.rates = FailureRates::none();
+    cfg.rates.lost_navigation = 120.0;
+    let mission = Mission::new(cfg);
+    let mut el = quick_pipeline_el(Conditions::nominal());
+    let outcome = mission.run(&mut el, 4);
+    // Navigation was lost, so the mission must have engaged EL and ended
+    // either in a confirmed landing or a termination after abort.
+    assert!(outcome.maneuvers.contains(&Maneuver::EmergencyLanding));
+    match outcome.terminal {
+        TerminalState::LandedEl { .. } | TerminalState::Terminated { .. } => {}
+        other => panic!("unexpected terminal state {other:?}"),
+    }
+}
+
+#[test]
+fn closed_loop_is_deterministic() {
+    let mut cfg = MissionConfig::small_test();
+    cfg.rates.lost_navigation = 60.0;
+    let mission = Mission::new(cfg);
+    let a = mission.run(&mut quick_pipeline_el(Conditions::nominal()), 8);
+    let b = mission.run(&mut quick_pipeline_el(Conditions::nominal()), 8);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn campaign_with_pipeline_el_counts_consistent() {
+    let mut ccfg = CampaignConfig::small_test(8);
+    ccfg.mission.rates = FailureRates::none();
+    ccfg.mission.rates.lost_navigation = 90.0;
+    let campaign = Campaign::new(ccfg);
+    let report = campaign.run(&mut quick_pipeline_el(Conditions::nominal()));
+    assert_eq!(
+        report.completed + report.returned_to_base + report.landed_el + report.terminated,
+        report.missions
+    );
+    // Every mission that neither completed nor RTB'd must have engaged EL
+    // (installed) before any termination.
+    assert!(report.maneuver_engagements[Maneuver::EmergencyLanding as usize] > 0);
+}
+
+#[test]
+fn perfect_el_dominates_no_el_on_catastrophics() {
+    // Statistical safety ordering across 40 missions.
+    let mut ccfg = CampaignConfig::small_test(40);
+    ccfg.mission.rates = FailureRates::none();
+    ccfg.mission.rates.lost_navigation = 90.0;
+    ccfg.mission.wind = Wind {
+        mean_speed_mps: 1.0,
+        direction_rad: 0.3,
+        gust_std_mps: 0.3,
+    };
+    let with_el = Campaign::new(ccfg.clone()).run(&mut PerfectEl { clearance_m: 10.0 });
+    let mut no_cfg = ccfg;
+    no_cfg.mission.el_installed = false;
+    let without_el = Campaign::new(no_cfg).run(&mut NoEl);
+    assert!(with_el.catastrophic_fraction() <= without_el.catastrophic_fraction());
+    assert!(with_el.landed_el > 0);
+    assert_eq!(without_el.landed_el, 0);
+}
+
+#[test]
+fn sensor_fault_injection_composes_with_adapter() {
+    // Faulted imagery flows end to end: build a scene, wash out a strip,
+    // and make sure the adapter still produces a decision (not a panic).
+    use el_geom::Rect;
+    use el_scene::{apply_fault, SensorFault};
+    let scene = Scene::generate(&SceneParams::small(), 12);
+    let mut image = scene.render(&Conditions::nominal(), 1);
+    apply_fault(
+        &mut image,
+        Rect::new(10, 10, 60, 30),
+        SensorFault::Fog { strength: 0.9 },
+        4,
+    );
+    let mut el = quick_pipeline_el(Conditions::nominal());
+    // Run the inner pipeline directly on the faulted frame.
+    let outcome = el.pipeline_mut().run(&image, 77);
+    match outcome.decision {
+        FinalDecision::Land(_) | FinalDecision::Abort(_) => {}
+    }
+}

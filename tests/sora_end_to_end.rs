@@ -1,0 +1,104 @@
+//! Integration: the SORA engine reproduces the paper's Section III
+//! numbers end to end, and the proposed EL mitigation changes the
+//! certification outcome the way the paper argues.
+
+use certel::prelude::*;
+use el_core::requirements::{robustness, IntegrityDesign};
+use el_sora::casestudy::paper_numbers;
+use el_sora::oso::oso_profile;
+
+#[test]
+fn medi_delivery_headline_numbers() {
+    let n = paper_numbers();
+    // §III-A: "a typical ballistic vertical speed of 48.5 m/s … yields a
+    // kinetic energy of 8.23 KJ".
+    assert!((n.ballistic_speed_mps - 48.5).abs() < 0.1);
+    assert!((n.kinetic_energy_kj - 8.23).abs() < 0.03);
+    // §III-D1: "the resulting intrinsic GRC is 6 … the resulting initial
+    // ARC is ARC-c".
+    assert_eq!(n.intrinsic_grc, 6);
+    assert_eq!(n.initial_arc, Arc::C);
+    // §III-D3: "the final SAIL allocated to MEDI DELIVERY is 5 (6 if no
+    // M3 is proposed)".
+    assert_eq!(n.sail_with_m3.map(|s| s.level()), Some(5));
+    assert_eq!(n.sail_without_m3.map(|s| s.level()), Some(6));
+}
+
+#[test]
+fn el_mitigation_lowers_certification_burden() {
+    let op = medi_delivery();
+    let baseline = op.assess_without_el();
+    let with_el = op.assess_with_el(ElMitigation::paper_target());
+    assert!(with_el.final_grc < baseline.final_grc);
+    assert!(with_el.sail.unwrap() < baseline.sail.unwrap());
+    // The practical win: strictly fewer high-robustness OSOs.
+    let high_baseline = oso_profile(baseline.sail.unwrap())[3];
+    let high_with_el = oso_profile(with_el.sail.unwrap())[3];
+    assert!(high_with_el < high_baseline);
+}
+
+#[test]
+fn requirements_bridge_to_sora_robustness() {
+    // The el-core Table III/IV artefacts map onto the SORA robustness
+    // scale used by the mitigation engine.
+    let design = IntegrityDesign {
+        zones_avoid_high_risk: true,
+        effective_in_conditions: true,
+        accounts_for_wind: true,
+        accounts_for_failures: true,
+        accounts_for_latency: true,
+    };
+    let evidence = AssuranceEvidence {
+        declaration: true,
+        public_dataset_tested: true,
+        in_context_tested: true,
+        runtime_monitoring: true,
+        third_party_validation: false,
+        multi_condition_validated: false,
+    };
+    let integrity = design.integrity_level().unwrap();
+    let assurance = evidence.assurance_level().unwrap();
+    assert_eq!(integrity, IntegrityLevel::High);
+    assert_eq!(assurance, AssuranceLevel::Medium);
+    // SORA: robustness is the minimum of the two.
+    assert_eq!(robustness(integrity, assurance), IntegrityLevel::Medium);
+
+    // Dropping the runtime monitor collapses assurance to Low — the
+    // paper's core argument for monitoring ML components.
+    let no_monitor = AssuranceEvidence {
+        runtime_monitoring: false,
+        ..evidence
+    };
+    assert_eq!(no_monitor.assurance_level(), Some(AssuranceLevel::Low));
+    assert_eq!(
+        robustness(integrity, no_monitor.assurance_level().unwrap()),
+        IntegrityLevel::Low
+    );
+}
+
+#[test]
+fn el_claim_consistent_across_crates() {
+    // el-core levels → el-sora robustness → GRC credit.
+    let map = |l: IntegrityLevel| match l {
+        IntegrityLevel::Low => Robustness::Low,
+        IntegrityLevel::Medium => Robustness::Medium,
+        IntegrityLevel::High => Robustness::High,
+    };
+    let claim = ElMitigation {
+        integrity: map(IntegrityLevel::Medium),
+        assurance: Robustness::Medium,
+    };
+    let a = medi_delivery().assess_with_el(claim);
+    assert_eq!(a.final_grc, 4);
+    assert_eq!(a.sail.map(|s| s.level()), Some(4));
+}
+
+#[test]
+fn severity_scale_consistent_between_sora_and_sim() {
+    // The Table I scale used by the simulator's outcome grading is the
+    // same one the hazard registry uses.
+    assert_eq!(Severity::Catastrophic.rating(), 5);
+    let r1 = el_sora::hazard::ground_risk("R1").unwrap();
+    assert_eq!(r1.severity, Severity::Catastrophic);
+    assert!(r1.severity.is_fatal());
+}

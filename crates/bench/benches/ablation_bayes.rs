@@ -58,10 +58,7 @@ fn print_tables() {
     }
 
     eprintln!("\n===== A2b: Monte-Carlo sample count (paper: 10) =====");
-    eprintln!(
-        "{:>8} | {:>9} {:>9}",
-        "N", "miss(OOD)", "fa(ID)"
-    );
+    eprintln!("{:>8} | {:>9} {:>9}", "N", "miss(OOD)", "fa(ID)");
     for n in [1usize, 2, 5, 10, 20] {
         let rule = MonitorRule::paper();
         let ood = quality_for(rule, n, None, Split::Ood);
@@ -77,10 +74,7 @@ fn print_tables() {
     }
 
     eprintln!("\n===== A2c: inference-time dropout rate (paper: 0.5) =====");
-    eprintln!(
-        "{:>8} | {:>9} {:>9}",
-        "p", "miss(OOD)", "fa(ID)"
-    );
+    eprintln!("{:>8} | {:>9} {:>9}", "p", "miss(OOD)", "fa(ID)");
     for p in [0.1f32, 0.3, 0.5, 0.7] {
         let rule = MonitorRule::paper();
         let ood = quality_for(rule, 10, Some(p), Split::Ood);

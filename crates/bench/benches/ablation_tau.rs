@@ -43,7 +43,11 @@ fn sweep(split: Split, data: &[(Sample, el_geom::Grid<bool>, BayesStats)]) {
         for (sample, core_safe, stats) in data {
             q.accumulate(&sample.labels, core_safe, &rule.warning_map(stats));
         }
-        let mark = if (tau - 0.125).abs() < 1e-6 { "  <- paper" } else { "" };
+        let mark = if (tau - 0.125).abs() < 1e-6 {
+            "  <- paper"
+        } else {
+            ""
+        };
         eprintln!(
             "{:>8.3} {:>14.3} {:>12.3} {:>14.3}{}",
             tau,

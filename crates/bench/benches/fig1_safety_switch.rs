@@ -8,8 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use el_scene::SceneParams;
 use el_uavsim::{
-    Campaign, CampaignConfig, FailureRates, Mission, MissionConfig, NoEl, NoisyEl, PerfectEl,
-    Wind,
+    Campaign, CampaignConfig, FailureRates, Mission, MissionConfig, NoEl, NoisyEl, PerfectEl, Wind,
 };
 use std::hint::black_box;
 

@@ -97,9 +97,7 @@ fn print_tables() {
                 }
             }
         }
-        eprintln!(
-            "  {split:?}: {total} selections, {fatal} fatal, {high_risk} high-risk"
-        );
+        eprintln!("  {split:?}: {total} selections, {fatal} fatal, {high_risk} high-risk");
     }
     eprintln!(
         "shape check (paper): monitored pipeline must confirm zones in distribution and reject/abort under the OOD shift."

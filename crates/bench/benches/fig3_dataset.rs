@@ -12,10 +12,7 @@ use std::hint::black_box;
 fn print_tables() {
     let ds = benchmark_dataset();
     eprintln!("\n===== F3: synthetic dataset class distribution (per split) =====");
-    eprintln!(
-        "{:<16} {:>8} {:>8} {:>8}",
-        "class", "train", "test", "ood"
-    );
+    eprintln!("{:<16} {:>8} {:>8} {:>8}", "class", "train", "test", "ood");
     let train = ds.class_fractions(Split::Train);
     let test = ds.class_fractions(Split::Test);
     let ood = ds.class_fractions(Split::Ood);

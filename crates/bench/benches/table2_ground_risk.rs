@@ -22,10 +22,7 @@ fn print_table() {
     let scene = Scene::generate(&SceneParams::default_urban(), 7);
     let mpp = scene.params.meters_per_pixel;
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let (w_m, h_m) = (
-        scene.width() as f64 * mpp,
-        scene.height() as f64 * mpp,
-    );
+    let (w_m, h_m) = (scene.width() as f64 * mpp, scene.height() as f64 * mpp);
     // histogram[severity-1] for parachute and ballistic drops.
     let mut with_chute = [0usize; 5];
     let mut without = [0usize; 5];

@@ -26,9 +26,8 @@ pub fn benchmark_dataset() -> &'static Dataset {
 fn cache_path() -> PathBuf {
     // Benches run with the package directory as cwd; resolve the
     // workspace target dir from the manifest location instead.
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
     PathBuf::from(target).join("el-bench-trained-model.json")
 }
 
@@ -43,7 +42,10 @@ pub fn trained_model() -> MsdNet {
         let path = cache_path();
         if let Ok(json) = std::fs::read_to_string(&path) {
             if MsdNet::from_json(&json).is_ok() {
-                eprintln!("[el-bench] loaded cached trained model from {}", path.display());
+                eprintln!(
+                    "[el-bench] loaded cached trained model from {}",
+                    path.display()
+                );
                 return json;
             }
         }

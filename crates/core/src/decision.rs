@@ -161,7 +161,10 @@ mod tests {
         let Decision::TryNext(c) = dm.first() else {
             panic!("expected a trial");
         };
-        assert_eq!(dm.on_verdict(c.clone(), Verdict::Confirmed), Decision::Land(c));
+        assert_eq!(
+            dm.on_verdict(c.clone(), Verdict::Confirmed),
+            Decision::Land(c)
+        );
         assert_eq!(dm.trials_used(), 1);
     }
 

@@ -175,9 +175,7 @@ mod tests {
     #[test]
     fn latency_always_included() {
         let m = DriftModel::medi_delivery();
-        assert!(
-            m.required_clearance_m(0.0, IntegrityLevel::Low) >= m.latency_displacement_m()
-        );
+        assert!(m.required_clearance_m(0.0, IntegrityLevel::Low) >= m.latency_displacement_m());
         assert_eq!(m.latency_displacement_m(), 5.0);
     }
 

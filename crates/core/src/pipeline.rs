@@ -2,8 +2,9 @@
 
 use el_geom::{Grid, LabelMap};
 use el_monitor::{Monitor, MonitorConfig, Verdict};
+use el_nn::Workspace;
 use el_scene::Image;
-use el_seg::{segment, MsdNet};
+use el_seg::{segment_ws, MsdNet};
 use serde::{Deserialize, Serialize};
 
 use crate::decision::{AbortReason, Decision, DecisionConfig, DecisionModule};
@@ -146,6 +147,9 @@ pub struct ElPipeline {
     net: MsdNet,
     monitor: Monitor,
     config: PipelineConfig,
+    /// Scratch arena reused across runs: after the first frame, the core
+    /// function's forward passes allocate nothing.
+    ws: Workspace,
 }
 
 impl ElPipeline {
@@ -163,6 +167,7 @@ impl ElPipeline {
             net,
             monitor,
             config,
+            ws: Workspace::new(),
         }
     }
 
@@ -182,7 +187,7 @@ impl ElPipeline {
     /// deterministic given `(net, image, seed)`.
     pub fn run(&mut self, image: &Image, seed: u64) -> ElOutcome {
         // Core function: one deterministic pass + zone proposal.
-        let core = segment(&mut self.net, image);
+        let core = segment_ws(&self.net, image, &mut self.ws);
         let candidates = propose_zones(&core.labels, &self.config.zone);
 
         let mut trials = Vec::new();
@@ -195,9 +200,10 @@ impl ElPipeline {
                 Decision::Abort(r) => break FinalDecision::Abort(r),
                 Decision::TryNext(candidate) => {
                     let verdict = if self.config.monitored {
-                        let crop = crop_for_monitor(&candidate, self.config.monitor_margin_px, image);
+                        let crop =
+                            crop_for_monitor(&candidate, self.config.monitor_margin_px, image);
                         trial_seed = trial_seed.wrapping_add(0x9E37_79B9);
-                        let report = self.monitor.verify(&mut self.net, &crop, trial_seed);
+                        let report = self.monitor.verify(&self.net, &crop, trial_seed);
                         trials.push(Trial {
                             candidate: candidate.clone(),
                             verdict: report.verdict,
@@ -241,9 +247,7 @@ pub fn edge_density_zones(image: &Image, params: &ZoneParams) -> Vec<Candidate> 
         if x == 0 || y == 0 || x + 1 >= w || y + 1 >= h {
             return 0.0;
         }
-        let v = |dx: i64, dy: i64| {
-            lum[((x as i64 + dx) as usize, (y as i64 + dy) as usize)] as f64
-        };
+        let v = |dx: i64, dy: i64| lum[((x as i64 + dx) as usize, (y as i64 + dy) as usize)] as f64;
         let gx = (v(1, -1) + 2.0 * v(1, 0) + v(1, 1)) - (v(-1, -1) + 2.0 * v(-1, 0) + v(-1, 1));
         let gy = (v(-1, 1) + 2.0 * v(0, 1) + v(1, 1)) - (v(-1, -1) + 2.0 * v(0, -1) + v(1, -1));
         gx.hypot(gy)
@@ -256,14 +260,14 @@ pub fn edge_density_zones(image: &Image, params: &ZoneParams) -> Vec<Candidate> 
     let mut integral = vec![0.0f64; (w + 1) * (h + 1)];
     for y in 0..h {
         for x in 0..w {
-            integral[(y + 1) * (w + 1) + (x + 1)] = grad[(x, y)]
-                + integral[y * (w + 1) + (x + 1)]
-                + integral[(y + 1) * (w + 1) + x]
-                - integral[y * (w + 1) + x];
+            integral[(y + 1) * (w + 1) + (x + 1)] =
+                grad[(x, y)] + integral[y * (w + 1) + (x + 1)] + integral[(y + 1) * (w + 1) + x]
+                    - integral[y * (w + 1) + x];
         }
     }
     let window_sum = |x0: usize, y0: usize| {
-        integral[(y0 + side) * (w + 1) + (x0 + side)] - integral[y0 * (w + 1) + (x0 + side)]
+        integral[(y0 + side) * (w + 1) + (x0 + side)]
+            - integral[y0 * (w + 1) + (x0 + side)]
             - integral[(y0 + side) * (w + 1) + x0]
             + integral[y0 * (w + 1) + x0]
     };
@@ -336,10 +340,7 @@ mod tests {
                 assert_eq!(out.trials.last().unwrap().candidate, *c);
             }
             FinalDecision::Abort(_) => {
-                assert!(out
-                    .trials
-                    .iter()
-                    .all(|t| t.verdict == Verdict::Rejected));
+                assert!(out.trials.iter().all(|t| t.verdict == Verdict::Rejected));
             }
         }
     }
@@ -404,9 +405,6 @@ mod tests {
         let out = p.run(&img, 1);
         assert_eq!(out.predicted.width(), img.width());
         // The prediction uses real classes.
-        assert!(out
-            .predicted
-            .iter()
-            .all(|c| SemanticClass::ALL.contains(c)));
+        assert!(out.predicted.iter().all(|c| SemanticClass::ALL.contains(c)));
     }
 }

@@ -73,7 +73,8 @@ impl AssuranceEvidence {
         if !self.declaration {
             return None;
         }
-        let medium = self.public_dataset_tested && self.in_context_tested && self.runtime_monitoring;
+        let medium =
+            self.public_dataset_tested && self.in_context_tested && self.runtime_monitoring;
         if !medium {
             return Some(AssuranceLevel::Low);
         }
@@ -126,10 +127,7 @@ impl IntegrityDesign {
 /// The SORA robustness of a mitigation: the *minimum* of integrity and
 /// assurance (SORA Annex B: a mitigation is only as robust as the weaker
 /// of the two).
-pub fn robustness(
-    integrity: IntegrityLevel,
-    assurance: AssuranceLevel,
-) -> IntegrityLevel {
+pub fn robustness(integrity: IntegrityLevel, assurance: AssuranceLevel) -> IntegrityLevel {
     let a = match assurance {
         AssuranceLevel::Low => IntegrityLevel::Low,
         AssuranceLevel::Medium => IntegrityLevel::Medium,
@@ -186,7 +184,10 @@ mod tests {
             third_party_validation: true,
             ..medium
         };
-        assert_eq!(third_party_only.assurance_level(), Some(AssuranceLevel::Medium));
+        assert_eq!(
+            third_party_only.assurance_level(),
+            Some(AssuranceLevel::Medium)
+        );
         let high = AssuranceEvidence {
             third_party_validation: true,
             multi_condition_validated: true,

@@ -93,10 +93,7 @@ pub fn is_high_risk(class: SemanticClass) -> bool {
 /// preferred (it cushions and risks nothing — cf. the paper's survey
 /// [15]); clutter is acceptable ground.
 pub fn is_landable(class: SemanticClass) -> bool {
-    matches!(
-        class,
-        SemanticClass::LowVegetation | SemanticClass::Clutter
-    )
+    matches!(class, SemanticClass::LowVegetation | SemanticClass::Clutter)
 }
 
 /// Proposes candidate landing zones from a (predicted) label map.
@@ -144,7 +141,7 @@ pub fn propose_zones(predicted: &LabelMap, params: &ZoneParams) -> Vec<Candidate
                 continue;
             }
             let d = dist[p];
-            if best.map_or(true, |(_, bd)| d > bd) {
+            if best.is_none_or(|(_, bd)| d > bd) {
                 best = Some((p, d));
             }
         }
@@ -221,7 +218,10 @@ mod tests {
         assert!(!zones.is_empty());
         for z in &zones {
             let d = ((z.center.x - 31).pow(2) as f64 + (z.center.y - 31).pow(2) as f64).sqrt();
-            assert!(d >= params.clearance_px - 4.0, "zone centre too close to crowd");
+            assert!(
+                d >= params.clearance_px - 4.0,
+                "zone centre too close to crowd"
+            );
         }
     }
 

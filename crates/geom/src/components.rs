@@ -37,7 +37,10 @@ pub struct Component {
 impl Component {
     /// Centroid rounded to the nearest pixel.
     pub fn centroid_pixel(&self) -> Point {
-        Point::new(self.centroid.0.round() as i64, self.centroid.1.round() as i64)
+        Point::new(
+            self.centroid.0.round() as i64,
+            self.centroid.1.round() as i64,
+        )
     }
 
     /// Fill ratio: `area / bbox.area()`, in `(0, 1]`.

@@ -16,7 +16,7 @@ use crate::label::SemanticClass;
 /// `min_p (q - p)^2 + f[p]`.
 fn dt_1d(f: &[f64], out: &mut [f64], v: &mut [usize], z: &mut [f64]) {
     let n = f.len();
-    debug_assert!(out.len() == n && v.len() >= n && z.len() >= n + 1);
+    debug_assert!(out.len() == n && v.len() >= n && z.len() > n);
     if n == 0 {
         return;
     }
@@ -64,6 +64,7 @@ fn dt_1d(f: &[f64], out: &mut [f64], v: &mut [usize], z: &mut [f64]) {
         return;
     }
     let mut k = 0usize;
+    #[allow(clippy::needless_range_loop)] // `q` also drives the envelope walk below
     for q in 0..n {
         while z[k + 1] < q as f64 {
             k += 1;
@@ -199,7 +200,9 @@ mod tests {
         // Deterministic pseudo-random pattern.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for trial in 0..5 {

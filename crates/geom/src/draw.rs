@@ -183,7 +183,11 @@ mod tests {
                 continue;
             }
             assert!(
-                p.neighbours8().iter().filter(|n| g.get(**n) == Some(&true)).count() >= 2,
+                p.neighbours8()
+                    .iter()
+                    .filter(|n| g.get(**n) == Some(&true))
+                    .count()
+                    >= 2,
                 "line broken at {p}"
             );
         }
@@ -239,7 +243,11 @@ mod tests {
         let mut g = Grid::new(12, 12, false);
         fill_polygon(
             &mut g,
-            &[Vec2::new(1.0, 1.0), Vec2::new(10.0, 1.0), Vec2::new(1.0, 10.0)],
+            &[
+                Vec2::new(1.0, 1.0),
+                Vec2::new(10.0, 1.0),
+                Vec2::new(1.0, 10.0),
+            ],
             true,
         );
         assert!(g[(2, 2)]);

@@ -37,7 +37,10 @@ impl fmt::Display for GeomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeomError::SizeMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match grid size {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match grid size {expected}"
+                )
             }
             GeomError::ShapeMismatch { a, b } => {
                 write!(f, "grid shapes {}x{} and {}x{} differ", a.0, a.1, b.0, b.1)
@@ -64,7 +67,10 @@ mod tests {
             actual: 3,
         };
         assert!(e.to_string().contains("length 3"));
-        let e = GeomError::ShapeMismatch { a: (1, 2), b: (3, 4) };
+        let e = GeomError::ShapeMismatch {
+            a: (1, 2),
+            b: (3, 4),
+        };
         assert!(e.to_string().contains("1x2"));
         let e = GeomError::OutOfBounds {
             rect: Rect::new(0, 0, 5, 5),

@@ -57,9 +57,7 @@ impl<T: Clone> Grid<T> {
 
     /// Fills the entire grid with copies of `value`.
     pub fn fill(&mut self, value: T) {
-        for v in &mut self.data {
-            *v = value.clone();
-        }
+        self.data.fill(value);
     }
 
     /// Extracts a copy of the sub-grid covered by `rect`.
@@ -95,12 +93,19 @@ impl<T: Clone> Grid<T> {
         let dst_bounds = self.bounds();
         let src_rect = Rect::new(at.x, at.y, src.width as i64, src.height as i64);
         let clip = dst_bounds.intersect(src_rect);
+        if clip.w <= 0 || clip.h <= 0 {
+            return;
+        }
+        // Per-row slice copies: the clip rectangle is resolved once, so no
+        // per-pixel bounds math or index checks remain.
+        let sx0 = (clip.x - at.x) as usize;
+        let sx1 = (clip.right() - at.x) as usize;
+        let dx0 = clip.x as usize;
+        let dx1 = clip.right() as usize;
         for y in clip.y..clip.bottom() {
-            for x in clip.x..clip.right() {
-                let sx = (x - at.x) as usize;
-                let sy = (y - at.y) as usize;
-                self[(x as usize, y as usize)] = src[(sx, sy)].clone();
-            }
+            let sy = (y - at.y) as usize;
+            let src_row = &src.row(sy)[sx0..sx1];
+            self.row_mut(y as usize)[dx0..dx1].clone_from_slice(src_row);
         }
     }
 }
@@ -214,7 +219,11 @@ impl<T> Grid<T> {
     /// Panics if `y >= height`.
     #[inline]
     pub fn row(&self, y: usize) -> &[T] {
-        assert!(y < self.height, "row {y} out of bounds (height {})", self.height);
+        assert!(
+            y < self.height,
+            "row {y} out of bounds (height {})",
+            self.height
+        );
         &self.data[y * self.width..(y + 1) * self.width]
     }
 
@@ -225,7 +234,11 @@ impl<T> Grid<T> {
     /// Panics if `y >= height`.
     #[inline]
     pub fn row_mut(&mut self, y: usize) -> &mut [T] {
-        assert!(y < self.height, "row {y} out of bounds (height {})", self.height);
+        assert!(
+            y < self.height,
+            "row {y} out of bounds (height {})",
+            self.height
+        );
         &mut self.data[y * self.width..(y + 1) * self.width]
     }
 
@@ -260,17 +273,18 @@ impl<T> Grid<T> {
     /// Iterates over `(Point, &T)` pairs in row-major order.
     pub fn enumerate(&self) -> impl Iterator<Item = (Point, &T)> {
         let w = self.width;
-        self.data.iter().enumerate().map(move |(i, v)| {
-            (Point::new((i % w) as i64, (i / w) as i64), v)
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (Point::new((i % w) as i64, (i / w) as i64), v))
     }
 
     /// Applies `f` to every pixel, producing a new grid of the same shape.
-    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Grid<U> {
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Grid<U> {
         Grid {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 
@@ -356,12 +370,8 @@ impl<T> Index<Point> for Grid<T> {
     /// Panics if `p` is out of bounds.
     #[inline]
     fn index(&self, p: Point) -> &T {
-        self.get(p).unwrap_or_else(|| {
-            panic!(
-                "pixel {p} out of bounds ({}x{})",
-                self.width, self.height
-            )
-        })
+        self.get(p)
+            .unwrap_or_else(|| panic!("pixel {p} out of bounds ({}x{})", self.width, self.height))
     }
 }
 

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p + Point::new(1, -1), Point::new(4, 3));
 /// assert_eq!(p.l2_norm(), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate (column), grows rightwards.
     pub x: i64,

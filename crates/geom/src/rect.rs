@@ -291,6 +291,9 @@ mod tests {
         assert_eq!(r.distance_to_point(Point::new(5, 5)), 0.0);
         assert_eq!(r.distance_to_point(Point::new(12, 5)), 3.0);
         assert_eq!(r.distance_to_point(Point::new(12, 13)), 5.0);
-        assert_eq!(Rect::default().distance_to_point(Point::ORIGIN), f64::INFINITY);
+        assert_eq!(
+            Rect::default().distance_to_point(Point::ORIGIN),
+            f64::INFINITY
+        );
     }
 }

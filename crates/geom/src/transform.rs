@@ -143,7 +143,13 @@ mod tests {
         let images: Vec<_> = Dihedral::ALL.iter().map(|d| d.apply(&g)).collect();
         for i in 0..8 {
             for j in (i + 1)..8 {
-                assert_ne!(images[i], images[j], "{:?} == {:?}", Dihedral::ALL[i], Dihedral::ALL[j]);
+                assert_ne!(
+                    images[i],
+                    images[j],
+                    "{:?} == {:?}",
+                    Dihedral::ALL[i],
+                    Dihedral::ALL[j]
+                );
             }
         }
     }

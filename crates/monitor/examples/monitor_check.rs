@@ -18,13 +18,15 @@ fn main() {
     let rule = MonitorRule::paper();
     for split in [Split::Test, Split::Ood] {
         let mut q = MonitorQuality::default();
-        let mut unc = 0.0; let mut n = 0;
+        let mut unc = 0.0;
+        let mut n = 0;
         let t0 = std::time::Instant::now();
         for s in ds.split(split) {
             let core = segment(&mut net, &s.image);
             let core_safe = core.labels.map(|c| !c.is_busy_road());
             let stats = bayesian_segment(&mut net, &s.image, 10, 42);
-            unc += stats.mean_uncertainty(); n += 1;
+            unc += stats.mean_uncertainty();
+            n += 1;
             let warn = rule.warning_map(&stats);
             q.accumulate(&s.labels, &core_safe, &warn);
         }

@@ -1,13 +1,53 @@
-//! Monte-Carlo-dropout Bayesian inference.
+//! Monte-Carlo-dropout Bayesian inference — the monitor's fast engine.
+//!
+//! # Engine design
+//!
+//! A verified crop costs `samples` stochastic passes in the naive
+//! formulation. The engine cuts that down three ways, none of which
+//! changes the statistics' semantics:
+//!
+//! 1. **Invariant-prefix caching.** No dropout layer precedes the MSDnet's
+//!    dilated branch convolutions, so `relu(conv_d(x))` is identical in
+//!    every Monte-Carlo sample. [`el_seg::MsdNet::mc_prefix`] computes it
+//!    once per crop; each sample replays only the stochastic suffix
+//!    (branch dropout → fusion head → head dropout → classifier).
+//! 2. **Deterministic seed splitting.** Sample `k` draws its dropout
+//!    masks from a private `ChaCha8Rng` seeded with
+//!    `splitmix64(seed ⊕ (k+1)·φ)` (the SplitMix64 finaliser over the
+//!    caller's seed and the sample index, `φ` the 64-bit golden-ratio
+//!    constant). Samples are therefore independent of execution order —
+//!    the parallel and sequential paths see byte-identical mask streams.
+//! 3. **Fixed-chunk streaming Welford.** Samples are partitioned into at
+//!    most [`MC_CHUNKS`] contiguous chunks — a partition that depends only
+//!    on the sample count, never on thread count. Each chunk folds its
+//!    samples into a running Welford mean/M2 (O(1) memory in the sample
+//!    count); the per-chunk partials are then merged **in chunk order**
+//!    with Chan's parallel-combine formula. Because both the partition and
+//!    the merge order are fixed, [`bayesian_segment_tensor`] (chunks on
+//!    rayon workers) and [`bayesian_segment_tensor_sequential`] (same
+//!    chunks, one thread) produce bit-identical [`BayesStats`].
+//!
+//! The pre-optimization path — naive scalar convolution, one RNG stream,
+//! strictly sequential — survives as [`bayesian_segment_tensor_reference`]
+//! for the equivalence tests and the `perf_monitor_scaling` benchmark.
 
-use el_nn::layers::{Layer, Phase};
-use el_nn::loss::softmax;
-use el_nn::Tensor;
+use el_nn::layers::Phase;
+use el_nn::loss::{softmax, softmax_in_place};
+use el_nn::{Tensor, Workspace};
 use el_scene::Image;
 use el_seg::data::image_to_tensor;
 use el_seg::MsdNet;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Maximum number of Monte-Carlo work chunks.
+///
+/// The partition of samples into chunks depends only on the sample count,
+/// so results are independent of how many threads actually execute them.
+/// Memory overhead is O(`MC_CHUNKS`) statistics buffers, regardless of the
+/// sample count.
+pub const MC_CHUNKS: usize = 8;
 
 /// Per-pixel, per-class statistics over `samples` stochastic passes.
 #[derive(Debug, Clone)]
@@ -44,20 +84,206 @@ impl BayesStats {
     }
 }
 
+/// The 64-bit golden-ratio constant used by SplitMix64.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the private seed of Monte-Carlo sample `k` from the caller's
+/// seed: the SplitMix64 finaliser over `seed + (k+1)·φ`.
+///
+/// Execution-order independent by construction — this is what makes the
+/// parallel sample loop deterministic.
+fn sample_seed(seed: u64, k: usize) -> u64 {
+    let mut z = seed.wrapping_add((k as u64 + 1).wrapping_mul(GOLDEN));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fixed, thread-count-independent partition of `samples` into at
+/// most [`MC_CHUNKS`] contiguous `(start, len)` chunks.
+fn chunk_layout(samples: usize) -> Vec<(usize, usize)> {
+    let chunks = samples.clamp(1, MC_CHUNKS);
+    let base = samples / chunks;
+    let extra = samples % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// A streaming Welford mean/M2 accumulator over equal-length vectors.
+struct Welford {
+    count: usize,
+    mean: Vec<f32>,
+    m2: Vec<f32>,
+}
+
+impl Welford {
+    fn new(len: usize) -> Self {
+        Welford {
+            count: 0,
+            mean: vec![0.0; len],
+            m2: vec![0.0; len],
+        }
+    }
+
+    /// Folds one sample in (classic Welford update).
+    fn push(&mut self, xs: &[f32]) {
+        debug_assert_eq!(xs.len(), self.mean.len());
+        self.count += 1;
+        let n = self.count as f32;
+        for ((m, s2), &x) in self.mean.iter_mut().zip(&mut self.m2).zip(xs) {
+            let delta = x - *m;
+            *m += delta / n;
+            *s2 += delta * (x - *m);
+        }
+    }
+
+    /// Merges two partials with Chan's parallel-combine formula.
+    fn merge(mut self, other: Welford) -> Welford {
+        if other.count == 0 {
+            return self;
+        }
+        if self.count == 0 {
+            return other;
+        }
+        let na = self.count as f32;
+        let nb = other.count as f32;
+        let n = na + nb;
+        for (((m_a, s2_a), &m_b), &s2_b) in self
+            .mean
+            .iter_mut()
+            .zip(&mut self.m2)
+            .zip(&other.mean)
+            .zip(&other.m2)
+        {
+            let delta = m_b - *m_a;
+            *m_a += delta * (nb / n);
+            *s2_a += s2_b + delta * delta * (na * nb / n);
+        }
+        self.count += other.count;
+        self
+    }
+}
+
+/// Runs one chunk of Monte-Carlo samples against a shared network and
+/// prefix, folding each sample's softmax scores into a Welford partial.
+fn run_chunk(
+    net: &MsdNet,
+    fused: &Tensor,
+    seed: u64,
+    start: usize,
+    len: usize,
+    stat_len: usize,
+) -> Welford {
+    let mut ws = Workspace::new();
+    let mut acc = Welford::new(stat_len);
+    for k in start..start + len {
+        let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(seed, k));
+        let mut probs = net.mc_sample(fused, &mut rng, &mut ws);
+        softmax_in_place(&mut probs);
+        acc.push(probs.as_slice());
+        ws.recycle(probs);
+    }
+    acc
+}
+
+fn stats_from(partials: Vec<Welford>, samples: usize, shape: (usize, usize, usize)) -> BayesStats {
+    let total = partials
+        .into_iter()
+        .reduce(Welford::merge)
+        .expect("at least one chunk");
+    debug_assert_eq!(total.count, samples);
+    let denom = samples as f32;
+    let (c, h, w) = shape;
+    let std: Vec<f32> = total
+        .m2
+        .iter()
+        .map(|&s2| (s2 / denom).max(0.0).sqrt())
+        .collect();
+    BayesStats {
+        mean: Tensor::from_vec(c, h, w, total.mean).expect("mean shaped like the logits"),
+        std: Tensor::from_vec(c, h, w, std).expect("std shaped like the logits"),
+        samples,
+    }
+}
+
+fn mc_stats(net: &MsdNet, input: &Tensor, samples: usize, seed: u64, parallel: bool) -> BayesStats {
+    assert!(samples > 0, "at least one Monte-Carlo sample is required");
+    let mut ws = Workspace::new();
+    let fused = net.mc_prefix(input, &mut ws);
+    let stat_len = net.classes() * input.height() * input.width();
+    let shape = (net.classes(), input.height(), input.width());
+    let chunks = chunk_layout(samples);
+    let partials: Vec<Welford> = if parallel {
+        chunks
+            .into_par_iter()
+            .map(|(start, len)| run_chunk(net, &fused, seed, start, len, stat_len))
+            .collect()
+    } else {
+        chunks
+            .into_iter()
+            .map(|(start, len)| run_chunk(net, &fused, seed, start, len, stat_len))
+            .collect()
+    };
+    stats_from(partials, samples, shape)
+}
+
 /// Runs Monte-Carlo-dropout inference on an input tensor.
 ///
-/// The network runs `samples` times in [`Phase::Stochastic`] — dropout
-/// live, different neurons dropped each pass, exactly the paper's Bayesian
-/// MSDnet — and the per-pixel softmax scores are aggregated into mean and
-/// standard deviation via Welford's algorithm (single pass, numerically
-/// stable).
+/// The network's stochastic suffix runs `samples` times — dropout live,
+/// different neurons dropped each pass, exactly the paper's Bayesian
+/// MSDnet — with the sample chunks spread over rayon workers, and the
+/// per-pixel softmax scores aggregated into mean and standard deviation
+/// by streaming Welford accumulation (see the module docs for why this is
+/// deterministic and O(1) memory in the sample count).
 ///
-/// Deterministic given `(net, input, samples, seed)`.
+/// Deterministic given `(net, input, samples, seed)` — independent of
+/// thread count, and bit-identical to
+/// [`bayesian_segment_tensor_sequential`].
 ///
 /// # Panics
 ///
 /// Panics if `samples == 0`.
 pub fn bayesian_segment_tensor(
+    net: &MsdNet,
+    input: &Tensor,
+    samples: usize,
+    seed: u64,
+) -> BayesStats {
+    mc_stats(net, input, samples, seed, true)
+}
+
+/// Single-threaded variant of [`bayesian_segment_tensor`]: the identical
+/// chunk layout and merge order on one thread, hence bit-identical
+/// results (asserted by tests).
+pub fn bayesian_segment_tensor_sequential(
+    net: &MsdNet,
+    input: &Tensor,
+    samples: usize,
+    seed: u64,
+) -> BayesStats {
+    mc_stats(net, input, samples, seed, false)
+}
+
+/// The pre-optimization baseline: naive scalar convolution
+/// ([`MsdNet::forward_reference`]), one sequential RNG stream, full
+/// forward pass per sample.
+///
+/// Retained to anchor the engine's speedup in `perf_monitor_scaling` and
+/// as a semantic reference — it produces the same *distribution* of
+/// statistics, though not the same bits (its single RNG stream makes
+/// sample `k` depend on all earlier samples, which is exactly what the
+/// seed-splitting scheme removed).
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn bayesian_segment_tensor_reference(
     net: &mut MsdNet,
     input: &Tensor,
     samples: usize,
@@ -65,49 +291,21 @@ pub fn bayesian_segment_tensor(
 ) -> BayesStats {
     assert!(samples > 0, "at least one Monte-Carlo sample is required");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut mean: Option<Tensor> = None;
-    let mut m2: Option<Tensor> = None;
-
-    for k in 0..samples {
-        let logits = net.forward(input, Phase::Stochastic, &mut rng);
+    let mut acc: Option<Welford> = None;
+    for _ in 0..samples {
+        let logits = net.forward_reference(input, Phase::Stochastic, &mut rng);
         let probs = softmax(&logits);
-        match (&mut mean, &mut m2) {
-            (None, None) => {
-                m2 = Some(probs.map(|_| 0.0));
-                mean = Some(probs);
-            }
-            (Some(mean), Some(m2)) => {
-                let n = (k + 1) as f32;
-                for ((m, s2), &x) in mean
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(m2.as_mut_slice())
-                    .zip(probs.as_slice())
-                {
-                    let delta = x - *m;
-                    *m += delta / n;
-                    *s2 += delta * (x - *m);
-                }
-            }
-            _ => unreachable!(),
-        }
+        acc.get_or_insert_with(|| Welford::new(probs.len()))
+            .push(probs.as_slice());
     }
-
-    let mean = mean.expect("samples > 0");
-    let m2 = m2.expect("samples > 0");
-    let denom = samples.max(1) as f32;
-    let std = m2.map(|s2| (s2 / denom).max(0.0).sqrt());
-    BayesStats {
-        mean,
-        std,
-        samples,
-    }
+    let shape = (net.classes(), input.height(), input.width());
+    stats_from(vec![acc.expect("samples > 0")], samples, shape)
 }
 
 /// Runs Monte-Carlo-dropout inference on a rendered image.
 ///
 /// See [`bayesian_segment_tensor`].
-pub fn bayesian_segment(net: &mut MsdNet, image: &Image, samples: usize, seed: u64) -> BayesStats {
+pub fn bayesian_segment(net: &MsdNet, image: &Image, samples: usize, seed: u64) -> BayesStats {
     bayesian_segment_tensor(net, &image_to_tensor(image), samples, seed)
 }
 
@@ -136,6 +334,53 @@ mod tests {
         assert_eq!(a.std, b.std);
         let c = bayesian_segment_tensor(&mut net, &input, 5, 2);
         assert_ne!(a.mean, c.mean, "different seeds draw different masks");
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_bit_identical() {
+        let (mut net, input) = setup();
+        for samples in [1, 3, 8, 13] {
+            let par = bayesian_segment_tensor(&mut net, &input, samples, 21);
+            let seq = bayesian_segment_tensor_sequential(&mut net, &input, samples, 21);
+            assert_eq!(
+                par.mean.as_slice(),
+                seq.mean.as_slice(),
+                "{samples}-sample means diverge"
+            );
+            assert_eq!(
+                par.std.as_slice(),
+                seq.std.as_slice(),
+                "{samples}-sample stds diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_distribution() {
+        // The engine and the naive baseline draw different (but equally
+        // valid) mask streams; their statistics must agree in expectation.
+        // With dropout 0 both are deterministic and must agree exactly.
+        let (mut net, input) = setup();
+        net.set_dropout(0.0);
+        let a = bayesian_segment_tensor(&mut net, &input, 4, 7);
+        let b = bayesian_segment_tensor_reference(&mut net, &input, 4, 7);
+        assert_eq!(a.mean, b.mean, "dropout-0 means must agree exactly");
+        assert!(a.std.max_abs() < 1e-6 && b.std.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunk_layout_is_exhaustive_and_ordered() {
+        for samples in 1..40 {
+            let chunks = chunk_layout(samples);
+            assert!(chunks.len() <= MC_CHUNKS);
+            let mut expect = 0;
+            for (start, len) in &chunks {
+                assert_eq!(*start, expect, "chunks must be contiguous");
+                assert!(*len > 0, "chunks must be non-empty");
+                expect += len;
+            }
+            assert_eq!(expect, samples, "chunks must cover all samples");
+        }
     }
 
     #[test]
@@ -170,11 +415,14 @@ mod tests {
         let (mut net, input) = setup();
         let samples = 7;
         let stats = bayesian_segment_tensor(&mut net, &input, samples, 9);
-        // Reference: recompute by storing all passes.
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        // Reference: recompute by storing all passes, drawing each
+        // sample's masks from its split seed.
+        let mut ws = Workspace::new();
+        let fused = net.mc_prefix(&input, &mut ws);
         let mut all: Vec<Tensor> = Vec::new();
-        for _ in 0..samples {
-            let logits = net.forward(&input, Phase::Stochastic, &mut rng);
+        for k in 0..samples {
+            let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(9, k));
+            let logits = net.mc_sample(&fused, &mut rng, &mut ws);
             all.push(softmax(&logits));
         }
         let n = all[0].len();

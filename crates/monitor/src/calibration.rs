@@ -43,7 +43,11 @@ pub struct OperatingPoint {
 pub fn evaluate_rule(rule: MonitorRule, cases: &[CalibrationCase]) -> OperatingPoint {
     let mut q = MonitorQuality::default();
     for case in cases {
-        q.accumulate(&case.ground_truth, &case.core_safe, &rule.warning_map(&case.stats));
+        q.accumulate(
+            &case.ground_truth,
+            &case.core_safe,
+            &rule.warning_map(&case.stats),
+        );
     }
     OperatingPoint {
         rule,
@@ -59,7 +63,11 @@ pub fn evaluate_rule(rule: MonitorRule, cases: &[CalibrationCase]) -> OperatingP
 /// # Panics
 ///
 /// Panics if `taus` is empty or any resulting rule is invalid.
-pub fn sweep_tau(taus: &[f32], sigma_factor: f32, cases: &[CalibrationCase]) -> Vec<OperatingPoint> {
+pub fn sweep_tau(
+    taus: &[f32],
+    sigma_factor: f32,
+    cases: &[CalibrationCase],
+) -> Vec<OperatingPoint> {
     assert!(!taus.is_empty(), "at least one tau is required");
     let mut taus = taus.to_vec();
     taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -85,7 +93,7 @@ pub fn select_tau(
 ) -> Option<OperatingPoint> {
     sweep_tau(taus, sigma_factor, cases)
         .into_iter()
-        .find(|p| p.false_alarm_rate.map_or(true, |fa| fa <= max_false_alarm))
+        .find(|p| p.false_alarm_rate.is_none_or(|fa| fa <= max_false_alarm))
 }
 
 #[cfg(test)]

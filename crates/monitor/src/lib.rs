@@ -22,6 +22,24 @@
 //! - [`metrics`]: monitor-quality metrics — how much of the core model's
 //!   dangerous misses the monitor covers, at what false-alarm cost.
 //!
+//! # The fast monitor engine
+//!
+//! Monitor latency is `samples ×` core-function latency in the naive
+//! formulation, which makes it the safety pipeline's dominant cost. The
+//! [`bayes`] engine attacks all of it (see that module's docs for the
+//! full scheme):
+//!
+//! - the Monte-Carlo-**invariant** prefix of the network (the dilated
+//!   branch convolutions, which no dropout precedes) is computed once per
+//!   crop and shared by every sample;
+//! - each sample's dropout masks come from a private `ChaCha8Rng` seeded
+//!   by SplitMix64-splitting the caller's seed with the sample index, so
+//!   samples are order-independent and the chunk loop parallelises over
+//!   rayon without changing a single bit of the result;
+//! - statistics stream through per-chunk Welford accumulators merged in
+//!   fixed chunk order (Chan's formula) — O(1) memory in the sample
+//!   count, and bit-identical between the parallel and sequential paths.
+//!
 //! # Example
 //!
 //! ```
@@ -32,11 +50,11 @@
 //! use rand_chacha::ChaCha8Rng;
 //!
 //! let mut rng = ChaCha8Rng::seed_from_u64(0);
-//! let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+//! let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
 //! let scene = Scene::generate(&SceneParams::small(), 1);
 //! let image = scene.render(&Conditions::nominal(), 2);
 //! let monitor = Monitor::new(MonitorConfig { samples: 4, ..MonitorConfig::default() });
-//! let report = monitor.verify(&mut net, &image, 3);
+//! let report = monitor.verify(&net, &image, 3);
 //! assert_eq!(report.warning_map.width(), image.width());
 //! ```
 #![warn(missing_docs)]
@@ -48,7 +66,10 @@ pub mod metrics;
 pub mod monitor;
 pub mod rule;
 
-pub use bayes::{bayesian_segment, BayesStats};
+pub use bayes::{
+    bayesian_segment, bayesian_segment_tensor, bayesian_segment_tensor_reference,
+    bayesian_segment_tensor_sequential, BayesStats,
+};
 pub use calibration::{evaluate_rule, select_tau, sweep_tau, CalibrationCase, OperatingPoint};
 pub use metrics::MonitorQuality;
 pub use monitor::{Monitor, MonitorConfig, MonitorReport, Verdict};

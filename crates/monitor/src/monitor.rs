@@ -114,7 +114,7 @@ impl Monitor {
     ///
     /// Runs Monte-Carlo-dropout inference and applies the decision rule.
     /// Deterministic given `(net, crop, seed)`.
-    pub fn verify(&self, net: &mut MsdNet, crop: &Image, seed: u64) -> MonitorReport {
+    pub fn verify(&self, net: &MsdNet, crop: &Image, seed: u64) -> MonitorReport {
         let stats = bayesian_segment(net, crop, self.config.samples, seed);
         self.report_from_stats(stats)
     }
@@ -184,7 +184,10 @@ mod tests {
             samples: 10,
         };
         let strict = Monitor::paper();
-        assert_eq!(strict.report_from_stats(stats.clone()).verdict, Verdict::Rejected);
+        assert_eq!(
+            strict.report_from_stats(stats.clone()).verdict,
+            Verdict::Rejected
+        );
         let tolerant = Monitor::new(MonitorConfig {
             max_warning_fraction: 0.5,
             ..MonitorConfig::paper()

@@ -105,7 +105,11 @@ where
     }
     GradCheck {
         max_rel_error: max_rel,
-        mean_rel_error: if checked > 0 { sum_rel / checked as f64 } else { 0.0 },
+        mean_rel_error: if checked > 0 {
+            sum_rel / checked as f64
+        } else {
+            0.0
+        },
         checked,
     }
 }
@@ -133,11 +137,7 @@ where
     let out = layer.forward(x, Phase::Train, &mut r);
     assert_eq!(out.shape(), seed.shape(), "seed must match output shape");
     let _ = layer.backward(seed);
-    let analytic: Vec<Vec<f32>> = layer
-        .params()
-        .iter()
-        .map(|p| p.grad.to_vec())
-        .collect();
+    let analytic: Vec<Vec<f32>> = layer.params().iter().map(|p| p.grad.to_vec()).collect();
 
     let objective = |layer: &mut L| -> f64 {
         let mut r = rng.clone();
@@ -171,7 +171,11 @@ where
     }
     GradCheck {
         max_rel_error: max_rel,
-        mean_rel_error: if checked > 0 { sum_rel / checked as f64 } else { 0.0 },
+        mean_rel_error: if checked > 0 {
+            sum_rel / checked as f64
+        } else {
+            0.0
+        },
         checked,
     }
 }

@@ -1,4 +1,9 @@
 //! 2-D convolution with arbitrary dilation ("same" padding, stride 1).
+//!
+//! The forward pass is an im2col lowering followed by a register-blocked
+//! row-major micro-kernel (see [`Conv2d::forward_with`]); the naive
+//! per-tap loop is retained as [`Conv2d::forward_reference`] for
+//! equivalence tests and benchmark baselines.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -6,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use super::{Layer, ParamRef, Phase};
 use crate::init;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A 2-D convolution layer with square kernels, stride 1, "same" zero
 /// padding and configurable dilation.
@@ -42,6 +48,8 @@ pub struct Conv2d {
     grad_bias: Vec<f32>,
     #[serde(skip)]
     cached_input: Option<Tensor>,
+    #[serde(skip)]
+    scratch: Workspace,
 }
 
 impl Conv2d {
@@ -59,8 +67,14 @@ impl Conv2d {
         dilation: usize,
         rng: &mut dyn RngCore,
     ) -> Self {
-        assert!(kernel % 2 == 1 && kernel > 0, "kernel must be odd, got {kernel}");
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(
+            kernel % 2 == 1 && kernel > 0,
+            "kernel must be odd, got {kernel}"
+        );
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
         assert!(dilation > 0, "dilation must be positive");
         let fan_in = in_channels * kernel * kernel;
         let n = out_channels * fan_in;
@@ -75,6 +89,7 @@ impl Conv2d {
             grad_weight: vec![0.0; n],
             grad_bias: vec![0.0; out_channels],
             cached_input: None,
+            scratch: Workspace::new(),
         }
     }
 
@@ -134,7 +149,11 @@ impl Conv2d {
         ((o * self.in_channels + i) * self.kernel + ky) * self.kernel + kx
     }
 
-    fn forward_impl(&self, input: &Tensor) -> Tensor {
+    /// The naive per-tap scalar convolution — the pre-optimization
+    /// implementation, kept as the ground truth that
+    /// [`Conv2d::forward_with`] must reproduce exactly (property-tested)
+    /// and as the benchmark baseline for the engine speedup.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.channels(),
             self.in_channels,
@@ -180,11 +199,296 @@ impl Conv2d {
         }
         out
     }
+
+    /// Optimized, allocation-free forward pass: im2col lowering plus a
+    /// register-blocked micro-kernel, with every scratch buffer drawn from
+    /// `ws`.
+    ///
+    /// Produces exactly the same values as [`Conv2d::forward_reference`]:
+    /// per output element the reduction accumulates taps in the identical
+    /// `(in, ky, kx)` order, so f32 rounding agrees bit for bit (modulo
+    /// the sign of zero). Immutable on `self`, so concurrent Monte-Carlo
+    /// samples can share one network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not have [`Conv2d::in_channels`] channels.
+    pub fn forward_with(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(
+            input.channels(),
+            self.in_channels,
+            "Conv2d expected {} input channels, got {}",
+            self.in_channels,
+            input.channels()
+        );
+        let (h, w) = (input.height(), input.width());
+        let hw = h * w;
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        let mut out = ws.take(self.out_channels * hw);
+        if self.kernel == 1 {
+            // 1x1 convolution: the im2col matrix *is* the input.
+            gemm_bias(
+                &self.weight,
+                input.as_slice(),
+                &self.bias,
+                &mut out,
+                self.out_channels,
+                k_dim,
+                hw,
+            );
+        } else {
+            let mut col = ws.take_zeroed(k_dim * hw);
+            self.im2col(input, &mut col);
+            gemm_bias(
+                &self.weight,
+                &col,
+                &self.bias,
+                &mut out,
+                self.out_channels,
+                k_dim,
+                hw,
+            );
+            ws.give(col);
+        }
+        Tensor::from_vec(self.out_channels, h, w, out)
+            .expect("workspace buffer sized to the output shape")
+    }
+
+    /// Lowers `input` into the (zero-initialised) im2col matrix `col`:
+    /// one row of `h*w` values per kernel tap, rows ordered `(in, ky, kx)`
+    /// — the same order the reference loop accumulates in. Out-of-image
+    /// taps stay zero ("same" padding).
+    fn im2col(&self, input: &Tensor, col: &mut [f32]) {
+        let (h, w) = (input.height(), input.width());
+        let hw = h * w;
+        let pad = (self.dilation * (self.kernel - 1)) / 2;
+        let mut k = 0usize;
+        for i in 0..self.in_channels {
+            let plane = input.channel(i);
+            for ky in 0..self.kernel {
+                let dy = (ky * self.dilation) as isize - pad as isize;
+                for kx in 0..self.kernel {
+                    let dx = (kx * self.dilation) as isize - pad as isize;
+                    let row = &mut col[k * hw..(k + 1) * hw];
+                    k += 1;
+                    // Valid output range for this tap (may be empty when
+                    // the receptive field exceeds the image).
+                    let y0 = (-dy).max(0) as usize;
+                    let y1 = ((h as isize - dy).min(h as isize)).max(0) as usize;
+                    let x0 = (-dx).max(0) as usize;
+                    let x1 = ((w as isize - dx).min(w as isize)).max(0) as usize;
+                    if x0 >= x1 {
+                        continue;
+                    }
+                    for y in y0..y1 {
+                        let iy = (y as isize + dy) as usize;
+                        let ix0 = (x0 as isize + dx) as usize;
+                        let ix1 = (x1 as isize + dx) as usize;
+                        row[y * w + x0..y * w + x1]
+                            .copy_from_slice(&plane[iy * w + ix0..iy * w + ix1]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spatial tile width of the micro-kernel (f32 lanes held in registers).
+const GEMM_TILE: usize = 8;
+
+/// `out[m][n] = bias[m] + sum_k a[m][k] * b[k][n]`, all matrices row-major.
+///
+/// Register-tiled micro-kernel: for each `GEMM_TILE`-column tile, four
+/// output rows accumulate in `4 x GEMM_TILE` registers with `k` as the
+/// innermost loop — each `b` tile row is loaded once per row quad and no
+/// partial sums ever round-trip through memory. Each output element still
+/// accumulates over `k` strictly in order, matching the naive tap loop's
+/// f32 rounding; on AVX2 hardware a wider kernel using separate multiply
+/// and add instructions (never FMA, which rounds differently) dispatches
+/// first.
+fn gemm_bias(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k_dim);
+    debug_assert_eq!(b.len(), k_dim * n);
+    debug_assert_eq!(out.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // Safety: AVX2 presence just checked.
+        unsafe { gemm_bias_avx2(a, b, bias, out, m, k_dim, n) };
+        return;
+    }
+    gemm_bias_portable(a, b, bias, out, m, k_dim, n);
+}
+
+/// AVX2 variant of the micro-kernel: 4 output rows x 16 columns held in
+/// eight `ymm` accumulators. Uses `vmulps` + `vaddps` (not FMA) so every
+/// element sees exactly the scalar kernel's rounding.
+///
+/// # Safety
+///
+/// Callers must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_bias_avx2(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    use core::arch::x86_64::*;
+    const W: usize = 16; // two ymm registers of columns
+    let tiles = n / W;
+    let tail = tiles * W;
+    let mut o = 0usize;
+    while o < m {
+        let block = (m - o).min(4);
+        for t in 0..tiles {
+            let j0 = t * W;
+            // acc[r][0/1]: columns j0..j0+8 / j0+8..j0+16 of output row o+r.
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            for (r, row) in acc.iter_mut().enumerate().take(block) {
+                let bv = _mm256_set1_ps(bias[o + r]);
+                *row = [bv, bv];
+            }
+            for k in 0..k_dim {
+                let bp = b.as_ptr().add(k * n + j0);
+                let b0 = _mm256_loadu_ps(bp);
+                let b1 = _mm256_loadu_ps(bp.add(8));
+                for (r, row) in acc.iter_mut().enumerate().take(block) {
+                    let wv = _mm256_set1_ps(a[(o + r) * k_dim + k]);
+                    row[0] = _mm256_add_ps(row[0], _mm256_mul_ps(wv, b0));
+                    row[1] = _mm256_add_ps(row[1], _mm256_mul_ps(wv, b1));
+                }
+            }
+            for (r, row) in acc.iter().enumerate().take(block) {
+                let op = out.as_mut_ptr().add((o + r) * n + j0);
+                _mm256_storeu_ps(op, row[0]);
+                _mm256_storeu_ps(op.add(8), row[1]);
+            }
+        }
+        gemm_cols_scalar(a, b, bias, out, o, block, k_dim, n, tail);
+        o += block;
+    }
+}
+
+/// Scalar accumulation of output columns `j0..n` for rows
+/// `o..o + block` — the shared remainder path of both micro-kernels.
+/// Same strict `k` order, so the bit-exactness contract has a single
+/// implementation to keep correct.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cols_scalar(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    o: usize,
+    block: usize,
+    k_dim: usize,
+    n: usize,
+    j0: usize,
+) {
+    for r in 0..block {
+        let w_row = &a[(o + r) * k_dim..(o + r + 1) * k_dim];
+        for j in j0..n {
+            let mut accv = bias[o + r];
+            for (k, &wv) in w_row.iter().enumerate() {
+                accv += wv * b[k * n + j];
+            }
+            out[(o + r) * n + j] = accv;
+        }
+    }
+}
+
+/// Portable scalar-tiled variant of the micro-kernel (LLVM autovectorises
+/// the `GEMM_TILE`-wide lane loops where the ISA allows).
+fn gemm_bias_portable(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    let tiles = n / GEMM_TILE;
+    let tail = tiles * GEMM_TILE;
+    let mut o = 0usize;
+    while o < m {
+        let block = (m - o).min(4);
+        let w_base = o * k_dim;
+        for t in 0..tiles {
+            let j0 = t * GEMM_TILE;
+            let mut acc = [[0.0f32; GEMM_TILE]; 4];
+            for (r, row) in acc.iter_mut().enumerate().take(block) {
+                *row = [bias[o + r]; GEMM_TILE];
+            }
+            for k in 0..k_dim {
+                let brow: &[f32; GEMM_TILE] = b[k * n + j0..k * n + j0 + GEMM_TILE]
+                    .try_into()
+                    .expect("tile slice");
+                match block {
+                    4 => {
+                        let w0 = a[w_base + k];
+                        let w1 = a[w_base + k_dim + k];
+                        let w2 = a[w_base + 2 * k_dim + k];
+                        let w3 = a[w_base + 3 * k_dim + k];
+                        for (l, &c) in brow.iter().enumerate() {
+                            acc[0][l] += w0 * c;
+                            acc[1][l] += w1 * c;
+                            acc[2][l] += w2 * c;
+                            acc[3][l] += w3 * c;
+                        }
+                    }
+                    _ => {
+                        for r in 0..block {
+                            let wv = a[w_base + r * k_dim + k];
+                            for (l, &c) in brow.iter().enumerate() {
+                                acc[r][l] += wv * c;
+                            }
+                        }
+                    }
+                }
+            }
+            for (r, row) in acc.iter().enumerate().take(block) {
+                out[(o + r) * n + j0..(o + r) * n + j0 + GEMM_TILE].copy_from_slice(row);
+            }
+        }
+        gemm_cols_scalar(a, b, bias, out, o, block, k_dim, n, tail);
+        o += block;
+    }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, phase: Phase, _rng: &mut dyn RngCore) -> Tensor {
-        let out = self.forward_impl(input);
+        let mut ws = std::mem::take(&mut self.scratch);
+        let out = self.forward_with(input, &mut ws);
+        self.scratch = ws;
+        self.cached_input = if phase == Phase::Train {
+            Some(input.clone())
+        } else {
+            None
+        };
+        out
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        phase: Phase,
+        _rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let out = self.forward_with(input, ws);
         self.cached_input = if phase == Phase::Train {
             Some(input.clone())
         } else {
@@ -374,6 +678,47 @@ mod tests {
     fn even_kernel_rejected() {
         let mut r = rng();
         let _ = Conv2d::new(1, 1, 2, 1, &mut r);
+    }
+
+    #[test]
+    fn optimized_matches_reference_across_shapes() {
+        let mut r = rng();
+        for (ci, co, k, d, h, w) in [
+            (1, 1, 1, 1, 5, 7),
+            (3, 8, 3, 1, 9, 9),
+            (2, 5, 3, 2, 8, 6),
+            (4, 4, 5, 1, 7, 11),
+            (3, 7, 3, 4, 3, 3), // receptive field larger than the image
+            (2, 6, 1, 1, 12, 4),
+        ] {
+            let conv = Conv2d::new(ci, co, k, d, &mut r);
+            let input = Tensor::from_fn(ci, h, w, |c, y, x| {
+                ((c * 31 + y * 7 + x) as f32 * 0.13).sin()
+            });
+            let reference = conv.forward_reference(&input);
+            let mut ws = Workspace::new();
+            let optimized = conv.forward_with(&input, &mut ws);
+            assert_eq!(
+                reference, optimized,
+                "conv {ci}->{co} k{k} d{d} on {h}x{w} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_with_is_allocation_free_when_warm() {
+        let mut r = rng();
+        let conv = Conv2d::new(3, 8, 3, 2, &mut r);
+        let input = Tensor::full(3, 16, 16, 0.5);
+        let mut ws = Workspace::new();
+        let out = conv.forward_with(&input, &mut ws);
+        ws.recycle(out);
+        let misses = ws.takes_missed();
+        for _ in 0..5 {
+            let out = conv.forward_with(&input, &mut ws);
+            ws.recycle(out);
+        }
+        assert_eq!(ws.takes_missed(), misses, "warm passes must not allocate");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use super::{Layer, Phase};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Inverted dropout with rate `p`.
 ///
@@ -48,7 +49,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= rate < 1`.
     pub fn new(rate: f32) -> Self {
-        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
         Dropout {
             rate,
             cached_mask: None,
@@ -66,9 +70,73 @@ impl Dropout {
     ///
     /// Panics unless `0 <= rate < 1`.
     pub fn set_rate(&mut self, rate: f32) {
-        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1), got {rate}");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
         self.rate = rate;
     }
+
+    /// Writes `src` with a freshly sampled Monte-Carlo mask into `dst`
+    /// without touching layer state.
+    ///
+    /// This is the stateless `&self` path the parallel Bayesian monitor
+    /// builds on: it draws exactly the same RNG stream as a
+    /// [`Phase::Stochastic`] [`Layer::forward`] (one `f32` per element;
+    /// none when the rate is zero), so both routes produce identical
+    /// samples from identical generator states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` lengths differ.
+    pub fn apply_mc<R: RngCore + ?Sized>(&self, src: &[f32], dst: &mut [f32], rng: &mut R) {
+        assert_eq!(src.len(), dst.len(), "dropout buffer length mismatch");
+        if self.rate == 0.0 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let scale = 1.0 / (1.0 - self.rate);
+        let mut raw = [0u32; MC_DRAW_BATCH];
+        for (d_chunk, s_chunk) in dst.chunks_mut(MC_DRAW_BATCH).zip(src.chunks(MC_DRAW_BATCH)) {
+            let raw = &mut raw[..d_chunk.len()];
+            rng.fill_u32(raw);
+            for ((d, &s), &r) in d_chunk.iter_mut().zip(s_chunk).zip(raw.iter()) {
+                // Branchless select: a 50/50 data-dependent branch would
+                // mispredict half the time, and this form vectorises.
+                let keep = (unit_f32(r) >= self.rate) as u32 as f32;
+                *d = s * scale * keep;
+            }
+        }
+    }
+
+    /// In-place variant of [`Dropout::apply_mc`].
+    pub fn apply_mc_in_place<R: RngCore + ?Sized>(&self, xs: &mut [f32], rng: &mut R) {
+        if self.rate == 0.0 {
+            return;
+        }
+        let scale = 1.0 / (1.0 - self.rate);
+        let mut raw = [0u32; MC_DRAW_BATCH];
+        for chunk in xs.chunks_mut(MC_DRAW_BATCH) {
+            let raw = &mut raw[..chunk.len()];
+            rng.fill_u32(raw);
+            for (v, &r) in chunk.iter_mut().zip(raw.iter()) {
+                let keep = (unit_f32(r) >= self.rate) as u32 as f32;
+                *v *= scale * keep;
+            }
+        }
+    }
+}
+
+/// Words drawn per bulk batch in the Monte-Carlo appliers (a stack
+/// buffer; sized to a few keystream blocks).
+const MC_DRAW_BATCH: usize = 512;
+
+/// The exact `Rng::gen::<f32>()` conversion (24 mantissa bits in
+/// `[0, 1)`), applied to a pre-drawn word so the bulk path samples the
+/// identical mask stream as the per-element path.
+#[inline(always)]
+fn unit_f32(raw: u32) -> f32 {
+    (raw >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
 }
 
 impl Layer for Dropout {
@@ -80,13 +148,46 @@ impl Layer for Dropout {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if rng.gen::<f32>() < self.rate { 0.0 } else { scale })
+            .map(|_| {
+                if rng.gen::<f32>() < self.rate {
+                    0.0
+                } else {
+                    scale
+                }
+            })
             .collect();
         let mut out = input.clone();
         for (v, m) in out.as_mut_slice().iter_mut().zip(&mask) {
             *v *= m;
         }
-        self.cached_mask = if phase == Phase::Train { Some(mask) } else { None };
+        self.cached_mask = if phase == Phase::Train {
+            Some(mask)
+        } else {
+            None
+        };
+        out
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        phase: Phase,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        if phase == Phase::Train && self.rate != 0.0 {
+            // Training still caches the mask for backward; the allocating
+            // path is fine off the inference hot loop.
+            return self.forward(input, phase, rng);
+        }
+        let (c, h, w) = input.shape();
+        let mut out = ws.take_tensor(c, h, w);
+        if phase.dropout_active() && self.rate != 0.0 {
+            self.apply_mc(input.as_slice(), out.as_mut_slice(), rng);
+        } else {
+            out.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+        self.cached_mask = None;
         out
     }
 

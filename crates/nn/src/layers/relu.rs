@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use super::{Layer, Phase};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Element-wise `max(0, x)`.
 ///
@@ -25,9 +26,39 @@ pub struct Relu {
     cached_mask: Option<Vec<bool>>,
 }
 
+impl Relu {
+    /// Clamps every element to `max(0, x)` in place — the stateless
+    /// `&self`-free path used by inference engines that own their buffers.
+    pub fn apply(x: &mut Tensor) {
+        for v in x.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+    }
+}
+
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, phase: Phase, _rng: &mut dyn RngCore) -> Tensor {
         let out = input.map(|v| v.max(0.0));
+        self.cached_mask = if phase == Phase::Train {
+            Some(input.as_slice().iter().map(|&v| v > 0.0).collect())
+        } else {
+            None
+        };
+        out
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        phase: Phase,
+        _rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (c, h, w) = input.shape();
+        let mut out = ws.take_tensor(c, h, w);
+        for (d, &s) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *d = s.max(0.0);
+        }
         self.cached_mask = if phase == Phase::Train {
             Some(input.as_slice().iter().map(|&v| v > 0.0).collect())
         } else {

@@ -22,6 +22,29 @@
 //! [`Phase::Stochastic`] — the last keeps dropout live without gradient
 //! bookkeeping, which is exactly Monte-Carlo-dropout Bayesian inference.
 //!
+//! # The fast inference engine
+//!
+//! Inference hot paths avoid the allocating [`Layer::forward`] route:
+//!
+//! - [`Workspace`] is a reusable scratch-buffer arena. Every layer offers
+//!   [`Layer::forward_ws`], which takes its output buffer (and internal
+//!   scratch such as the convolution's im2col matrix) from the workspace,
+//!   so a warm workspace services entire forward passes with **zero heap
+//!   allocations** — buffers recycle between layers and between passes.
+//! - [`layers::Conv2d`] lowers the dilated convolution to an im2col
+//!   matrix (one row per kernel tap, rows are contiguous `h*w` planes)
+//!   followed by a register-blocked row-major micro-kernel that computes
+//!   four output channels per sweep. Per output element the reduction
+//!   runs in the same `(in, ky, kx)` order as the naive tap loop, so the
+//!   optimized kernel reproduces [`layers::Conv2d::forward_reference`]
+//!   exactly (asserted by property tests); the reference implementation
+//!   is retained for those tests and for benchmark baselines.
+//! - Stochastic layers expose stateless, `&self` application paths
+//!   ([`layers::Dropout::apply_mc`], [`layers::Relu::apply`]) so
+//!   Monte-Carlo-dropout samples can run concurrently over one shared
+//!   network — the `el-monitor` crate builds its parallel Bayesian
+//!   monitor on exactly these entry points.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +72,8 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod tensor;
+pub mod workspace;
 
 pub use layers::{Layer, Phase};
 pub use tensor::{NnError, Tensor};
+pub use workspace::Workspace;

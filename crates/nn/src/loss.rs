@@ -17,25 +17,33 @@ pub struct LossOutput {
 ///
 /// Numerically stabilised by subtracting the per-pixel max logit.
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let (c, h, w) = logits.shape();
     let mut out = logits.clone();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Converts logits to per-pixel softmax probabilities in place —
+/// the allocation-free variant of [`softmax`] used by the inference
+/// engine (identical arithmetic, identical results).
+pub fn softmax_in_place(logits: &mut Tensor) {
+    let (c, h, w) = logits.shape();
     let hw = h * w;
+    let data = logits.as_mut_slice();
     for i in 0..hw {
         let mut max = f32::NEG_INFINITY;
         for k in 0..c {
-            max = max.max(logits.as_slice()[k * hw + i]);
+            max = max.max(data[k * hw + i]);
         }
         let mut sum = 0.0;
         for k in 0..c {
-            let e = (logits.as_slice()[k * hw + i] - max).exp();
-            out.as_mut_slice()[k * hw + i] = e;
+            let e = (data[k * hw + i] - max).exp();
+            data[k * hw + i] = e;
             sum += e;
         }
         for k in 0..c {
-            out.as_mut_slice()[k * hw + i] /= sum;
+            data[k * hw + i] /= sum;
         }
     }
-    out
 }
 
 /// Per-pixel softmax cross-entropy loss with optional class weights and an
@@ -89,8 +97,7 @@ pub fn softmax_cross_entropy(
     let mut loss = 0.0f64;
     let mut total_weight = 0.0f64;
 
-    for i in 0..hw {
-        let t = targets[i];
+    for (i, &t) in targets.iter().enumerate() {
         if Some(t) == ignore {
             for k in 0..c {
                 grad.as_mut_slice()[k * hw + i] = 0.0;
@@ -103,8 +110,7 @@ pub fn softmax_cross_entropy(
         loss += -(p.ln() as f64) * wgt as f64;
         for k in 0..c {
             let y = if k == t { 1.0 } else { 0.0 };
-            grad.as_mut_slice()[k * hw + i] =
-                (probs.as_slice()[k * hw + i] - y) * wgt;
+            grad.as_mut_slice()[k * hw + i] = (probs.as_slice()[k * hw + i] - y) * wgt;
         }
     }
 
@@ -184,8 +190,7 @@ mod tests {
     fn class_weights_scale_contributions() {
         let logits = Tensor::zeros(2, 1, 2);
         let unweighted = softmax_cross_entropy(&logits, &[0, 1], None, None).unwrap();
-        let weighted =
-            softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0, 3.0]), None).unwrap();
+        let weighted = softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0, 3.0]), None).unwrap();
         // Same uniform per-pixel loss, so the weighted mean equals it too.
         assert!((weighted.loss - unweighted.loss).abs() < 1e-6);
         // But pixel 1's gradient is relatively larger under weighting.

@@ -34,7 +34,10 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::SizeMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match tensor size {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match tensor size {expected}"
+                )
             }
             NnError::ShapeMismatch { a, b } => write!(
                 f,
@@ -216,7 +219,11 @@ impl Tensor {
     /// Panics if `c >= channels`.
     #[inline]
     pub fn channel(&self, c: usize) -> &[f32] {
-        assert!(c < self.channels, "channel {c} out of bounds ({})", self.channels);
+        assert!(
+            c < self.channels,
+            "channel {c} out of bounds ({})",
+            self.channels
+        );
         let plane = self.height * self.width;
         &self.data[c * plane..(c + 1) * plane]
     }
@@ -228,7 +235,11 @@ impl Tensor {
     /// Panics if `c >= channels`.
     #[inline]
     pub fn channel_mut(&mut self, c: usize) -> &mut [f32] {
-        assert!(c < self.channels, "channel {c} out of bounds ({})", self.channels);
+        assert!(
+            c < self.channels,
+            "channel {c} out of bounds ({})",
+            self.channels
+        );
         let plane = self.height * self.width;
         &mut self.data[c * plane..(c + 1) * plane]
     }

@@ -198,8 +198,12 @@ mod tests {
     #[test]
     fn season_casts_differ() {
         assert_ne!(
-            Conditions::nominal().with_season(Season::Autumn).season_vegetation_cast(),
-            Conditions::nominal().with_season(Season::Summer).season_vegetation_cast()
+            Conditions::nominal()
+                .with_season(Season::Autumn)
+                .season_vegetation_cast(),
+            Conditions::nominal()
+                .with_season(Season::Summer)
+                .season_vegetation_cast()
         );
     }
 

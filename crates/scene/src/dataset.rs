@@ -109,10 +109,10 @@ impl Dataset {
         let nominal = Conditions::nominal();
         let mut idx = 0u64;
         let push = |samples: &mut Vec<Sample>,
-                        split: Split,
-                        params: &SceneParams,
-                        conditions: &Conditions,
-                        idx: &mut u64| {
+                    split: Split,
+                    params: &SceneParams,
+                    conditions: &Conditions,
+                    idx: &mut u64| {
             let scene_seed = config.base_seed.wrapping_add(*idx * 1009 + 1);
             let render_seed = config.base_seed.wrapping_add(*idx * 2003 + 7);
             *idx += 1;
@@ -127,13 +127,25 @@ impl Dataset {
         };
 
         for _ in 0..config.n_train {
-            push(&mut samples, Split::Train, &config.params, &nominal, &mut idx);
+            push(
+                &mut samples,
+                Split::Train,
+                &config.params,
+                &nominal,
+                &mut idx,
+            );
         }
         for _ in 0..config.n_val {
             push(&mut samples, Split::Val, &config.params, &nominal, &mut idx);
         }
         for _ in 0..config.n_test {
-            push(&mut samples, Split::Test, &config.params, &nominal, &mut idx);
+            push(
+                &mut samples,
+                Split::Test,
+                &config.params,
+                &nominal,
+                &mut idx,
+            );
         }
         let ood_params = config.params.scaled(config.ood_scale);
         for _ in 0..config.n_ood {

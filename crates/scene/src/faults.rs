@@ -80,9 +80,9 @@ pub fn apply_fault(image: &mut Image, region: Rect, fault: SensorFault, seed: u6
         SensorFault::Bloom { level } => {
             for p in clip.pixels() {
                 let px = &mut image[p];
-                for c in 0..3 {
+                for ch in px.iter_mut() {
                     let n: f32 = rng.gen_range(-0.02..0.02);
-                    px[c] = (level + n).clamp(0.0, 1.0);
+                    *ch = (level + n).clamp(0.0, 1.0);
                 }
             }
         }
@@ -104,8 +104,7 @@ pub fn apply_fault(image: &mut Image, region: Rect, fault: SensorFault, seed: u6
                 for c in 0..3 {
                     let target = mean[c] * 0.4 + grey * 0.6;
                     let noise: f32 = rng.gen_range(-0.01..0.01);
-                    px[c] = (px[c] * (1.0 - strength) + target * strength + noise)
-                        .clamp(0.0, 1.0);
+                    px[c] = (px[c] * (1.0 - strength) + target * strength + noise).clamp(0.0, 1.0);
                 }
             }
         }
@@ -171,15 +170,28 @@ mod tests {
         let before = variance(&img);
         apply_fault(&mut img, region, SensorFault::Fog { strength: 0.9 }, 3);
         let after = variance(&img);
-        assert!(after < before * 0.3, "fog must crush contrast: {before} -> {after}");
+        assert!(
+            after < before * 0.3,
+            "fog must crush contrast: {before} -> {after}"
+        );
     }
 
     #[test]
     fn deterministic() {
         let mut a = image();
         let mut b = image();
-        apply_fault(&mut a, Rect::new(3, 3, 10, 10), SensorFault::Bloom { level: 0.9 }, 5);
-        apply_fault(&mut b, Rect::new(3, 3, 10, 10), SensorFault::Bloom { level: 0.9 }, 5);
+        apply_fault(
+            &mut a,
+            Rect::new(3, 3, 10, 10),
+            SensorFault::Bloom { level: 0.9 },
+            5,
+        );
+        apply_fault(
+            &mut b,
+            Rect::new(3, 3, 10, 10),
+            SensorFault::Bloom { level: 0.9 },
+            5,
+        );
         assert_eq!(a, b);
     }
 
@@ -187,7 +199,12 @@ mod tests {
     fn out_of_bounds_region_is_noop_outside() {
         let mut img = image();
         let before = img.clone();
-        apply_fault(&mut img, Rect::new(-100, -100, 10, 10), SensorFault::Dead, 0);
+        apply_fault(
+            &mut img,
+            Rect::new(-100, -100, 10, 10),
+            SensorFault::Dead,
+            0,
+        );
         assert_eq!(img, before);
     }
 
@@ -195,6 +212,11 @@ mod tests {
     #[should_panic(expected = "invalid sensor fault")]
     fn invalid_bloom_rejected() {
         let mut img = image();
-        apply_fault(&mut img, Rect::new(0, 0, 2, 2), SensorFault::Bloom { level: 2.0 }, 0);
+        apply_fault(
+            &mut img,
+            Rect::new(0, 0, 2, 2),
+            SensorFault::Bloom { level: 2.0 },
+            0,
+        );
     }
 }

@@ -197,7 +197,10 @@ mod tests {
         let hist = class_histogram(&l.labels);
         assert!(hist[SemanticClass::Road.index()] > 0, "no road pixels");
         assert!(hist[SemanticClass::Building.index()] > 0, "no buildings");
-        assert!(hist[SemanticClass::LowVegetation.index()] > 0, "no vegetation");
+        assert!(
+            hist[SemanticClass::LowVegetation.index()] > 0,
+            "no vegetation"
+        );
         assert!(l.roads.count() >= 2);
     }
 

@@ -58,7 +58,13 @@ pub fn fractal_noise(seed: u64, x: f64, y: f64, octaves: u32, base_scale: f64) -
 }
 
 /// A full-grid fractal noise field in `[0, 1)`.
-pub fn noise_grid(seed: u64, width: usize, height: usize, octaves: u32, base_scale: f64) -> Grid<f64> {
+pub fn noise_grid(
+    seed: u64,
+    width: usize,
+    height: usize,
+    octaves: u32,
+    base_scale: f64,
+) -> Grid<f64> {
     Grid::from_fn(width, height, |x, y| {
         fractal_noise(seed, x as f64, y as f64, octaves, base_scale)
     })

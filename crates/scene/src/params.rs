@@ -76,7 +76,10 @@ impl SceneParams {
     ///
     /// Panics unless `factor` is positive and finite.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
         SceneParams {
             width: self.width,
             height: self.height,

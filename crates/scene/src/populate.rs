@@ -61,7 +61,11 @@ fn place_cars(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
         } else {
             hw * rng.gen_range(0.15..0.55)
         };
-        let offset = if rng.gen_bool(0.5) { offset_mag } else { -offset_mag };
+        let offset = if rng.gen_bool(0.5) {
+            offset_mag
+        } else {
+            -offset_mag
+        };
         let idx = rng.gen_range(0..n_roads);
         let (along_vertical, cx, cy) = if idx < layout.roads.vertical_x.len() {
             let rx = layout.roads.vertical_x[idx];
@@ -83,9 +87,7 @@ fn place_cars(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
 }
 
 fn place_trees(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
-    let veg_pixels = layout
-        .labels
-        .count(|&c| c == SemanticClass::LowVegetation);
+    let veg_pixels = layout.labels.count(|&c| c == SemanticClass::LowVegetation);
     let mut n_trees = (params.tree_density * veg_pixels as f64 / 1000.0).round() as usize;
     // Parks get denser canopy: one extra tree per park block.
     n_trees += layout.blocks.iter().filter(|b| b.is_park).count();
@@ -99,10 +101,7 @@ fn place_trees(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
                 rng.gen_range(b.rect.y..b.rect.bottom()),
             )
         } else {
-            (
-                rng.gen_range(0..w as i64),
-                rng.gen_range(0..h as i64),
-            )
+            (rng.gen_range(0..w as i64), rng.gen_range(0..h as i64))
         };
         let center = Point::new(cx, cy);
         if layout.labels.get(center) != Some(&SemanticClass::LowVegetation) {
@@ -139,7 +138,12 @@ fn place_clutter(layout: &mut Layout, rng: &mut impl Rng) {
             continue;
         }
         if rng.gen_bool(0.5) {
-            fill_circle(&mut layout.labels, p, rng.gen_range(1.0..2.5), SemanticClass::Clutter);
+            fill_circle(
+                &mut layout.labels,
+                p,
+                rng.gen_range(1.0..2.5),
+                SemanticClass::Clutter,
+            );
         } else {
             fill_rect(
                 &mut layout.labels,
@@ -151,9 +155,9 @@ fn place_clutter(layout: &mut Layout, rng: &mut impl Rng) {
 }
 
 fn place_humans(layout: &mut Layout, params: &SceneParams, rng: &mut impl Rng) {
-    let walkable = layout.labels.count(|&c| {
-        matches!(c, SemanticClass::LowVegetation | SemanticClass::Clutter)
-    });
+    let walkable = layout
+        .labels
+        .count(|&c| matches!(c, SemanticClass::LowVegetation | SemanticClass::Clutter));
     let n = (params.human_density * walkable as f64 / 1000.0).round() as usize;
     let (w, h) = (layout.labels.width(), layout.labels.height());
     let mut placed = 0;

@@ -121,7 +121,11 @@ mod tests {
     #[test]
     fn values_in_unit_range() {
         let labels = road_and_grass();
-        for cond in [Conditions::nominal(), Conditions::sunset(), Conditions::night()] {
+        for cond in [
+            Conditions::nominal(),
+            Conditions::sunset(),
+            Conditions::night(),
+        ] {
             let img = render_labels(&labels, &cond, 1);
             for px in img.iter() {
                 for &v in px {
@@ -156,7 +160,10 @@ mod tests {
         // Blue drops much more than red under the warm cast.
         let red_ratio = sunset[0] / nominal[0];
         let blue_ratio = sunset[2] / nominal[2];
-        assert!(blue_ratio < red_ratio, "sunset not warm: {red_ratio} vs {blue_ratio}");
+        assert!(
+            blue_ratio < red_ratio,
+            "sunset not warm: {red_ratio} vs {blue_ratio}"
+        );
     }
 
     #[test]
@@ -166,7 +173,10 @@ mod tests {
         let night = channel_means(&render_labels(&labels, &Conditions::night(), 6));
         let lum_n: f64 = nominal.iter().sum();
         let lum_d: f64 = night.iter().sum();
-        assert!(lum_d < 0.6 * lum_n, "night not dark enough: {lum_d} vs {lum_n}");
+        assert!(
+            lum_d < 0.6 * lum_n,
+            "night not dark enough: {lum_d} vs {lum_n}"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! cargo run --release -p el-seg --example train_check
 //! ```
 use el_scene::{Dataset, DatasetConfig, Split};
-use el_seg::{MsdNet, MsdNetConfig, TrainConfig, Trainer};
 use el_seg::train::evaluate_split;
+use el_seg::{MsdNet, MsdNetConfig, TrainConfig, Trainer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -17,10 +17,19 @@ fn main() {
     let mut net = MsdNet::new(&MsdNetConfig::default_uavid(), &mut rng);
     let t0 = std::time::Instant::now();
     let report = Trainer::new(TrainConfig::benchmark()).train(&mut net, &ds);
-    println!("train {:?}  loss {:.3} -> {:.3}", t0.elapsed(), report.initial_loss, report.final_loss);
+    println!(
+        "train {:?}  loss {:.3} -> {:.3}",
+        t0.elapsed(),
+        report.initial_loss,
+        report.final_loss
+    );
     for split in [Split::Test, Split::Ood] {
         let cm = evaluate_split(&mut net, &ds, split);
-        println!("{split:?}: acc {:.3} mIoU {:.3} road-recall {:?}",
-            cm.pixel_accuracy(), cm.mean_iou(), cm.busy_road_recall().map(|v| (v*1000.0).round()/1000.0));
+        println!(
+            "{split:?}: acc {:.3} mIoU {:.3} road-recall {:?}",
+            cm.pixel_accuracy(),
+            cm.mean_iou(),
+            cm.busy_road_recall().map(|v| (v * 1000.0).round() / 1000.0)
+        );
     }
 }

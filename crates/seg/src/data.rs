@@ -77,12 +77,7 @@ pub struct Tile {
 ///
 /// Panics if `size` exceeds either image dimension or if image and labels
 /// differ in shape.
-pub fn sample_tile(
-    image: &Image,
-    labels: &LabelMap,
-    size: usize,
-    rng: &mut impl Rng,
-) -> Tile {
+pub fn sample_tile(image: &Image, labels: &LabelMap, size: usize, rng: &mut impl Rng) -> Tile {
     assert_eq!(
         (image.width(), image.height()),
         (labels.width(), labels.height()),

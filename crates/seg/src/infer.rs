@@ -1,10 +1,8 @@
 //! Deterministic full-image inference.
 
 use el_geom::LabelMap;
-use el_nn::layers::{Layer, Phase};
-use el_nn::Tensor;
+use el_nn::{Tensor, Workspace};
 use el_scene::Image;
-use rand::rngs::mock::StepRng;
 
 use crate::data::{argmax_labels, image_to_tensor};
 use crate::msdnet::MsdNet;
@@ -30,11 +28,22 @@ pub fn segment(net: &mut MsdNet, image: &Image) -> SegResult {
 
 /// Segments a pre-converted input tensor (shape `(3, h, w)`).
 pub fn segment_tensor(net: &mut MsdNet, input: &Tensor) -> SegResult {
-    // Eval phase ignores the RNG entirely; a mock suffices and keeps this
-    // function's signature honest about its determinism.
-    let mut rng = StepRng::new(0, 1);
-    let logits = net.forward(input, Phase::Eval, &mut rng);
-    let probs = el_nn::loss::softmax(&logits);
+    let mut ws = Workspace::new();
+    segment_tensor_ws(net, input, &mut ws)
+}
+
+/// Workspace-reusing variant of [`segment`]: repeated calls with a warm
+/// workspace perform zero heap allocations in the network forward pass.
+///
+/// Deterministic Eval inference never mutates the network, hence `&MsdNet`.
+pub fn segment_ws(net: &MsdNet, image: &Image, ws: &mut Workspace) -> SegResult {
+    segment_tensor_ws(net, &image_to_tensor(image), ws)
+}
+
+/// Workspace-reusing variant of [`segment_tensor`].
+pub fn segment_tensor_ws(net: &MsdNet, input: &Tensor, ws: &mut Workspace) -> SegResult {
+    let mut probs = net.forward_eval(input, ws);
+    el_nn::loss::softmax_in_place(&mut probs);
     let labels = argmax_labels(&probs);
     SegResult { probs, labels }
 }

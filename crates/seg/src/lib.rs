@@ -36,7 +36,7 @@ pub mod msdnet;
 pub mod tiled;
 pub mod train;
 
-pub use infer::{segment, SegResult};
+pub use infer::{segment, segment_ws, SegResult};
 pub use metrics::ConfusionMatrix;
 pub use msdnet::{MsdNet, MsdNetConfig};
 pub use tiled::{segment_tiled, TileConfig};

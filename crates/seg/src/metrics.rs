@@ -59,9 +59,7 @@ impl ConfusionMatrix {
         if total == 0 {
             return 0.0;
         }
-        let correct: u64 = (0..SemanticClass::COUNT)
-            .map(|i| self.counts[i][i])
-            .sum();
+        let correct: u64 = (0..SemanticClass::COUNT).map(|i| self.counts[i][i]).sum();
         correct as f64 / total as f64
     }
 
@@ -150,7 +148,11 @@ mod tests {
 
     #[test]
     fn perfect_prediction() {
-        let gt = map(&[SemanticClass::Road, SemanticClass::Tree, SemanticClass::Humans]);
+        let gt = map(&[
+            SemanticClass::Road,
+            SemanticClass::Tree,
+            SemanticClass::Humans,
+        ]);
         let m = ConfusionMatrix::from_maps(&gt, &gt);
         assert_eq!(m.pixel_accuracy(), 1.0);
         assert_eq!(m.mean_iou(), 1.0);
@@ -172,8 +174,16 @@ mod tests {
 
     #[test]
     fn iou_half_overlap() {
-        let gt = map(&[SemanticClass::Road, SemanticClass::Road, SemanticClass::Tree]);
-        let pred = map(&[SemanticClass::Road, SemanticClass::Tree, SemanticClass::Tree]);
+        let gt = map(&[
+            SemanticClass::Road,
+            SemanticClass::Road,
+            SemanticClass::Tree,
+        ]);
+        let pred = map(&[
+            SemanticClass::Road,
+            SemanticClass::Tree,
+            SemanticClass::Tree,
+        ]);
         let m = ConfusionMatrix::from_maps(&pred, &gt);
         // Road: tp=1, fn=1, fp=0 → 0.5.
         assert_eq!(m.iou(SemanticClass::Road), Some(0.5));

@@ -1,7 +1,7 @@
 //! The Multi-Scale-Dilation segmentation network.
 
 use el_nn::layers::{Conv2d, Dropout, Layer, ParamRef, Phase, Relu};
-use el_nn::Tensor;
+use el_nn::{Tensor, Workspace};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -192,6 +192,105 @@ impl MsdNet {
         net.head2.reset_state();
         Ok(net)
     }
+
+    /// The Monte-Carlo-invariant prefix of a stochastic forward pass:
+    /// every dilated branch's `conv → relu`, concatenated along channels.
+    ///
+    /// No dropout layer precedes this computation, so the result is
+    /// identical across all Monte-Carlo-dropout samples — the monitor
+    /// computes it **once** per verified crop and replays only the
+    /// stochastic suffix ([`MsdNet::mc_sample`]) per sample. Immutable on
+    /// `self` and allocation-free with a warm workspace.
+    pub fn mc_prefix(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (h, w) = (input.height(), input.width());
+        let hw = h * w;
+        let bc = self.config.branch_channels;
+        let mut fused = ws.take(bc * self.branches.len() * hw);
+        for (bi, b) in self.branches.iter().enumerate() {
+            let mut y = b.conv.forward_with(input, ws);
+            Relu::apply(&mut y);
+            fused[bi * bc * hw..(bi + 1) * bc * hw].copy_from_slice(y.as_slice());
+            ws.recycle(y);
+        }
+        Tensor::from_vec(bc * self.branches.len(), h, w, fused)
+            .expect("fused buffer sized to the branch outputs")
+    }
+
+    /// One Monte-Carlo-dropout sample given a cached
+    /// [`MsdNet::mc_prefix`]: branch dropout, fusion head, head dropout,
+    /// classifier — returning the sample's logits.
+    ///
+    /// Consumes the RNG exactly as a full [`Phase::Stochastic`]
+    /// [`Layer::forward`] does after the branch convolutions, so
+    /// `mc_prefix` + `mc_sample` with a given generator state reproduces
+    /// `forward(.., Phase::Stochastic, ..)` with that same state
+    /// (asserted by tests). Immutable on `self`, so samples can run
+    /// concurrently against one shared network. Generic over the RNG so
+    /// the per-element mask draws monomorphise (no virtual dispatch on
+    /// the hot path).
+    pub fn mc_sample<R: RngCore + ?Sized>(
+        &self,
+        fused: &Tensor,
+        rng: &mut R,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (c, h, w) = fused.shape();
+        let hw = h * w;
+        let bc = self.config.branch_channels;
+        let mut x = ws.take_tensor(c, h, w);
+        for (bi, b) in self.branches.iter().enumerate() {
+            b.drop.apply_mc(
+                &fused.as_slice()[bi * bc * hw..(bi + 1) * bc * hw],
+                &mut x.as_mut_slice()[bi * bc * hw..(bi + 1) * bc * hw],
+                rng,
+            );
+        }
+        let mut y = self.head1.forward_with(&x, ws);
+        ws.recycle(x);
+        Relu::apply(&mut y);
+        self.head_drop.apply_mc_in_place(y.as_mut_slice(), rng);
+        let out = self.head2.forward_with(&y, ws);
+        ws.recycle(y);
+        out
+    }
+
+    /// Deterministic (Eval-phase) inference through the engine: the
+    /// dropout layers are identities, so this is [`MsdNet::mc_prefix`]
+    /// plus the dropout-free head. Identical values to
+    /// `forward(.., Phase::Eval, ..)`, immutable on `self`, and
+    /// allocation-free with a warm workspace.
+    pub fn forward_eval(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let fused = self.mc_prefix(input, ws);
+        let mut y = self.head1.forward_with(&fused, ws);
+        ws.recycle(fused);
+        Relu::apply(&mut y);
+        let out = self.head2.forward_with(&y, ws);
+        ws.recycle(y);
+        out
+    }
+
+    /// Reference forward pass using the naive scalar convolution — the
+    /// pre-optimization baseline retained for equivalence tests and the
+    /// `perf_monitor_scaling` benchmark's before/after comparison.
+    pub fn forward_reference(
+        &mut self,
+        input: &Tensor,
+        phase: Phase,
+        rng: &mut dyn RngCore,
+    ) -> Tensor {
+        let mut outs = Vec::with_capacity(self.branches.len());
+        for b in &mut self.branches {
+            let mut y = b.conv.forward_reference(input);
+            Relu::apply(&mut y);
+            outs.push(b.drop.forward(&y, phase, rng));
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        let fused = Tensor::concat_channels(&refs).expect("branch outputs share shapes");
+        let mut y = self.head1.forward_reference(&fused);
+        Relu::apply(&mut y);
+        let y = self.head_drop.forward(&y, phase, rng);
+        self.head2.forward_reference(&y)
+    }
 }
 
 impl Layer for MsdNet {
@@ -208,6 +307,39 @@ impl Layer for MsdNet {
         let y = self.head_relu.forward(&y, phase, rng);
         let y = self.head_drop.forward(&y, phase, rng);
         self.head2.forward(&y, phase, rng)
+    }
+
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        phase: Phase,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (h, w) = (input.height(), input.width());
+        let hw = h * w;
+        let bc = self.config.branch_channels;
+        let mut fused = ws.take(bc * self.branches.len() * hw);
+        for (bi, b) in self.branches.iter_mut().enumerate() {
+            let conv = b.conv.forward_ws(input, phase, rng, ws);
+            let relu = b.relu.forward_ws(&conv, phase, rng, ws);
+            ws.recycle(conv);
+            let drop = b.drop.forward_ws(&relu, phase, rng, ws);
+            ws.recycle(relu);
+            fused[bi * bc * hw..(bi + 1) * bc * hw].copy_from_slice(drop.as_slice());
+            ws.recycle(drop);
+        }
+        let fused = Tensor::from_vec(bc * self.branches.len(), h, w, fused)
+            .expect("fused buffer sized to the branch outputs");
+        let y1 = self.head1.forward_ws(&fused, phase, rng, ws);
+        ws.recycle(fused);
+        let y2 = self.head_relu.forward_ws(&y1, phase, rng, ws);
+        ws.recycle(y1);
+        let y3 = self.head_drop.forward_ws(&y2, phase, rng, ws);
+        ws.recycle(y2);
+        let out = self.head2.forward_ws(&y3, phase, rng, ws);
+        ws.recycle(y3);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -314,9 +446,17 @@ mod tests {
         // loose smoke test and the exact wiring is verified by
         // `param_grads_match_equivalent_sequential` below.
         let res = check_input_gradient(&mut net, &x, &seed, &r, 20, 5e-4);
-        assert!(res.passes_mean(1e-2), "input grad err {}", res.mean_rel_error);
+        assert!(
+            res.passes_mean(1e-2),
+            "input grad err {}",
+            res.mean_rel_error
+        );
         let res = check_param_gradients(&mut net, &x, &seed, &r, 6, 2e-3);
-        assert!(res.passes_mean(1e-1), "param grad err {}", res.mean_rel_error);
+        assert!(
+            res.passes_mean(1e-1),
+            "param grad err {}",
+            res.mean_rel_error
+        );
     }
 
     #[test]
@@ -368,6 +508,46 @@ mod tests {
         let a = net.forward(&x, Phase::Stochastic, &mut r);
         let b = net.forward(&x, Phase::Eval, &mut r);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_paths_match_layer_forward() {
+        let mut r = rng();
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        let x = Tensor::from_fn(3, 9, 7, |c, y, x| {
+            ((c * 11 + y * 3 + x) as f32 * 0.21).sin()
+        });
+        let mut ws = Workspace::new();
+
+        // Eval: engine path == Layer::forward == forward_ws.
+        let eval_fwd = net.forward(&x, Phase::Eval, &mut r.clone());
+        let eval_engine = net.forward_eval(&x, &mut ws);
+        assert_eq!(eval_fwd, eval_engine, "forward_eval diverges from forward");
+        let eval_ws = net.forward_ws(&x, Phase::Eval, &mut r.clone(), &mut ws);
+        assert_eq!(eval_fwd, eval_ws, "forward_ws diverges from forward");
+
+        // Stochastic: prefix + sample must replay forward's RNG stream.
+        let mut r1 = ChaCha8Rng::seed_from_u64(77);
+        let stoch_fwd = net.forward(&x, Phase::Stochastic, &mut r1);
+        let fused = net.mc_prefix(&x, &mut ws);
+        let mut r2 = ChaCha8Rng::seed_from_u64(77);
+        let stoch_engine = net.mc_sample(&fused, &mut r2, &mut ws);
+        assert_eq!(stoch_fwd, stoch_engine, "mc_sample diverges from forward");
+    }
+
+    #[test]
+    fn forward_reference_matches_optimized() {
+        let mut r = rng();
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        let x = Tensor::from_fn(3, 8, 8, |c, y, x| ((c + 2 * y + 3 * x) as f32 * 0.11).cos());
+        let a = net.forward(&x, Phase::Eval, &mut r.clone());
+        let b = net.forward_reference(&x, Phase::Eval, &mut r.clone());
+        assert_eq!(a, b, "naive reference and optimized forward diverge");
+        let mut r1 = ChaCha8Rng::seed_from_u64(13);
+        let s1 = net.forward(&x, Phase::Stochastic, &mut r1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(13);
+        let s2 = net.forward_reference(&x, Phase::Stochastic, &mut r2);
+        assert_eq!(s1, s2, "stochastic reference and optimized forward diverge");
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! whole-image inference away from the frame border).
 
 use el_geom::{Grid, LabelMap, Rect, SemanticClass};
+use el_nn::Workspace;
 use el_scene::Image;
 
-use crate::infer::segment;
+use crate::infer::segment_ws;
 use crate::msdnet::MsdNet;
 
 /// Tiling configuration.
@@ -63,9 +64,12 @@ pub fn segment_tiled(net: &mut MsdNet, image: &Image, config: TileConfig) -> Lab
     if let Err(e) = config.validate() {
         panic!("invalid tile configuration: {e}");
     }
+    // One workspace across all tiles: every tile shares the same buffer
+    // shapes, so only the first tile's pass allocates.
+    let mut ws = Workspace::new();
     let (w, h) = (image.width(), image.height());
     if w <= config.tile && h <= config.tile {
-        return segment(net, image).labels;
+        return segment_ws(net, image, &mut ws).labels;
     }
     let mut out: LabelMap = Grid::new(w, h, SemanticClass::Clutter);
     let step = config.tile - 2 * config.margin;
@@ -82,7 +86,7 @@ pub fn segment_tiled(net: &mut MsdNet, image: &Image, config: TileConfig) -> Lab
                 config.tile.min(h) as i64,
             );
             let crop = image.crop(rect).expect("tile within image");
-            let pred = segment(net, &crop).labels;
+            let pred = segment_ws(net, &crop, &mut ws).labels;
             // Interior to keep: everything except the margin, but extend
             // to the image border on boundary tiles.
             let keep_x0 = if tx == 0 { 0 } else { config.margin };
@@ -118,6 +122,7 @@ pub fn segment_tiled(net: &mut MsdNet, image: &Image, config: TileConfig) -> Lab
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::infer::segment;
     use crate::msdnet::MsdNetConfig;
     use el_scene::{Conditions, Scene, SceneParams};
     use rand::SeedableRng;
@@ -139,7 +144,14 @@ mod tests {
     fn small_image_single_tile() {
         let mut n = net();
         let img = image(48, 48);
-        let tiled = segment_tiled(&mut n, &img, TileConfig { tile: 64, margin: 4 });
+        let tiled = segment_tiled(
+            &mut n,
+            &img,
+            TileConfig {
+                tile: 64,
+                margin: 4,
+            },
+        );
         let whole = segment(&mut n, &img).labels;
         assert_eq!(tiled, whole);
     }
@@ -150,7 +162,14 @@ mod tests {
         // tiny config: max dilation 2 on 3x3 -> receptive radius 2 per
         // branch, plus the 1x1 head: total radius 2. margin 4 suffices.
         let img = image(96, 80);
-        let tiled = segment_tiled(&mut n, &img, TileConfig { tile: 48, margin: 4 });
+        let tiled = segment_tiled(
+            &mut n,
+            &img,
+            TileConfig {
+                tile: 48,
+                margin: 4,
+            },
+        );
         let whole = segment(&mut n, &img).labels;
         let mismatches = tiled
             .iter()
@@ -164,7 +183,14 @@ mod tests {
     fn non_divisible_sizes_covered() {
         let mut n = net();
         let img = image(70, 53);
-        let tiled = segment_tiled(&mut n, &img, TileConfig { tile: 32, margin: 4 });
+        let tiled = segment_tiled(
+            &mut n,
+            &img,
+            TileConfig {
+                tile: 32,
+                margin: 4,
+            },
+        );
         assert_eq!(tiled.width(), 70);
         assert_eq!(tiled.height(), 53);
         let whole = segment(&mut n, &img).labels;
@@ -176,6 +202,13 @@ mod tests {
     fn oversized_margin_rejected() {
         let mut n = net();
         let img = image(32, 32);
-        let _ = segment_tiled(&mut n, &img, TileConfig { tile: 16, margin: 8 });
+        let _ = segment_tiled(
+            &mut n,
+            &img,
+            TileConfig {
+                tile: 16,
+                margin: 8,
+            },
+        );
     }
 }

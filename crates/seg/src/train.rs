@@ -165,8 +165,7 @@ impl Trainer {
 
         let tenth = (losses.len() / 10).max(1);
         let initial_loss = losses[..tenth].iter().sum::<f32>() / tenth as f32;
-        let final_loss =
-            losses[losses.len() - tenth..].iter().sum::<f32>() / tenth as f32;
+        let final_loss = losses[losses.len() - tenth..].iter().sum::<f32>() / tenth as f32;
         TrainReport {
             losses,
             initial_loss,
@@ -220,10 +219,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
         let cm = evaluate_split(&mut net, &ds, Split::Test);
-        let expected: u64 = ds
-            .split(Split::Test)
-            .map(|s| s.labels.len() as u64)
-            .sum();
+        let expected: u64 = ds.split(Split::Test).map(|s| s.labels.len() as u64).sum();
         assert_eq!(cm.total(), expected);
     }
 
@@ -233,7 +229,9 @@ mod tests {
         let run = || {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
             let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
-            Trainer::new(TrainConfig::smoke()).train(&mut net, &ds).losses
+            Trainer::new(TrainConfig::smoke())
+                .train(&mut net, &ds)
+                .losses
         };
         assert_eq!(run(), run());
     }

@@ -58,12 +58,14 @@ impl AirRisk {
         }
         if self.max_height_ft > 500.0 {
             // Above 500 ft: controlled → ARC-d, otherwise ARC-c.
-            return if self.controlled_airspace { Arc::D } else { Arc::C };
+            return if self.controlled_airspace {
+                Arc::D
+            } else {
+                Arc::C
+            };
         }
         // Below 500 ft AGL.
-        if self.controlled_airspace {
-            Arc::C
-        } else if self.urban {
+        if self.controlled_airspace || self.urban {
             Arc::C
         } else {
             Arc::B

@@ -154,7 +154,10 @@ mod tests {
             operating_height_m: 30.0,
         };
         assert_eq!(tiny.grc_column(), 0);
-        assert_eq!(intrinsic_grc(GroundScenario::ControlledArea, &tiny), Some(1));
+        assert_eq!(
+            intrinsic_grc(GroundScenario::ControlledArea, &tiny),
+            Some(1)
+        );
         assert_eq!(intrinsic_grc(GroundScenario::VlosPopulated, &tiny), Some(4));
         assert_eq!(intrinsic_grc(GroundScenario::VlosGathering, &tiny), Some(7));
 
@@ -164,7 +167,10 @@ mod tests {
             operating_height_m: 150.0,
         };
         assert_eq!(big.grc_column(), 3);
-        assert_eq!(intrinsic_grc(GroundScenario::BvlosPopulated, &big), Some(10));
+        assert_eq!(
+            intrinsic_grc(GroundScenario::BvlosPopulated, &big),
+            Some(10)
+        );
         assert_eq!(intrinsic_grc(GroundScenario::VlosGathering, &big), None);
     }
 

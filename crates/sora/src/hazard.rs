@@ -90,7 +90,8 @@ pub const GROUND_RISKS: [GroundRisk; 5] = [
     },
     GroundRisk {
         id: "R4",
-        outcome: "UAV collides with infrastructure (building, bridge, power lines / sub-station, etc.)",
+        outcome:
+            "UAV collides with infrastructure (building, bridge, power lines / sub-station, etc.)",
         severity: Severity::Serious,
     },
     GroundRisk {

@@ -128,10 +128,7 @@ mod tests {
         // them at a high level of integrity and assurance".
         let profile = oso_profile(Sail::V);
         assert_eq!(profile[0], 0, "no optional OSO at SAIL V");
-        assert!(
-            profile[3] > 12,
-            "most OSOs high at SAIL V, got {profile:?}"
-        );
+        assert!(profile[3] > 12, "most OSOs high at SAIL V, got {profile:?}");
     }
 
     #[test]

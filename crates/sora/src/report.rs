@@ -21,7 +21,13 @@ pub fn severity_table() -> String {
 pub fn ground_risk_table() -> String {
     let mut out = String::from("Table II: Main ground risks\n");
     for r in GROUND_RISKS {
-        let _ = writeln!(out, "  {}  {:<75} severity {}", r.id, r.outcome, r.severity.rating());
+        let _ = writeln!(
+            out,
+            "  {}  {:<75} severity {}",
+            r.id,
+            r.outcome,
+            r.severity.rating()
+        );
     }
     out
 }

@@ -78,7 +78,7 @@ impl ElSystem for PerfectEl {
             if d * mpp < self.clearance_m {
                 continue;
             }
-            if best.map_or(true, |(_, bd)| d > bd) {
+            if best.is_none_or(|(_, bd)| d > bd) {
                 best = Some((p, d));
             }
         }
@@ -168,12 +168,16 @@ impl ElSystem for NoisyEl {
             let angle = rng.gen_range(0.0..std::f64::consts::TAU);
             let r = rng.gen_range(0.0..view_radius_m);
             let p = uav_xy_m + Vec2::from_angle(angle) * r;
-            return Some(Vec2::new(p.x.clamp(0.0, w_m - 1.0), p.y.clamp(0.0, h_m - 1.0)));
+            return Some(Vec2::new(
+                p.x.clamp(0.0, w_m - 1.0),
+                p.y.clamp(0.0, h_m - 1.0),
+            ));
         }
         if roll < self.blunder_prob + self.abort_prob {
             return None;
         }
-        self.inner.select_landing(scene, uav_xy_m, view_radius_m, seed)
+        self.inner
+            .select_landing(scene, uav_xy_m, view_radius_m, seed)
     }
 
     fn name(&self) -> &'static str {
@@ -220,7 +224,9 @@ mod tests {
     #[test]
     fn impossible_clearance_returns_none() {
         let s = scene();
-        let mut el = PerfectEl { clearance_m: 1000.0 };
+        let mut el = PerfectEl {
+            clearance_m: 1000.0,
+        };
         assert_eq!(el.select_landing(&s, Vec2::new(24.0, 24.0), 30.0, 0), None);
     }
 

@@ -272,12 +272,8 @@ impl Mission {
                 }
                 Maneuver::EmergencyLanding => {
                     let uav = self.position_at(&scene, event.at_time_s);
-                    let pick = el.select_landing(
-                        &scene,
-                        uav,
-                        self.config.view_radius_m,
-                        seed ^ 0xE1,
-                    );
+                    let pick =
+                        el.select_landing(&scene, uav, self.config.view_radius_m, seed ^ 0xE1);
                     match pick {
                         Some(target) => {
                             // Navigate to the zone under trajectory
@@ -311,13 +307,7 @@ impl Mission {
                     }
                 }
                 Maneuver::FlightTermination => {
-                    return self.terminate(
-                        &scene,
-                        event.at_time_s,
-                        maneuvers,
-                        hazards,
-                        &mut rng,
-                    );
+                    return self.terminate(&scene, event.at_time_s, maneuvers, hazards, &mut rng);
                 }
             }
         }

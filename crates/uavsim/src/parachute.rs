@@ -130,12 +130,8 @@ mod tests {
         };
         let canopy = ParachuteDescent::canopy(120.0);
         let ballistic = ParachuteDescent::ballistic(120.0);
-        let dc = canopy
-            .touchdown(Vec2::ZERO, &wind, &mut rng)
-            .norm();
-        let db = ballistic
-            .touchdown(Vec2::ZERO, &wind, &mut rng)
-            .norm();
+        let dc = canopy.touchdown(Vec2::ZERO, &wind, &mut rng).norm();
+        let db = ballistic.touchdown(Vec2::ZERO, &wind, &mut rng).norm();
         assert!(db < dc / 5.0, "ballistic {db} vs canopy {dc}");
         assert!(ballistic.duration_s() < canopy.duration_s());
     }

@@ -89,9 +89,7 @@ impl SafetySwitch {
                     Maneuver::FlightTermination
                 }
             }
-            HazardCategory::LossOfControl | HazardCategory::FlyAway => {
-                Maneuver::FlightTermination
-            }
+            HazardCategory::LossOfControl | HazardCategory::FlyAway => Maneuver::FlightTermination,
         }
     }
 
@@ -102,9 +100,7 @@ impl SafetySwitch {
         let prescribed = self.prescribed_maneuver(hazard);
         self.mode = match self.mode {
             FlightMode::Nominal => FlightMode::Emergency(prescribed),
-            FlightMode::Emergency(active) => {
-                FlightMode::Emergency(active.max(prescribed))
-            }
+            FlightMode::Emergency(active) => FlightMode::Emergency(active.max(prescribed)),
         };
         self.mode
     }
@@ -215,11 +211,17 @@ mod tests {
     fn el_abort_escalates_to_ft() {
         let mut s = SafetySwitch::new(true);
         s.on_hazard(HazardCategory::LostNavigation);
-        assert_eq!(s.on_el_abort(), FlightMode::Emergency(Maneuver::FlightTermination));
+        assert_eq!(
+            s.on_el_abort(),
+            FlightMode::Emergency(Maneuver::FlightTermination)
+        );
         // el_abort in other states is a no-op.
         let mut s = SafetySwitch::new(true);
         s.on_hazard(HazardCategory::LostCommunication);
-        assert_eq!(s.on_el_abort(), FlightMode::Emergency(Maneuver::ReturnToBase));
+        assert_eq!(
+            s.on_el_abort(),
+            FlightMode::Emergency(Maneuver::ReturnToBase)
+        );
     }
 
     #[test]

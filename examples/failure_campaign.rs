@@ -27,8 +27,10 @@ fn main() {
         deploy_altitude_m: config.mission.el_deploy_altitude_m,
         ..certel::el_core::DriftModel::medi_delivery()
     };
-    let clearance_m = drift
-        .required_clearance_m(config.mission.wind.mean_speed_mps, certel::el_core::IntegrityLevel::Low);
+    let clearance_m = drift.required_clearance_m(
+        config.mission.wind.mean_speed_mps,
+        certel::el_core::IntegrityLevel::Low,
+    );
     println!(
         "EL zone clearance from drift model: {:.1} m (deploy {:.0} m, wind {:.1} m/s)",
         clearance_m, drift.deploy_altitude_m, config.mission.wind.mean_speed_mps
@@ -47,7 +49,10 @@ fn main() {
     let mut degraded = NoisyEl::degraded();
     degraded.inner.clearance_m = clearance_m;
     let reports = [
-        ("no EL (FT on navigation loss)", no_el_campaign.run(&mut NoEl)),
+        (
+            "no EL (FT on navigation loss)",
+            no_el_campaign.run(&mut NoEl),
+        ),
         ("unmonitored degraded EL", campaign.run(&mut degraded)),
         (
             "ground-truth EL (upper bound)",

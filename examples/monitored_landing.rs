@@ -68,8 +68,7 @@ fn main() {
     println!("\n== Figure 2 pipeline, end to end ==");
     let camera = Camera::new(120.0, 60.0, 256);
     let drift = DriftModel::medi_delivery();
-    let clearance =
-        drift.required_clearance_px(3.0, IntegrityLevel::Medium, &camera);
+    let clearance = drift.required_clearance_px(3.0, IntegrityLevel::Medium, &camera);
     println!(
         "  drift buffer at 3 m/s wind, Medium integrity: {:.1} m = {:.1} px",
         drift.required_clearance_m(3.0, IntegrityLevel::Medium),
@@ -81,10 +80,8 @@ fn main() {
             let mut config = PipelineConfig::paper();
             config.monitor.max_warning_fraction = 0.02;
             config.monitored = monitored;
-            let mut pipeline = ElPipeline::new(
-                MsdNet::from_json(&netify(&net)).expect("roundtrip"),
-                config,
-            );
+            let mut pipeline =
+                ElPipeline::new(MsdNet::from_json(&netify(&net)).expect("roundtrip"), config);
             let mut landed = 0;
             let mut aborted = 0;
             let mut fatal = 0;

@@ -68,19 +68,15 @@ pub mod prelude {
     };
     pub use el_geom::{Grid, LabelMap, Point, Rect, SemanticClass, Vec2};
     pub use el_monitor::{
-        bayesian_segment, BayesStats, Monitor, MonitorConfig, MonitorQuality, MonitorRule,
-        Verdict,
+        bayesian_segment, BayesStats, Monitor, MonitorConfig, MonitorQuality, MonitorRule, Verdict,
     };
-    pub use el_scene::{
-        Camera, Conditions, Dataset, DatasetConfig, Scene, SceneParams, Split,
-    };
+    pub use el_scene::{Camera, Conditions, Dataset, DatasetConfig, Scene, SceneParams, Split};
     pub use el_seg::{segment, ConfusionMatrix, MsdNet, MsdNetConfig, TrainConfig, Trainer};
     pub use el_sora::{
-        medi_delivery, Arc, ElMitigation, Mitigation, Robustness, Sail, Severity,
-        SoraAssessment,
+        medi_delivery, Arc, ElMitigation, Mitigation, Robustness, Sail, Severity, SoraAssessment,
     };
     pub use el_uavsim::{
-        Campaign, CampaignConfig, ElSystem, FailureRates, Maneuver, Mission, MissionConfig,
-        NoEl, NoisyEl, PerfectEl, TerminalState, Wind,
+        Campaign, CampaignConfig, ElSystem, FailureRates, Maneuver, Mission, MissionConfig, NoEl,
+        NoisyEl, PerfectEl, TerminalState, Wind,
     };
 }

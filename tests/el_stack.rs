@@ -115,10 +115,7 @@ fn pipeline_decisions_are_gt_safe_or_abort_in_distribution() {
         decisions += 1;
         if let FinalDecision::Land(zone) = &outcome.decision {
             let a = assess_zone(&s.labels, zone.rect);
-            assert!(
-                !a.fatal,
-                "sample {i}: confirmed zone on a true busy road"
-            );
+            assert!(!a.fatal, "sample {i}: confirmed zone on a true busy road");
         }
     }
     assert!(decisions > 0);
@@ -158,7 +155,10 @@ fn edge_density_baseline_is_semantically_blind() {
     let (dataset, _) = trained_setup();
     let sample = dataset.split(Split::Test).next().unwrap();
     let zones = el_core::pipeline::edge_density_zones(&sample.image, &ZoneParams::small());
-    assert!(!zones.is_empty(), "baseline should find low-texture windows");
+    assert!(
+        !zones.is_empty(),
+        "baseline should find low-texture windows"
+    );
     // Its candidates carry no semantic clearance information.
     for z in &zones {
         assert_eq!(z.clearance_px, 0.0);

@@ -1,120 +1,212 @@
-//! Property-based tests (proptest) on cross-crate invariants.
+//! Property-based tests on cross-crate invariants.
+//!
+//! The build environment has no `proptest`, so each property runs as a
+//! seeded-RNG loop: `CASES` random instances drawn from a `ChaCha8Rng`
+//! with a fixed seed — fully deterministic, shrinking traded for
+//! reproducibility.
 
 use certel::prelude::*;
 use el_geom::distance::distance_transform;
 use el_geom::Grid;
-use el_nn::Tensor;
+use el_nn::layers::Conv2d;
+use el_nn::{Tensor, Workspace};
 use el_sora::grc::{intrinsic_grc, GroundScenario, UavSpec};
 use el_sora::mitigation::MitigationSet;
 use el_sora::sail::sail;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// The exact Euclidean distance transform matches brute force on
-    /// arbitrary masks.
-    #[test]
-    fn distance_transform_matches_brute_force(
-        bits in proptest::collection::vec(any::<bool>(), 64),
-    ) {
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x5EED)
+}
+
+/// The exact Euclidean distance transform matches brute force on
+/// arbitrary masks.
+#[test]
+fn distance_transform_matches_brute_force() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let bits: Vec<bool> = (0..64).map(|_| r.gen::<bool>()).collect();
         let mask = Grid::from_vec(8, 8, bits).unwrap();
         let fast = distance_transform(&mask);
-        let seeds: Vec<_> = mask.enumerate().filter(|(_, &b)| b).map(|(p, _)| p).collect();
+        let seeds: Vec<_> = mask
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(p, _)| p)
+            .collect();
         for (p, &v) in fast.enumerate() {
             let brute = seeds
                 .iter()
                 .map(|s| ((s.x - p.x).pow(2) as f64 + (s.y - p.y).pow(2) as f64).sqrt())
                 .fold(f64::INFINITY, f64::min);
             if brute.is_infinite() {
-                prop_assert!(v.is_infinite());
+                assert!(v.is_infinite());
             } else {
-                prop_assert!((v - brute).abs() < 1e-9, "at {p}: {v} vs {brute}");
+                assert!((v - brute).abs() < 1e-9, "at {p}: {v} vs {brute}");
             }
         }
     }
+}
 
-    /// Dilation is extensive and monotone in the radius.
-    #[test]
-    fn dilation_monotone(
-        bits in proptest::collection::vec(any::<bool>(), 49),
-        r1 in 0.5f64..2.0,
-        r2 in 2.0f64..4.0,
-    ) {
+/// Dilation is extensive and monotone in the radius.
+#[test]
+fn dilation_monotone() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let bits: Vec<bool> = (0..49).map(|_| r.gen::<bool>()).collect();
+        let r1 = r.gen_range(0.5f64..2.0);
+        let r2 = r.gen_range(2.0f64..4.0);
         let mask = Grid::from_vec(7, 7, bits).unwrap();
         let d1 = el_geom::morph::dilate(&mask, r1);
         let d2 = el_geom::morph::dilate(&mask, r2);
         for ((&m, &a), &b) in mask.iter().zip(d1.iter()).zip(d2.iter()) {
-            prop_assert!(!m || a, "dilation must be extensive");
-            prop_assert!(!a || b, "dilation must be monotone in radius");
+            assert!(!m || a, "dilation must be extensive");
+            assert!(!a || b, "dilation must be monotone in radius");
         }
     }
+}
 
-    /// The monitor rule is monotone: tightening tau or raising the sigma
-    /// factor can only add warnings.
-    #[test]
-    fn monitor_rule_monotone(
-        means in proptest::collection::vec(0.0f32..0.5, 8),
-        stds in proptest::collection::vec(0.0f32..0.2, 8),
-        tau_low in 0.02f32..0.1,
-        tau_high in 0.1f32..0.4,
-        k_low in 0.0f32..2.0,
-        k_high in 2.0f32..5.0,
-    ) {
+/// The optimized im2col/GEMM convolution reproduces the naive reference
+/// loop exactly, over random shapes, kernels and dilations — including
+/// receptive fields larger than the image.
+#[test]
+fn conv_optimized_matches_naive_reference() {
+    let mut r = rng();
+    let mut ws = Workspace::new();
+    for case in 0..CASES {
+        let in_c = r.gen_range(1usize..5);
+        let out_c = r.gen_range(1usize..7);
+        let kernel = [1usize, 3, 5][r.gen_range(0usize..3)];
+        let dilation = r.gen_range(1usize..5);
+        let h = r.gen_range(1usize..13);
+        let w = r.gen_range(1usize..13);
+        let conv = Conv2d::new(in_c, out_c, kernel, dilation, &mut r);
+        let mut vals = ChaCha8Rng::seed_from_u64(case as u64);
+        let input = Tensor::from_fn(in_c, h, w, |_, _, _| vals.gen_range(-2.0f32..2.0));
+        let reference = conv.forward_reference(&input);
+        let optimized = conv.forward_with(&input, &mut ws);
+        assert_eq!(
+            reference, optimized,
+            "conv {in_c}->{out_c} k{kernel} d{dilation} on {h}x{w} diverged"
+        );
+        ws.recycle(optimized);
+    }
+}
+
+/// Parallel Monte-Carlo dropout produces results bit-identical to the
+/// sequential path for the same seed, and repeated runs are
+/// deterministic.
+#[test]
+fn mc_dropout_parallel_matches_sequential() {
+    use el_monitor::{bayesian_segment_tensor, bayesian_segment_tensor_sequential};
+    let mut r = rng();
+    let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+    let input = Tensor::from_fn(3, 12, 9, |c, y, x| {
+        ((c * 5 + y * 2 + x) as f32 * 0.17).sin()
+    });
+    for samples in [1usize, 2, 7, 10, 19] {
+        let seed = r.gen::<u64>();
+        let par = bayesian_segment_tensor(&mut net, &input, samples, seed);
+        let seq = bayesian_segment_tensor_sequential(&mut net, &input, samples, seed);
+        assert_eq!(
+            par.mean.as_slice(),
+            seq.mean.as_slice(),
+            "{samples}-sample mean diverges at seed {seed}"
+        );
+        assert_eq!(
+            par.std.as_slice(),
+            seq.std.as_slice(),
+            "{samples}-sample std diverges at seed {seed}"
+        );
+        let again = bayesian_segment_tensor(&mut net, &input, samples, seed);
+        assert_eq!(par.mean, again.mean, "parallel path must be deterministic");
+        assert_eq!(par.std, again.std);
+    }
+}
+
+/// The monitor rule is monotone: tightening tau or raising the sigma
+/// factor can only add warnings.
+#[test]
+fn monitor_rule_monotone() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let means: Vec<f32> = (0..8).map(|_| r.gen_range(0.0f32..0.5)).collect();
+        let stds: Vec<f32> = (0..8).map(|_| r.gen_range(0.0f32..0.2)).collect();
+        let tau_low = r.gen_range(0.02f32..0.1);
+        let tau_high = r.gen_range(0.1f32..0.4);
+        let k_low = r.gen_range(0.0f32..2.0);
+        let k_high = r.gen_range(2.0f32..5.0);
         let mean = Tensor::from_vec(8, 1, 1, means).unwrap();
         let std = Tensor::from_vec(8, 1, 1, stds).unwrap();
-        let stats = BayesStats { mean, std, samples: 10 };
-        let strict = MonitorRule { tau: tau_low, sigma_factor: k_high };
-        let lenient = MonitorRule { tau: tau_high, sigma_factor: k_low };
+        let stats = BayesStats {
+            mean,
+            std,
+            samples: 10,
+        };
+        let strict = MonitorRule {
+            tau: tau_low,
+            sigma_factor: k_high,
+        };
+        let lenient = MonitorRule {
+            tau: tau_high,
+            sigma_factor: k_low,
+        };
         let ws = strict.warning_map(&stats)[(0, 0)];
         let wl = lenient.warning_map(&stats)[(0, 0)];
-        prop_assert!(!wl || ws, "strict rule must warn wherever lenient does");
+        assert!(!wl || ws, "strict rule must warn wherever lenient does");
     }
+}
 
-    /// Proposed zones never overlap predicted high-risk pixels and always
-    /// satisfy the clearance they claim.
-    #[test]
-    fn zones_respect_predicted_risk(seed in 0u64..500) {
+/// Proposed zones never overlap predicted high-risk pixels and always
+/// satisfy the clearance they claim.
+#[test]
+fn zones_respect_predicted_risk() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let seed = r.gen_range(0u64..500);
         let scene = Scene::generate(&SceneParams::small(), seed);
         let params = el_core::ZoneParams::small();
         for z in el_core::propose_zones(&scene.labels, &params) {
-            prop_assert!(z.clearance_px >= params.clearance_px);
+            assert!(z.clearance_px >= params.clearance_px);
             for p in z.rect.pixels() {
-                prop_assert!(
+                assert!(
                     !scene.labels[p].endangers_people(),
                     "zone pixel {p} on predicted high-risk class"
                 );
             }
         }
     }
+}
 
-    /// Drift clearance is monotone in wind speed and integrity level.
-    #[test]
-    fn drift_clearance_monotone(
-        w1 in 0.0f64..5.0,
-        dw in 0.0f64..5.0,
-    ) {
+/// Drift clearance is monotone in wind speed and integrity level.
+#[test]
+fn drift_clearance_monotone() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let w1 = r.gen_range(0.0f64..5.0);
+        let dw = r.gen_range(0.0f64..5.0);
         let model = DriftModel::medi_delivery();
         let low1 = model.required_clearance_m(w1, IntegrityLevel::Low);
         let low2 = model.required_clearance_m(w1 + dw, IntegrityLevel::Low);
         let med1 = model.required_clearance_m(w1, IntegrityLevel::Medium);
-        prop_assert!(low2 >= low1, "clearance must grow with wind");
-        prop_assert!(med1 >= low1, "medium must dominate low");
+        assert!(low2 >= low1, "clearance must grow with wind");
+        assert!(med1 >= low1, "medium must dominate low");
     }
+}
 
-    /// SORA invariants over arbitrary operations: mitigation never raises
-    /// the final GRC beyond the M3 penalty; SAIL is monotone in the final
-    /// GRC for every ARC.
-    #[test]
-    fn sora_monotonicity(
-        dim in 0.2f64..12.0,
-        mtow in 0.2f64..120.0,
-        height in 5.0f64..200.0,
-    ) {
+/// SORA invariants over arbitrary operations: mitigation never raises
+/// the final GRC beyond the M3 penalty; SAIL is monotone in the final
+/// GRC for every ARC.
+#[test]
+fn sora_monotonicity() {
+    let mut r = rng();
+    for _ in 0..CASES {
         let spec = UavSpec {
-            max_dimension_m: dim,
-            mtow_kg: mtow,
-            operating_height_m: height,
+            max_dimension_m: r.gen_range(0.2f64..12.0),
+            mtow_kg: r.gen_range(0.2f64..120.0),
+            operating_height_m: r.gen_range(5.0f64..200.0),
         };
         for scenario in [
             GroundScenario::ControlledArea,
@@ -123,13 +215,24 @@ proptest! {
             GroundScenario::VlosPopulated,
             GroundScenario::BvlosPopulated,
         ] {
-            let Some(grc) = intrinsic_grc(scenario, &spec) else { continue };
+            let Some(grc) = intrinsic_grc(scenario, &spec) else {
+                continue;
+            };
             // Claiming more EL robustness never increases the final GRC.
             let mut prev = u8::MAX;
-            for el in [Robustness::None, Robustness::Low, Robustness::Medium, Robustness::High] {
-                let set = MitigationSet { el, m3: Robustness::Medium, ..MitigationSet::none() };
+            for el in [
+                Robustness::None,
+                Robustness::Low,
+                Robustness::Medium,
+                Robustness::High,
+            ] {
+                let set = MitigationSet {
+                    el,
+                    m3: Robustness::Medium,
+                    ..MitigationSet::none()
+                };
                 let f = set.final_grc(grc);
-                prop_assert!(f <= prev);
+                assert!(f <= prev);
                 prev = f;
             }
             // SAIL monotone in GRC at fixed ARC.
@@ -138,36 +241,41 @@ proptest! {
                 for g in 1..=7u8 {
                     let s = sail(g, arc).unwrap();
                     if let Some(p) = prev_sail {
-                        prop_assert!(s >= p);
+                        assert!(s >= p);
                     }
                     prev_sail = Some(s);
                 }
             }
         }
     }
+}
 
-    /// Softmax output is a probability distribution for arbitrary logits.
-    #[test]
-    fn softmax_is_distribution(
-        logits in proptest::collection::vec(-30.0f32..30.0, 16),
-    ) {
+/// Softmax output is a probability distribution for arbitrary logits.
+#[test]
+fn softmax_is_distribution() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let logits: Vec<f32> = (0..16).map(|_| r.gen_range(-30.0f32..30.0)).collect();
         let t = Tensor::from_vec(4, 2, 2, logits).unwrap();
         let p = el_nn::loss::softmax(&t);
         for i in 0..4usize {
             let s: f32 = (0..4).map(|k| p.as_slice()[k * 4 + i]).sum();
-            prop_assert!((s - 1.0).abs() < 1e-4);
+            assert!((s - 1.0).abs() < 1e-4);
         }
-        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
+}
 
-    /// The safety switch never downgrades out of an emergency (except the
-    /// documented Hovering recovery) under arbitrary hazard sequences.
-    #[test]
-    fn safety_switch_never_downgrades(
-        hazard_idx in proptest::collection::vec(0usize..6, 1..12),
-    ) {
-        use el_sora::hazard::HazardCategory;
-        use el_uavsim::{FlightMode, SafetySwitch};
+/// The safety switch never downgrades out of an emergency (except the
+/// documented Hovering recovery) under arbitrary hazard sequences.
+#[test]
+fn safety_switch_never_downgrades() {
+    use el_sora::hazard::HazardCategory;
+    use el_uavsim::{FlightMode, SafetySwitch};
+    let mut r = rng();
+    for _ in 0..CASES {
+        let len = r.gen_range(1usize..12);
+        let hazard_idx: Vec<usize> = (0..len).map(|_| r.gen_range(0usize..6)).collect();
         let mut switch = SafetySwitch::new(true);
         let mut worst: Option<Maneuver> = None;
         for &i in &hazard_idx {
@@ -176,35 +284,45 @@ proptest! {
             if let FlightMode::Emergency(m) = mode {
                 if m != Maneuver::Hovering {
                     if let Some(w) = worst {
-                        prop_assert!(m >= w, "maneuver downgraded from {w:?} to {m:?}");
+                        assert!(m >= w, "maneuver downgraded from {w:?} to {m:?}");
                     }
                     worst = Some(m);
                 }
             }
         }
     }
+}
 
-    /// Touchdown severity is Catastrophic iff the contact disk touches a
-    /// busy-road pixel.
-    #[test]
-    fn touchdown_severity_consistent(seed in 0u64..200, x in 5.0f64..40.0, y in 5.0f64..40.0) {
-        use el_uavsim::mission::touchdown_severity;
+/// Touchdown severity is Catastrophic iff the contact disk touches a
+/// busy-road pixel.
+#[test]
+fn touchdown_severity_consistent() {
+    use el_uavsim::mission::touchdown_severity;
+    let mut r = rng();
+    for _ in 0..CASES {
+        let seed = r.gen_range(0u64..200);
+        let x = r.gen_range(5.0f64..40.0);
+        let y = r.gen_range(5.0f64..40.0);
         let scene = Scene::generate(&SceneParams::small(), seed);
         let at = el_geom::Vec2::new(x, y);
         let sev = touchdown_severity(&scene, at, true);
         let mpp = scene.params.meters_per_pixel;
         let cx = (x / mpp).round() as i64;
         let cy = (y / mpp).round() as i64;
-        let r = (1.5 / mpp).ceil() as i64;
+        let rad = (1.5 / mpp).ceil() as i64;
         let mut touches_road = false;
-        for dy in -r..=r {
-            for dx in -r..=r {
-                if (dx * dx + dy * dy) as f64 > (r * r) as f64 { continue; }
+        for dy in -rad..=rad {
+            for dx in -rad..=rad {
+                if (dx * dx + dy * dy) as f64 > (rad * rad) as f64 {
+                    continue;
+                }
                 if let Some(c) = scene.labels.get(el_geom::Point::new(cx + dx, cy + dy)) {
-                    if c.is_busy_road() { touches_road = true; }
+                    if c.is_busy_road() {
+                        touches_road = true;
+                    }
                 }
             }
         }
-        prop_assert_eq!(sev == Severity::Catastrophic, touches_road);
+        assert_eq!(sev == Severity::Catastrophic, touches_road);
     }
 }

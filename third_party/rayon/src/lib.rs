@@ -1,0 +1,215 @@
+//! A minimal data-parallelism library with a `rayon`-like surface.
+//!
+//! The build environment cannot fetch the real `rayon`, so this crate
+//! implements the subset the workspace uses — `into_par_iter().map(..)
+//! .collect()` over ranges and vectors, plus [`join`] — on top of
+//! `std::thread::scope`. Work is distributed over an atomic index counter,
+//! results land in their original positions, so `collect` preserves input
+//! order exactly like rayon's indexed parallel iterators.
+//!
+//! Thread count: `min(available_parallelism, items)`, overridable with the
+//! `RAYON_NUM_THREADS` environment variable (0 or unset = automatic).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(auto);
+    configured.min(n).max(1)
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving
+/// input order in the output.
+pub(crate) fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_count(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (f, slots, out, next) = (&f, &slots, &out, &next);
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("input slot lock")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let result = f(item);
+                *out[i].lock().expect("output slot lock") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot lock")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra = None;
+    let mut rb = None;
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(a);
+        rb = Some(b());
+        ra = Some(ha.join().expect("join: left closure panicked"));
+    });
+    (ra.expect("left result"), rb.expect("right result"))
+}
+
+/// Parallel iterator adapters.
+pub mod iter {
+    use super::par_map_vec;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The item type.
+        type Item: Send;
+        /// Converts `self` into a [`ParIter`].
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// An order-preserving parallel iterator over owned items.
+    #[derive(Debug)]
+    pub struct ParIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps every item through `f` in parallel.
+        pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, U, F> {
+            ParMap {
+                items: self.items,
+                f,
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`]; terminate with
+    /// [`ParMap::collect`].
+    #[derive(Debug)]
+    pub struct ParMap<T: Send, U: Send, F: Fn(T) -> U + Sync> {
+        items: Vec<T>,
+        f: F,
+        _marker: std::marker::PhantomData<fn() -> U>,
+    }
+
+    impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, U, F> {
+        /// Runs the map on a thread pool and collects results in input
+        /// order.
+        pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+            C::from_ordered_vec(par_map_vec(self.items, self.f))
+        }
+    }
+
+    /// Collection from an (already ordered) parallel computation.
+    pub trait FromParallelIterator<U> {
+        /// Builds the collection from results in input order.
+        fn from_ordered_vec(v: Vec<U>) -> Self;
+    }
+
+    impl<U> FromParallelIterator<U> for Vec<U> {
+        fn from_ordered_vec(v: Vec<U>) -> Self {
+            v
+        }
+    }
+}
+
+/// One-stop imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let out: Vec<String> = vec!["a", "b", "c"]
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(out, vec!["a!", "b!", "c!"]);
+    }
+
+    #[test]
+    fn all_items_processed_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let _: Vec<()> = (0..1000usize)
+            .into_par_iter()
+            .map(|_| {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            })
+            .collect();
+        assert_eq!(COUNT.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,441 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate parses the derive input with a small hand-written scanner over
+//! `proc_macro::TokenStream` (no `syn`/`quote`) and emits `impl` blocks
+//! for the facade's `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - named-field structs, optionally with type parameters;
+//! - enums with unit variants, single-field tuple variants, and
+//!   named-field variants;
+//! - the `#[serde(skip)]` field attribute (omitted on serialize,
+//!   `Default::default()` on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+/// `true` if this `#[...]` attribute group is `serde(skip)`.
+fn is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parses the fields of a `{ ... }` body (named fields only).
+fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    'fields: loop {
+        let mut skip = false;
+        // Attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if is_serde_skip(&g) {
+                            skip = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    // Optional `pub(crate)` and friends.
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma (tracking `<>`
+        // nesting; parens/brackets/braces arrive as atomic groups).
+        let mut angle_depth = 0usize;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    'variants: loop {
+        // Attributes (e.g. `#[default]`, doc comments).
+        loop {
+            match tokens.peek() {
+                None => break 'variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+        };
+        let payload = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                // Single-field tuple variants only: a top-level comma
+                // inside the parens (ignoring trailing) is unsupported.
+                let mut angle_depth = 0usize;
+                let mut saw_comma_before_end = false;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                for (i, t) in inner.iter().enumerate() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            angle_depth = angle_depth.saturating_sub(1)
+                        }
+                        TokenTree::Punct(p)
+                            if p.as_char() == ',' && angle_depth == 0 && i + 1 < inner.len() =>
+                        {
+                            saw_comma_before_end = true
+                        }
+                        _ => {}
+                    }
+                }
+                if saw_comma_before_end {
+                    panic!("serde derive: multi-field tuple variant `{name}` is not supported");
+                }
+                Payload::Tuple
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Payload::Struct(parse_named_fields(g))
+            }
+            _ => Payload::Unit,
+        };
+        // Consume up to and including the separating comma (also skips
+        // explicit discriminants, which the workspace does not use).
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => break,
+        }
+    }
+    let is_enum = match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => false,
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => true,
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    // Optional generics: collect type-parameter idents.
+    let mut type_params = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' => expect_param = false,
+                TokenTree::Ident(i) if depth == 1 && expect_param => {
+                    if i.to_string() == "const" {
+                        panic!("serde derive: const generics are not supported");
+                    }
+                    type_params.push(i.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple structs are not supported (type `{name}`)")
+            }
+            Some(_) => continue, // `where` clauses are not supported but skipped tokens surface later
+            None => panic!("serde derive: no body found for `{name}`"),
+        }
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body))
+    } else {
+        Kind::Struct(parse_named_fields(body))
+    };
+    Input {
+        name,
+        type_params,
+        kind,
+    }
+}
+
+/// `impl<T: ::serde::Serialize> ... for Name<T>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.type_params.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound} + ::std::default::Default"))
+            .collect();
+        let args = input.type_params.join(", ");
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, args),
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (generics, ty) = impl_header(&input, "::serde::Serialize");
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(__entries)"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Payload::Tuple => arms.push_str(&format!(
+                        "Self::{vn}(__inner) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__inner))]),\n"
+                    )),
+                    Payload::Struct(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let bindings = names.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {bindings} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(__fields))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let (generics, ty) = impl_header(&input, "::serde::Deserialize");
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match __v.get(\"{0}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                         None => return Err(::serde::DeError::new(\"missing field `{0}` in `{name}`\")),\n\
+                         }},\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "if !matches!(__v, ::serde::Value::Map(_)) {{\n\
+                 return Err(::serde::DeError::new(format!(\"expected map for `{name}`, found {{__v:?}}\")));\n\
+                 }}\n\
+                 Ok(Self {{\n{inits}\n}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok(Self::{vn}),\n"))
+                    }
+                    Payload::Tuple => data_arms.push_str(&format!(
+                        "if let Some(__inner) = __v.get(\"{vn}\") {{\n\
+                         return Ok(Self::{vn}(::serde::Deserialize::from_value(__inner)?));\n\
+                         }}\n"
+                    )),
+                    Payload::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: match __inner.get(\"{0}\") {{\n\
+                                     Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                                     None => return Err(::serde::DeError::new(\"missing field `{0}` in `{name}::{vn}`\")),\n\
+                                     }},\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "if let Some(__inner) = __v.get(\"{vn}\") {{\n\
+                             return Ok(Self::{vn} {{\n{inits}\n}});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                 match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => return Err(::serde::DeError::new(format!(\"unknown `{name}` variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 {data_arms}\
+                 Err(::serde::DeError::new(format!(\"unrecognised `{name}` value {{__v:?}}\")))"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde derive: generated Deserialize impl parses")
+}

@@ -1,0 +1,157 @@
+//! Experiment P2: batched multi-zone verification and budgeted tiled
+//! Bayesian inference — the scaling measurements behind the batch engine.
+//!
+//! Two tables anchor the PR's performance claims:
+//!
+//! 1. **Batch-size scaling**: `Monitor::verify_batch` over N candidate
+//!    crops versus N sequential `Monitor::verify` calls (the per-crop
+//!    results are bit-identical — `tests/batch_bayes.rs` — so this is a
+//!    pure latency comparison). The batch path amortises the prefix
+//!    convolutions into single column-stacked GEMMs, runs every sample's
+//!    head GEMMs once for the whole batch, shares one scratch arena, and
+//!    drains all crops' Monte-Carlo chunks through one rayon work queue.
+//! 2. **Tile-count scaling**: `bayesian_segment_tiled` over a full frame,
+//!    with per-tile cost and the coverage a given latency budget buys —
+//!    the paper's §V-B argument made incremental.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use el_bench::trained_model;
+use el_geom::Rect;
+use el_monitor::{bayesian_segment_tiled, Monitor, MonitorConfig, BATCH_SEED_STRIDE};
+use el_scene::{Conditions, Scene, SceneParams};
+use el_seg::TileConfig;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A candidate-zone-sized crop (the paper config's zone plus monitor
+/// margin lands in this range).
+fn crops(n: usize, side: usize) -> Vec<el_scene::Image> {
+    (0..n)
+        .map(|i| {
+            let mut params = SceneParams::default_urban();
+            params.width = side;
+            params.height = side;
+            let scene = Scene::generate(&params, 23 + i as u64);
+            scene.render(&Conditions::nominal(), 5 + i as u64)
+        })
+        .collect()
+}
+
+fn frame(side: usize) -> el_scene::Image {
+    let mut params = SceneParams::default_urban();
+    params.width = side;
+    params.height = side;
+    Scene::generate(&params, 41).render(&Conditions::nominal(), 7)
+}
+
+fn print_batch_scaling() {
+    let net = trained_model();
+    let monitor = Monitor::new(MonitorConfig::paper());
+    eprintln!("\n===== P2a: verify_batch vs N sequential verify (10 samples, 48x48 crops) =====");
+    eprintln!(
+        "{:>6} {:>16} {:>14} {:>9}",
+        "crops", "sequential (s)", "batch (s)", "speedup"
+    );
+    for n in [1usize, 2, 4, 8] {
+        let images = crops(n, 48);
+        // Warm both paths (model load, first-touch buffers).
+        let _ = monitor.verify(&net, &images[0], 1);
+        let _ = monitor.verify_batch(&net, &images, 1);
+        // Interleave and keep each side's best of 9: noise on a shared
+        // box hits both alike, minima are the stable estimator.
+        let reps = 9;
+        let mut seq = f64::INFINITY;
+        let mut batch = f64::INFINITY;
+        for r in 0..reps as u64 {
+            let t0 = Instant::now();
+            for (i, img) in images.iter().enumerate() {
+                let seed = (42 + r).wrapping_add((i as u64 + 1).wrapping_mul(BATCH_SEED_STRIDE));
+                black_box(monitor.verify(&net, img, seed));
+            }
+            seq = seq.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            black_box(monitor.verify_batch(&net, &images, 42 + r));
+            batch = batch.min(t0.elapsed().as_secs_f64());
+        }
+        eprintln!(
+            "{:>6} {:>16.4} {:>14.4} {:>8.2}x",
+            n,
+            seq,
+            batch,
+            seq / batch
+        );
+    }
+}
+
+fn print_tile_scaling() {
+    let net = trained_model();
+    let config = TileConfig::default_128();
+    eprintln!("\n===== P2b: budgeted tiled Bayesian inference (10 samples, 128 px tiles) =====");
+    eprintln!(
+        "{:>6} {:>6} {:>13} {:>13} {:>10}",
+        "frame", "tiles", "full (s)", "s per tile", "cov@50%"
+    );
+    for side in [256usize, 384] {
+        let img = frame(side);
+        let t0 = Instant::now();
+        let full =
+            bayesian_segment_tiled(&net, &img, config, 10, 42, Duration::from_secs(86_400), &[]);
+        let full_s = t0.elapsed().as_secs_f64();
+        assert!(full.is_complete());
+        // What does half the budget buy? (Real wall clock.)
+        let half = bayesian_segment_tiled(
+            &net,
+            &img,
+            config,
+            10,
+            42,
+            Duration::from_secs_f64(full_s / 2.0),
+            &[],
+        );
+        eprintln!(
+            "{:>6} {:>6} {:>13.3} {:>13.3} {:>9.0}%",
+            side,
+            full.tiles_total,
+            full_s,
+            full_s / full.tiles_total as f64,
+            half.coverage() * 100.0
+        );
+    }
+    eprintln!(
+        "partial coverage is exact where covered (bit-identical to the whole frame) \
+         and candidate-zone tiles go first — see tests/batch_bayes.rs."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_batch_scaling();
+    print_tile_scaling();
+    let net = trained_model();
+    let monitor = Monitor::new(MonitorConfig::paper());
+    let mut group = c.benchmark_group("batch_scaling");
+    group.sample_size(10);
+    for n in [1usize, 4] {
+        let images = crops(n, 48);
+        group.bench_with_input(BenchmarkId::new("verify_batch", n), &images, |b, imgs| {
+            b.iter(|| black_box(monitor.verify_batch(&net, imgs, 42)))
+        });
+    }
+    let img = frame(256);
+    group.bench_with_input(BenchmarkId::new("tiled_full_frame", 256), &img, |b, img| {
+        b.iter(|| {
+            black_box(bayesian_segment_tiled(
+                &net,
+                img,
+                TileConfig::default_128(),
+                10,
+                42,
+                Duration::from_secs(86_400),
+                &[Rect::new(64, 64, 33, 33)],
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -185,40 +185,75 @@ impl ElPipeline {
     ///
     /// `seed` drives the monitor's Monte-Carlo dropout; the run is
     /// deterministic given `(net, image, seed)`.
+    ///
+    /// # Verification strategy
+    ///
+    /// The monitored path is *propose-all-then-verify-batch*: every
+    /// candidate the decision module could possibly try (its trial
+    /// budget caps the count) is cropped up front and verified in one
+    /// [`Monitor::verify_batch`] invocation — the candidates' prefix
+    /// convolutions batch into single GEMMs and their Monte-Carlo chunks
+    /// share one rayon work queue. The *decision semantics* stay exactly
+    /// sequential: the precomputed verdicts are replayed through the
+    /// [`DecisionModule`] in candidate order, and a trial is recorded
+    /// only for candidates the sequential loop would actually have
+    /// tried. Crop `i`'s seed is
+    /// `seed + (i+1)·`[`el_monitor::BATCH_SEED_STRIDE`] — the same chain
+    /// the sequential loop stepped through — so decisions, trials and
+    /// warning fractions are bit-identical to per-candidate verification
+    /// (property-tested).
+    ///
+    /// This is **speculative** verification: when the first candidate is
+    /// confirmed, the lazy loop would have verified one crop while the
+    /// batch verified up to `max_trials` of them. The total Monte-Carlo
+    /// compute therefore rises by up to that factor in the confirm-first
+    /// case, in exchange for all trials running concurrently on one
+    /// shared work queue — on parallel hardware the *wall-clock* decision
+    /// latency is bounded by one batch instead of up to `max_trials`
+    /// sequential verifications, which is the quantity the emergency-
+    /// landing loop actually budgets (paper §V-B). Deployments that are
+    /// compute-bound rather than latency-bound should keep `max_trials`
+    /// tight (the default is 3).
     pub fn run(&mut self, image: &Image, seed: u64) -> ElOutcome {
         // Core function: one deterministic pass + zone proposal.
         let core = segment_ws(&self.net, image, &mut self.ws);
         let candidates = propose_zones(&core.labels, &self.config.zone);
 
+        // Verify-batch every candidate the decision module could reach.
+        let reports = if self.config.monitored {
+            let crops: Vec<Image> = candidates
+                .iter()
+                .take(self.config.decision.max_trials)
+                .map(|c| crop_for_monitor(c, self.config.monitor_margin_px, image))
+                .collect();
+            self.monitor.verify_batch(&self.net, &crops, seed)
+        } else {
+            Vec::new()
+        };
+
+        // Sequential decision replay over the precomputed verdicts.
         let mut trials = Vec::new();
         let mut dm = DecisionModule::new(self.config.decision, candidates);
         let mut decision = dm.first();
-        let mut trial_seed = seed;
+        let mut tried = 0usize;
         let final_decision = loop {
             match decision {
                 Decision::Land(c) => break FinalDecision::Land(c),
                 Decision::Abort(r) => break FinalDecision::Abort(r),
                 Decision::TryNext(candidate) => {
-                    let verdict = if self.config.monitored {
-                        let crop =
-                            crop_for_monitor(&candidate, self.config.monitor_margin_px, image);
-                        trial_seed = trial_seed.wrapping_add(0x9E37_79B9);
-                        let report = self.monitor.verify(&self.net, &crop, trial_seed);
-                        trials.push(Trial {
-                            candidate: candidate.clone(),
-                            verdict: report.verdict,
-                            warning_fraction: report.warning_fraction,
-                        });
-                        report.verdict
+                    let (verdict, warning_fraction) = if self.config.monitored {
+                        let report = &reports[tried];
+                        (report.verdict, report.warning_fraction)
                     } else {
                         // Unmonitored baseline: trust the core function.
-                        trials.push(Trial {
-                            candidate: candidate.clone(),
-                            verdict: Verdict::Confirmed,
-                            warning_fraction: 0.0,
-                        });
-                        Verdict::Confirmed
+                        (Verdict::Confirmed, 0.0)
                     };
+                    tried += 1;
+                    trials.push(Trial {
+                        candidate: candidate.clone(),
+                        verdict,
+                        warning_fraction,
+                    });
                     decision = dm.on_verdict(candidate, verdict);
                 }
             }
@@ -342,6 +377,31 @@ mod tests {
             FinalDecision::Abort(_) => {
                 assert!(out.trials.iter().all(|t| t.verdict == Verdict::Rejected));
             }
+        }
+    }
+
+    #[test]
+    fn batched_run_matches_sequential_verification() {
+        // The propose-all-then-verify-batch rewiring must reproduce the
+        // sequential per-candidate loop bit for bit: same candidates in
+        // trial order, same per-trial seed chain, same verdicts and
+        // warning fractions.
+        let mut p = pipeline();
+        let img = test_image(6);
+        let seed = 9u64;
+        let out = p.run(&img, seed);
+        let candidates = propose_zones(&out.predicted, &p.config().zone);
+        let monitor = Monitor::new(p.config().monitor);
+        let margin = p.config().monitor_margin_px;
+        assert!(!out.trials.is_empty() || candidates.is_empty());
+        for (i, trial) in out.trials.iter().enumerate() {
+            assert_eq!(trial.candidate, candidates[i], "trial order diverged");
+            let crop = crop_for_monitor(&trial.candidate, margin, &img);
+            let trial_seed =
+                seed.wrapping_add((i as u64 + 1).wrapping_mul(el_monitor::BATCH_SEED_STRIDE));
+            let report = monitor.verify(p.net_mut(), &crop, trial_seed);
+            assert_eq!(report.verdict, trial.verdict);
+            assert_eq!(report.warning_fraction, trial.warning_fraction);
         }
     }
 

@@ -3,20 +3,26 @@
 //! # Engine design
 //!
 //! A verified crop costs `samples` stochastic passes in the naive
-//! formulation. The engine cuts that down three ways, none of which
+//! formulation. The engine cuts that down four ways, none of which
 //! changes the statistics' semantics:
 //!
 //! 1. **Invariant-prefix caching.** No dropout layer precedes the MSDnet's
 //!    dilated branch convolutions, so `relu(conv_d(x))` is identical in
 //!    every Monte-Carlo sample. [`el_seg::MsdNet::mc_prefix`] computes it
-//!    once per crop; each sample replays only the stochastic suffix
-//!    (branch dropout → fusion head → head dropout → classifier).
-//! 2. **Deterministic seed splitting.** Sample `k` draws its dropout
-//!    masks from a private `ChaCha8Rng` seeded with
-//!    `splitmix64(seed ⊕ (k+1)·φ)` (the SplitMix64 finaliser over the
-//!    caller's seed and the sample index, `φ` the 64-bit golden-ratio
-//!    constant). Samples are therefore independent of execution order —
-//!    the parallel and sequential paths see byte-identical mask streams.
+//!    once per crop ([`el_seg::MsdNet::mc_prefix_batch`] with **one**
+//!    column-stacked GEMM per branch for a batch of crops); each sample
+//!    replays only the stochastic suffix (branch dropout → fusion head →
+//!    head dropout → classifier).
+//! 2. **Coordinate-keyed masks.** Sample `k`'s per-sample seed is
+//!    `splitmix64(seed + (k+1)·φ)` (`φ` the 64-bit golden-ratio
+//!    constant), and each activation's mask bit is a pure hash of that
+//!    seed and the activation's **global frame coordinates**
+//!    ([`el_nn::layers::keyed_mask_word`]). Masks therefore depend
+//!    neither on execution order nor on the shape or position of the
+//!    block they are computed through: the parallel and sequential paths
+//!    agree bit for bit, a batch of crops agrees with per-crop
+//!    verification, and a tile computed at its frame origin agrees with
+//!    the whole frame ([`bayesian_segment_tiled`](crate::tiledbayes)).
 //! 3. **Fixed-chunk streaming Welford.** Samples are partitioned into at
 //!    most [`MC_CHUNKS`] contiguous chunks — a partition that depends only
 //!    on the sample count, never on thread count. Each chunk folds its
@@ -26,6 +32,18 @@
 //!    the merge order are fixed, [`bayesian_segment_tensor`] (chunks on
 //!    rayon workers) and [`bayesian_segment_tensor_sequential`] (same
 //!    chunks, one thread) produce bit-identical [`BayesStats`].
+//! 4. **One shared batch work queue.** [`bayesian_segment_batch`] turns
+//!    a batch of crops into `crops x chunks` independent tasks drained by
+//!    a single rayon `par_iter` — no per-crop join barriers, so workers
+//!    stay busy while any crop still has samples left. Each task stays on
+//!    one crop (its prefix, activations and Welford partials remain
+//!    cache-resident), and scratch arenas are pooled across the whole
+//!    invocation instead of re-warmed per crop. Batches whose
+//!    per-sample activations fit the cache budget entirely
+//!    (`STACKED_SUFFIX_BUDGET`) instead collapse each sample's suffix
+//!    across **all** crops into two column-stacked head GEMMs
+//!    ([`el_seg::MsdNet::mc_sample_stacked`]) — both strategies are
+//!    bit-identical and pinned by the same property tests.
 //!
 //! The pre-optimization path — naive scalar convolution, one RNG stream,
 //! strictly sequential — survives as [`bayesian_segment_tensor_reference`]
@@ -143,6 +161,29 @@ impl Welford {
         }
     }
 
+    /// Folds one sample stored as a column block of a stacked
+    /// `(classes x stride)` matrix (columns `[off, off + hw)` of each
+    /// class row). Element `c·hw + j` sees exactly the arithmetic
+    /// [`Welford::push`] applies to a contiguous `(classes, h, w)`
+    /// tensor, so the stacked batch path is bit-identical to the
+    /// per-crop path.
+    fn push_stacked(&mut self, xs: &[f32], stride: usize, off: usize, hw: usize) {
+        debug_assert_eq!(self.mean.len() % hw, 0);
+        self.count += 1;
+        let n = self.count as f32;
+        let classes = self.mean.len() / hw;
+        for c in 0..classes {
+            let row = &xs[c * stride + off..c * stride + off + hw];
+            let mean = &mut self.mean[c * hw..(c + 1) * hw];
+            let m2 = &mut self.m2[c * hw..(c + 1) * hw];
+            for ((m, s2), &x) in mean.iter_mut().zip(m2.iter_mut()).zip(row) {
+                let delta = x - *m;
+                *m += delta / n;
+                *s2 += delta * (x - *m);
+            }
+        }
+    }
+
     /// Merges two partials with Chan's parallel-combine formula.
     fn merge(mut self, other: Welford) -> Welford {
         if other.count == 0 {
@@ -172,24 +213,98 @@ impl Welford {
 
 /// Runs one chunk of Monte-Carlo samples against a shared network and
 /// prefix, folding each sample's softmax scores into a Welford partial.
+#[allow(clippy::too_many_arguments)]
 fn run_chunk(
     net: &MsdNet,
     fused: &Tensor,
     seed: u64,
+    origin: (usize, usize),
     start: usize,
     len: usize,
     stat_len: usize,
+    ws: &mut Workspace,
 ) -> Welford {
-    let mut ws = Workspace::new();
     let mut acc = Welford::new(stat_len);
     for k in start..start + len {
-        let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(seed, k));
-        let mut probs = net.mc_sample(fused, &mut rng, &mut ws);
+        let mut probs = net.mc_sample_at(fused, sample_seed(seed, k), origin, ws);
         softmax_in_place(&mut probs);
         acc.push(probs.as_slice());
         ws.recycle(probs);
     }
     acc
+}
+
+/// Runs one chunk of Monte-Carlo samples for an **entire** batch of
+/// crops: each sample's stochastic suffix covers the whole batch via
+/// column-stacked head GEMMs ([`MsdNet::mc_sample_stacked`]). Returns
+/// one Welford partial per crop, each bit-identical to what
+/// [`run_chunk`] would produce for that crop alone. Selected by
+/// [`bayesian_segment_batch`] only while the stacked activations fit
+/// the cache budget ([`STACKED_SUFFIX_BUDGET`]).
+fn run_chunk_stacked(
+    net: &MsdNet,
+    fused: &[&Tensor],
+    seeds: &[u64],
+    origins: &[(usize, usize)],
+    start: usize,
+    len: usize,
+    ws: &mut Workspace,
+) -> Vec<Welford> {
+    let classes = net.classes();
+    let n_total: usize = fused.iter().map(|f| f.height() * f.width()).sum();
+    let mut accs: Vec<Welford> = fused
+        .iter()
+        .map(|f| Welford::new(classes * f.height() * f.width()))
+        .collect();
+    let mut ks = vec![0u64; seeds.len()];
+    for k in start..start + len {
+        for (dst, &s) in ks.iter_mut().zip(seeds) {
+            *dst = sample_seed(s, k);
+        }
+        let mut probs = net.mc_sample_stacked(fused, &ks, origins, ws);
+        softmax_in_place(&mut probs);
+        let mut off = 0usize;
+        for (acc, f) in accs.iter_mut().zip(fused) {
+            let hw = f.height() * f.width();
+            acc.push_stacked(probs.as_slice(), n_total, off, hw);
+            off += hw;
+        }
+        ws.recycle(probs);
+    }
+    accs
+}
+
+/// Element budget for the stacked-suffix batch path: the whole batch's
+/// per-sample activations (`(fused + hidden + classes) channels x Σ h·w`
+/// f32 columns) must stay cache-resident or the stacked GEMMs lose to
+/// per-crop, cache-local chunks (measured on the 2 MB-L2 benchmark
+/// box). 64 Ki f32 = 256 KB, matching the prefix's im2col grouping
+/// budget. A pure performance knob — both paths are bit-identical.
+const STACKED_SUFFIX_BUDGET: usize = 64 * 1024;
+
+/// A lock-protected stack of scratch arenas shared by every task of one
+/// batch invocation: a worker pops an arena (or starts a fresh one),
+/// runs its chunk, and pushes the arena back. The number of arenas ever
+/// warmed therefore equals the peak worker concurrency — not the task
+/// count, and not the crop count as in `N` sequential engine calls.
+pub(crate) struct WsPool(std::sync::Mutex<Vec<Workspace>>);
+
+impl WsPool {
+    pub(crate) fn new() -> Self {
+        WsPool(std::sync::Mutex::new(Vec::new()))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
+        let mut ws = self
+            .0
+            .lock()
+            .expect("workspace pool lock")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut ws);
+        self.0.lock().expect("workspace pool lock").push(ws);
+        out
+    }
 }
 
 fn stats_from(partials: Vec<Welford>, samples: usize, shape: (usize, usize, usize)) -> BayesStats {
@@ -212,24 +327,55 @@ fn stats_from(partials: Vec<Welford>, samples: usize, shape: (usize, usize, usiz
     }
 }
 
-fn mc_stats(net: &MsdNet, input: &Tensor, samples: usize, seed: u64, parallel: bool) -> BayesStats {
-    assert!(samples > 0, "at least one Monte-Carlo sample is required");
+fn mc_stats(
+    net: &MsdNet,
+    input: &Tensor,
+    samples: usize,
+    seed: u64,
+    origin: (usize, usize),
+    parallel: bool,
+) -> BayesStats {
     let mut ws = Workspace::new();
-    let fused = net.mc_prefix(input, &mut ws);
+    let pool = WsPool::new();
+    mc_stats_pooled(net, input, samples, seed, origin, parallel, &pool, &mut ws)
+}
+
+/// [`mc_stats`] with caller-owned scratch: `ws` serves the prefix, the
+/// `pool` serves the chunk tasks. Repeated invocations (the tiled
+/// driver's per-tile passes) reuse warm arenas instead of re-allocating
+/// the prefix/im2col/sample buffers every call.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mc_stats_pooled(
+    net: &MsdNet,
+    input: &Tensor,
+    samples: usize,
+    seed: u64,
+    origin: (usize, usize),
+    parallel: bool,
+    pool: &WsPool,
+    ws: &mut Workspace,
+) -> BayesStats {
+    assert!(samples > 0, "at least one Monte-Carlo sample is required");
+    let fused = net.mc_prefix(input, ws);
     let stat_len = net.classes() * input.height() * input.width();
     let shape = (net.classes(), input.height(), input.width());
     let chunks = chunk_layout(samples);
     let partials: Vec<Welford> = if parallel {
         chunks
             .into_par_iter()
-            .map(|(start, len)| run_chunk(net, &fused, seed, start, len, stat_len))
+            .map(|(start, len)| {
+                pool.with(|ws| run_chunk(net, &fused, seed, origin, start, len, stat_len, ws))
+            })
             .collect()
     } else {
         chunks
             .into_iter()
-            .map(|(start, len)| run_chunk(net, &fused, seed, start, len, stat_len))
+            .map(|(start, len)| {
+                pool.with(|ws| run_chunk(net, &fused, seed, origin, start, len, stat_len, ws))
+            })
             .collect()
     };
+    ws.recycle(fused);
     stats_from(partials, samples, shape)
 }
 
@@ -255,7 +401,28 @@ pub fn bayesian_segment_tensor(
     samples: usize,
     seed: u64,
 ) -> BayesStats {
-    mc_stats(net, input, samples, seed, true)
+    mc_stats(net, input, samples, seed, (0, 0), true)
+}
+
+/// [`bayesian_segment_tensor`] for a crop located at `origin = (row, col)`
+/// of a larger frame: the coordinate-keyed dropout masks are drawn at the
+/// crop's **global** coordinates, so a tile computed here is bit-identical
+/// to the same pixels of a whole-frame pass (the invariant behind
+/// [`bayesian_segment_tiled`](crate::tiledbayes::bayesian_segment_tiled)).
+///
+/// `bayesian_segment_tensor` is exactly this function at origin `(0, 0)`.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn bayesian_segment_tensor_at(
+    net: &MsdNet,
+    input: &Tensor,
+    samples: usize,
+    seed: u64,
+    origin: (usize, usize),
+) -> BayesStats {
+    mc_stats(net, input, samples, seed, origin, true)
 }
 
 /// Single-threaded variant of [`bayesian_segment_tensor`]: the identical
@@ -267,7 +434,115 @@ pub fn bayesian_segment_tensor_sequential(
     samples: usize,
     seed: u64,
 ) -> BayesStats {
-    mc_stats(net, input, samples, seed, false)
+    mc_stats(net, input, samples, seed, (0, 0), false)
+}
+
+/// Batched Monte-Carlo-dropout inference: verifies every crop of a batch
+/// in one engine invocation.
+///
+/// Crop `i` uses its own seed `seeds[i]` and frame origin `origins[i]`
+/// (pass `(0, 0)` for standalone crops). The batch shares one machine:
+///
+/// - every branch convolution of the Monte-Carlo-invariant prefixes runs
+///   as a **single** column-stacked im2col GEMM across all crops
+///   ([`MsdNet::mc_prefix_batch`]);
+/// - the Monte-Carlo sample chunks of **all** crops flow through one
+///   rayon work queue — `crops x chunks` independent tasks in a single
+///   `par_iter` instead of `N` sequential per-crop pools, so workers
+///   never idle at a per-crop join barrier while another crop still has
+///   work;
+/// - each task stays on one crop, keeping its working set (prefix,
+///   masked activations, Welford partials) cache-resident, and scratch
+///   arenas are pooled across the whole invocation rather than re-warmed
+///   per crop — unless the whole batch's per-sample activations fit the
+///   cache budget, in which case each sample's suffix runs as two
+///   column-stacked GEMMs covering every crop at once
+///   ([`MsdNet::mc_sample_stacked`]); the strategies are bit-identical.
+///
+/// Element `i` of the result is **bit-identical** to
+/// `bayesian_segment_tensor_at(net, inputs[i], samples, seeds[i],
+/// origins[i])` (property-tested): the stacked GEMM computes each column
+/// independently in the same reduction order, the coordinate-keyed masks
+/// depend only on `(seed, global coordinates)`, and the Welford chunk
+/// partition and merge order are the same fixed functions of `samples`.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the slices disagree in length.
+pub fn bayesian_segment_batch(
+    net: &MsdNet,
+    inputs: &[&Tensor],
+    samples: usize,
+    seeds: &[u64],
+    origins: &[(usize, usize)],
+) -> Vec<BayesStats> {
+    assert!(samples > 0, "at least one Monte-Carlo sample is required");
+    assert!(
+        inputs.len() == seeds.len() && inputs.len() == origins.len(),
+        "batch inputs must be parallel"
+    );
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let mut ws = Workspace::new();
+    let fused = net.mc_prefix_batch(inputs, &mut ws);
+    let chunks = chunk_layout(samples);
+    let pool = WsPool::new();
+    let fused_ref = &fused;
+    // Two bit-identical suffix strategies, picked by working-set size: a
+    // batch small enough to keep every crop's per-sample activations
+    // cache-resident runs each sample's suffix as whole-batch stacked
+    // GEMMs; larger batches run per-crop, cache-local chunk tasks.
+    let cfg = net.config();
+    let fc = cfg.branch_channels * cfg.dilations.len();
+    let n_total: usize = inputs.iter().map(|t| t.height() * t.width()).sum();
+    let stacked = (fc + cfg.head_hidden + cfg.classes) * n_total <= STACKED_SUFFIX_BUDGET;
+    let per_crop_partials: Vec<Vec<Welford>> = if stacked {
+        let fused_refs: Vec<&Tensor> = fused.iter().collect();
+        let per_chunk: Vec<Vec<Welford>> = chunks
+            .into_par_iter()
+            .map(|(start, len)| {
+                pool.with(|ws| run_chunk_stacked(net, &fused_refs, seeds, origins, start, len, ws))
+            })
+            .collect();
+        // Transpose chunk-major to crop-major, preserving chunk order.
+        let mut per_crop: Vec<Vec<Welford>> = (0..inputs.len()).map(|_| Vec::new()).collect();
+        for chunk in per_chunk {
+            for (crop, partial) in chunk.into_iter().enumerate() {
+                per_crop[crop].push(partial);
+            }
+        }
+        per_crop
+    } else {
+        // One shared work queue over all (crop, chunk) tasks, ordered
+        // crop-major so the flat result groups back per crop trivially.
+        let tasks: Vec<(usize, usize, usize)> = (0..inputs.len())
+            .flat_map(|crop| chunks.iter().map(move |&(start, len)| (crop, start, len)))
+            .collect();
+        let n_chunks = chunks.len();
+        let partials: Vec<Welford> = tasks
+            .into_par_iter()
+            .map(|(crop, start, len)| {
+                let f = &fused_ref[crop];
+                let stat_len = net.classes() * f.height() * f.width();
+                pool.with(|ws| {
+                    run_chunk(net, f, seeds[crop], origins[crop], start, len, stat_len, ws)
+                })
+            })
+            .collect();
+        let mut partials = partials.into_iter();
+        (0..inputs.len())
+            .map(|_| partials.by_ref().take(n_chunks).collect())
+            .collect()
+    };
+    per_crop_partials
+        .into_iter()
+        .zip(inputs)
+        .map(|(crop_partials, input)| {
+            let shape = (net.classes(), input.height(), input.width());
+            stats_from(crop_partials, samples, shape)
+        })
+        .collect()
 }
 
 /// The pre-optimization baseline: naive scalar convolution
@@ -416,13 +691,12 @@ mod tests {
         let samples = 7;
         let stats = bayesian_segment_tensor(&mut net, &input, samples, 9);
         // Reference: recompute by storing all passes, drawing each
-        // sample's masks from its split seed.
+        // sample's keyed masks from its split seed.
         let mut ws = Workspace::new();
         let fused = net.mc_prefix(&input, &mut ws);
         let mut all: Vec<Tensor> = Vec::new();
         for k in 0..samples {
-            let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(9, k));
-            let logits = net.mc_sample(&fused, &mut rng, &mut ws);
+            let logits = net.mc_sample_at(&fused, sample_seed(9, k), (0, 0), &mut ws);
             all.push(softmax(&logits));
         }
         let n = all[0].len();
@@ -451,5 +725,82 @@ mod tests {
     fn zero_samples_rejected() {
         let (mut net, input) = setup();
         let _ = bayesian_segment_tensor(&mut net, &input, 0, 0);
+    }
+
+    #[test]
+    fn batch_matches_single_crop_bitwise() {
+        // Small crops: the stacked-suffix branch.
+        assert_batch_strategy_matches_single(&[(10, 10), (7, 9), (12, 5)], true);
+        let (net, _) = setup();
+        assert!(bayesian_segment_batch(&net, &[], 4, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_per_crop_branch_matches_single_crop_bitwise() {
+        // Candidate-zone-sized crops: exceeds STACKED_SUFFIX_BUDGET and
+        // takes the shared (crop x chunk) work-queue branch — the branch
+        // the paper config's candidate crops always take in production.
+        assert_batch_strategy_matches_single(&[(45, 45), (40, 40), (33, 41)], false);
+    }
+
+    /// Drives one batch against per-crop verification, asserting first
+    /// that the size set selects the intended suffix strategy (so each
+    /// caller provably covers its branch).
+    fn assert_batch_strategy_matches_single(sizes: &[(usize, usize)], expect_stacked: bool) {
+        let (net, _) = setup();
+        let cfg = net.config();
+        let factor = cfg.branch_channels * cfg.dilations.len() + cfg.head_hidden + cfg.classes;
+        let n_total: usize = sizes.iter().map(|&(h, w)| h * w).sum();
+        assert_eq!(
+            factor * n_total <= STACKED_SUFFIX_BUDGET,
+            expect_stacked,
+            "size set selects the wrong suffix strategy for this test"
+        );
+        let inputs: Vec<Tensor> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(h, w))| {
+                Tensor::from_fn(3, h, w, move |c, y, x| {
+                    ((i * 37 + c * 11 + y * 3 + x) as f32 * 0.21).sin()
+                })
+            })
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let seeds: Vec<u64> = (0..sizes.len() as u64).map(|i| 5 + 29 * i).collect();
+        let origins: Vec<(usize, usize)> = (0..sizes.len()).map(|i| (3 * i, 40 + 7 * i)).collect();
+        for samples in [1usize, 4, 10] {
+            let batch = bayesian_segment_batch(&net, &refs, samples, &seeds, &origins);
+            assert_eq!(batch.len(), inputs.len());
+            for (((input, &seed), &origin), stats) in
+                inputs.iter().zip(&seeds).zip(&origins).zip(&batch)
+            {
+                let single = bayesian_segment_tensor_at(&net, input, samples, seed, origin);
+                assert_eq!(
+                    single.mean.as_slice(),
+                    stats.mean.as_slice(),
+                    "{samples}-sample batch mean diverges at origin {origin:?}"
+                );
+                assert_eq!(
+                    single.std.as_slice(),
+                    stats.std.as_slice(),
+                    "{samples}-sample batch std diverges at origin {origin:?}"
+                );
+                assert_eq!(stats.samples, samples);
+            }
+        }
+    }
+
+    #[test]
+    fn origin_shifts_masks() {
+        // Different frame origins draw different masks — the engine keys
+        // them by global coordinates.
+        let (net, input) = setup();
+        let a = bayesian_segment_tensor_at(&net, &input, 6, 3, (0, 0));
+        let b = bayesian_segment_tensor_at(&net, &input, 6, 3, (5, 9));
+        assert_ne!(a.mean, b.mean);
+        // And origin (0, 0) is the plain entry point.
+        let c = bayesian_segment_tensor(&net, &input, 6, 3);
+        assert_eq!(a.mean, c.mean);
+        assert_eq!(a.std, c.std);
     }
 }

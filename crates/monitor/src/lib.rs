@@ -65,12 +65,14 @@ pub mod calibration;
 pub mod metrics;
 pub mod monitor;
 pub mod rule;
+pub mod tiledbayes;
 
 pub use bayes::{
-    bayesian_segment, bayesian_segment_tensor, bayesian_segment_tensor_reference,
-    bayesian_segment_tensor_sequential, BayesStats,
+    bayesian_segment, bayesian_segment_batch, bayesian_segment_tensor, bayesian_segment_tensor_at,
+    bayesian_segment_tensor_reference, bayesian_segment_tensor_sequential, BayesStats,
 };
 pub use calibration::{evaluate_rule, select_tau, sweep_tau, CalibrationCase, OperatingPoint};
 pub use metrics::MonitorQuality;
-pub use monitor::{Monitor, MonitorConfig, MonitorReport, Verdict};
+pub use monitor::{Monitor, MonitorConfig, MonitorReport, Verdict, BATCH_SEED_STRIDE};
 pub use rule::MonitorRule;
+pub use tiledbayes::{bayesian_segment_tiled, bayesian_segment_tiled_with_clock, TiledBayesStats};

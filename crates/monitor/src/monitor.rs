@@ -1,12 +1,19 @@
 //! The monitor façade: verifying candidate landing zones.
 
 use el_geom::Grid;
+use el_nn::Tensor;
 use el_scene::Image;
+use el_seg::data::image_to_tensor;
 use el_seg::MsdNet;
 use serde::{Deserialize, Serialize};
 
-use crate::bayes::{bayesian_segment, BayesStats};
+use crate::bayes::{bayesian_segment, bayesian_segment_batch, BayesStats};
 use crate::rule::MonitorRule;
+
+/// Seed offset between consecutive crops of a batch — the constant the
+/// sequential decision loop has always stepped its per-trial seed by, so
+/// batched and sequential verification draw identical masks.
+pub const BATCH_SEED_STRIDE: u64 = 0x9E37_79B9;
 
 /// Monitor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -117,6 +124,47 @@ impl Monitor {
     pub fn verify(&self, net: &MsdNet, crop: &Image, seed: u64) -> MonitorReport {
         let stats = bayesian_segment(net, crop, self.config.samples, seed);
         self.report_from_stats(stats)
+    }
+
+    /// Verifies a batch of candidate crops in **one** engine invocation.
+    ///
+    /// Crop `i` draws its masks from the derived seed
+    /// `seed + (i+1)·`[`BATCH_SEED_STRIDE`] — the same per-trial seed
+    /// chain the sequential decision loop uses — so report `i` is
+    /// **bit-identical** to `verify(net, &crops[i], seed + (i+1)·stride)`
+    /// (property-tested). The batch shares one machine: each prefix
+    /// convolution runs as a single column-stacked GEMM over every crop,
+    /// all crops' Monte-Carlo chunks drain one shared rayon work queue
+    /// instead of `N` sequential pools with a join barrier per crop, and
+    /// scratch arenas are pooled across the whole batch (see
+    /// [`bayesian_segment_batch`]).
+    pub fn verify_batch(&self, net: &MsdNet, crops: &[Image], seed: u64) -> Vec<MonitorReport> {
+        let seeds: Vec<u64> = (0..crops.len())
+            .map(|i| seed.wrapping_add((i as u64 + 1).wrapping_mul(BATCH_SEED_STRIDE)))
+            .collect();
+        self.verify_batch_seeded(net, crops, &seeds)
+    }
+
+    /// [`Monitor::verify_batch`] with explicit per-crop seeds: report `i`
+    /// is bit-identical to `verify(net, &crops[i], seeds[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crops` and `seeds` disagree in length.
+    pub fn verify_batch_seeded(
+        &self,
+        net: &MsdNet,
+        crops: &[Image],
+        seeds: &[u64],
+    ) -> Vec<MonitorReport> {
+        assert_eq!(crops.len(), seeds.len(), "one seed per crop");
+        let tensors: Vec<Tensor> = crops.iter().map(image_to_tensor).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let origins = vec![(0usize, 0usize); crops.len()];
+        bayesian_segment_batch(net, &refs, self.config.samples, seeds, &origins)
+            .into_iter()
+            .map(|stats| self.report_from_stats(stats))
+            .collect()
     }
 
     /// Applies the decision rule to precomputed statistics.

@@ -238,7 +238,7 @@ impl Conv2d {
             );
         } else {
             let mut col = ws.take_zeroed(k_dim * hw);
-            self.im2col(input, &mut col);
+            self.im2col(input, &mut col, hw, 0);
             gemm_bias(
                 &self.weight,
                 &col,
@@ -254,13 +254,155 @@ impl Conv2d {
             .expect("workspace buffer sized to the output shape")
     }
 
+    /// Batched forward pass: lowers a run of inputs into one
+    /// column-concatenated im2col matrix and runs a **single** GEMM over
+    /// it, so a batch of candidate crops pays the kernel's fixed costs
+    /// (weight traversal, tile dispatch, remainder handling) once instead
+    /// of once per crop. Inputs may have different spatial sizes; they
+    /// only share the channel count.
+    ///
+    /// The batch is processed in consecutive **cache-budgeted groups**
+    /// ([`BATCH_COL_BUDGET`]): stacking is a win only while the stacked
+    /// im2col matrix stays cache-resident — past that the three passes
+    /// over it (zero, lower, multiply) start streaming through the outer
+    /// cache levels and the batched GEMM loses to per-crop GEMMs. Small
+    /// crops therefore share wide GEMMs while large crops degrade
+    /// gracefully to one GEMM each, and a singleton group writes its
+    /// output tensor directly (no unstack copy).
+    ///
+    /// Because every output element accumulates its reduction over `k` in
+    /// the same strict order regardless of which column of the stacked
+    /// matrix it lives in, each returned tensor is **bit-identical** to
+    /// `forward_with` on the corresponding input (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input does not have [`Conv2d::in_channels`] channels.
+    pub fn forward_batch_with(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Vec<Tensor> {
+        for input in inputs {
+            assert_eq!(
+                input.channels(),
+                self.in_channels,
+                "Conv2d expected {} input channels, got {}",
+                self.in_channels,
+                input.channels()
+            );
+        }
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        let col_budget = (BATCH_COL_BUDGET / k_dim).max(1);
+        let mut outs = Vec::with_capacity(inputs.len());
+        let mut group_start = 0usize;
+        while group_start < inputs.len() {
+            // Grow the group while it fits the column budget (always at
+            // least one input).
+            let mut group_end = group_start + 1;
+            let mut n_total = {
+                let t = inputs[group_start];
+                t.height() * t.width()
+            };
+            while group_end < inputs.len() {
+                let hw = inputs[group_end].height() * inputs[group_end].width();
+                if n_total + hw > col_budget {
+                    break;
+                }
+                n_total += hw;
+                group_end += 1;
+            }
+            let group = &inputs[group_start..group_end];
+            let mut col = ws.take_zeroed(k_dim * n_total);
+            let mut off = 0usize;
+            for input in group {
+                self.im2col(input, &mut col, n_total, off);
+                off += input.height() * input.width();
+            }
+            let mut out = ws.take(self.out_channels * n_total);
+            gemm_bias(
+                &self.weight,
+                &col,
+                &self.bias,
+                &mut out,
+                self.out_channels,
+                k_dim,
+                n_total,
+            );
+            ws.give(col);
+            if group.len() == 1 {
+                // Singleton group: the GEMM output is the tensor.
+                let (h, w) = (group[0].height(), group[0].width());
+                outs.push(
+                    Tensor::from_vec(self.out_channels, h, w, out)
+                        .expect("workspace buffer sized to the output shape"),
+                );
+            } else {
+                // Unstack the output columns into per-input tensors.
+                let mut off = 0usize;
+                for input in group {
+                    let (h, w) = (input.height(), input.width());
+                    let hw = h * w;
+                    let mut t = ws.take(self.out_channels * hw);
+                    for o in 0..self.out_channels {
+                        t[o * hw..(o + 1) * hw]
+                            .copy_from_slice(&out[o * n_total + off..o * n_total + off + hw]);
+                    }
+                    outs.push(
+                        Tensor::from_vec(self.out_channels, h, w, t)
+                            .expect("workspace buffer sized to the output shape"),
+                    );
+                    off += hw;
+                }
+                ws.give(out);
+            }
+            group_start = group_end;
+        }
+        outs
+    }
+
+    /// Applies a **1x1** convolution to an arbitrary column-stacked
+    /// activation matrix (`in_channels` rows x `n` columns, row-major),
+    /// returning the stacked output rows (`out_channels x n`) as a raw
+    /// workspace buffer (hand it back with [`Workspace::give`]).
+    ///
+    /// This is the engine's whole-batch suffix primitive: the fusion head
+    /// and classifier are 1x1 convolutions, so one call covers every crop
+    /// in a batch at once. Column `j` gets exactly the value
+    /// `forward_with` would produce for the same column — the GEMM's
+    /// per-element reduction order does not depend on `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is not 1x1 or `cols` is not
+    /// `in_channels x n`.
+    pub fn forward_columns(&self, cols: &[f32], n: usize, ws: &mut Workspace) -> Vec<f32> {
+        assert_eq!(self.kernel, 1, "forward_columns requires a 1x1 kernel");
+        assert_eq!(
+            cols.len(),
+            self.in_channels * n,
+            "stacked matrix must be in_channels x n"
+        );
+        let mut out = ws.take(self.out_channels * n);
+        gemm_bias(
+            &self.weight,
+            cols,
+            &self.bias,
+            &mut out,
+            self.out_channels,
+            self.in_channels,
+            n,
+        );
+        out
+    }
+
     /// Lowers `input` into the (zero-initialised) im2col matrix `col`:
     /// one row of `h*w` values per kernel tap, rows ordered `(in, ky, kx)`
     /// — the same order the reference loop accumulates in. Out-of-image
     /// taps stay zero ("same" padding).
-    fn im2col(&self, input: &Tensor, col: &mut [f32]) {
+    ///
+    /// The matrix rows have stride `row_stride` and this input's columns
+    /// start at `col_off`, so a batch of inputs can lower side by side
+    /// into one matrix (`row_stride = h*w, col_off = 0` recovers the
+    /// single-input layout).
+    fn im2col(&self, input: &Tensor, col: &mut [f32], row_stride: usize, col_off: usize) {
         let (h, w) = (input.height(), input.width());
-        let hw = h * w;
         let pad = (self.dilation * (self.kernel - 1)) / 2;
         let mut k = 0usize;
         for i in 0..self.in_channels {
@@ -269,7 +411,7 @@ impl Conv2d {
                 let dy = (ky * self.dilation) as isize - pad as isize;
                 for kx in 0..self.kernel {
                     let dx = (kx * self.dilation) as isize - pad as isize;
-                    let row = &mut col[k * hw..(k + 1) * hw];
+                    let row = &mut col[k * row_stride + col_off..][..h * w];
                     k += 1;
                     // Valid output range for this tap (may be empty when
                     // the receptive field exceeds the image).
@@ -296,12 +438,24 @@ impl Conv2d {
 /// Spatial tile width of the micro-kernel (f32 lanes held in registers).
 const GEMM_TILE: usize = 8;
 
+/// Element budget (`k_dim x columns`) of one batched im2col group in
+/// [`Conv2d::forward_batch_with`] — 64 Ki f32 = 256 KB, an L2-resident
+/// working set on every deployment target. Grouping is a pure
+/// performance knob: any partition produces bit-identical results.
+const BATCH_COL_BUDGET: usize = 64 * 1024;
+
 /// `out[m][n] = bias[m] + sum_k a[m][k] * b[k][n]`, all matrices row-major.
 ///
-/// Register-tiled micro-kernel: for each `GEMM_TILE`-column tile, four
-/// output rows accumulate in `4 x GEMM_TILE` registers with `k` as the
-/// innermost loop — each `b` tile row is loaded once per row quad and no
-/// partial sums ever round-trip through memory. Each output element still
+/// Register-tiled micro-kernel, **column-tile outer, row-quad inner**:
+/// each `b` column tile (`k_dim x GEMM_TILE` — a few KB for this
+/// workload's reduction depths) is swept once per row quad *from L1*,
+/// instead of the whole `b` matrix being re-streamed from memory for
+/// every quad. That ordering is what lets the batched engine stack many
+/// crops' columns into one wide GEMM without falling off the cache: the
+/// working set per step is one column tile plus the (small) weight
+/// matrix, independent of `n`. Four output rows accumulate in
+/// `4 x GEMM_TILE` registers with `k` as the innermost loop, so no
+/// partial sums round-trip through memory and each output element still
 /// accumulates over `k` strictly in order, matching the naive tap loop's
 /// f32 rounding; on AVX2 hardware a wider kernel using separate multiply
 /// and add instructions (never FMA, which rounds differently) dispatches
@@ -349,11 +503,11 @@ unsafe fn gemm_bias_avx2(
     const W: usize = 16; // two ymm registers of columns
     let tiles = n / W;
     let tail = tiles * W;
-    let mut o = 0usize;
-    while o < m {
-        let block = (m - o).min(4);
-        for t in 0..tiles {
-            let j0 = t * W;
+    for t in 0..tiles {
+        let j0 = t * W;
+        let mut o = 0usize;
+        while o < m {
+            let block = (m - o).min(4);
             // acc[r][0/1]: columns j0..j0+8 / j0+8..j0+16 of output row o+r.
             let mut acc = [[_mm256_setzero_ps(); 2]; 4];
             for (r, row) in acc.iter_mut().enumerate().take(block) {
@@ -375,7 +529,12 @@ unsafe fn gemm_bias_avx2(
                 _mm256_storeu_ps(op, row[0]);
                 _mm256_storeu_ps(op.add(8), row[1]);
             }
+            o += block;
         }
+    }
+    let mut o = 0usize;
+    while o < m {
+        let block = (m - o).min(4);
         gemm_cols_scalar(a, b, bias, out, o, block, k_dim, n, tail);
         o += block;
     }
@@ -422,12 +581,12 @@ fn gemm_bias_portable(
 ) {
     let tiles = n / GEMM_TILE;
     let tail = tiles * GEMM_TILE;
-    let mut o = 0usize;
-    while o < m {
-        let block = (m - o).min(4);
-        let w_base = o * k_dim;
-        for t in 0..tiles {
-            let j0 = t * GEMM_TILE;
+    for t in 0..tiles {
+        let j0 = t * GEMM_TILE;
+        let mut o = 0usize;
+        while o < m {
+            let block = (m - o).min(4);
+            let w_base = o * k_dim;
             let mut acc = [[0.0f32; GEMM_TILE]; 4];
             for (r, row) in acc.iter_mut().enumerate().take(block) {
                 *row = [bias[o + r]; GEMM_TILE];
@@ -462,7 +621,12 @@ fn gemm_bias_portable(
             for (r, row) in acc.iter().enumerate().take(block) {
                 out[(o + r) * n + j0..(o + r) * n + j0 + GEMM_TILE].copy_from_slice(row);
             }
+            o += block;
         }
+    }
+    let mut o = 0usize;
+    while o < m {
+        let block = (m - o).min(4);
         gemm_cols_scalar(a, b, bias, out, o, block, k_dim, n, tail);
         o += block;
     }
@@ -703,6 +867,68 @@ mod tests {
                 "conv {ci}->{co} k{k} d{d} on {h}x{w} diverged"
             );
         }
+    }
+
+    #[test]
+    fn batched_matches_per_input_bitwise() {
+        let mut r = rng();
+        for (ci, co, k, d) in [(3, 8, 3, 2), (2, 5, 1, 1), (3, 4, 5, 1)] {
+            let conv = Conv2d::new(ci, co, k, d, &mut r);
+            // Mixed spatial sizes in one batch.
+            let inputs: Vec<Tensor> = [(9usize, 7usize), (5, 5), (12, 4), (3, 3)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(h, w))| {
+                    Tensor::from_fn(ci, h, w, move |c, y, x| {
+                        ((i * 53 + c * 31 + y * 7 + x) as f32 * 0.17).sin()
+                    })
+                })
+                .collect();
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let mut ws = Workspace::new();
+            let batched = conv.forward_batch_with(&refs, &mut ws);
+            assert_eq!(batched.len(), inputs.len());
+            for (input, out) in inputs.iter().zip(&batched) {
+                let single = conv.forward_with(input, &mut ws);
+                assert_eq!(&single, out, "batched conv diverges on {:?}", input.shape());
+            }
+        }
+        let conv = Conv2d::new(1, 1, 3, 1, &mut r);
+        assert!(conv
+            .forward_batch_with(&[], &mut Workspace::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn forward_columns_matches_stacked_1x1() {
+        let mut r = rng();
+        let conv = Conv2d::new(4, 6, 1, 1, &mut r);
+        let a = Tensor::from_fn(4, 3, 5, |c, y, x| ((c + y * 2 + x) as f32 * 0.2).cos());
+        let b = Tensor::from_fn(4, 2, 4, |c, y, x| ((c * 3 + y + x * 5) as f32 * 0.11).sin());
+        let (na, nb) = (15usize, 8usize);
+        let n = na + nb;
+        // Column-stack the two inputs.
+        let mut stacked = vec![0.0f32; 4 * n];
+        for c in 0..4 {
+            stacked[c * n..c * n + na].copy_from_slice(a.channel(c));
+            stacked[c * n + na..(c + 1) * n].copy_from_slice(b.channel(c));
+        }
+        let mut ws = Workspace::new();
+        let out = conv.forward_columns(&stacked, n, &mut ws);
+        let ya = conv.forward_with(&a, &mut ws);
+        let yb = conv.forward_with(&b, &mut ws);
+        for o in 0..6 {
+            assert_eq!(&out[o * n..o * n + na], ya.channel(o));
+            assert_eq!(&out[o * n + na..(o + 1) * n], yb.channel(o));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a 1x1 kernel")]
+    fn forward_columns_rejects_spatial_kernels() {
+        let mut r = rng();
+        let conv = Conv2d::new(1, 1, 3, 1, &mut r);
+        let _ = conv.forward_columns(&[0.0; 4], 4, &mut Workspace::new());
     }
 
     #[test]

@@ -109,6 +109,106 @@ impl Dropout {
         }
     }
 
+    /// Writes `src` (a contiguous `channels x h x w` activation block)
+    /// with a **coordinate-keyed** Monte-Carlo mask into a region of the
+    /// row-major matrix `dst` (row stride `dst_stride`, starting column
+    /// `dst_col` — pass `dst_stride = h * w, dst_col = 0` for a plain
+    /// contiguous tensor).
+    ///
+    /// Unlike [`Dropout::apply_mc`], which consumes a sequential RNG
+    /// stream, each element's mask bit is a pure hash of
+    /// `(sample_seed, layer, chan0 + c, origin.0 + y, origin.1 + x)`
+    /// ([`keyed_row_seed`] + [`keyed_mask_word`]). The mask therefore
+    /// depends only on the element's **global** coordinates, never on the
+    /// shape or position of the block it is computed through — the
+    /// property that makes tiled Bayesian inference bit-identical to
+    /// whole-frame inference, and batched verification bit-identical to
+    /// per-crop verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a whole number of `h x w` planes or a
+    /// destination row overruns `dst`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_mc_keyed(
+        &self,
+        src: &[f32],
+        h: usize,
+        w: usize,
+        dst: &mut [f32],
+        dst_stride: usize,
+        dst_col: usize,
+        sample_seed: u64,
+        layer: u32,
+        chan0: usize,
+        origin: (usize, usize),
+    ) {
+        let hw = h * w;
+        assert!(
+            hw > 0 && src.len().is_multiple_of(hw),
+            "src must be whole planes"
+        );
+        let channels = src.len() / hw;
+        let scale = if self.rate == 0.0 {
+            1.0
+        } else {
+            1.0 / (1.0 - self.rate)
+        };
+        for c in 0..channels {
+            let plane = &src[c * hw..(c + 1) * hw];
+            for y in 0..h {
+                let row = &mut dst[c * dst_stride + dst_col + y * w..][..w];
+                let s_row = &plane[y * w..(y + 1) * w];
+                if self.rate == 0.0 {
+                    row.copy_from_slice(s_row);
+                    continue;
+                }
+                let row_seed = keyed_row_seed(sample_seed, layer, chan0 + c, origin.0 + y);
+                let gx0 = origin.1;
+                for (x, (d, &s)) in row.iter_mut().zip(s_row).enumerate() {
+                    let word = keyed_mask_word(row_seed, gx0 + x);
+                    let keep = (unit_f32(word) >= self.rate) as u32 as f32;
+                    *d = s * scale * keep;
+                }
+            }
+        }
+    }
+
+    /// In-place variant of [`Dropout::apply_mc_keyed`] over a
+    /// `channels x h x w` region embedded in a row-major matrix (row
+    /// stride `stride`, starting column `col`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_mc_keyed_in_place(
+        &self,
+        xs: &mut [f32],
+        channels: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+        col: usize,
+        sample_seed: u64,
+        layer: u32,
+        chan0: usize,
+        origin: (usize, usize),
+    ) {
+        if self.rate == 0.0 {
+            return;
+        }
+        let scale = 1.0 / (1.0 - self.rate);
+        for c in 0..channels {
+            for y in 0..h {
+                let row = &mut xs[c * stride + col + y * w..][..w];
+                let row_seed = keyed_row_seed(sample_seed, layer, chan0 + c, origin.0 + y);
+                let gx0 = origin.1;
+                for (x, v) in row.iter_mut().enumerate() {
+                    let word = keyed_mask_word(row_seed, gx0 + x);
+                    let keep = (unit_f32(word) >= self.rate) as u32 as f32;
+                    *v *= scale * keep;
+                }
+            }
+        }
+    }
+
     /// In-place variant of [`Dropout::apply_mc`].
     pub fn apply_mc_in_place<R: RngCore + ?Sized>(&self, xs: &mut [f32], rng: &mut R) {
         if self.rate == 0.0 {
@@ -130,6 +230,48 @@ impl Dropout {
 /// Words drawn per bulk batch in the Monte-Carlo appliers (a stack
 /// buffer; sized to a few keystream blocks).
 const MC_DRAW_BATCH: usize = 512;
+
+/// The per-row seed of the coordinate-keyed Monte-Carlo masks: a
+/// SplitMix64 finalisation of the per-sample seed and the row's
+/// `(layer, channel, y)` coordinates.
+///
+/// The coordinates pack injectively for `layer < 64`, `channel < 2^18`
+/// and `y < 2^20` — comfortably beyond any frame this engine sees (the
+/// paper's largest is 3840x2160). The row seed feeds
+/// [`keyed_mask_word`], whose 32-bit mixing is what lets the per-row
+/// mask loop autovectorise; splitting the hash this way keeps the
+/// expensive 64-bit mixing off the per-element path without giving up
+/// the full-width avalanche across rows.
+#[inline(always)]
+pub fn keyed_row_seed(sample_seed: u64, layer: u32, channel: usize, y: usize) -> u32 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    debug_assert!(layer < 64 && channel < (1 << 18) && y < (1 << 20));
+    let key = ((layer as u64) << 58) ^ ((channel as u64) << 40) ^ ((y as u64) << 20);
+    let mut z = sample_seed ^ key.wrapping_mul(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 32) as u32
+}
+
+/// The coordinate-keyed Monte-Carlo mask word for global column `x` of a
+/// row keyed by [`keyed_row_seed`]: the Murmur3 finaliser over the row
+/// seed and the column index.
+///
+/// Because the word is a pure function of
+/// `(sample_seed, layer, channel, y, x)`, a mask drawn through any crop,
+/// tile or batch layout agrees with the mask the whole frame would draw
+/// at the same global position. All mixing is 32-bit and lane-wise, so
+/// a row of masks vectorises (this hash is the Monte-Carlo engine's
+/// single hottest operation).
+#[inline(always)]
+pub fn keyed_mask_word(row_seed: u32, x: usize) -> u32 {
+    let mut h = row_seed ^ (x as u32).wrapping_mul(0x9E37_79B9);
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^ (h >> 16)
+}
 
 /// The exact `Rng::gen::<f32>()` conversion (24 mantissa bits in
 /// `[0, 1)`), applied to a pre-drawn word so the bulk path samples the
@@ -267,5 +409,89 @@ mod tests {
     #[should_panic(expected = "rate must be in")]
     fn invalid_rate_rejected() {
         let _ = Dropout::new(1.0);
+    }
+
+    #[test]
+    fn keyed_mask_is_translation_invariant() {
+        // A crop applied with its global origin must see exactly the mask
+        // the full plane sees at the same coordinates.
+        let d = Dropout::new(0.5);
+        let (h, w) = (8, 10);
+        let full: Vec<f32> = (0..2 * h * w).map(|i| i as f32 * 0.1 + 1.0).collect();
+        let mut full_out = vec![0.0; full.len()];
+        d.apply_mc_keyed(&full, h, w, &mut full_out, h * w, 0, 77, 3, 5, (0, 0));
+        // Crop rows 2..6, cols 1..8 of both channels.
+        let (ch, cw, oy, ox) = (4usize, 7usize, 2usize, 1usize);
+        let mut crop = vec![0.0; 2 * ch * cw];
+        for c in 0..2 {
+            for y in 0..ch {
+                for x in 0..cw {
+                    crop[(c * ch + y) * cw + x] = full[(c * h + oy + y) * w + ox + x];
+                }
+            }
+        }
+        let mut crop_out = vec![0.0; crop.len()];
+        d.apply_mc_keyed(&crop, ch, cw, &mut crop_out, ch * cw, 0, 77, 3, 5, (oy, ox));
+        for c in 0..2 {
+            for y in 0..ch {
+                for x in 0..cw {
+                    assert_eq!(
+                        crop_out[(c * ch + y) * cw + x],
+                        full_out[(c * h + oy + y) * w + ox + x],
+                        "mask differs at c{c} y{y} x{x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_strided_region_matches_contiguous() {
+        // Writing into a column-stacked matrix region must produce the
+        // same values as the contiguous path.
+        let d = Dropout::new(0.5);
+        let (h, w) = (3, 5);
+        let src: Vec<f32> = (0..4 * h * w).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut contiguous = vec![0.0; src.len()];
+        d.apply_mc_keyed(&src, h, w, &mut contiguous, h * w, 0, 9, 0, 0, (4, 2));
+        let stride = h * w + 11;
+        let col = 6;
+        let mut stacked = vec![f32::NAN; 4 * stride];
+        d.apply_mc_keyed(&src, h, w, &mut stacked, stride, col, 9, 0, 0, (4, 2));
+        for c in 0..4 {
+            assert_eq!(
+                &stacked[c * stride + col..c * stride + col + h * w],
+                &contiguous[c * h * w..(c + 1) * h * w]
+            );
+        }
+        // In-place strided agrees with the copying path.
+        let mut in_place = vec![0.0; 4 * stride];
+        for c in 0..4 {
+            in_place[c * stride + col..c * stride + col + h * w]
+                .copy_from_slice(&src[c * h * w..(c + 1) * h * w]);
+        }
+        d.apply_mc_keyed_in_place(&mut in_place, 4, h, w, stride, col, 9, 0, 0, (4, 2));
+        for c in 0..4 {
+            assert_eq!(
+                &in_place[c * stride + col..c * stride + col + h * w],
+                &contiguous[c * h * w..(c + 1) * h * w]
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_mask_preserves_expectation_and_rate_zero_identity() {
+        let d = Dropout::new(0.5);
+        let (h, w) = (64, 64);
+        let src = vec![1.0f32; h * w];
+        let mut out = vec![0.0; h * w];
+        d.apply_mc_keyed(&src, h, w, &mut out, h * w, 0, 123, 1, 0, (0, 0));
+        let mean = out.iter().sum::<f32>() / out.len() as f32;
+        assert!((mean - 1.0).abs() < 0.06, "inverted-dropout mean {mean}");
+        assert!(out.iter().all(|&v| v == 0.0 || v == 2.0));
+        let id = Dropout::new(0.0);
+        let mut out2 = vec![7.0; h * w];
+        id.apply_mc_keyed(&src, h, w, &mut out2, h * w, 0, 123, 1, 0, (0, 0));
+        assert_eq!(out2, src);
     }
 }

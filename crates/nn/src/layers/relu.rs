@@ -30,7 +30,14 @@ impl Relu {
     /// Clamps every element to `max(0, x)` in place — the stateless
     /// `&self`-free path used by inference engines that own their buffers.
     pub fn apply(x: &mut Tensor) {
-        for v in x.as_mut_slice() {
+        Self::apply_slice(x.as_mut_slice());
+    }
+
+    /// Slice variant of [`Relu::apply`] for raw (e.g. column-stacked)
+    /// activation buffers; same element-wise operation, hence the same
+    /// bits.
+    pub fn apply_slice(xs: &mut [f32]) {
+        for v in xs {
             *v = v.max(0.0);
         }
     }

@@ -39,5 +39,5 @@ pub mod train;
 pub use infer::{segment, segment_ws, SegResult};
 pub use metrics::ConfusionMatrix;
 pub use msdnet::{MsdNet, MsdNetConfig};
-pub use tiled::{segment_tiled, TileConfig};
+pub use tiled::{plan_tiles, prioritize_tiles, segment_tiled, Tile, TileConfig};
 pub use train::{TrainConfig, TrainReport, Trainer};

@@ -120,6 +120,12 @@ pub struct MsdNet {
     head2: Conv2d,
 }
 
+/// Mask-key layer id of the branch-output dropout stage (the channel key
+/// is the **fused** channel index, so every branch keys distinctly).
+const MC_LAYER_BRANCH: u32 = 0;
+/// Mask-key layer id of the fusion-head dropout stage.
+const MC_LAYER_HEAD: u32 = 1;
+
 impl MsdNet {
     /// Builds a network with freshly initialised weights.
     ///
@@ -252,6 +258,182 @@ impl MsdNet {
         let out = self.head2.forward_with(&y, ws);
         ws.recycle(y);
         out
+    }
+
+    /// The network's receptive radius: how far (in pixels) an output can
+    /// depend on its input neighbourhood. Everything after the dilated
+    /// branch convolutions is pointwise, so this is just the widest
+    /// branch's half-width — the minimum tile margin for seam-free tiled
+    /// inference.
+    pub fn receptive_radius(&self) -> usize {
+        self.branches
+            .iter()
+            .map(|b| b.conv.receptive_field() / 2)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Batched [`MsdNet::mc_prefix`]: computes every crop's
+    /// Monte-Carlo-invariant prefix with each branch convolution lowered
+    /// into a **single** column-stacked im2col GEMM across the whole
+    /// batch ([`Conv2d::forward_batch_with`]). Each returned tensor is
+    /// bit-identical to `mc_prefix` on the corresponding input.
+    pub fn mc_prefix_batch(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Vec<Tensor> {
+        let bc = self.config.branch_channels;
+        let nb = self.branches.len();
+        let mut fused: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|t| ws.take(bc * nb * t.height() * t.width()))
+            .collect();
+        for (bi, b) in self.branches.iter().enumerate() {
+            let outs = b.conv.forward_batch_with(inputs, ws);
+            for (i, mut y) in outs.into_iter().enumerate() {
+                Relu::apply(&mut y);
+                let hw = y.height() * y.width();
+                fused[i][bi * bc * hw..(bi + 1) * bc * hw].copy_from_slice(y.as_slice());
+                ws.recycle(y);
+            }
+        }
+        fused
+            .into_iter()
+            .zip(inputs)
+            .map(|(buf, t)| {
+                Tensor::from_vec(bc * nb, t.height(), t.width(), buf)
+                    .expect("fused buffer sized to the branch outputs")
+            })
+            .collect()
+    }
+
+    /// One Monte-Carlo-dropout sample with **coordinate-keyed** masks
+    /// (see [`el_nn::layers::keyed_mask_word`]): each activation's mask
+    /// bit is a pure hash of the per-sample seed and the activation's
+    /// *global* frame coordinates (`origin` locates the crop in the
+    /// frame; pass `(0, 0)` when the crop is its own frame).
+    ///
+    /// Because the mask no longer depends on the crop's shape or
+    /// traversal order, a tile computed at its frame origin draws exactly
+    /// the masks the whole frame would — the invariant behind
+    /// `bayesian_segment_tiled` and the batched monitor. Immutable on
+    /// `self`, allocation-free warm, no RNG handle needed.
+    pub fn mc_sample_at(
+        &self,
+        fused: &Tensor,
+        sample_seed: u64,
+        origin: (usize, usize),
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (c, h, w) = fused.shape();
+        let hw = h * w;
+        let bc = self.config.branch_channels;
+        let mut x = ws.take_tensor(c, h, w);
+        for (bi, b) in self.branches.iter().enumerate() {
+            b.drop.apply_mc_keyed(
+                &fused.as_slice()[bi * bc * hw..(bi + 1) * bc * hw],
+                h,
+                w,
+                &mut x.as_mut_slice()[bi * bc * hw..],
+                hw,
+                0,
+                sample_seed,
+                MC_LAYER_BRANCH,
+                bi * bc,
+                origin,
+            );
+        }
+        let mut y = self.head1.forward_with(&x, ws);
+        ws.recycle(x);
+        Relu::apply(&mut y);
+        self.head_drop.apply_mc_keyed_in_place(
+            y.as_mut_slice(),
+            self.config.head_hidden,
+            h,
+            w,
+            hw,
+            0,
+            sample_seed,
+            MC_LAYER_HEAD,
+            0,
+            origin,
+        );
+        let out = self.head2.forward_with(&y, ws);
+        ws.recycle(y);
+        out
+    }
+
+    /// Whole-batch variant of [`MsdNet::mc_sample_at`]: runs one
+    /// Monte-Carlo sample's stochastic suffix for **every** crop at once
+    /// by column-stacking the masked prefixes and pushing the stack
+    /// through each 1x1 head convolution as a single GEMM
+    /// ([`Conv2d::forward_columns`]).
+    ///
+    /// `fused`, `seeds` and `origins` run parallel: crop `i` uses its own
+    /// per-sample seed and frame origin, so column block `i` of the
+    /// returned `(classes, 1, Σ h·w)` stacked logits is bit-identical to
+    /// `mc_sample_at(fused[i], seeds[i], origins[i])` (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length or the batch is empty.
+    pub fn mc_sample_stacked(
+        &self,
+        fused: &[&Tensor],
+        seeds: &[u64],
+        origins: &[(usize, usize)],
+        ws: &mut Workspace,
+    ) -> Tensor {
+        assert!(
+            !fused.is_empty() && fused.len() == seeds.len() && fused.len() == origins.len(),
+            "batch inputs must be non-empty and parallel"
+        );
+        let bc = self.config.branch_channels;
+        let fc = bc * self.branches.len();
+        let n_total: usize = fused.iter().map(|t| t.height() * t.width()).sum();
+        let mut x = ws.take(fc * n_total);
+        let mut off = 0usize;
+        for ((f, &seed), &origin) in fused.iter().zip(seeds).zip(origins) {
+            let (c, h, w) = f.shape();
+            assert_eq!(c, fc, "prefix tensor must have the fused channel count");
+            let hw = h * w;
+            for (bi, b) in self.branches.iter().enumerate() {
+                b.drop.apply_mc_keyed(
+                    &f.as_slice()[bi * bc * hw..(bi + 1) * bc * hw],
+                    h,
+                    w,
+                    &mut x[bi * bc * n_total..],
+                    n_total,
+                    off,
+                    seed,
+                    MC_LAYER_BRANCH,
+                    bi * bc,
+                    origin,
+                );
+            }
+            off += hw;
+        }
+        let mut y = self.head1.forward_columns(&x, n_total, ws);
+        ws.give(x);
+        Relu::apply_slice(&mut y);
+        let mut off = 0usize;
+        for ((f, &seed), &origin) in fused.iter().zip(seeds).zip(origins) {
+            let (_, h, w) = f.shape();
+            self.head_drop.apply_mc_keyed_in_place(
+                &mut y,
+                self.config.head_hidden,
+                h,
+                w,
+                n_total,
+                off,
+                seed,
+                MC_LAYER_HEAD,
+                0,
+                origin,
+            );
+            off += h * w;
+        }
+        let out = self.head2.forward_columns(&y, n_total, ws);
+        ws.give(y);
+        Tensor::from_vec(self.config.classes, 1, n_total, out)
+            .expect("stacked buffer sized to the logits")
     }
 
     /// Deterministic (Eval-phase) inference through the engine: the
@@ -548,6 +730,97 @@ mod tests {
         let mut r2 = ChaCha8Rng::seed_from_u64(13);
         let s2 = net.forward_reference(&x, Phase::Stochastic, &mut r2);
         assert_eq!(s1, s2, "stochastic reference and optimized forward diverge");
+    }
+
+    #[test]
+    fn batched_prefix_matches_single_crop() {
+        let mut r = rng();
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        let inputs: Vec<Tensor> = [(9usize, 7usize), (5, 5), (12, 4)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(h, w))| {
+                Tensor::from_fn(3, h, w, move |c, y, x| {
+                    ((i * 41 + c * 13 + y * 5 + x) as f32 * 0.19).sin()
+                })
+            })
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut ws = Workspace::new();
+        let batched = net.mc_prefix_batch(&refs, &mut ws);
+        for (input, fused) in inputs.iter().zip(&batched) {
+            let single = net.mc_prefix(input, &mut ws);
+            assert_eq!(
+                &single,
+                fused,
+                "batched prefix diverges on {:?}",
+                input.shape()
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_sample_matches_per_crop_columns() {
+        let mut r = rng();
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        let inputs: Vec<Tensor> = [(6usize, 8usize), (4, 4), (7, 3)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(h, w))| {
+                Tensor::from_fn(3, h, w, move |c, y, x| {
+                    ((i * 29 + c * 7 + y * 3 + x) as f32 * 0.23).cos()
+                })
+            })
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut ws = Workspace::new();
+        let fused = net.mc_prefix_batch(&refs, &mut ws);
+        let fused_refs: Vec<&Tensor> = fused.iter().collect();
+        let seeds = [101u64, 202, 303];
+        let origins = [(0usize, 0usize), (16, 5), (2, 40)];
+        let stacked = net.mc_sample_stacked(&fused_refs, &seeds, &origins, &mut ws);
+        let n_total: usize = inputs.iter().map(|t| t.height() * t.width()).sum();
+        assert_eq!(stacked.shape(), (8, 1, n_total));
+        let mut off = 0usize;
+        for ((f, &seed), &origin) in fused.iter().zip(&seeds).zip(&origins) {
+            let single = net.mc_sample_at(f, seed, origin, &mut ws);
+            let hw = f.height() * f.width();
+            for o in 0..8 {
+                assert_eq!(
+                    &stacked.as_slice()[o * n_total + off..o * n_total + off + hw],
+                    single.channel(o),
+                    "stacked sample diverges on crop at {origin:?} class {o}"
+                );
+            }
+            off += hw;
+        }
+    }
+
+    #[test]
+    fn keyed_sample_with_zero_dropout_matches_rng_sample() {
+        // With dropout 0 both sampling schemes are the deterministic head
+        // pass, so they must agree exactly.
+        let mut r = rng();
+        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        net.set_dropout(0.0);
+        let x = Tensor::from_fn(3, 6, 6, |c, y, x| ((c + y * 2 + x) as f32 * 0.31).sin());
+        let mut ws = Workspace::new();
+        let fused = net.mc_prefix(&x, &mut ws);
+        let keyed = net.mc_sample_at(&fused, 9, (0, 0), &mut ws);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(9);
+        let stream = net.mc_sample(&fused, &mut rng2, &mut ws);
+        assert_eq!(keyed, stream);
+    }
+
+    #[test]
+    fn receptive_radius_matches_widest_branch() {
+        let mut r = rng();
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        // tiny: 3x3 branches at dilations 1 and 2 -> radius 2.
+        assert_eq!(net.receptive_radius(), 2);
+        let net = MsdNet::new(&MsdNetConfig::default_uavid(), &mut r);
+        // dilations 1/2/4 -> radius 4.
+        assert_eq!(net.receptive_radius(), 4);
     }
 
     #[test]

@@ -50,6 +50,134 @@ impl TileConfig {
     }
 }
 
+/// One planned tile: the crop rectangle plus the interior this tile is
+/// responsible for in the stitched output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// The crop rectangle, in image coordinates.
+    pub rect: Rect,
+    /// Kept interior, crop-local: `[keep_x0, keep_x1) x [keep_y0, keep_y1)`.
+    pub keep_x0: usize,
+    /// See [`Tile::keep_x0`].
+    pub keep_y0: usize,
+    /// Exclusive end of the kept columns.
+    pub keep_x1: usize,
+    /// Exclusive end of the kept rows.
+    pub keep_y1: usize,
+}
+
+impl Tile {
+    /// The kept interior as a rectangle in **image** coordinates.
+    pub fn keep_rect(&self) -> Rect {
+        Rect::new(
+            self.rect.x + self.keep_x0 as i64,
+            self.rect.y + self.keep_y0 as i64,
+            (self.keep_x1 - self.keep_x0) as i64,
+            (self.keep_y1 - self.keep_y0) as i64,
+        )
+    }
+}
+
+/// The tile origins along one axis: `step = tile - 2·margin` strides,
+/// with the last origin clamped so the final tile ends at the border.
+fn axis_cuts(span: usize, config: TileConfig) -> Vec<usize> {
+    let step = config.tile - 2 * config.margin;
+    let mut cuts = Vec::new();
+    let mut c0 = 0usize;
+    loop {
+        let c = c0.min(span.saturating_sub(config.tile));
+        cuts.push(c);
+        if c + config.tile >= span {
+            return cuts;
+        }
+        c0 += step;
+    }
+}
+
+/// The kept interval (crop-local, half-open) of each tile along one axis:
+/// everything but the margin, extended to the frame border on boundary
+/// tiles, and trimmed so consecutive keeps are **disjoint** — where the
+/// clamped last tile would overlap its neighbour, the later tile owns the
+/// overlap (the overwrite order of the streaming stitcher).
+fn axis_keeps(
+    cuts: &[usize],
+    span: usize,
+    extent: usize,
+    config: TileConfig,
+) -> Vec<(usize, usize)> {
+    let mut keeps: Vec<(usize, usize)> = cuts
+        .iter()
+        .map(|&c| {
+            let k0 = if c == 0 { 0 } else { config.margin };
+            let k1 = if c + config.tile >= span {
+                extent
+            } else {
+                extent - config.margin
+            };
+            (k0, k1)
+        })
+        .collect();
+    for i in 0..keeps.len().saturating_sub(1) {
+        let next_start = cuts[i + 1] + keeps[i + 1].0;
+        if cuts[i] + keeps[i].1 > next_start {
+            keeps[i].1 = next_start - cuts[i];
+        }
+    }
+    keeps
+}
+
+/// Plans the overlapping tile grid for a `width x height` frame: each
+/// pixel is kept by **exactly one** tile, every kept pixel sits at least
+/// `margin` pixels from its tile's cut edges (frame borders excepted),
+/// and tiles are emitted in row-major order.
+///
+/// This planner is shared by deterministic tiling ([`segment_tiled`]) and
+/// the Bayesian tiled driver in `el-monitor`, whose partial-coverage
+/// accounting relies on disjoint keeps.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`TileConfig::validate`] or the
+/// frame is empty.
+pub fn plan_tiles(width: usize, height: usize, config: TileConfig) -> Vec<Tile> {
+    if let Err(e) = config.validate() {
+        panic!("invalid tile configuration: {e}");
+    }
+    assert!(width > 0 && height > 0, "frame must be non-empty");
+    let (cw, ch) = (config.tile.min(width), config.tile.min(height));
+    let xs = axis_cuts(width, config);
+    let ys = axis_cuts(height, config);
+    let keep_x = axis_keeps(&xs, width, cw, config);
+    let keep_y = axis_keeps(&ys, height, ch, config);
+    let mut tiles = Vec::with_capacity(xs.len() * ys.len());
+    for (&ty, &(ky0, ky1)) in ys.iter().zip(&keep_y) {
+        for (&tx, &(kx0, kx1)) in xs.iter().zip(&keep_x) {
+            tiles.push(Tile {
+                rect: Rect::new(tx as i64, ty as i64, cw as i64, ch as i64),
+                keep_x0: kx0,
+                keep_y0: ky0,
+                keep_x1: kx1,
+                keep_y1: ky1,
+            });
+        }
+    }
+    tiles
+}
+
+/// Orders tile indices so tiles whose kept interior intersects any
+/// priority rectangle come first; order is otherwise stable (row-major),
+/// so a latency-budgeted consumer covers the priority regions before
+/// spending budget on background tiles.
+pub fn prioritize_tiles(tiles: &[Tile], priority: &[Rect]) -> Vec<usize> {
+    let is_priority = |t: &Tile| {
+        let keep = t.keep_rect();
+        priority.iter().any(|r| keep.intersects(*r))
+    };
+    let mut order: Vec<usize> = (0..tiles.len()).collect();
+    order.sort_by_key(|&i| usize::from(!is_priority(&tiles[i])));
+    order
+}
+
 /// Segments an image tile by tile, stitching interior predictions.
 ///
 /// Produces the same labels as [`segment`] except possibly within
@@ -61,60 +189,26 @@ impl TileConfig {
 ///
 /// Panics if the configuration fails [`TileConfig::validate`].
 pub fn segment_tiled(net: &mut MsdNet, image: &Image, config: TileConfig) -> LabelMap {
-    if let Err(e) = config.validate() {
-        panic!("invalid tile configuration: {e}");
-    }
     // One workspace across all tiles: every tile shares the same buffer
     // shapes, so only the first tile's pass allocates.
     let mut ws = Workspace::new();
     let (w, h) = (image.width(), image.height());
     if w <= config.tile && h <= config.tile {
+        if let Err(e) = config.validate() {
+            panic!("invalid tile configuration: {e}");
+        }
         return segment_ws(net, image, &mut ws).labels;
     }
     let mut out: LabelMap = Grid::new(w, h, SemanticClass::Clutter);
-    let step = config.tile - 2 * config.margin;
-    let mut y0 = 0usize;
-    loop {
-        let ty = y0.min(h.saturating_sub(config.tile));
-        let mut x0 = 0usize;
-        loop {
-            let tx = x0.min(w.saturating_sub(config.tile));
-            let rect = Rect::new(
-                tx as i64,
-                ty as i64,
-                config.tile.min(w) as i64,
-                config.tile.min(h) as i64,
-            );
-            let crop = image.crop(rect).expect("tile within image");
-            let pred = segment_ws(net, &crop, &mut ws).labels;
-            // Interior to keep: everything except the margin, but extend
-            // to the image border on boundary tiles.
-            let keep_x0 = if tx == 0 { 0 } else { config.margin };
-            let keep_y0 = if ty == 0 { 0 } else { config.margin };
-            let keep_x1 = if tx + config.tile >= w {
-                pred.width()
-            } else {
-                pred.width() - config.margin
-            };
-            let keep_y1 = if ty + config.tile >= h {
-                pred.height()
-            } else {
-                pred.height() - config.margin
-            };
-            for yy in keep_y0..keep_y1 {
-                for xx in keep_x0..keep_x1 {
-                    out[(tx + xx, ty + yy)] = pred[(xx, yy)];
-                }
+    for tile in plan_tiles(w, h, config) {
+        let crop = image.crop(tile.rect).expect("tile within image");
+        let pred = segment_ws(net, &crop, &mut ws).labels;
+        let (tx, ty) = (tile.rect.x as usize, tile.rect.y as usize);
+        for yy in tile.keep_y0..tile.keep_y1 {
+            for xx in tile.keep_x0..tile.keep_x1 {
+                out[(tx + xx, ty + yy)] = pred[(xx, yy)];
             }
-            if tx + config.tile >= w {
-                break;
-            }
-            x0 += step;
         }
-        if ty + config.tile >= h {
-            break;
-        }
-        y0 += step;
     }
     out
 }
@@ -195,6 +289,73 @@ mod tests {
         assert_eq!(tiled.height(), 53);
         let whole = segment(&mut n, &img).labels;
         assert_eq!(tiled, whole);
+    }
+
+    #[test]
+    fn plan_partitions_frame_with_margins() {
+        for (w, h, tile, margin) in [
+            (96usize, 80usize, 48usize, 4usize),
+            (70, 53, 32, 4),
+            (30, 30, 48, 4),
+            (128, 31, 32, 8),
+        ] {
+            let cfg = TileConfig { tile, margin };
+            let tiles = plan_tiles(w, h, cfg);
+            // Every pixel kept exactly once.
+            let mut owners = Grid::new(w, h, 0usize);
+            for t in &tiles {
+                assert!(
+                    Rect::new(0, 0, w as i64, h as i64).contains_rect(t.rect),
+                    "tile {t:?} overruns the frame"
+                );
+                for p in t.keep_rect().pixels() {
+                    owners[(p.x as usize, p.y as usize)] += 1;
+                }
+                // Kept pixels are at least `margin` from the cut edges of
+                // the crop (image borders excepted).
+                if t.rect.x > 0 {
+                    assert!(t.keep_x0 >= margin);
+                }
+                if t.rect.right() < w as i64 {
+                    assert!(t.keep_x1 + margin <= t.rect.w as usize);
+                }
+                if t.rect.y > 0 {
+                    assert!(t.keep_y0 >= margin);
+                }
+                if t.rect.bottom() < h as i64 {
+                    assert!(t.keep_y1 + margin <= t.rect.h as usize);
+                }
+            }
+            assert!(
+                owners.iter().all(|&n| n == 1),
+                "{w}x{h} tile {tile} margin {margin}: coverage not a partition"
+            );
+        }
+    }
+
+    #[test]
+    fn prioritized_tiles_come_first() {
+        let cfg = TileConfig {
+            tile: 32,
+            margin: 4,
+        };
+        let tiles = plan_tiles(96, 96, cfg);
+        let target = Rect::new(60, 60, 10, 10);
+        let order = prioritize_tiles(&tiles, &[target]);
+        assert_eq!(order.len(), tiles.len());
+        let k = order
+            .iter()
+            .take_while(|&&i| tiles[i].keep_rect().intersects(target))
+            .count();
+        assert!(k >= 1, "at least one tile must cover the target");
+        // After the priority block, no tile touches the target.
+        assert!(order[k..]
+            .iter()
+            .all(|&i| !tiles[i].keep_rect().intersects(target)));
+        // And the full order is a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..tiles.len()).collect::<Vec<_>>());
     }
 
     #[test]

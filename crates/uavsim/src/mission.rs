@@ -57,6 +57,12 @@ pub struct MissionConfig {
     /// deploying — this bounds the drift the zone clearance must absorb.
     /// Flight termination, by contrast, deploys at the *current* altitude.
     pub el_deploy_altitude_m: f64,
+    /// Hover endurance, s: the longest service outage the UAV can wait
+    /// out in the Hovering maneuver (battery margin). An outage that
+    /// outlasts it is no longer "temporary" — the safety switch escalates
+    /// exactly as for a permanent loss of navigation
+    /// ([`SafetySwitch::on_hover_exhausted`]).
+    pub max_hover_s: f64,
 }
 
 impl MissionConfig {
@@ -74,6 +80,7 @@ impl MissionConfig {
             duration_s: 600.0,
             view_radius_m: 50.0,
             el_deploy_altitude_m: 30.0,
+            max_hover_s: 12.0,
         }
     }
 
@@ -91,6 +98,10 @@ impl MissionConfig {
             duration_s: 120.0,
             view_radius_m: 25.0,
             el_deploy_altitude_m: 20.0,
+            // Above the injector's longest sampled outage (20 s): the
+            // fast test profile exercises hover-exhaustion only in the
+            // tests that opt into it explicitly.
+            max_hover_s: 25.0,
         }
     }
 
@@ -114,6 +125,9 @@ impl MissionConfig {
         }
         if self.el_deploy_altitude_m <= 0.0 || self.el_deploy_altitude_m > self.altitude_m {
             return Err("EL deploy altitude must be in (0, operating altitude]".into());
+        }
+        if self.max_hover_s <= 0.0 {
+            return Err("hover endurance must be positive".into());
         }
         Ok(())
     }
@@ -154,9 +168,14 @@ pub struct MissionOutcome {
 /// Grades a touchdown point against ground truth: the Table II mapping.
 ///
 /// A 1.5 m contact disk is checked; the worst class wins. With a
-/// parachute (M2), direct human impact is reduced from Major to Minor —
-/// the paper's §III-D2 observation that M2 reduces R2 from 4 to 2 — but
-/// the busy-road outcome R1 stays catastrophic.
+/// parachute (M2), impact-energy-driven outcomes are reduced — direct
+/// human impact from Major to Minor (the paper's §III-D2 observation
+/// that M2 reduces R2 from 4 to 2), and building contact from Serious
+/// (R4, "UAV collides with infrastructure" — an uncontrolled impact) to
+/// Minor (a canopy drift onto a roof damages the drone, not the
+/// structure, R5-equivalent). The busy-road outcome R1 stays
+/// catastrophic regardless: its severity comes from the ground vehicles
+/// the UAV disturbs, not from the impact energy.
 pub fn touchdown_severity(scene: &Scene, at: Vec2, with_parachute: bool) -> Severity {
     let mpp = scene.params.meters_per_pixel;
     let center = Point::new((at.x / mpp).round() as i64, (at.y / mpp).round() as i64);
@@ -180,7 +199,13 @@ pub fn touchdown_severity(scene: &Scene, at: Vec2, with_parachute: bool) -> Seve
                         Severity::Major
                     }
                 }
-                el_geom::SemanticClass::Building => Severity::Serious,
+                el_geom::SemanticClass::Building => {
+                    if with_parachute {
+                        Severity::Minor
+                    } else {
+                        Severity::Serious
+                    }
+                }
                 el_geom::SemanticClass::Tree => Severity::Minor,
                 _ => Severity::Negligible,
             };
@@ -194,6 +219,14 @@ pub fn touchdown_severity(scene: &Scene, at: Vec2, with_parachute: bool) -> Seve
 #[derive(Debug, Clone)]
 pub struct Mission {
     config: MissionConfig,
+}
+
+/// Appends a maneuver to the engagement trace, deduplicating consecutive
+/// repeats — the single definition of the trace semantics.
+fn record(m: Maneuver, maneuvers: &mut Vec<Maneuver>) {
+    if maneuvers.last() != Some(&m) {
+        maneuvers.push(m);
+    }
 }
 
 impl Mission {
@@ -246,69 +279,60 @@ impl Mission {
         let mut switch = SafetySwitch::new(self.config.el_installed);
         let mut maneuvers = Vec::new();
         let mut hazards = Vec::new();
-        let record = |m: Maneuver, maneuvers: &mut Vec<Maneuver>| {
-            if maneuvers.last() != Some(&m) {
-                maneuvers.push(m);
-            }
-        };
 
         for event in &events {
             hazards.push(event.hazard);
             let mode = switch.on_hazard(event.hazard);
-            let FlightMode::Emergency(m) = mode else {
+            let FlightMode::Emergency(mut m) = mode else {
                 continue;
             };
-            record(m, &mut maneuvers);
-            match m {
-                Maneuver::Hovering => {
-                    // Wait out the outage; service recovery resolves back
-                    // to nominal (handled by the switch).
-                    switch.on_recovery();
-                }
-                Maneuver::ReturnToBase => {
-                    // Fly home under degraded control. Further events are
-                    // injected by the remaining loop iterations; if none
-                    // escalates, the mission ends at base.
-                }
-                Maneuver::EmergencyLanding => {
-                    let uav = self.position_at(&scene, event.at_time_s);
-                    let pick =
-                        el.select_landing(&scene, uav, self.config.view_radius_m, seed ^ 0xE1);
-                    match pick {
-                        Some(target) => {
-                            // Navigate to the zone under trajectory
-                            // control, descend to the deploy altitude,
-                            // then open the parachute.
-                            let descent =
-                                ParachuteDescent::canopy(self.config.el_deploy_altitude_m);
-                            let touchdown = wrap_to_scene(
-                                &scene,
-                                descent.touchdown(target, &self.config.wind, &mut rng),
-                            );
-                            let severity = touchdown_severity(&scene, touchdown, true);
-                            return MissionOutcome {
-                                terminal: TerminalState::LandedEl { at: touchdown },
-                                maneuvers,
-                                severity,
-                                hazards,
-                            };
-                        }
-                        None => {
-                            switch.on_el_abort();
-                            record(Maneuver::FlightTermination, &mut maneuvers);
-                            return self.terminate(
-                                &scene,
-                                event.at_time_s,
-                                maneuvers,
-                                hazards,
-                                &mut rng,
-                            );
+            // A maneuver can escalate in place (hover endurance exhausted
+            // → EL/FT), hence the inner dispatch loop.
+            loop {
+                record(m, &mut maneuvers);
+                match m {
+                    Maneuver::Hovering => {
+                        if event.duration_s <= self.config.max_hover_s {
+                            // Wait out the outage; service recovery
+                            // resolves back to nominal (handled by the
+                            // switch).
+                            switch.on_recovery();
+                        } else if let FlightMode::Emergency(next) = switch.on_hover_exhausted() {
+                            // The outage outlasts the hover endurance: it
+                            // is no longer "temporary", so the switch
+                            // re-routes it as a permanent loss.
+                            m = next;
+                            continue;
                         }
                     }
+                    Maneuver::ReturnToBase => {
+                        // Fly home under degraded control. Further events
+                        // are injected by the remaining loop iterations;
+                        // if none escalates, the mission ends at base.
+                    }
+                    Maneuver::EmergencyLanding => {
+                        return self.attempt_emergency_landing(
+                            &scene,
+                            event.at_time_s,
+                            el,
+                            &mut switch,
+                            maneuvers,
+                            hazards,
+                            &mut rng,
+                            seed,
+                        );
+                    }
+                    Maneuver::FlightTermination => {
+                        return self.terminate(
+                            &scene,
+                            event.at_time_s,
+                            maneuvers,
+                            hazards,
+                            &mut rng,
+                        );
+                    }
                 }
-                Maneuver::FlightTermination => {
-                    return self.terminate(&scene, event.at_time_s, maneuvers, hazards, &mut rng);
-                }
+                break;
             }
         }
 
@@ -324,6 +348,48 @@ impl Mission {
             maneuvers,
             severity,
             hazards,
+        }
+    }
+
+    /// Executes the EL maneuver: query the EL system for a confirmed
+    /// zone, fly there and deploy, or — if no zone can be confirmed —
+    /// escalate to flight termination ("if the UAV cannot ensure flight
+    /// continuation or safe EL, then a Flight Termination maneuver is
+    /// applied").
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_emergency_landing(
+        &self,
+        scene: &Scene,
+        at_time_s: f64,
+        el: &mut dyn ElSystem,
+        switch: &mut SafetySwitch,
+        mut maneuvers: Vec<Maneuver>,
+        hazards: Vec<HazardCategory>,
+        rng: &mut ChaCha8Rng,
+        seed: u64,
+    ) -> MissionOutcome {
+        let uav = self.position_at(scene, at_time_s);
+        let pick = el.select_landing(scene, uav, self.config.view_radius_m, seed ^ 0xE1);
+        match pick {
+            Some(target) => {
+                // Navigate to the zone under trajectory control, descend
+                // to the deploy altitude, then open the parachute.
+                let descent = ParachuteDescent::canopy(self.config.el_deploy_altitude_m);
+                let touchdown =
+                    wrap_to_scene(scene, descent.touchdown(target, &self.config.wind, rng));
+                let severity = touchdown_severity(scene, touchdown, true);
+                MissionOutcome {
+                    terminal: TerminalState::LandedEl { at: touchdown },
+                    maneuvers,
+                    severity,
+                    hazards,
+                }
+            }
+            None => {
+                switch.on_el_abort();
+                record(Maneuver::FlightTermination, &mut maneuvers);
+                self.terminate(scene, at_time_s, maneuvers, hazards, rng)
+            }
         }
     }
 
@@ -480,6 +546,86 @@ mod tests {
         let at = Vec2::new(road.x as f64 * mpp, road.y as f64 * mpp);
         assert_eq!(touchdown_severity(&scene, at, true), Severity::Catastrophic);
         let _ = grass;
+    }
+
+    #[test]
+    fn building_contact_boundary_depends_on_parachute() {
+        // The explicit grading boundary: a canopy touchdown on a building
+        // is drone damage (Minor); an uncontrolled ballistic impact is an
+        // infrastructure collision (Serious, R4). Scan a few scenes for a
+        // contact disk whose worst class is Building.
+        let mut checked = false;
+        'scenes: for seed in 0..20 {
+            let scene = Scene::generate(&SceneParams::small(), seed);
+            let mpp = scene.params.meters_per_pixel;
+            let rad = (1.5 / mpp).ceil() as i64;
+            for (p, &c) in scene.labels.enumerate() {
+                if c != el_geom::SemanticClass::Building {
+                    continue;
+                }
+                // The whole disk must be building-or-benign so Building
+                // is the deciding class.
+                let mut disk_ok = true;
+                for dy in -rad..=rad {
+                    for dx in -rad..=rad {
+                        let q = el_geom::Point::new(p.x + dx, p.y + dy);
+                        if (q - p).l2_norm() > rad as f64 {
+                            continue;
+                        }
+                        match scene.labels.get(q) {
+                            Some(&el_geom::SemanticClass::Building)
+                            | Some(&el_geom::SemanticClass::LowVegetation)
+                            | Some(&el_geom::SemanticClass::Clutter)
+                            | Some(&el_geom::SemanticClass::Tree)
+                            | None => {}
+                            _ => {
+                                disk_ok = false;
+                            }
+                        }
+                    }
+                }
+                if !disk_ok {
+                    continue;
+                }
+                let at = Vec2::new(p.x as f64 * mpp, p.y as f64 * mpp);
+                assert_eq!(
+                    touchdown_severity(&scene, at, true),
+                    Severity::Minor,
+                    "canopy touchdown on a building must grade Minor"
+                );
+                assert_eq!(
+                    touchdown_severity(&scene, at, false),
+                    Severity::Serious,
+                    "ballistic building impact must grade Serious"
+                );
+                checked = true;
+                break 'scenes;
+            }
+        }
+        assert!(checked, "no building-dominated contact disk found");
+    }
+
+    #[test]
+    fn persistent_outage_escalates_past_hovering() {
+        // An outage that outlasts the hover endurance is routed like a
+        // permanent navigation loss: EL with an EL function installed…
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        cfg.rates.temporary_service_loss = 200.0;
+        cfg.max_hover_s = 1.0; // injected outages last 2–20 s
+        let out = Mission::new(cfg.clone()).run(&mut PerfectEl::default(), 8);
+        assert!(out.maneuvers.contains(&Maneuver::Hovering));
+        assert!(
+            out.maneuvers.contains(&Maneuver::EmergencyLanding),
+            "exhausted hover must escalate to EL, got {:?}",
+            out.maneuvers
+        );
+        assert!(matches!(out.terminal, TerminalState::LandedEl { .. }));
+        // …and FT without one.
+        cfg.el_installed = false;
+        let out = Mission::new(cfg).run(&mut NoEl, 8);
+        assert!(out.maneuvers.contains(&Maneuver::FlightTermination));
+        assert!(matches!(out.terminal, TerminalState::Terminated { .. }));
     }
 
     #[test]

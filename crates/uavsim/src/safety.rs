@@ -114,6 +114,20 @@ impl SafetySwitch {
         self.mode
     }
 
+    /// The hover endurance is exhausted before the lost service
+    /// recovered: the outage is no longer "temporary", so the switch
+    /// re-routes it through the permanent-loss prescription — the UAV
+    /// still has trajectory control but cannot continue the mission, which
+    /// is exactly the loss-of-navigation situation: **EL** when installed,
+    /// **FT** otherwise. A no-op in every state but Hovering.
+    pub fn on_hover_exhausted(&mut self) -> FlightMode {
+        if self.mode == FlightMode::Emergency(Maneuver::Hovering) {
+            self.mode =
+                FlightMode::Emergency(self.prescribed_maneuver(HazardCategory::LostNavigation));
+        }
+        self.mode
+    }
+
     /// The EL function reports it cannot find or confirm a safe zone:
     /// escalate to flight termination ("if the UAV cannot ensure flight
     /// continuation or safe EL, then a Flight Termination maneuver is
@@ -220,6 +234,32 @@ mod tests {
         s.on_hazard(HazardCategory::LostCommunication);
         assert_eq!(
             s.on_el_abort(),
+            FlightMode::Emergency(Maneuver::ReturnToBase)
+        );
+    }
+
+    #[test]
+    fn hover_exhaustion_escalates_like_lost_navigation() {
+        // With an EL function: persistent outage → emergency landing.
+        let mut s = SafetySwitch::new(true);
+        s.on_hazard(HazardCategory::TemporaryServiceLoss);
+        assert_eq!(
+            s.on_hover_exhausted(),
+            FlightMode::Emergency(Maneuver::EmergencyLanding)
+        );
+        // Without one: → flight termination.
+        let mut s = SafetySwitch::new(false);
+        s.on_hazard(HazardCategory::TemporaryServiceLoss);
+        assert_eq!(
+            s.on_hover_exhausted(),
+            FlightMode::Emergency(Maneuver::FlightTermination)
+        );
+        // A no-op in every other state.
+        let mut s = SafetySwitch::new(true);
+        assert_eq!(s.on_hover_exhausted(), FlightMode::Nominal);
+        s.on_hazard(HazardCategory::LostCommunication);
+        assert_eq!(
+            s.on_hover_exhausted(),
             FlightMode::Emergency(Maneuver::ReturnToBase)
         );
     }

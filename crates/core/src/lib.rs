@@ -18,6 +18,9 @@
 //!   candidate, or abort to flight termination.
 //! - [`pipeline`]: the complete Figure 2 loop, plus an unmonitored
 //!   baseline and a classical edge-density baseline.
+//! - [`audit`]: the whole-frame audit mode — a strictly advisory,
+//!   budgeted post-decision Bayesian sweep over the full frame that turns
+//!   the crop-only monitor into frame-level coverage.
 //! - [`requirements`]: the Table III/IV criteria as machine-checkable
 //!   predicates and evidence records.
 //! - [`assess`]: ground-truth assessment of selected zones (for
@@ -45,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod assess;
+pub mod audit;
 pub mod decision;
 pub mod drift;
 pub mod monitorlink;
@@ -53,6 +57,7 @@ pub mod requirements;
 pub mod zone;
 
 pub use assess::{assess_zone, ZoneAssessment};
+pub use audit::{audit_seed, AuditConfig, AuditRegion, AuditReport, TileAuditStat};
 pub use decision::{Decision, DecisionConfig, DecisionModule};
 pub use drift::DriftModel;
 pub use pipeline::{ElOutcome, ElPipeline, FinalDecision, PipelineConfig, Trial};

@@ -1,12 +1,15 @@
 //! The complete Figure 2 landing-zone-selection pipeline, plus baselines.
 
-use el_geom::{Grid, LabelMap};
-use el_monitor::{Monitor, MonitorConfig, Verdict};
+use std::time::Instant;
+
+use el_geom::{Grid, LabelMap, Rect};
+use el_monitor::{Monitor, MonitorConfig, MonitorReport, Verdict};
 use el_nn::Workspace;
 use el_scene::Image;
 use el_seg::{segment_ws, MsdNet};
 use serde::{Deserialize, Serialize};
 
+use crate::audit::{run_audit_with_clock, AuditConfig, AuditReport};
 use crate::decision::{AbortReason, Decision, DecisionConfig, DecisionModule};
 use crate::monitorlink::crop_for_monitor;
 use crate::zone::{propose_zones, Candidate, ZoneParams};
@@ -25,6 +28,10 @@ pub struct PipelineConfig {
     /// `false` disables the monitor entirely — the *unmonitored baseline*
     /// of the experiments: the first proposed zone is accepted.
     pub monitored: bool,
+    /// Whole-frame audit mode (see [`crate::audit`]): a strictly advisory
+    /// post-decision Bayesian sweep over the full frame with the leftover
+    /// latency budget. Disabled by default; never affects the decision.
+    pub audit: AuditConfig,
 }
 
 impl PipelineConfig {
@@ -37,6 +44,7 @@ impl PipelineConfig {
             decision: DecisionConfig::default_trials(),
             monitor_margin_px: 6,
             monitored: true,
+            audit: AuditConfig::disabled(),
         }
     }
 
@@ -73,12 +81,19 @@ impl PipelineConfig {
             decision: DecisionConfig::default_trials(),
             monitor_margin_px: 4,
             monitored: true,
+            audit: AuditConfig::disabled(),
         }
     }
 
     /// The unmonitored-baseline variant of this configuration.
     pub fn unmonitored(mut self) -> Self {
         self.monitored = false;
+        self
+    }
+
+    /// The same configuration with the given audit mode.
+    pub fn with_audit(mut self, audit: AuditConfig) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -94,6 +109,7 @@ impl PipelineConfig {
         if self.monitor_margin_px < 0 {
             return Err("monitor_margin_px must be non-negative".into());
         }
+        self.audit.validate()?;
         Ok(())
     }
 }
@@ -134,6 +150,56 @@ pub struct ElOutcome {
     pub trials: Vec<Trial>,
     /// The core function's full-frame prediction (single Eval pass).
     pub predicted: LabelMap,
+    /// The whole-frame audit report — `Some` iff the audit is enabled.
+    /// Strictly advisory: `decision` and `trials` are bit-identical with
+    /// the audit on or off (property-tested).
+    pub audit: Option<AuditReport>,
+}
+
+/// Replays precomputed monitor verdicts through the sequential
+/// [`DecisionModule`] — the single definition of the decision-replay
+/// semantics, shared by the monitored and baseline paths.
+///
+/// The decision module can in principle request more trials than
+/// `reports` holds (a verification batch truncated below the trial
+/// budget, or a future decision policy that retries); running out of
+/// verdicts is an **abort**, never a panic — an unverifiable candidate
+/// must not be landed on (regression-tested below).
+fn replay_decisions(
+    config: DecisionConfig,
+    monitored: bool,
+    candidates: Vec<Candidate>,
+    reports: &[MonitorReport],
+) -> (FinalDecision, Vec<Trial>) {
+    let mut trials = Vec::new();
+    let mut dm = DecisionModule::new(config, candidates);
+    let mut decision = dm.first();
+    let mut tried = 0usize;
+    let final_decision = loop {
+        match decision {
+            Decision::Land(c) => break FinalDecision::Land(c),
+            Decision::Abort(r) => break FinalDecision::Abort(r),
+            Decision::TryNext(candidate) => {
+                let (verdict, warning_fraction) = if monitored {
+                    match reports.get(tried) {
+                        Some(report) => (report.verdict, report.warning_fraction),
+                        None => break FinalDecision::Abort(AbortReason::TrialBudgetExhausted),
+                    }
+                } else {
+                    // Unmonitored baseline: trust the core function.
+                    (Verdict::Confirmed, 0.0)
+                };
+                tried += 1;
+                trials.push(Trial {
+                    candidate: candidate.clone(),
+                    verdict,
+                    warning_fraction,
+                });
+                decision = dm.on_verdict(candidate, verdict);
+            }
+        }
+    };
+    (final_decision, trials)
 }
 
 /// The Figure 2 safety architecture: core function → monitor → decision
@@ -215,6 +281,21 @@ impl ElPipeline {
     /// compute-bound rather than latency-bound should keep `max_trials`
     /// tight (the default is 3).
     pub fn run(&mut self, image: &Image, seed: u64) -> ElOutcome {
+        let start = Instant::now();
+        self.run_with_audit_clock(image, seed, move || start.elapsed().as_secs_f64())
+    }
+
+    /// [`ElPipeline::run`] with an injectable pipeline clock: `elapsed_s`
+    /// returns seconds since the run began and is consumed only by the
+    /// whole-frame audit's budget polls (the decision path never reads
+    /// it). Production uses wall-clock time; tests inject a deterministic
+    /// fake clock to pin the audit's budget semantics.
+    pub fn run_with_audit_clock(
+        &mut self,
+        image: &Image,
+        seed: u64,
+        elapsed_s: impl FnMut() -> f64,
+    ) -> ElOutcome {
         // Core function: one deterministic pass + zone proposal.
         let core = segment_ws(&self.net, image, &mut self.ws);
         let candidates = propose_zones(&core.labels, &self.config.zone);
@@ -231,37 +312,43 @@ impl ElPipeline {
             Vec::new()
         };
 
-        // Sequential decision replay over the precomputed verdicts.
-        let mut trials = Vec::new();
-        let mut dm = DecisionModule::new(self.config.decision, candidates);
-        let mut decision = dm.first();
-        let mut tried = 0usize;
-        let final_decision = loop {
-            match decision {
-                Decision::Land(c) => break FinalDecision::Land(c),
-                Decision::Abort(r) => break FinalDecision::Abort(r),
-                Decision::TryNext(candidate) => {
-                    let (verdict, warning_fraction) = if self.config.monitored {
-                        let report = &reports[tried];
-                        (report.verdict, report.warning_fraction)
-                    } else {
-                        // Unmonitored baseline: trust the core function.
-                        (Verdict::Confirmed, 0.0)
-                    };
-                    tried += 1;
-                    trials.push(Trial {
-                        candidate: candidate.clone(),
-                        verdict,
-                        warning_fraction,
-                    });
-                    decision = dm.on_verdict(candidate, verdict);
-                }
-            }
+        // Candidate rectangles steer the audit's tile priority; collected
+        // before the decision module consumes the candidate list.
+        let priority: Vec<Rect> = if self.config.audit.enabled {
+            candidates.iter().map(|c| c.rect).collect()
+        } else {
+            Vec::new()
         };
+
+        // Sequential decision replay over the precomputed verdicts.
+        let (final_decision, trials) = replay_decisions(
+            self.config.decision,
+            self.config.monitored,
+            candidates,
+            &reports,
+        );
+
+        // The decision is fixed; the leftover latency budget funds the
+        // strictly advisory whole-frame audit (see `crate::audit`).
+        let audit = if self.config.audit.enabled {
+            Some(run_audit_with_clock(
+                &self.net,
+                image,
+                &self.config.audit,
+                &self.config.monitor.rule,
+                seed,
+                &priority,
+                elapsed_s,
+            ))
+        } else {
+            None
+        };
+
         ElOutcome {
             decision: final_decision,
             trials,
             predicted: core.labels,
+            audit,
         }
     }
 }
@@ -403,6 +490,68 @@ mod tests {
             assert_eq!(report.verdict, trial.verdict);
             assert_eq!(report.warning_fraction, trial.warning_fraction);
         }
+    }
+
+    #[test]
+    fn replay_aborts_when_reports_run_short() {
+        // Regression for the latent `reports[tried]` out-of-bounds panic:
+        // when the decision module issues more `TryNext`s than crops were
+        // verified (here: three candidates and a trial budget of three,
+        // but only ONE precomputed report), the replay must abort — an
+        // unverifiable candidate is never landed on — instead of
+        // panicking.
+        use el_geom::{Point, Rect};
+        let candidate = |id: i64| Candidate {
+            center: Point::new(id, id),
+            rect: Rect::centered_square(Point::new(id, id), 3),
+            clearance_px: 5.0,
+            region_area: 50,
+            score: 1.0,
+        };
+        let rejected = el_monitor::MonitorReport {
+            warning_map: Grid::new(4, 4, true),
+            warning_fraction: 1.0,
+            verdict: Verdict::Rejected,
+            stats: el_monitor::BayesStats {
+                mean: el_nn::Tensor::zeros(8, 4, 4),
+                std: el_nn::Tensor::zeros(8, 4, 4),
+                samples: 1,
+            },
+        };
+        let (decision, trials) = super::replay_decisions(
+            DecisionConfig { max_trials: 3 },
+            true,
+            (0..3).map(candidate).collect(),
+            &[rejected],
+        );
+        assert_eq!(
+            decision,
+            FinalDecision::Abort(AbortReason::TrialBudgetExhausted)
+        );
+        // Exactly the verified candidate was tried; nothing was invented
+        // for the unverified ones.
+        assert_eq!(trials.len(), 1);
+        assert_eq!(trials[0].verdict, Verdict::Rejected);
+    }
+
+    #[test]
+    fn audit_disabled_yields_none_enabled_attaches_report() {
+        let mut p = pipeline();
+        let img = test_image(7);
+        let out = p.run(&img, 3);
+        assert!(out.audit.is_none(), "audit is off by default");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let config = PipelineConfig::fast_test().with_audit(crate::audit::AuditConfig::fast_test());
+        let mut p = ElPipeline::new(net, config);
+        let out = p.run(&img, 3);
+        let audit = out.audit.expect("audit enabled");
+        // The effectively unlimited test budget audits the whole frame.
+        assert!(audit.is_complete());
+        assert!((audit.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(audit.tile_stats.len(), audit.tiles_verified());
+        assert!(audit.warning_fraction >= 0.0 && audit.warning_fraction <= 1.0);
     }
 
     #[test]

@@ -355,27 +355,49 @@ pub(crate) fn mc_stats_pooled(
     pool: &WsPool,
     ws: &mut Workspace,
 ) -> BayesStats {
-    assert!(samples > 0, "at least one Monte-Carlo sample is required");
     let fused = net.mc_prefix(input, ws);
-    let stat_len = net.classes() * input.height() * input.width();
-    let shape = (net.classes(), input.height(), input.width());
+    let stats = mc_stats_prefixed(net, &fused, samples, seed, origin, parallel, pool);
+    ws.recycle(fused);
+    stats
+}
+
+/// The Monte-Carlo chunk machinery over a **precomputed** invariant
+/// prefix: the shared tail of [`mc_stats_pooled`], split out so the tiled
+/// audit driver can batch a group of tiles' prefixes through one
+/// column-stacked GEMM ([`MsdNet::mc_prefix_batch`]) and then run each
+/// tile's sample chunks here. Bit-identical to `mc_stats_pooled` on the
+/// same prefix — the chunk partition and merge order depend only on
+/// `samples`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mc_stats_prefixed(
+    net: &MsdNet,
+    fused: &Tensor,
+    samples: usize,
+    seed: u64,
+    origin: (usize, usize),
+    parallel: bool,
+    pool: &WsPool,
+) -> BayesStats {
+    assert!(samples > 0, "at least one Monte-Carlo sample is required");
+    let (h, w) = (fused.height(), fused.width());
+    let stat_len = net.classes() * h * w;
+    let shape = (net.classes(), h, w);
     let chunks = chunk_layout(samples);
     let partials: Vec<Welford> = if parallel {
         chunks
             .into_par_iter()
             .map(|(start, len)| {
-                pool.with(|ws| run_chunk(net, &fused, seed, origin, start, len, stat_len, ws))
+                pool.with(|ws| run_chunk(net, fused, seed, origin, start, len, stat_len, ws))
             })
             .collect()
     } else {
         chunks
             .into_iter()
             .map(|(start, len)| {
-                pool.with(|ws| run_chunk(net, &fused, seed, origin, start, len, stat_len, ws))
+                pool.with(|ws| run_chunk(net, fused, seed, origin, start, len, stat_len, ws))
             })
             .collect()
     };
-    ws.recycle(fused);
     stats_from(partials, samples, shape)
 }
 

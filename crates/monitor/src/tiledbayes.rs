@@ -30,11 +30,11 @@ use el_geom::{Grid, Rect};
 use el_nn::Tensor;
 use el_scene::Image;
 use el_seg::data::image_to_tensor;
-use el_seg::{plan_tiles, prioritize_tiles, MsdNet, TileConfig};
+use el_seg::{plan_tiles, prioritize_tiles, MsdNet, Tile, TileConfig};
 
 use el_nn::Workspace;
 
-use crate::bayes::{mc_stats_pooled, BayesStats, WsPool};
+use crate::bayes::{mc_stats_prefixed, BayesStats, WsPool};
 
 /// The result of a (possibly budget-truncated) tiled Bayesian pass.
 #[derive(Debug, Clone)]
@@ -45,6 +45,12 @@ pub struct TiledBayesStats {
     /// `true` where [`TiledBayesStats::stats`] is populated — the union
     /// of the kept interiors of the verified tiles.
     pub covered: Grid<bool>,
+    /// The tile plan the pass ran over ([`el_seg::plan_tiles`] output).
+    pub tiles: Vec<Tile>,
+    /// Indices into [`TiledBayesStats::tiles`] of the verified tiles, in
+    /// verification order (priority tiles first) — the audit's per-tile
+    /// statistics are keyed by these.
+    pub verified: Vec<usize>,
     /// Number of tiles the plan contains.
     pub tiles_total: usize,
     /// Number of tiles verified before the budget expired.
@@ -105,11 +111,26 @@ pub fn bayesian_segment_tiled(
     )
 }
 
+/// Pixel-column budget of one batched prefix group: consecutive admitted
+/// tiles whose combined pixel count stays within it share one
+/// column-stacked prefix GEMM per branch ([`MsdNet::mc_prefix_batch`]).
+/// Purely a performance knob — any partition is bit-identical.
+const PREFIX_GROUP_COLUMNS: usize = 32 * 1024;
+
+/// Hard cap on tiles per prefix group, whatever the tile size. The clock
+/// is polled at *admission*, before any of the group's Monte-Carlo work
+/// runs, so a group admitted just under the budget overruns it by the
+/// group tail — this cap bounds that overrun to **one tile** for every
+/// tile configuration (small audit tiles would otherwise pack dozens of
+/// tiles under the column budget and blow the latency bound).
+const PREFIX_GROUP_TILES: usize = 2;
+
 /// [`bayesian_segment_tiled`] with an injectable clock: `elapsed_s`
 /// returns seconds since the pass began and is polled once **before each
-/// tile**. Production passes wall-clock time; tests pass a deterministic
-/// fake clock to pin the budget semantics (coverage monotone in budget,
-/// partial results well-formed).
+/// tile** (at its admission into the current prefix group). Production
+/// passes wall-clock time; tests pass a deterministic fake clock to pin
+/// the budget semantics (coverage monotone in budget, partial results
+/// well-formed, one tile admitted per clock concession).
 #[allow(clippy::too_many_arguments)]
 pub fn bayesian_segment_tiled_with_clock(
     net: &MsdNet,
@@ -136,53 +157,93 @@ pub fn bayesian_segment_tiled_with_clock(
     let mut mean = Tensor::zeros(classes, h, w);
     let mut std = Tensor::zeros(classes, h, w);
     let mut covered = Grid::new(w, h, false);
-    let mut verified = 0usize;
+    let mut verified: Vec<usize> = Vec::new();
     // One scratch arena (prefix/im2col) and one chunk-task pool warm up
-    // on the first tile and serve every subsequent tile.
+    // on the first group and serve every subsequent tile.
     let mut ws = Workspace::new();
     let pool = WsPool::new();
-    for &i in &order {
-        if elapsed_s() >= budget_s {
+    // Tiles are admitted in cache-budgeted groups whose invariant
+    // prefixes share one batched engine invocation
+    // ([`MsdNet::mc_prefix_batch`] — a single column-stacked im2col GEMM
+    // per branch). The budget clock is still polled once per tile, at
+    // admission, so budget semantics are unchanged: coverage stays
+    // monotone in the budget, one tile per clock concession. Grouping is
+    // a pure performance knob — the batched prefix is bit-identical to
+    // the per-tile prefix.
+    let mut pos = 0usize;
+    let mut expired = false;
+    while pos < order.len() && !expired {
+        let mut group: Vec<usize> = Vec::new();
+        let mut cols = 0usize;
+        while pos < order.len() {
+            let tile = tiles[order[pos]];
+            let hw = (tile.rect.w * tile.rect.h) as usize;
+            if !group.is_empty()
+                && (group.len() >= PREFIX_GROUP_TILES || cols + hw > PREFIX_GROUP_COLUMNS)
+            {
+                break;
+            }
+            if elapsed_s() >= budget_s {
+                expired = true;
+                break;
+            }
+            group.push(order[pos]);
+            cols += hw;
+            pos += 1;
+        }
+        if group.is_empty() {
             break;
         }
-        let tile = tiles[i];
-        let crop = image.crop(tile.rect).expect("tile within image");
-        let origin = (tile.rect.y as usize, tile.rect.x as usize);
-        let input = image_to_tensor(&crop);
-        let stats = mc_stats_pooled(net, &input, samples, seed, origin, true, &pool, &mut ws);
-        let (tw, th) = (tile.rect.w as usize, tile.rect.h as usize);
-        debug_assert_eq!(stats.mean.shape(), (classes, th, tw));
-        let (tx, ty) = (tile.rect.x as usize, tile.rect.y as usize);
-        for c in 0..classes {
-            let src_mean = stats.mean.channel(c);
-            let src_std = stats.std.channel(c);
-            let dst_mean = mean.channel_mut(c);
+        let inputs: Vec<Tensor> = group
+            .iter()
+            .map(|&i| image_to_tensor(&image.crop(tiles[i].rect).expect("tile within image")))
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let fused = net.mc_prefix_batch(&refs, &mut ws);
+        for (&i, f) in group.iter().zip(&fused) {
+            let tile = tiles[i];
+            let origin = (tile.rect.y as usize, tile.rect.x as usize);
+            let stats = mc_stats_prefixed(net, f, samples, seed, origin, true, &pool);
+            let (tw, th) = (tile.rect.w as usize, tile.rect.h as usize);
+            debug_assert_eq!(stats.mean.shape(), (classes, th, tw));
+            let (tx, ty) = (tile.rect.x as usize, tile.rect.y as usize);
+            for c in 0..classes {
+                let src_mean = stats.mean.channel(c);
+                let src_std = stats.std.channel(c);
+                let dst_mean = mean.channel_mut(c);
+                for yy in tile.keep_y0..tile.keep_y1 {
+                    let src = yy * tw;
+                    let dst = (ty + yy) * w + tx;
+                    dst_mean[dst + tile.keep_x0..dst + tile.keep_x1]
+                        .copy_from_slice(&src_mean[src + tile.keep_x0..src + tile.keep_x1]);
+                }
+                let dst_std = std.channel_mut(c);
+                for yy in tile.keep_y0..tile.keep_y1 {
+                    let src = yy * tw;
+                    let dst = (ty + yy) * w + tx;
+                    dst_std[dst + tile.keep_x0..dst + tile.keep_x1]
+                        .copy_from_slice(&src_std[src + tile.keep_x0..src + tile.keep_x1]);
+                }
+            }
             for yy in tile.keep_y0..tile.keep_y1 {
-                let src = yy * tw;
-                let dst = (ty + yy) * w + tx;
-                dst_mean[dst + tile.keep_x0..dst + tile.keep_x1]
-                    .copy_from_slice(&src_mean[src + tile.keep_x0..src + tile.keep_x1]);
+                for xx in tile.keep_x0..tile.keep_x1 {
+                    covered[(tx + xx, ty + yy)] = true;
+                }
             }
-            let dst_std = std.channel_mut(c);
-            for yy in tile.keep_y0..tile.keep_y1 {
-                let src = yy * tw;
-                let dst = (ty + yy) * w + tx;
-                dst_std[dst + tile.keep_x0..dst + tile.keep_x1]
-                    .copy_from_slice(&src_std[src + tile.keep_x0..src + tile.keep_x1]);
-            }
+            verified.push(i);
         }
-        for yy in tile.keep_y0..tile.keep_y1 {
-            for xx in tile.keep_x0..tile.keep_x1 {
-                covered[(tx + xx, ty + yy)] = true;
-            }
+        for f in fused {
+            ws.recycle(f);
         }
-        verified += 1;
     }
+    let tiles_verified = verified.len();
     TiledBayesStats {
         stats: BayesStats { mean, std, samples },
         covered,
         tiles_total: tiles.len(),
-        tiles_verified: verified,
+        tiles_verified,
+        tiles,
+        verified,
     }
 }
 

@@ -451,6 +451,85 @@ impl MsdNet {
         out
     }
 
+    /// Applies the deterministic fusion head (`head1 → relu → head2`) to
+    /// an arbitrary column-stacked prefix activation matrix (`fused
+    /// channels` rows x `n` columns, row-major), returning the stacked
+    /// logits rows (`classes x n`) as a raw workspace buffer (hand it
+    /// back with [`Workspace::give`]).
+    ///
+    /// The heads are 1x1 convolutions — **pointwise** on the prefix — so
+    /// column `j` gets exactly the logits [`MsdNet::forward_eval`]
+    /// produces for the same pixel, regardless of which columns surround
+    /// it. This is what lets the batched tiler
+    /// ([`crate::segment_tiled`]) push only each tile's *kept interior*
+    /// through the heads: margin pixels feed the branch convolutions but
+    /// never buy any head compute.
+    pub fn eval_head_columns(&self, cols: &[f32], n: usize, ws: &mut Workspace) -> Vec<f32> {
+        let mut y = self.head1.forward_columns(cols, n, ws);
+        Relu::apply_slice(&mut y);
+        let out = self.head2.forward_columns(&y, n, ws);
+        ws.give(y);
+        out
+    }
+
+    /// Batched [`MsdNet::forward_eval`]: the whole batch runs through the
+    /// stacked-GEMM engine end to end. Each branch convolution of every
+    /// input lowers into **one** cache-budgeted column-stacked im2col GEMM
+    /// ([`Conv2d::forward_batch_with`] via [`MsdNet::mc_prefix_batch`]),
+    /// and the 1x1 fusion head and classifier each run as a single GEMM
+    /// over the column-stacked prefixes of the entire batch
+    /// ([`MsdNet::eval_head_columns`]) — instead of one im2col and four
+    /// head GEMMs per input.
+    ///
+    /// Every returned logits tensor is **bit-identical** to
+    /// `forward_eval` on the corresponding input (property-tested): the
+    /// stacked GEMMs compute each column in the same strict reduction
+    /// order as the per-input GEMMs.
+    pub fn forward_eval_batch(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Vec<Tensor> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let fused = self.mc_prefix_batch(inputs, ws);
+        let fc = self.config.branch_channels * self.branches.len();
+        let n_total: usize = inputs.iter().map(|t| t.height() * t.width()).sum();
+        // Column-stack the fused prefixes: block i of every channel row
+        // holds input i's pixels, exactly the layout `forward_columns`
+        // consumes.
+        let mut x = ws.take(fc * n_total);
+        let mut off = 0usize;
+        for f in &fused {
+            let hw = f.height() * f.width();
+            for c in 0..fc {
+                x[c * n_total + off..c * n_total + off + hw].copy_from_slice(f.channel(c));
+            }
+            off += hw;
+        }
+        for f in fused {
+            ws.recycle(f);
+        }
+        let out = self.eval_head_columns(&x, n_total, ws);
+        ws.give(x);
+        // Unstack the class rows into per-input logits tensors.
+        let classes = self.config.classes;
+        let mut outs = Vec::with_capacity(inputs.len());
+        let mut off = 0usize;
+        for t in inputs {
+            let (h, w) = (t.height(), t.width());
+            let hw = h * w;
+            let mut buf = ws.take(classes * hw);
+            for c in 0..classes {
+                buf[c * hw..(c + 1) * hw]
+                    .copy_from_slice(&out[c * n_total + off..c * n_total + off + hw]);
+            }
+            outs.push(
+                Tensor::from_vec(classes, h, w, buf).expect("workspace buffer sized to the logits"),
+            );
+            off += hw;
+        }
+        ws.give(out);
+        outs
+    }
+
     /// Reference forward pass using the naive scalar convolution — the
     /// pre-optimization baseline retained for equivalence tests and the
     /// `perf_monitor_scaling` benchmark's before/after comparison.
@@ -757,6 +836,35 @@ mod tests {
                 input.shape()
             );
         }
+    }
+
+    #[test]
+    fn batched_eval_matches_single_input_bitwise() {
+        let mut r = rng();
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+        let inputs: Vec<Tensor> = [(10usize, 8usize), (5, 5), (13, 4), (3, 9)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(h, w))| {
+                Tensor::from_fn(3, h, w, move |c, y, x| {
+                    ((i * 47 + c * 17 + y * 5 + x) as f32 * 0.27).sin()
+                })
+            })
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut ws = Workspace::new();
+        let batched = net.forward_eval_batch(&refs, &mut ws);
+        assert_eq!(batched.len(), inputs.len());
+        for (input, logits) in inputs.iter().zip(&batched) {
+            let single = net.forward_eval(input, &mut ws);
+            assert_eq!(
+                &single,
+                logits,
+                "batched eval diverges on {:?}",
+                input.shape()
+            );
+        }
+        assert!(net.forward_eval_batch(&[], &mut ws).is_empty());
     }
 
     #[test]

@@ -6,11 +6,19 @@
 //! tiles and stitched by keeping each tile's *interior* (the overlap
 //! margin absorbs convolution edge effects, so stitched output matches
 //! whole-image inference away from the frame border).
+//!
+//! Since the audit PR the tiler is **batched**: consecutive tiles are
+//! grouped under a cache budget and pushed through the stacked-GEMM
+//! engine ([`MsdNet::forward_eval_batch`]) — one column-stacked im2col
+//! GEMM per branch convolution and one GEMM per 1x1 head for the whole
+//! group, bit-identical to the per-tile loop (which survives as
+//! [`segment_tiled_reference`]).
 
 use el_geom::{Grid, LabelMap, Rect, SemanticClass};
-use el_nn::Workspace;
+use el_nn::{Tensor, Workspace};
 use el_scene::Image;
 
+use crate::data::{argmax_labels, image_to_tensor};
 use crate::infer::segment_ws;
 use crate::msdnet::MsdNet;
 
@@ -178,6 +186,17 @@ pub fn prioritize_tiles(tiles: &[Tile], priority: &[Rect]) -> Vec<usize> {
     order
 }
 
+/// Pixel-column budget of one batched tile group in [`segment_tiled`]:
+/// consecutive tiles whose combined pixel count stays within it share one
+/// batched engine invocation. The group's working set (im2col rows,
+/// stacked prefix, head activations — roughly 120 f32 per pixel at the
+/// paper config) must stay L2-resident: wider groups stream every pass
+/// through outer cache levels and lose to the cache-local per-tile loop
+/// (measured in `perf_audit`). Grouping is a pure performance knob: any
+/// partition produces bit-identical labels, so large tiles simply degrade
+/// to one engine call each.
+const EVAL_GROUP_COLUMNS: usize = 4 * 1024;
+
 /// Segments an image tile by tile, stitching interior predictions.
 ///
 /// Produces the same labels as [`segment`] except possibly within
@@ -185,12 +204,122 @@ pub fn prioritize_tiles(tiles: &[Tile], priority: &[Rect]) -> Vec<usize> {
 /// differs; with `margin >= receptive-field radius` the outputs are
 /// identical (verified by tests).
 ///
+/// Tiles are processed in cache-budgeted groups through the stacked-GEMM
+/// engine, which pays off twice over the per-tile loop
+/// ([`segment_tiled_reference`]):
+///
+/// - each branch convolution of a group lowers into one column-stacked
+///   im2col GEMM across all its tiles ([`MsdNet::mc_prefix_batch`])
+///   instead of one im2col per tile;
+/// - only the **kept interiors** are column-stacked into the 1x1 head
+///   GEMMs and the softmax/argmax ([`MsdNet::eval_head_columns`]): the
+///   heads are pointwise, so margin pixels — which the stitcher discards
+///   anyway — feed the branch convolutions (where the receptive field
+///   needs them) but buy no head compute. The per-tile loop spends full
+///   head passes on them.
+///
+/// Labels are **bit-identical** to the per-tile loop (property-tested):
+/// stacked GEMM columns reduce in the same strict order as per-tile
+/// GEMMs, and softmax/argmax are per-pixel operations.
+///
 /// # Panics
 ///
 /// Panics if the configuration fails [`TileConfig::validate`].
-pub fn segment_tiled(net: &mut MsdNet, image: &Image, config: TileConfig) -> LabelMap {
-    // One workspace across all tiles: every tile shares the same buffer
-    // shapes, so only the first tile's pass allocates.
+pub fn segment_tiled(net: &MsdNet, image: &Image, config: TileConfig) -> LabelMap {
+    // One workspace across all groups: tiles share buffer shapes, so only
+    // the first group's pass allocates.
+    let mut ws = Workspace::new();
+    let (w, h) = (image.width(), image.height());
+    if w <= config.tile && h <= config.tile {
+        if let Err(e) = config.validate() {
+            panic!("invalid tile configuration: {e}");
+        }
+        return segment_ws(net, image, &mut ws).labels;
+    }
+    let mut out: LabelMap = Grid::new(w, h, SemanticClass::Clutter);
+    let tiles = plan_tiles(w, h, config);
+    let cfg = net.config();
+    let fc = cfg.branch_channels * cfg.dilations.len();
+    let classes = cfg.classes;
+    let mut start = 0usize;
+    while start < tiles.len() {
+        // Grow the group while it fits the column budget (always at
+        // least one tile).
+        let mut end = start + 1;
+        let mut cols = (tiles[start].rect.w * tiles[start].rect.h) as usize;
+        while end < tiles.len() {
+            let hw = (tiles[end].rect.w * tiles[end].rect.h) as usize;
+            if cols + hw > EVAL_GROUP_COLUMNS {
+                break;
+            }
+            cols += hw;
+            end += 1;
+        }
+        let group = &tiles[start..end];
+        let inputs: Vec<Tensor> = group
+            .iter()
+            .map(|t| image_to_tensor(&image.crop(t.rect).expect("tile within image")))
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let fused = net.mc_prefix_batch(&refs, &mut ws);
+        // Column-stack only the kept interiors for the pointwise heads.
+        let n_keep: usize = group
+            .iter()
+            .map(|t| (t.keep_x1 - t.keep_x0) * (t.keep_y1 - t.keep_y0))
+            .sum();
+        let mut x = ws.take(fc * n_keep);
+        let mut off = 0usize;
+        for (t, f) in group.iter().zip(&fused) {
+            let tw = t.rect.w as usize;
+            let kw = t.keep_x1 - t.keep_x0;
+            for c in 0..fc {
+                let plane = f.channel(c);
+                let mut dst = c * n_keep + off;
+                for yy in t.keep_y0..t.keep_y1 {
+                    let src = yy * tw + t.keep_x0;
+                    x[dst..dst + kw].copy_from_slice(&plane[src..src + kw]);
+                    dst += kw;
+                }
+            }
+            off += kw * (t.keep_y1 - t.keep_y0);
+        }
+        for f in fused {
+            ws.recycle(f);
+        }
+        let logits = net.eval_head_columns(&x, n_keep, &mut ws);
+        ws.give(x);
+        // Same per-pixel softmax-then-argmax as `segment_ws`, over the
+        // stacked kept columns (both are per-pixel operations, so the
+        // stacked layout changes nothing — including tie-breaks).
+        let mut stacked = Tensor::from_vec(classes, 1, n_keep, logits)
+            .expect("stacked buffer sized to the logits");
+        el_nn::loss::softmax_in_place(&mut stacked);
+        let pred = argmax_labels(&stacked);
+        ws.recycle(stacked);
+        let mut off = 0usize;
+        for t in group {
+            let (tx, ty) = (t.rect.x as usize, t.rect.y as usize);
+            for yy in t.keep_y0..t.keep_y1 {
+                for xx in t.keep_x0..t.keep_x1 {
+                    out[(tx + xx, ty + yy)] = pred[(off, 0)];
+                    off += 1;
+                }
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// The sequential per-tile reference tiler — one full engine pass per
+/// tile, retained as the ground truth [`segment_tiled`] must reproduce
+/// bit for bit (property-tested) and as the `perf_audit` benchmark
+/// baseline.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`TileConfig::validate`].
+pub fn segment_tiled_reference(net: &MsdNet, image: &Image, config: TileConfig) -> LabelMap {
     let mut ws = Workspace::new();
     let (w, h) = (image.width(), image.height());
     if w <= config.tile && h <= config.tile {
@@ -329,6 +458,66 @@ mod tests {
             assert!(
                 owners.iter().all(|&n| n == 1),
                 "{w}x{h} tile {tile} margin {margin}: coverage not a partition"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_tiler_matches_reference_bitwise() {
+        // Small tiles force multi-tile groups through the stacked-GEMM
+        // path; odd sizes exercise clamped boundary tiles.
+        let n = net();
+        for (w, h, tile, margin) in [
+            (96usize, 80usize, 24usize, 4usize),
+            (70, 53, 16, 4),
+            (81, 81, 32, 8),
+        ] {
+            let img = image(w, h);
+            let cfg = TileConfig { tile, margin };
+            let batched = segment_tiled(&n, &img, cfg);
+            let reference = segment_tiled_reference(&n, &img, cfg);
+            assert_eq!(
+                batched, reference,
+                "{w}x{h} tile {tile} margin {margin}: batched tiler diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_tiles_fuzz_partition_and_disjoint_keeps() {
+        // Randomized frame sizes and tile configurations: kept interiors
+        // must be pairwise-disjoint and exactly cover the frame, with
+        // every tile inside the frame and keeps inside their tile.
+        use rand::Rng;
+        let mut r = ChaCha8Rng::seed_from_u64(0xF1E1D);
+        let mut cases = 0usize;
+        while cases < 250 {
+            let w = r.gen_range(1usize..180);
+            let h = r.gen_range(1usize..180);
+            let tile = r.gen_range(1usize..64);
+            let margin = r.gen_range(0usize..32);
+            let cfg = TileConfig { tile, margin };
+            if cfg.validate().is_err() {
+                continue;
+            }
+            cases += 1;
+            let tiles = plan_tiles(w, h, cfg);
+            let bounds = Rect::new(0, 0, w as i64, h as i64);
+            let mut owners = Grid::new(w, h, 0usize);
+            for t in &tiles {
+                assert!(
+                    bounds.contains_rect(t.rect),
+                    "{w}x{h} tile {tile} margin {margin}: {t:?} overruns the frame"
+                );
+                assert!(t.keep_x0 <= t.keep_x1 && t.keep_x1 <= t.rect.w as usize);
+                assert!(t.keep_y0 <= t.keep_y1 && t.keep_y1 <= t.rect.h as usize);
+                for p in t.keep_rect().pixels() {
+                    owners[(p.x as usize, p.y as usize)] += 1;
+                }
+            }
+            assert!(
+                owners.iter().all(|&n| n == 1),
+                "{w}x{h} tile {tile} margin {margin}: keeps are not a partition"
             );
         }
     }

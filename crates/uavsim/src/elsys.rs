@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::mission::scene_extent_m;
+use crate::safety::AuditAdvisory;
 
 /// A landing-zone selection function as seen by the safety switch: given
 /// the world and the UAV position, either commit to a landing point
@@ -28,6 +29,15 @@ pub trait ElSystem {
         view_radius_m: f64,
         seed: u64,
     ) -> Option<Vec2>;
+
+    /// The whole-frame audit advisory for the most recent
+    /// [`ElSystem::select_landing`] call, fed to
+    /// [`crate::SafetySwitch::on_audit_advisory`] before a landing is
+    /// committed. Systems without an audit (the oracle and stub
+    /// baselines) report [`AuditAdvisory::Clear`].
+    fn audit_advisory(&self) -> AuditAdvisory {
+        AuditAdvisory::Clear
+    }
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

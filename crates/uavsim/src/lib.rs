@@ -45,5 +45,5 @@ pub use elsys::{ElSystem, NoEl, NoisyEl, PerfectEl};
 pub use failure::{FailureEvent, FailureInjector, FailureRates};
 pub use mission::{Mission, MissionConfig, MissionOutcome, TerminalState};
 pub use parachute::ParachuteDescent;
-pub use safety::{FlightMode, Maneuver, SafetySwitch};
+pub use safety::{AuditAdvisory, FlightMode, Maneuver, SafetySwitch};
 pub use wind::Wind;

@@ -372,6 +372,17 @@ impl Mission {
         let pick = el.select_landing(scene, uav, self.config.view_radius_m, seed ^ 0xE1);
         match pick {
             Some(target) => {
+                // Before committing: the whole-frame audit may veto. An
+                // Alarm-grade advisory (widespread frame-level
+                // uncertainty) means the crop-level confirmation cannot
+                // be trusted, and the switch escalates exactly as for an
+                // EL abort.
+                if switch.on_audit_advisory(el.audit_advisory())
+                    == FlightMode::Emergency(Maneuver::FlightTermination)
+                {
+                    record(Maneuver::FlightTermination, &mut maneuvers);
+                    return self.terminate(scene, at_time_s, maneuvers, hazards, rng);
+                }
                 // Navigate to the zone under trajectory control, descend
                 // to the deploy altitude, then open the parachute.
                 let descent = ParachuteDescent::canopy(self.config.el_deploy_altitude_m);
@@ -603,6 +614,44 @@ mod tests {
             }
         }
         assert!(checked, "no building-dominated contact disk found");
+    }
+
+    #[test]
+    fn alarming_audit_vetoes_landing_commit() {
+        // An EL system that finds a zone but whose whole-frame audit
+        // alarms: the switch must veto the commit and terminate (with a
+        // parachute) rather than land on a confirmation it cannot trust.
+        use crate::safety::AuditAdvisory;
+        struct AlarmedEl(PerfectEl);
+        impl ElSystem for AlarmedEl {
+            fn select_landing(
+                &mut self,
+                scene: &Scene,
+                uav_xy_m: Vec2,
+                view_radius_m: f64,
+                seed: u64,
+            ) -> Option<Vec2> {
+                self.0.select_landing(scene, uav_xy_m, view_radius_m, seed)
+            }
+            fn audit_advisory(&self) -> AuditAdvisory {
+                AuditAdvisory::Alarm
+            }
+            fn name(&self) -> &'static str {
+                "alarmed-el"
+            }
+        }
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        cfg.rates.lost_navigation = 200.0;
+        let out = Mission::new(cfg.clone()).run(&mut AlarmedEl(PerfectEl::default()), 2);
+        assert!(matches!(out.terminal, TerminalState::Terminated { .. }));
+        assert!(out.maneuvers.contains(&Maneuver::EmergencyLanding));
+        assert!(out.maneuvers.contains(&Maneuver::FlightTermination));
+        // The same mission with a clear advisory lands (or EL-aborts for
+        // lack of a zone — but the default oracle finds one at seed 2,
+        // pinned by `lost_navigation_with_el_lands`).
+        let out = Mission::new(cfg).run(&mut PerfectEl { clearance_m: 3.0 }, 2);
+        assert!(matches!(out.terminal, TerminalState::LandedEl { .. }));
     }
 
     #[test]

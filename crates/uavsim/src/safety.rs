@@ -138,6 +138,73 @@ impl SafetySwitch {
         }
         self.mode
     }
+
+    /// Feeds the whole-frame audit's advisory into the switch.
+    ///
+    /// The audit is strictly advisory, so only an [`AuditAdvisory::Alarm`]
+    /// — frame-level evidence that the perception stack is operating out
+    /// of distribution — has any effect, and only while an emergency
+    /// landing is being committed: if the frame-wide uncertainty is that
+    /// widespread, the monitor's crop-level confirmation is itself
+    /// untrustworthy, so the switch routes through the same escalation as
+    /// [`SafetySwitch::on_el_abort`] (the UAV "cannot ensure … safe EL").
+    /// In every other state, and for [`AuditAdvisory::Clear`] /
+    /// [`AuditAdvisory::Caution`], this is a no-op — an advisory source
+    /// never downgrades and never initiates a maneuver on its own.
+    pub fn on_audit_advisory(&mut self, advisory: AuditAdvisory) -> FlightMode {
+        if advisory == AuditAdvisory::Alarm
+            && self.mode == FlightMode::Emergency(Maneuver::EmergencyLanding)
+        {
+            self.mode = FlightMode::Emergency(Maneuver::FlightTermination);
+        }
+        self.mode
+    }
+}
+
+/// The severity of a whole-frame audit finding, as seen by the safety
+/// switch (the EL pipeline's `AuditReport` distils to this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AuditAdvisory {
+    /// No significant uncertainty outside the verified zones (or not
+    /// enough frame coverage to say anything — missing evidence never
+    /// escalates).
+    Clear,
+    /// Bounded anomalous regions exist; worth logging, not worth
+    /// overriding a confirmed landing.
+    Caution,
+    /// Widespread high uncertainty across the audited frame: frame-level
+    /// evidence that the scene is out of distribution for the perception
+    /// stack.
+    Alarm,
+}
+
+impl AuditAdvisory {
+    /// Frame coverage below which the audit never escalates: with less
+    /// than this fraction audited, "widespread uncertainty" cannot be
+    /// distinguished from an unlucky tile order.
+    pub const MIN_COVERAGE: f64 = 0.2;
+    /// Warning fraction (over audited pixels) at or above which the
+    /// advisory is [`AuditAdvisory::Alarm`].
+    pub const ALARM_WARNING_FRACTION: f64 = 0.5;
+    /// Warning fraction at or above which the advisory is at least
+    /// [`AuditAdvisory::Caution`].
+    pub const CAUTION_WARNING_FRACTION: f64 = 0.15;
+
+    /// Classifies an audit result: `coverage` is the fraction of the
+    /// frame the audit verified, `warning_fraction` the fraction of
+    /// audited pixels carrying an uncertainty warning.
+    pub fn classify(coverage: f64, warning_fraction: f64) -> Self {
+        if coverage < Self::MIN_COVERAGE {
+            return AuditAdvisory::Clear;
+        }
+        if warning_fraction >= Self::ALARM_WARNING_FRACTION {
+            AuditAdvisory::Alarm
+        } else if warning_fraction >= Self::CAUTION_WARNING_FRACTION {
+            AuditAdvisory::Caution
+        } else {
+            AuditAdvisory::Clear
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +329,50 @@ mod tests {
             s.on_hover_exhausted(),
             FlightMode::Emergency(Maneuver::ReturnToBase)
         );
+    }
+
+    #[test]
+    fn audit_alarm_escalates_only_committed_el() {
+        // Alarm during EL → FT (the crop confirmation is untrustworthy).
+        let mut s = SafetySwitch::new(true);
+        s.on_hazard(HazardCategory::LostNavigation);
+        assert_eq!(
+            s.on_audit_advisory(AuditAdvisory::Alarm),
+            FlightMode::Emergency(Maneuver::FlightTermination)
+        );
+        // Clear / Caution never change state.
+        for adv in [AuditAdvisory::Clear, AuditAdvisory::Caution] {
+            let mut s = SafetySwitch::new(true);
+            s.on_hazard(HazardCategory::LostNavigation);
+            assert_eq!(
+                s.on_audit_advisory(adv),
+                FlightMode::Emergency(Maneuver::EmergencyLanding)
+            );
+        }
+        // Alarm in any other state is advisory only (never initiates).
+        let mut s = SafetySwitch::new(true);
+        assert_eq!(
+            s.on_audit_advisory(AuditAdvisory::Alarm),
+            FlightMode::Nominal
+        );
+        s.on_hazard(HazardCategory::LostCommunication);
+        assert_eq!(
+            s.on_audit_advisory(AuditAdvisory::Alarm),
+            FlightMode::Emergency(Maneuver::ReturnToBase)
+        );
+    }
+
+    #[test]
+    fn advisory_classification_thresholds() {
+        // Low coverage never escalates, whatever the warning fraction.
+        assert_eq!(AuditAdvisory::classify(0.1, 1.0), AuditAdvisory::Clear);
+        // Above the coverage floor, the warning fraction grades.
+        assert_eq!(AuditAdvisory::classify(0.8, 0.05), AuditAdvisory::Clear);
+        assert_eq!(AuditAdvisory::classify(0.8, 0.2), AuditAdvisory::Caution);
+        assert_eq!(AuditAdvisory::classify(0.8, 0.6), AuditAdvisory::Alarm);
+        // Severity is ordered for max-style merging.
+        assert!(AuditAdvisory::Clear < AuditAdvisory::Caution);
+        assert!(AuditAdvisory::Caution < AuditAdvisory::Alarm);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Mounting the Figure 2 perception pipeline into the flight simulator.
 
-use el_core::{ElPipeline, FinalDecision};
+use el_core::{AuditReport, ElPipeline, FinalDecision};
 use el_geom::{Rect, Vec2};
 use el_scene::{Conditions, Scene};
-use el_uavsim::ElSystem;
+use el_uavsim::{AuditAdvisory, ElSystem};
 
 /// Adapts the real [`ElPipeline`] (MSDnet core function + Bayesian
 /// monitor + decision module) to the simulator's [`ElSystem`] interface.
@@ -18,6 +18,10 @@ use el_uavsim::ElSystem;
 pub struct PipelineElSystem {
     pipeline: ElPipeline,
     conditions: Conditions,
+    /// The whole-frame audit of the most recent run (when audit mode is
+    /// enabled on the pipeline) — the advisory escalation source the
+    /// simulator's safety switch consults before committing a landing.
+    last_audit: Option<AuditReport>,
 }
 
 impl PipelineElSystem {
@@ -28,6 +32,7 @@ impl PipelineElSystem {
         PipelineElSystem {
             pipeline,
             conditions,
+            last_audit: None,
         }
     }
 
@@ -39,6 +44,12 @@ impl PipelineElSystem {
     /// Borrows the inner pipeline.
     pub fn pipeline_mut(&mut self) -> &mut ElPipeline {
         &mut self.pipeline
+    }
+
+    /// The whole-frame audit report of the most recent
+    /// [`ElSystem::select_landing`] call, if audit mode produced one.
+    pub fn last_audit(&self) -> Option<&AuditReport> {
+        self.last_audit.as_ref()
     }
 }
 
@@ -64,13 +75,22 @@ impl ElSystem for PipelineElSystem {
         // texture field identical to the world's.
         let full = scene.render(&self.conditions, seed);
         let image = full.crop(window).expect("window clipped to bounds");
-        match self.pipeline.run(&image, seed).decision {
+        let outcome = self.pipeline.run(&image, seed);
+        self.last_audit = outcome.audit;
+        match outcome.decision {
             FinalDecision::Land(zone) => {
                 let px = zone.center.x + window.x;
                 let py = zone.center.y + window.y;
                 Some(Vec2::new(px as f64 * mpp, py as f64 * mpp))
             }
             FinalDecision::Abort(_) => None,
+        }
+    }
+
+    fn audit_advisory(&self) -> AuditAdvisory {
+        match &self.last_audit {
+            None => AuditAdvisory::Clear,
+            Some(a) => AuditAdvisory::classify(a.coverage(), a.warning_fraction),
         }
     }
 
@@ -120,6 +140,29 @@ mod tests {
         let b = el.select_landing(&scene, Vec2::new(20.0, 20.0), 18.0, 9);
         assert_eq!(a, b);
         assert_eq!(el.name(), "pipeline-el");
+    }
+
+    #[test]
+    fn audit_mode_surfaces_advisory() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let config =
+            PipelineConfig::fast_test().with_audit(el_core::audit::AuditConfig::fast_test());
+        let mut el = PipelineElSystem::new(ElPipeline::new(net, config), Conditions::nominal());
+        // Before any run there is no audit and the advisory defaults Clear.
+        assert!(el.last_audit().is_none());
+        assert_eq!(el.audit_advisory(), AuditAdvisory::Clear);
+        let scene = Scene::generate(&SceneParams::small(), 5);
+        let _ = el.select_landing(&scene, Vec2::new(24.0, 24.0), 20.0, 3);
+        let audit = el.last_audit().expect("audit mode attaches a report");
+        // The unlimited test budget audits the whole camera window, so
+        // the advisory is classifiable (an untrained tiny net warns
+        // widely — any grade is legal, it just must be derived).
+        assert!(audit.is_complete());
+        assert_eq!(
+            el.audit_advisory(),
+            AuditAdvisory::classify(audit.coverage(), audit.warning_fraction)
+        );
     }
 
     #[test]

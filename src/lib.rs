@@ -63,8 +63,9 @@ pub use adapter::PipelineElSystem;
 pub mod prelude {
     pub use crate::adapter::PipelineElSystem;
     pub use el_core::{
-        assess_zone, propose_zones, AssuranceEvidence, AssuranceLevel, Candidate, DriftModel,
-        ElOutcome, ElPipeline, FinalDecision, IntegrityLevel, PipelineConfig, ZoneParams,
+        assess_zone, audit_seed, propose_zones, AssuranceEvidence, AssuranceLevel, AuditConfig,
+        AuditRegion, AuditReport, Candidate, DriftModel, ElOutcome, ElPipeline, FinalDecision,
+        IntegrityLevel, PipelineConfig, TileAuditStat, ZoneParams,
     };
     pub use el_geom::{Grid, LabelMap, Point, Rect, SemanticClass, Vec2};
     pub use el_monitor::{
@@ -76,7 +77,7 @@ pub mod prelude {
         medi_delivery, Arc, ElMitigation, Mitigation, Robustness, Sail, Severity, SoraAssessment,
     };
     pub use el_uavsim::{
-        Campaign, CampaignConfig, ElSystem, FailureRates, Maneuver, Mission, MissionConfig, NoEl,
-        NoisyEl, PerfectEl, TerminalState, Wind,
+        AuditAdvisory, Campaign, CampaignConfig, ElSystem, FailureRates, Maneuver, Mission,
+        MissionConfig, NoEl, NoisyEl, PerfectEl, TerminalState, Wind,
     };
 }

@@ -23,6 +23,11 @@
 //!    agree bit for bit, a batch of crops agrees with per-crop
 //!    verification, and a tile computed at its frame origin agrees with
 //!    the whole frame ([`bayesian_segment_tiled`](crate::tiledbayes)).
+//!    The per-row mask evaluation — like the GEMMs under every
+//!    convolution here — dispatches through the `el_kernels` tier
+//!    ladder (portable/SSE2/AVX2/AVX-512F/NEON, `EL_FORCE_KERNEL` to
+//!    pin), and every tier is bit-identical, so verdicts are also
+//!    independent of the ISA the monitor ships on (`docs/kernels.md`).
 //! 3. **Fixed-chunk streaming Welford.** Samples are partitioned into at
 //!    most [`MC_CHUNKS`] contiguous chunks — a partition that depends only
 //!    on the sample count, never on thread count. Each chunk folds its

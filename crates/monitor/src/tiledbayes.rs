@@ -17,7 +17,10 @@
 //! - dropout masks are **coordinate-keyed**
 //!   ([`el_nn::layers::keyed_mask_word`]): a tile processed at its frame
 //!   origin draws exactly the masks the whole frame would draw at those
-//!   pixels.
+//!   pixels. (Mask rows and GEMMs both lower through the `el_kernels`
+//!   dispatch ladder, whose tiers are mutually bit-identical — tiling
+//!   invariants survive a change of ISA or a forced `EL_FORCE_KERNEL`
+//!   tier unchanged.)
 //!
 //! Together they make an unbudgeted tiled pass **bit-identical** to
 //! untiled [`bayesian_segment`](crate::bayes::bayesian_segment)

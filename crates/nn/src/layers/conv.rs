@@ -435,9 +435,6 @@ impl Conv2d {
     }
 }
 
-/// Spatial tile width of the micro-kernel (f32 lanes held in registers).
-const GEMM_TILE: usize = 8;
-
 /// Element budget (`k_dim x columns`) of one batched im2col group in
 /// [`Conv2d::forward_batch_with`] — 64 Ki f32 = 256 KB, an L2-resident
 /// working set on every deployment target. Grouping is a pure
@@ -447,19 +444,22 @@ const BATCH_COL_BUDGET: usize = 64 * 1024;
 /// `out[m][n] = bias[m] + sum_k a[m][k] * b[k][n]`, all matrices row-major.
 ///
 /// Register-tiled micro-kernel, **column-tile outer, row-quad inner**:
-/// each `b` column tile (`k_dim x GEMM_TILE` — a few KB for this
-/// workload's reduction depths) is swept once per row quad *from L1*,
-/// instead of the whole `b` matrix being re-streamed from memory for
-/// every quad. That ordering is what lets the batched engine stack many
-/// crops' columns into one wide GEMM without falling off the cache: the
-/// working set per step is one column tile plus the (small) weight
-/// matrix, independent of `n`. Four output rows accumulate in
-/// `4 x GEMM_TILE` registers with `k` as the innermost loop, so no
+/// each `b` column tile (a few KB for this workload's reduction depths)
+/// is swept once per row quad *from L1*, instead of the whole `b` matrix
+/// being re-streamed from memory for every quad. That ordering is what
+/// lets the batched engine stack many crops' columns into one wide GEMM
+/// without falling off the cache: the working set per step is one column
+/// tile plus the (small) weight matrix, independent of `n`. Four output
+/// rows accumulate in registers with `k` as the innermost loop, so no
 /// partial sums round-trip through memory and each output element still
 /// accumulates over `k` strictly in order, matching the naive tap loop's
-/// f32 rounding; on AVX2 hardware a wider kernel using separate multiply
-/// and add instructions (never FMA, which rounds differently) dispatches
-/// first.
+/// f32 rounding.
+///
+/// The per-ISA variants (portable → SSE2 → AVX2 → AVX-512F on x86_64,
+/// NEON on aarch64 — separate multiply and add instructions, never FMA,
+/// which rounds differently) live in [`el_kernels::gemm`]; this resolves
+/// the runtime-detected (or `EL_FORCE_KERNEL`-pinned) tier once per
+/// process and every tier reproduces the portable kernel bit for bit.
 fn gemm_bias(
     a: &[f32],
     b: &[f32],
@@ -469,167 +469,7 @@ fn gemm_bias(
     k_dim: usize,
     n: usize,
 ) {
-    debug_assert_eq!(a.len(), m * k_dim);
-    debug_assert_eq!(b.len(), k_dim * n);
-    debug_assert_eq!(out.len(), m * n);
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // Safety: AVX2 presence just checked.
-        unsafe { gemm_bias_avx2(a, b, bias, out, m, k_dim, n) };
-        return;
-    }
-    gemm_bias_portable(a, b, bias, out, m, k_dim, n);
-}
-
-/// AVX2 variant of the micro-kernel: 4 output rows x 16 columns held in
-/// eight `ymm` accumulators. Uses `vmulps` + `vaddps` (not FMA) so every
-/// element sees exactly the scalar kernel's rounding.
-///
-/// # Safety
-///
-/// Callers must ensure AVX2 is available.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn gemm_bias_avx2(
-    a: &[f32],
-    b: &[f32],
-    bias: &[f32],
-    out: &mut [f32],
-    m: usize,
-    k_dim: usize,
-    n: usize,
-) {
-    use core::arch::x86_64::*;
-    const W: usize = 16; // two ymm registers of columns
-    let tiles = n / W;
-    let tail = tiles * W;
-    for t in 0..tiles {
-        let j0 = t * W;
-        let mut o = 0usize;
-        while o < m {
-            let block = (m - o).min(4);
-            // acc[r][0/1]: columns j0..j0+8 / j0+8..j0+16 of output row o+r.
-            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
-            for (r, row) in acc.iter_mut().enumerate().take(block) {
-                let bv = _mm256_set1_ps(bias[o + r]);
-                *row = [bv, bv];
-            }
-            for k in 0..k_dim {
-                let bp = b.as_ptr().add(k * n + j0);
-                let b0 = _mm256_loadu_ps(bp);
-                let b1 = _mm256_loadu_ps(bp.add(8));
-                for (r, row) in acc.iter_mut().enumerate().take(block) {
-                    let wv = _mm256_set1_ps(a[(o + r) * k_dim + k]);
-                    row[0] = _mm256_add_ps(row[0], _mm256_mul_ps(wv, b0));
-                    row[1] = _mm256_add_ps(row[1], _mm256_mul_ps(wv, b1));
-                }
-            }
-            for (r, row) in acc.iter().enumerate().take(block) {
-                let op = out.as_mut_ptr().add((o + r) * n + j0);
-                _mm256_storeu_ps(op, row[0]);
-                _mm256_storeu_ps(op.add(8), row[1]);
-            }
-            o += block;
-        }
-    }
-    let mut o = 0usize;
-    while o < m {
-        let block = (m - o).min(4);
-        gemm_cols_scalar(a, b, bias, out, o, block, k_dim, n, tail);
-        o += block;
-    }
-}
-
-/// Scalar accumulation of output columns `j0..n` for rows
-/// `o..o + block` — the shared remainder path of both micro-kernels.
-/// Same strict `k` order, so the bit-exactness contract has a single
-/// implementation to keep correct.
-#[allow(clippy::too_many_arguments)]
-fn gemm_cols_scalar(
-    a: &[f32],
-    b: &[f32],
-    bias: &[f32],
-    out: &mut [f32],
-    o: usize,
-    block: usize,
-    k_dim: usize,
-    n: usize,
-    j0: usize,
-) {
-    for r in 0..block {
-        let w_row = &a[(o + r) * k_dim..(o + r + 1) * k_dim];
-        for j in j0..n {
-            let mut accv = bias[o + r];
-            for (k, &wv) in w_row.iter().enumerate() {
-                accv += wv * b[k * n + j];
-            }
-            out[(o + r) * n + j] = accv;
-        }
-    }
-}
-
-/// Portable scalar-tiled variant of the micro-kernel (LLVM autovectorises
-/// the `GEMM_TILE`-wide lane loops where the ISA allows).
-fn gemm_bias_portable(
-    a: &[f32],
-    b: &[f32],
-    bias: &[f32],
-    out: &mut [f32],
-    m: usize,
-    k_dim: usize,
-    n: usize,
-) {
-    let tiles = n / GEMM_TILE;
-    let tail = tiles * GEMM_TILE;
-    for t in 0..tiles {
-        let j0 = t * GEMM_TILE;
-        let mut o = 0usize;
-        while o < m {
-            let block = (m - o).min(4);
-            let w_base = o * k_dim;
-            let mut acc = [[0.0f32; GEMM_TILE]; 4];
-            for (r, row) in acc.iter_mut().enumerate().take(block) {
-                *row = [bias[o + r]; GEMM_TILE];
-            }
-            for k in 0..k_dim {
-                let brow: &[f32; GEMM_TILE] = b[k * n + j0..k * n + j0 + GEMM_TILE]
-                    .try_into()
-                    .expect("tile slice");
-                match block {
-                    4 => {
-                        let w0 = a[w_base + k];
-                        let w1 = a[w_base + k_dim + k];
-                        let w2 = a[w_base + 2 * k_dim + k];
-                        let w3 = a[w_base + 3 * k_dim + k];
-                        for (l, &c) in brow.iter().enumerate() {
-                            acc[0][l] += w0 * c;
-                            acc[1][l] += w1 * c;
-                            acc[2][l] += w2 * c;
-                            acc[3][l] += w3 * c;
-                        }
-                    }
-                    _ => {
-                        for r in 0..block {
-                            let wv = a[w_base + r * k_dim + k];
-                            for (l, &c) in brow.iter().enumerate() {
-                                acc[r][l] += wv * c;
-                            }
-                        }
-                    }
-                }
-            }
-            for (r, row) in acc.iter().enumerate().take(block) {
-                out[(o + r) * n + j0..(o + r) * n + j0 + GEMM_TILE].copy_from_slice(row);
-            }
-            o += block;
-        }
-    }
-    let mut o = 0usize;
-    while o < m {
-        let block = (m - o).min(4);
-        gemm_cols_scalar(a, b, bias, out, o, block, k_dim, n, tail);
-        o += block;
-    }
+    el_kernels::active().gemm_bias(a, b, bias, out, m, k_dim, n);
 }
 
 impl Layer for Conv2d {

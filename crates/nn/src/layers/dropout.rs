@@ -154,6 +154,7 @@ impl Dropout {
         } else {
             1.0 / (1.0 - self.rate)
         };
+        let kernels = el_kernels::active();
         for c in 0..channels {
             let plane = &src[c * hw..(c + 1) * hw];
             for y in 0..h {
@@ -164,12 +165,7 @@ impl Dropout {
                     continue;
                 }
                 let row_seed = keyed_row_seed(sample_seed, layer, chan0 + c, origin.0 + y);
-                let gx0 = origin.1;
-                for (x, (d, &s)) in row.iter_mut().zip(s_row).enumerate() {
-                    let word = keyed_mask_word(row_seed, gx0 + x);
-                    let keep = (unit_f32(word) >= self.rate) as u32 as f32;
-                    *d = s * scale * keep;
-                }
+                kernels.mask_scale_row(row_seed, origin.1, self.rate, scale, s_row, row);
             }
         }
     }
@@ -195,16 +191,12 @@ impl Dropout {
             return;
         }
         let scale = 1.0 / (1.0 - self.rate);
+        let kernels = el_kernels::active();
         for c in 0..channels {
             for y in 0..h {
                 let row = &mut xs[c * stride + col + y * w..][..w];
                 let row_seed = keyed_row_seed(sample_seed, layer, chan0 + c, origin.0 + y);
-                let gx0 = origin.1;
-                for (x, v) in row.iter_mut().enumerate() {
-                    let word = keyed_mask_word(row_seed, gx0 + x);
-                    let keep = (unit_f32(word) >= self.rate) as u32 as f32;
-                    *v *= scale * keep;
-                }
+                kernels.mask_scale_row_in_place(row_seed, origin.1, self.rate, scale, row);
             }
         }
     }
@@ -231,55 +223,12 @@ impl Dropout {
 /// buffer; sized to a few keystream blocks).
 const MC_DRAW_BATCH: usize = 512;
 
-/// The per-row seed of the coordinate-keyed Monte-Carlo masks: a
-/// SplitMix64 finalisation of the per-sample seed and the row's
-/// `(layer, channel, y)` coordinates.
-///
-/// The coordinates pack injectively for `layer < 64`, `channel < 2^18`
-/// and `y < 2^20` — comfortably beyond any frame this engine sees (the
-/// paper's largest is 3840x2160). The row seed feeds
-/// [`keyed_mask_word`], whose 32-bit mixing is what lets the per-row
-/// mask loop autovectorise; splitting the hash this way keeps the
-/// expensive 64-bit mixing off the per-element path without giving up
-/// the full-width avalanche across rows.
-#[inline(always)]
-pub fn keyed_row_seed(sample_seed: u64, layer: u32, channel: usize, y: usize) -> u32 {
-    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-    debug_assert!(layer < 64 && channel < (1 << 18) && y < (1 << 20));
-    let key = ((layer as u64) << 58) ^ ((channel as u64) << 40) ^ ((y as u64) << 20);
-    let mut z = sample_seed ^ key.wrapping_mul(GOLDEN);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) >> 32) as u32
-}
-
-/// The coordinate-keyed Monte-Carlo mask word for global column `x` of a
-/// row keyed by [`keyed_row_seed`]: the Murmur3 finaliser over the row
-/// seed and the column index.
-///
-/// Because the word is a pure function of
-/// `(sample_seed, layer, channel, y, x)`, a mask drawn through any crop,
-/// tile or batch layout agrees with the mask the whole frame would draw
-/// at the same global position. All mixing is 32-bit and lane-wise, so
-/// a row of masks vectorises (this hash is the Monte-Carlo engine's
-/// single hottest operation).
-#[inline(always)]
-pub fn keyed_mask_word(row_seed: u32, x: usize) -> u32 {
-    let mut h = row_seed ^ (x as u32).wrapping_mul(0x9E37_79B9);
-    h ^= h >> 16;
-    h = h.wrapping_mul(0x85EB_CA6B);
-    h ^= h >> 13;
-    h = h.wrapping_mul(0xC2B2_AE35);
-    h ^ (h >> 16)
-}
-
-/// The exact `Rng::gen::<f32>()` conversion (24 mantissa bits in
-/// `[0, 1)`), applied to a pre-drawn word so the bulk path samples the
-/// identical mask stream as the per-element path.
-#[inline(always)]
-fn unit_f32(raw: u32) -> f32 {
-    (raw >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
-}
+// The coordinate-keyed hash pair lives in `el_kernels` (its per-row
+// evaluation is SIMD-dispatched alongside the GEMM micro-kernel; see
+// `el_kernels::mask`), re-exported here so the mask contract stays
+// addressable as `el_nn::layers::{keyed_row_seed, keyed_mask_word}`.
+use el_kernels::unit_f32;
+pub use el_kernels::{keyed_mask_word, keyed_row_seed};
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, phase: Phase, rng: &mut dyn RngCore) -> Tensor {

@@ -16,7 +16,7 @@ mod relu;
 mod sequential;
 
 pub use conv::Conv2d;
-pub use dropout::Dropout;
+pub use dropout::{keyed_mask_word, keyed_row_seed, Dropout};
 pub use relu::Relu;
 pub use sequential::{LayerKind, Sequential};
 

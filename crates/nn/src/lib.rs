@@ -34,11 +34,15 @@
 //! - [`layers::Conv2d`] lowers the dilated convolution to an im2col
 //!   matrix (one row per kernel tap, rows are contiguous `h*w` planes)
 //!   followed by a register-blocked row-major micro-kernel that computes
-//!   four output channels per sweep. Per output element the reduction
-//!   runs in the same `(in, ky, kx)` order as the naive tap loop, so the
-//!   optimized kernel reproduces [`layers::Conv2d::forward_reference`]
-//!   exactly (asserted by property tests); the reference implementation
-//!   is retained for those tests and for benchmark baselines.
+//!   four output channels per sweep. The micro-kernel (like the
+//!   keyed-mask rows and the ChaCha8 refill) dispatches through the
+//!   `el_kernels` tier ladder — portable → SSE2 → AVX2 → AVX-512F on
+//!   x86_64, NEON on aarch64, `EL_FORCE_KERNEL` pins a tier — and per
+//!   output element the reduction runs in the same `(in, ky, kx)` order
+//!   as the naive tap loop on every tier, so the optimized kernel
+//!   reproduces [`layers::Conv2d::forward_reference`] exactly (asserted
+//!   by property tests on each tier); the reference implementation is
+//!   retained for those tests and for benchmark baselines.
 //! - Stochastic layers expose stateless, `&self` application paths
 //!   ([`layers::Dropout::apply_mc`], [`layers::Relu::apply`]) so
 //!   Monte-Carlo-dropout samples can run concurrently over one shared

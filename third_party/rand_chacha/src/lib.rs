@@ -7,15 +7,16 @@
 //! the vendored `rand` crate (SplitMix64), so streams are reproducible
 //! across the whole workspace. Bit-compatibility with the upstream
 //! `rand_chacha` crate is not a goal.
+//!
+//! The block function itself lives in [`el_kernels::chacha`]: each
+//! refill generates [`el_kernels::chacha::BLOCKS_PER_REFILL`] blocks
+//! through the workspace-wide kernel dispatch table (portable → SSE2 →
+//! AVX2 → AVX-512F on x86_64, NEON on aarch64; `EL_FORCE_KERNEL` pins a
+//! tier), and every tier emits the identical keystream — blocks in
+//! counter order — so the stream never depends on the ISA.
 
+use el_kernels::chacha::REFILL_WORDS;
 use rand::{RngCore, SeedableRng};
-
-/// Independent ChaCha blocks generated per refill. The rounds operate on
-/// `[u32; LANES]` lane arrays — straight-line wrapping adds, xors and
-/// rotates that LLVM autovectorises — and the output stream is emitted in
-/// block-counter order, so the stream is bit-identical to one-block-at-a-
-/// time generation.
-const LANES: usize = 4;
 
 /// A ChaCha generator with 8 rounds — fast, high-quality, deterministic.
 #[derive(Debug, Clone)]
@@ -24,179 +25,18 @@ pub struct ChaCha8Rng {
     key: [u32; 8],
     /// 64-bit block counter (words 12..14); nonce words are zero.
     counter: u64,
-    /// The current output buffer: `LANES` consecutive 16-word blocks.
-    block: [u32; 16 * LANES],
-    /// Next word to emit from `block` (`16 * LANES` = exhausted).
+    /// The current output buffer: consecutive 16-word blocks.
+    block: [u32; REFILL_WORDS],
+    /// Next word to emit from `block` (`REFILL_WORDS` = exhausted).
     index: usize,
-}
-
-const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
-const ROUNDS: usize = 8;
-
-#[cfg(not(target_arch = "x86_64"))]
-#[inline(always)]
-fn quarter_round(state: &mut [[u32; LANES]; 16], a: usize, b: usize, c: usize, d: usize) {
-    for l in 0..LANES {
-        state[a][l] = state[a][l].wrapping_add(state[b][l]);
-        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(16);
-    }
-    for l in 0..LANES {
-        state[c][l] = state[c][l].wrapping_add(state[d][l]);
-        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(12);
-    }
-    for l in 0..LANES {
-        state[a][l] = state[a][l].wrapping_add(state[b][l]);
-        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(8);
-    }
-    for l in 0..LANES {
-        state[c][l] = state[c][l].wrapping_add(state[d][l]);
-        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(7);
-    }
-}
-
-/// SSE2 implementation of the four-block ChaCha core (SSE2 is part of
-/// the `x86_64` baseline, so no runtime feature detection is needed).
-/// Lane `l` of every vector computes block `counter + l`; the initial
-/// state is *recomputed* at add-back time instead of kept live, so the
-/// sixteen state vectors fit the sixteen XMM registers without spills.
-#[cfg(target_arch = "x86_64")]
-fn chacha_blocks(key: &[u32; 8], counter: u64, out: &mut [u32; 16 * LANES]) {
-    use core::arch::x86_64::*;
-
-    // Safety throughout: SSE2 is unconditionally available on x86_64.
-    #[inline(always)]
-    fn rot(v: __m128i, n: i32) -> __m128i {
-        match n {
-            16 => unsafe { _mm_or_si128(_mm_slli_epi32::<16>(v), _mm_srli_epi32::<16>(v)) },
-            12 => unsafe { _mm_or_si128(_mm_slli_epi32::<12>(v), _mm_srli_epi32::<20>(v)) },
-            8 => unsafe { _mm_or_si128(_mm_slli_epi32::<8>(v), _mm_srli_epi32::<24>(v)) },
-            7 => unsafe { _mm_or_si128(_mm_slli_epi32::<7>(v), _mm_srli_epi32::<25>(v)) },
-            _ => unreachable!("fixed ChaCha rotations"),
-        }
-    }
-
-    macro_rules! qr {
-        ($s:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {{
-            unsafe {
-                $s[$a] = _mm_add_epi32($s[$a], $s[$b]);
-                $s[$d] = rot(_mm_xor_si128($s[$d], $s[$a]), 16);
-                $s[$c] = _mm_add_epi32($s[$c], $s[$d]);
-                $s[$b] = rot(_mm_xor_si128($s[$b], $s[$c]), 12);
-                $s[$a] = _mm_add_epi32($s[$a], $s[$b]);
-                $s[$d] = rot(_mm_xor_si128($s[$d], $s[$a]), 8);
-                $s[$c] = _mm_add_epi32($s[$c], $s[$d]);
-                $s[$b] = rot(_mm_xor_si128($s[$b], $s[$c]), 7);
-            }
-        }};
-    }
-
-    // Initial state, recomputable cheaply (broadcasts + the counters).
-    let init = |i: usize| -> __m128i {
-        unsafe {
-            match i {
-                0..=3 => _mm_set1_epi32(CONSTANTS[i] as i32),
-                4..=11 => _mm_set1_epi32(key[i - 4] as i32),
-                12 => _mm_set_epi32(
-                    counter.wrapping_add(3) as u32 as i32,
-                    counter.wrapping_add(2) as u32 as i32,
-                    counter.wrapping_add(1) as u32 as i32,
-                    counter as u32 as i32,
-                ),
-                13 => _mm_set_epi32(
-                    (counter.wrapping_add(3) >> 32) as u32 as i32,
-                    (counter.wrapping_add(2) >> 32) as u32 as i32,
-                    (counter.wrapping_add(1) >> 32) as u32 as i32,
-                    (counter >> 32) as u32 as i32,
-                ),
-                _ => _mm_setzero_si128(),
-            }
-        }
-    };
-    let mut s: [__m128i; 16] = core::array::from_fn(init);
-    for _ in 0..ROUNDS / 2 {
-        // Column round.
-        qr!(s, 0, 4, 8, 12);
-        qr!(s, 1, 5, 9, 13);
-        qr!(s, 2, 6, 10, 14);
-        qr!(s, 3, 7, 11, 15);
-        // Diagonal round.
-        qr!(s, 0, 5, 10, 15);
-        qr!(s, 1, 6, 11, 12);
-        qr!(s, 2, 7, 8, 13);
-        qr!(s, 3, 4, 9, 14);
-    }
-    // Add back the initial state and de-interleave lanes into
-    // block-counter order via 4x4 transposes.
-    unsafe {
-        for t in 0..4 {
-            let a = _mm_add_epi32(s[4 * t], init(4 * t));
-            let b = _mm_add_epi32(s[4 * t + 1], init(4 * t + 1));
-            let c = _mm_add_epi32(s[4 * t + 2], init(4 * t + 2));
-            let d = _mm_add_epi32(s[4 * t + 3], init(4 * t + 3));
-            let ab_lo = _mm_unpacklo_epi32(a, b);
-            let ab_hi = _mm_unpackhi_epi32(a, b);
-            let cd_lo = _mm_unpacklo_epi32(c, d);
-            let cd_hi = _mm_unpackhi_epi32(c, d);
-            let lane0 = _mm_unpacklo_epi64(ab_lo, cd_lo);
-            let lane1 = _mm_unpackhi_epi64(ab_lo, cd_lo);
-            let lane2 = _mm_unpacklo_epi64(ab_hi, cd_hi);
-            let lane3 = _mm_unpackhi_epi64(ab_hi, cd_hi);
-            let base = out.as_mut_ptr();
-            _mm_storeu_si128(base.add(4 * t).cast(), lane0);
-            _mm_storeu_si128(base.add(16 + 4 * t).cast(), lane1);
-            _mm_storeu_si128(base.add(32 + 4 * t).cast(), lane2);
-            _mm_storeu_si128(base.add(48 + 4 * t).cast(), lane3);
-        }
-    }
-}
-
-/// Portable fallback: the same four blocks via `[u32; LANES]` lane
-/// arrays.
-#[cfg(not(target_arch = "x86_64"))]
-fn chacha_blocks(key: &[u32; 8], counter: u64, out: &mut [u32; 16 * LANES]) {
-    let mut state = [[0u32; LANES]; 16];
-    for (i, &c) in CONSTANTS.iter().enumerate() {
-        state[i] = [c; LANES];
-    }
-    for (i, &k) in key.iter().enumerate() {
-        state[4 + i] = [k; LANES];
-    }
-    for l in 0..LANES {
-        let ctr = counter.wrapping_add(l as u64);
-        state[12][l] = ctr as u32;
-        state[13][l] = (ctr >> 32) as u32;
-    }
-    // state[14], state[15]: zero nonce.
-    let initial = state;
-    for _ in 0..ROUNDS / 2 {
-        // Column round.
-        quarter_round(&mut state, 0, 4, 8, 12);
-        quarter_round(&mut state, 1, 5, 9, 13);
-        quarter_round(&mut state, 2, 6, 10, 14);
-        quarter_round(&mut state, 3, 7, 11, 15);
-        // Diagonal round.
-        quarter_round(&mut state, 0, 5, 10, 15);
-        quarter_round(&mut state, 1, 6, 11, 12);
-        quarter_round(&mut state, 2, 7, 8, 13);
-        quarter_round(&mut state, 3, 4, 9, 14);
-    }
-    for (row, init) in state.iter_mut().zip(initial.iter()) {
-        for (v, i) in row.iter_mut().zip(init.iter()) {
-            *v = v.wrapping_add(*i);
-        }
-    }
-    // De-interleave: emit blocks in counter order.
-    for l in 0..LANES {
-        for i in 0..16 {
-            out[l * 16 + i] = state[i][l];
-        }
-    }
 }
 
 impl ChaCha8Rng {
     fn refill(&mut self) {
-        chacha_blocks(&self.key, self.counter, &mut self.block);
-        self.counter = self.counter.wrapping_add(LANES as u64);
+        el_kernels::active().chacha_blocks(&self.key, self.counter, &mut self.block);
+        self.counter = self
+            .counter
+            .wrapping_add(el_kernels::chacha::BLOCKS_PER_REFILL as u64);
         self.index = 0;
     }
 }
@@ -212,8 +52,8 @@ impl SeedableRng for ChaCha8Rng {
         ChaCha8Rng {
             key,
             counter: 0,
-            block: [0; 16 * LANES],
-            index: 16 * LANES,
+            block: [0; REFILL_WORDS],
+            index: REFILL_WORDS,
         }
     }
 }
@@ -221,7 +61,7 @@ impl SeedableRng for ChaCha8Rng {
 impl RngCore for ChaCha8Rng {
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        if self.index >= 16 * LANES {
+        if self.index >= REFILL_WORDS {
             self.refill();
         }
         let out = self.block[self.index];
@@ -242,10 +82,10 @@ impl RngCore for ChaCha8Rng {
     fn fill_u32(&mut self, out: &mut [u32]) {
         let mut pos = 0;
         while pos < out.len() {
-            if self.index >= 16 * LANES {
+            if self.index >= REFILL_WORDS {
                 self.refill();
             }
-            let avail = (16 * LANES - self.index).min(out.len() - pos);
+            let avail = (REFILL_WORDS - self.index).min(out.len() - pos);
             out[pos..pos + avail].copy_from_slice(&self.block[self.index..self.index + avail]);
             self.index += avail;
             pos += avail;
@@ -291,7 +131,8 @@ mod tests {
     #[test]
     fn stream_regression_pinned() {
         // First words of seed 42 captured before the multi-block refill
-        // rewrite: batched generation must not change the stream.
+        // rewrite: neither batched generation nor a kernel tier may
+        // change the stream.
         let mut r = ChaCha8Rng::seed_from_u64(42);
         let got: Vec<u32> = (0..20).map(|_| r.next_u32()).collect();
         assert_eq!(
@@ -312,6 +153,6 @@ mod tests {
         let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
         let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
         assert_ne!(first, second);
-        assert_ne!(&first[..4], &CONSTANTS[..]);
+        assert_ne!(&first[..4], &el_kernels::chacha::CONSTANTS[..]);
     }
 }

@@ -36,7 +36,13 @@
 //!    with Chan's parallel-combine formula. Because both the partition and
 //!    the merge order are fixed, [`bayesian_segment_tensor`] (chunks on
 //!    rayon workers) and [`bayesian_segment_tensor_sequential`] (same
-//!    chunks, one thread) produce bit-identical [`BayesStats`].
+//!    chunks, one thread) produce bit-identical [`BayesStats`]. The fold
+//!    itself is **lane-parallel across pixels, sequential across
+//!    samples** — pixel statistics never interact — so both the per-pixel
+//!    update and the chunk merge dispatch through the `el_kernels` tier
+//!    ladder ([`el_kernels::Kernels::welford_push`] /
+//!    [`el_kernels::Kernels::welford_merge`]), 4/8/16 pixels per lane
+//!    step, every tier bit-identical to portable.
 //! 4. **One shared batch work queue.** [`bayesian_segment_batch`] turns
 //!    a batch of crops into `crops x chunks` independent tasks drained by
 //!    a single rayon `par_iter` — no per-crop join barriers, so workers
@@ -54,6 +60,7 @@
 //! strictly sequential — survives as [`bayesian_segment_tensor_reference`]
 //! for the equivalence tests and the `perf_monitor_scaling` benchmark.
 
+use el_kernels::welford::AlignedF32;
 use el_nn::layers::Phase;
 use el_nn::loss::{softmax, softmax_in_place};
 use el_nn::{Tensor, Workspace};
@@ -139,31 +146,57 @@ fn chunk_layout(samples: usize) -> Vec<(usize, usize)> {
 }
 
 /// A streaming Welford mean/M2 accumulator over equal-length vectors.
+///
+/// Both the per-sample update and the Chan merge are lane-parallel
+/// across elements (pixels) and dispatch through the `el_kernels` tier
+/// ladder ([`el_kernels::active`], honouring `EL_FORCE_KERNEL`); every
+/// tier reproduces the portable fold bit for bit, so the monitor's
+/// statistics are independent of the ISA it ships on. The accumulator
+/// slabs live in 64-byte-aligned storage
+/// ([`el_kernels::welford::AlignedF32`]) — they are the streams loaded
+/// *and* stored every sample, and aligned 512-bit accesses dodge the
+/// cache-line-split tax. Consecutive samples can fold as fused pairs
+/// ([`Welford::push2`]), which is bit-identical to two single pushes
+/// and halves the accumulator traffic.
 struct Welford {
     count: usize,
-    mean: Vec<f32>,
-    m2: Vec<f32>,
+    mean: AlignedF32,
+    m2: AlignedF32,
 }
 
 impl Welford {
     fn new(len: usize) -> Self {
         Welford {
             count: 0,
-            mean: vec![0.0; len],
-            m2: vec![0.0; len],
+            mean: AlignedF32::zeroed(len),
+            m2: AlignedF32::zeroed(len),
         }
     }
 
-    /// Folds one sample in (classic Welford update).
+    /// Folds one sample in (classic Welford update, lane-parallel over
+    /// the slab).
     fn push(&mut self, xs: &[f32]) {
         debug_assert_eq!(xs.len(), self.mean.len());
         self.count += 1;
         let n = self.count as f32;
-        for ((m, s2), &x) in self.mean.iter_mut().zip(&mut self.m2).zip(xs) {
-            let delta = x - *m;
-            *m += delta / n;
-            *s2 += delta * (x - *m);
-        }
+        el_kernels::active().welford_push(self.mean.as_mut_slice(), self.m2.as_mut_slice(), xs, n);
+    }
+
+    /// Folds two consecutive samples as one fused pass — bit-identical
+    /// to `push(xs0); push(xs1)` on every tier (the kernel preserves
+    /// every intermediate rounding), but the accumulator slabs stream
+    /// through the cache once instead of twice.
+    fn push2(&mut self, xs0: &[f32], xs1: &[f32]) {
+        debug_assert_eq!(xs0.len(), self.mean.len());
+        let n0 = (self.count + 1) as f32;
+        self.count += 2;
+        el_kernels::active().welford_push2(
+            self.mean.as_mut_slice(),
+            self.m2.as_mut_slice(),
+            xs0,
+            xs1,
+            n0,
+        );
     }
 
     /// Folds one sample stored as a column block of a stacked
@@ -177,19 +210,35 @@ impl Welford {
         self.count += 1;
         let n = self.count as f32;
         let classes = self.mean.len() / hw;
+        let kernels = el_kernels::active();
         for c in 0..classes {
             let row = &xs[c * stride + off..c * stride + off + hw];
-            let mean = &mut self.mean[c * hw..(c + 1) * hw];
-            let m2 = &mut self.m2[c * hw..(c + 1) * hw];
-            for ((m, s2), &x) in mean.iter_mut().zip(m2.iter_mut()).zip(row) {
-                let delta = x - *m;
-                *m += delta / n;
-                *s2 += delta * (x - *m);
-            }
+            let mean = &mut self.mean.as_mut_slice()[c * hw..(c + 1) * hw];
+            let m2 = &mut self.m2.as_mut_slice()[c * hw..(c + 1) * hw];
+            kernels.welford_push(mean, m2, row, n);
         }
     }
 
-    /// Merges two partials with Chan's parallel-combine formula.
+    /// The fused-pair form of [`Welford::push_stacked`] — bit-identical
+    /// to two single stacked pushes.
+    fn push2_stacked(&mut self, xs0: &[f32], xs1: &[f32], stride: usize, off: usize, hw: usize) {
+        debug_assert_eq!(self.mean.len() % hw, 0);
+        let n0 = (self.count + 1) as f32;
+        self.count += 2;
+        let classes = self.mean.len() / hw;
+        let kernels = el_kernels::active();
+        for c in 0..classes {
+            let row0 = &xs0[c * stride + off..c * stride + off + hw];
+            let row1 = &xs1[c * stride + off..c * stride + off + hw];
+            let mean = &mut self.mean.as_mut_slice()[c * hw..(c + 1) * hw];
+            let m2 = &mut self.m2.as_mut_slice()[c * hw..(c + 1) * hw];
+            kernels.welford_push2(mean, m2, row0, row1, n0);
+        }
+    }
+
+    /// Merges two partials with Chan's parallel-combine formula
+    /// (lane-parallel; the scalar weights are computed once, which is
+    /// bit-identical to recomputing them per element).
     fn merge(mut self, other: Welford) -> Welford {
         if other.count == 0 {
             return self;
@@ -200,17 +249,14 @@ impl Welford {
         let na = self.count as f32;
         let nb = other.count as f32;
         let n = na + nb;
-        for (((m_a, s2_a), &m_b), &s2_b) in self
-            .mean
-            .iter_mut()
-            .zip(&mut self.m2)
-            .zip(&other.mean)
-            .zip(&other.m2)
-        {
-            let delta = m_b - *m_a;
-            *m_a += delta * (nb / n);
-            *s2_a += s2_b + delta * delta * (na * nb / n);
-        }
+        el_kernels::active().welford_merge(
+            self.mean.as_mut_slice(),
+            self.m2.as_mut_slice(),
+            other.mean.as_slice(),
+            other.m2.as_slice(),
+            nb / n,
+            na * nb / n,
+        );
         self.count += other.count;
         self
     }
@@ -230,7 +276,21 @@ fn run_chunk(
     ws: &mut Workspace,
 ) -> Welford {
     let mut acc = Welford::new(stat_len);
-    for k in start..start + len {
+    // Consecutive samples fold as fused pairs — bit-identical to single
+    // pushes (see `Kernels::welford_push2`) with half the accumulator
+    // traffic; an odd chunk folds its last sample singly.
+    let mut k = start;
+    while k + 2 <= start + len {
+        let mut p0 = net.mc_sample_at(fused, sample_seed(seed, k), origin, ws);
+        softmax_in_place(&mut p0);
+        let mut p1 = net.mc_sample_at(fused, sample_seed(seed, k + 1), origin, ws);
+        softmax_in_place(&mut p1);
+        acc.push2(p0.as_slice(), p1.as_slice());
+        ws.recycle(p1);
+        ws.recycle(p0);
+        k += 2;
+    }
+    if k < start + len {
         let mut probs = net.mc_sample_at(fused, sample_seed(seed, k), origin, ws);
         softmax_in_place(&mut probs);
         acc.push(probs.as_slice());
@@ -262,7 +322,31 @@ fn run_chunk_stacked(
         .map(|f| Welford::new(classes * f.height() * f.width()))
         .collect();
     let mut ks = vec![0u64; seeds.len()];
-    for k in start..start + len {
+    // Fused sample pairs, exactly as in `run_chunk` — bit-identical to
+    // the single-sample fold, half the accumulator traffic.
+    let mut k = start;
+    while k + 2 <= start + len {
+        for (dst, &s) in ks.iter_mut().zip(seeds) {
+            *dst = sample_seed(s, k);
+        }
+        let mut p0 = net.mc_sample_stacked(fused, &ks, origins, ws);
+        softmax_in_place(&mut p0);
+        for (dst, &s) in ks.iter_mut().zip(seeds) {
+            *dst = sample_seed(s, k + 1);
+        }
+        let mut p1 = net.mc_sample_stacked(fused, &ks, origins, ws);
+        softmax_in_place(&mut p1);
+        let mut off = 0usize;
+        for (acc, f) in accs.iter_mut().zip(fused) {
+            let hw = f.height() * f.width();
+            acc.push2_stacked(p0.as_slice(), p1.as_slice(), n_total, off, hw);
+            off += hw;
+        }
+        ws.recycle(p1);
+        ws.recycle(p0);
+        k += 2;
+    }
+    if k < start + len {
         for (dst, &s) in ks.iter_mut().zip(seeds) {
             *dst = sample_seed(s, k);
         }
@@ -322,11 +406,13 @@ fn stats_from(partials: Vec<Welford>, samples: usize, shape: (usize, usize, usiz
     let (c, h, w) = shape;
     let std: Vec<f32> = total
         .m2
+        .as_slice()
         .iter()
         .map(|&s2| (s2 / denom).max(0.0).sqrt())
         .collect();
     BayesStats {
-        mean: Tensor::from_vec(c, h, w, total.mean).expect("mean shaped like the logits"),
+        mean: Tensor::from_vec(c, h, w, total.mean.into_vec())
+            .expect("mean shaped like the logits"),
         std: Tensor::from_vec(c, h, w, std).expect("std shaped like the logits"),
         samples,
     }

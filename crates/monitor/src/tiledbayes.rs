@@ -78,10 +78,17 @@ impl TiledBayesStats {
 /// Tiles come from the shared planner ([`el_seg::plan_tiles`]); tiles
 /// whose kept interior intersects a `priority` rectangle (candidate
 /// landing zones) are verified first, remaining tiles in row-major order.
-/// Before each tile the elapsed wall-clock time is checked against
-/// `budget`; on expiry the partial result is returned immediately —
-/// covered tiles carry exact whole-frame statistics (see the module
-/// docs), uncovered pixels are zero with `covered` false.
+/// Admission is **predictive**: before each tile the elapsed wall-clock
+/// time is polled once, an EWMA of the measured per-tile cost is
+/// maintained from successive polls, and the tile is admitted only while
+/// `elapsed + (pending + 1) · avg < budget` (`pending` the tiles already
+/// admitted into the current prefix group) — so a batched prefix group
+/// can no longer overrun the budget by a trailing tile once a cost
+/// measurement exists. Until the first group has been measured the raw
+/// `elapsed < budget` check applies. On expiry the partial result is
+/// returned immediately — covered tiles carry exact whole-frame
+/// statistics (see the module docs), uncovered pixels are zero with
+/// `covered` false.
 ///
 /// With an unexpired budget the result is **bit-identical** to untiled
 /// [`bayesian_segment`](crate::bayes::bayesian_segment) on the whole
@@ -122,18 +129,31 @@ const PREFIX_GROUP_COLUMNS: usize = 32 * 1024;
 
 /// Hard cap on tiles per prefix group, whatever the tile size. The clock
 /// is polled at *admission*, before any of the group's Monte-Carlo work
-/// runs, so a group admitted just under the budget overruns it by the
-/// group tail — this cap bounds that overrun to **one tile** for every
-/// tile configuration (small audit tiles would otherwise pack dozens of
-/// tiles under the column budget and blow the latency bound).
+/// runs — this cap keeps the admitted-but-unmeasured backlog to at most
+/// two tiles (small audit tiles would otherwise pack dozens of tiles
+/// under the column budget), and the predictive admission check
+/// ([`TILE_COST_EWMA_ALPHA`]) charges every pending group tile against
+/// the budget, so an admitted group no longer overruns it once a
+/// per-tile cost measurement exists.
 const PREFIX_GROUP_TILES: usize = 2;
+
+/// EWMA smoothing factor for the measured per-tile cost that drives
+/// predictive admission. Successive admission polls bracket the
+/// processing of a prefix group, so `(poll_delta / tiles_processed)` is
+/// a direct per-tile cost sample; the EWMA tracks drift (cache warmup,
+/// load) while damping one-off spikes. Admission stops when
+/// `elapsed + (pending + 1) · avg >= budget`.
+const TILE_COST_EWMA_ALPHA: f64 = 0.5;
 
 /// [`bayesian_segment_tiled`] with an injectable clock: `elapsed_s`
 /// returns seconds since the pass began and is polled once **before each
-/// tile** (at its admission into the current prefix group). Production
-/// passes wall-clock time; tests pass a deterministic fake clock to pin
-/// the budget semantics (coverage monotone in budget, partial results
-/// well-formed, one tile admitted per clock concession).
+/// tile** (at its admission into the current prefix group); per-tile
+/// cost for the predictive admission check is derived from the deltas of
+/// those same polls, so the clock remains the single source of time.
+/// Production passes wall-clock time; tests pass a deterministic fake
+/// clock to pin the budget semantics (coverage monotone in budget,
+/// partial results well-formed, one clock poll per admission attempt,
+/// predictive stop before a foreseeable overrun).
 #[allow(clippy::too_many_arguments)]
 pub fn bayesian_segment_tiled_with_clock(
     net: &MsdNet,
@@ -168,13 +188,21 @@ pub fn bayesian_segment_tiled_with_clock(
     // Tiles are admitted in cache-budgeted groups whose invariant
     // prefixes share one batched engine invocation
     // ([`MsdNet::mc_prefix_batch`] — a single column-stacked im2col GEMM
-    // per branch). The budget clock is still polled once per tile, at
-    // admission, so budget semantics are unchanged: coverage stays
-    // monotone in the budget, one tile per clock concession. Grouping is
-    // a pure performance knob — the batched prefix is bit-identical to
-    // the per-tile prefix.
+    // per branch). The budget clock is polled once per tile, at
+    // admission; successive poll deltas bracket the processing of a
+    // group, yielding the per-tile cost samples behind the predictive
+    // stop (`elapsed + (pending + 1) · avg >= budget`). Grouping is a
+    // pure performance knob — the batched prefix is bit-identical to the
+    // per-tile prefix.
     let mut pos = 0usize;
     let mut expired = false;
+    // (clock value, tiles verified by then) at the previous admission
+    // poll, and the EWMA per-tile cost measured from those deltas. Until
+    // a group has been processed between two polls there is no cost
+    // sample and admission falls back to the raw `elapsed < budget`
+    // check (the pre-EWMA behaviour).
+    let mut last_poll: Option<(f64, usize)> = None;
+    let mut avg_tile_s: Option<f64> = None;
     while pos < order.len() && !expired {
         let mut group: Vec<usize> = Vec::new();
         let mut cols = 0usize;
@@ -186,7 +214,20 @@ pub fn bayesian_segment_tiled_with_clock(
             {
                 break;
             }
-            if elapsed_s() >= budget_s {
+            let now = elapsed_s();
+            if let Some((prev_t, prev_done)) = last_poll {
+                let done = verified.len() - prev_done;
+                if done > 0 {
+                    let cost = ((now - prev_t) / done as f64).max(0.0);
+                    avg_tile_s = Some(match avg_tile_s {
+                        None => cost,
+                        Some(avg) => avg + TILE_COST_EWMA_ALPHA * (cost - avg),
+                    });
+                }
+            }
+            last_poll = Some((now, verified.len()));
+            let predicted = avg_tile_s.map_or(0.0, |avg| (group.len() + 1) as f64 * avg);
+            if now + predicted >= budget_s {
                 expired = true;
                 break;
             }
@@ -318,6 +359,31 @@ mod tests {
         assert!(target
             .pixels()
             .any(|p| out.covered[(p.x as usize, p.y as usize)]));
+    }
+
+    #[test]
+    fn predictive_admission_stops_before_a_foreseeable_overrun() {
+        // Fake clock: +10 s per admission poll, so after the first
+        // 2-tile group the measured cost is 5 s/tile. Budget 35 s:
+        //   poll 0 s  -> bootstrap, admit        (group tile 1)
+        //   poll 10 s -> bootstrap, admit        (group tile 2; process)
+        //   poll 20 s -> avg 5, 20 + 1*5 < 35, admit
+        //   poll 30 s -> avg 5 (pending 1), 30 + 2*5 >= 35 -> stop.
+        // The raw `elapsed < budget` check would have admitted a fourth
+        // tile at 30 s and finished near 40 s — one tile past budget.
+        let net = net();
+        let img = image(72, 72); // 3x3 plan at 24 px tiles
+        let mut t = -10.0f64;
+        let out =
+            bayesian_segment_tiled_with_clock(&net, &img, cfg(), 3, 1, 35.0, &[], move || {
+                t += 10.0;
+                t
+            });
+        assert_eq!(
+            out.tiles_verified, 3,
+            "prediction must refuse the tile the raw elapsed check would admit"
+        );
+        assert!(out.tiles_total >= 4, "plan must have tiles left to refuse");
     }
 
     #[test]

@@ -21,6 +21,9 @@ use certel::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+mod common;
+use common::expected_admitted;
+
 fn tiny_net(seed: u64) -> MsdNet {
     let mut r = ChaCha8Rng::seed_from_u64(seed);
     MsdNet::new(&MsdNetConfig::tiny(), &mut r)
@@ -60,7 +63,8 @@ fn audit_never_changes_the_decision() {
 }
 
 /// The report is well-formed at every budget from zero to complete under
-/// a deterministic fake clock (one tile admitted per tick), coverage and
+/// a deterministic fake clock (admitted counts following the predictive
+/// admission policy exactly — see [`expected_admitted`]), coverage and
 /// the covered mask are monotone in the budget, and the decision stays
 /// bit-identical to the audit-off pipeline throughout.
 #[test]
@@ -80,11 +84,15 @@ fn audit_budget_semantics_under_fake_clock() {
 
     let mut prev_covered: Option<Grid<bool>> = None;
     let mut prev_coverage = -1.0f64;
-    for budget in 0..=tiles_total {
+    let mut seen_complete = false;
+    // Predictive admission trades roughly one tile of the old
+    // one-per-tick schedule for its overrun guarantee, so budgets up to
+    // tiles_total + 1 are needed to reach completeness.
+    for budget in 0..=tiles_total + 1 {
+        let budget_s = (budget as f64 - 0.5).max(0.0);
+        let expected = expected_admitted(budget_s, tiles_total);
         let mut config = audited_config();
-        // Ticks run 0, 1, 2, …: budget b - 0.5 admits exactly b tiles
-        // (clamped at 0.0, where the first poll already expires).
-        config.audit.budget_s = (budget as f64 - 0.5).max(0.0);
+        config.audit.budget_s = budget_s;
         let mut p = ElPipeline::new(tiny_net(7), config);
         let mut t = -1.0f64;
         let out = p.run_with_audit_clock(&image, seed, move || {
@@ -97,11 +105,16 @@ fn audit_budget_semantics_under_fake_clock() {
         let audit = out.audit.expect("audit enabled");
         assert_eq!(
             audit.tiles_verified(),
-            budget,
-            "one tile admitted per clock tick"
+            expected,
+            "budget {budget}: admitted tiles must follow the predictive policy"
         );
+        assert!(
+            audit.tiles_verified() <= budget,
+            "prediction never admits more than the old one-per-tick policy"
+        );
+        seen_complete |= audit.is_complete();
         assert_eq!(audit.tiles_total(), tiles_total);
-        assert_eq!(audit.tile_stats.len(), budget);
+        assert_eq!(audit.tile_stats.len(), expected);
         // Well-formed at every truncation: finite statistics, fractions
         // in range, regions within the frame and at least the configured
         // size.
@@ -163,6 +176,7 @@ fn audit_budget_semantics_under_fake_clock() {
         }
         prev_covered = Some(audit.tiled.covered.clone());
     }
+    assert!(seen_complete, "the largest budget must complete the sweep");
 }
 
 /// Zero budget: the audit attaches an empty but well-formed report and

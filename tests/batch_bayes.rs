@@ -17,6 +17,9 @@
 
 use certel::prelude::*;
 use el_geom::Grid;
+
+mod common;
+use common::expected_admitted;
 use el_monitor::{
     bayesian_segment, bayesian_segment_batch, bayesian_segment_tensor_at,
     bayesian_segment_tiled_with_clock, BATCH_SEED_STRIDE,
@@ -188,7 +191,8 @@ fn partial_coverage_is_well_formed_and_monotone() {
         tile: 24,
         margin: 4,
     };
-    // Deterministic fake clock: each tile costs exactly one tick.
+    // Deterministic fake clock: one tick per admission poll; admitted
+    // counts follow the predictive admission policy exactly.
     let run = |budget: f64| {
         let mut t = -1.0f64;
         bayesian_segment_tiled_with_clock(&net, &img, config, 4, 13, budget, &[], move || {
@@ -199,9 +203,13 @@ fn partial_coverage_is_well_formed_and_monotone() {
     let full = run(f64::INFINITY);
     assert!(full.is_complete());
     let mut prev_covered: Option<Grid<bool>> = None;
-    for budget in 0..=full.tiles_total {
+    for budget in 0..=full.tiles_total + 1 {
         let out = run(budget as f64 - 0.5);
-        assert_eq!(out.tiles_verified, budget, "one tile per clock tick");
+        assert_eq!(
+            out.tiles_verified,
+            expected_admitted(budget as f64 - 0.5, full.tiles_total),
+            "admitted tiles must follow the predictive policy (budget {budget})"
+        );
         let (c, hh, ww) = out.stats.mean.shape();
         assert_eq!((hh, ww), (img.height(), img.width()));
         // Mask ↔ statistics consistency, and no NaNs anywhere.
@@ -257,20 +265,19 @@ fn priority_rects_covered_before_background() {
         .filter(|t| t.keep_rect().intersects(zone))
         .count();
     assert!(priority_tiles >= 1);
+    // Smallest fake-clock budget whose predictive admission covers every
+    // priority tile (counts step by at most one per budget tick, so the
+    // admitted count lands exactly on priority_tiles).
+    let budget = (0..=2 * tiles.len())
+        .map(|b| b as f64 - 0.5)
+        .find(|&b| expected_admitted(b, tiles.len()) >= priority_tiles)
+        .expect("some budget admits every priority tile");
     let mut t = -1.0f64;
-    let out = bayesian_segment_tiled_with_clock(
-        &net,
-        &img,
-        config,
-        4,
-        17,
-        priority_tiles as f64 - 0.5,
-        &[zone],
-        move || {
+    let out =
+        bayesian_segment_tiled_with_clock(&net, &img, config, 4, 17, budget, &[zone], move || {
             t += 1.0;
             t
-        },
-    );
+        });
     assert_eq!(out.tiles_verified, priority_tiles);
     for p in zone.pixels() {
         assert!(

@@ -26,7 +26,7 @@ fn quality_for(
         // in Eval mode — dropout only affects the stochastic passes.
         let core = segment(&mut net, &s.image);
         let core_safe = core.labels.map(|c| !c.is_busy_road());
-        let stats = bayesian_segment(&mut net, &s.image, samples, 42);
+        let stats = bayesian_segment(&net, &s.image, samples, 42);
         q.accumulate(&s.labels, &core_safe, &rule.warning_map(&stats));
     }
     q
@@ -96,13 +96,13 @@ fn print_tables() {
 fn bench(c: &mut Criterion) {
     print_tables();
     let ds = benchmark_dataset();
-    let mut net = trained_model();
+    let net = trained_model();
     let sample = ds.split(Split::Test).next().unwrap();
     let mut group = c.benchmark_group("ablation_bayes");
     group.sample_size(10);
     for n in [1usize, 5, 10] {
         group.bench_function(format!("mc_samples_{n}"), |b| {
-            b.iter(|| black_box(bayesian_segment(&mut net, &sample.image, n, 42)))
+            b.iter(|| black_box(bayesian_segment(&net, &sample.image, n, 42)))
         });
     }
     group.finish();

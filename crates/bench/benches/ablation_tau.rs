@@ -22,7 +22,7 @@ fn precompute(split: Split) -> Vec<(Sample, el_geom::Grid<bool>, BayesStats)> {
         .map(|s| {
             let core = segment(&mut net, &s.image);
             let core_safe = core.labels.map(|c| !c.is_busy_road());
-            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            let stats = bayesian_segment(&net, &s.image, 10, 42);
             (s.clone(), core_safe, stats)
         })
         .collect()

@@ -36,7 +36,7 @@ fn print_tables() {
         for s in ds.split(split) {
             let core = segment(&mut net, &s.image);
             let core_safe = core.labels.map(|c| !c.is_busy_road());
-            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            let stats = bayesian_segment(&net, &s.image, 10, 42);
             sigma += stats.mean_uncertainty();
             n += 1;
             q.accumulate(&s.labels, &core_safe, &rule.warning_map(&stats));
@@ -60,7 +60,7 @@ fn print_tables() {
         for s in ds.split(split) {
             let core = segment(&mut net, &s.image);
             let core_safe = core.labels.map(|c| !c.is_busy_road());
-            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            let stats = bayesian_segment(&net, &s.image, 10, 42);
             q.accumulate(&s.labels, &core_safe, &point.warning_map(&stats));
         }
         eprintln!(
@@ -82,7 +82,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(segment(&mut net, &sample.image)))
     });
     group.bench_function("bayesian_10_samples_256", |b| {
-        b.iter(|| black_box(bayesian_segment(&mut net, &sample.image, 10, 42)))
+        b.iter(|| black_box(bayesian_segment(&net, &sample.image, 10, 42)))
     });
     group.finish();
 }

@@ -34,7 +34,7 @@ fn crop(size: usize) -> el_scene::Image {
 }
 
 fn print_scaling_table() {
-    let mut net = trained_model();
+    let net = trained_model();
     eprintln!("\n===== P1: Bayesian verification cost vs crop size and samples =====");
     eprintln!(
         "{:>6} {:>8} {:>12} {:>14}",
@@ -45,7 +45,7 @@ fn print_scaling_table() {
         let image = crop(size);
         for samples in [1usize, 5, 10, 20] {
             let t0 = Instant::now();
-            let _ = bayesian_segment(&mut net, &image, samples, 42);
+            let _ = bayesian_segment(&net, &image, samples, 42);
             let dt = t0.elapsed().as_secs_f64();
             let mpx_passes = (size * size * samples) as f64 / 1e6;
             per_mpx_pass.push(dt / mpx_passes);
@@ -97,7 +97,7 @@ fn print_engine_speedup() {
         let input = image_to_tensor(&image);
         // Warm both paths once so neither pays first-touch costs.
         let _ = bayesian_segment_tensor_reference(&mut net, &input, 1, 42);
-        let _ = bayesian_segment(&mut net, &image, 1, 42);
+        let _ = bayesian_segment(&net, &image, 1, 42);
         // Interleave the two paths and keep each side's best rep: noise
         // on a shared box hits both alike, and minima are the stable
         // estimator of each path's actual cost.
@@ -114,7 +114,7 @@ fn print_engine_speedup() {
             ));
             base = base.min(t0.elapsed().as_secs_f64());
             let t0 = Instant::now();
-            black_box(bayesian_segment(&mut net, &image, 10, 42 + r));
+            black_box(bayesian_segment(&net, &image, 10, 42 + r));
             engine = engine.min(t0.elapsed().as_secs_f64());
         }
         eprintln!(
@@ -139,7 +139,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("verify_10_samples", size),
             &image,
-            |b, img| b.iter(|| black_box(bayesian_segment(&mut net, img, 10, 42))),
+            |b, img| b.iter(|| black_box(bayesian_segment(&net, img, 10, 42))),
         );
         group.bench_with_input(
             BenchmarkId::new("verify_10_samples_baseline", size),

@@ -24,7 +24,7 @@ fn main() {
         for s in ds.split(split) {
             let core = segment(&mut net, &s.image);
             let core_safe = core.labels.map(|c| !c.is_busy_road());
-            let stats = bayesian_segment(&mut net, &s.image, 10, 42);
+            let stats = bayesian_segment(&net, &s.image, 10, 42);
             unc += stats.mean_uncertainty();
             n += 1;
             let warn = rule.warning_map(&stats);

@@ -712,24 +712,24 @@ mod tests {
 
     #[test]
     fn shapes_and_determinism() {
-        let (mut net, input) = setup();
-        let a = bayesian_segment_tensor(&mut net, &input, 5, 1);
+        let (net, input) = setup();
+        let a = bayesian_segment_tensor(&net, &input, 5, 1);
         assert_eq!(a.mean.shape(), (8, 10, 10));
         assert_eq!(a.std.shape(), (8, 10, 10));
         assert_eq!(a.samples, 5);
-        let b = bayesian_segment_tensor(&mut net, &input, 5, 1);
+        let b = bayesian_segment_tensor(&net, &input, 5, 1);
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.std, b.std);
-        let c = bayesian_segment_tensor(&mut net, &input, 5, 2);
+        let c = bayesian_segment_tensor(&net, &input, 5, 2);
         assert_ne!(a.mean, c.mean, "different seeds draw different masks");
     }
 
     #[test]
     fn parallel_and_sequential_are_bit_identical() {
-        let (mut net, input) = setup();
+        let (net, input) = setup();
         for samples in [1, 3, 8, 13] {
-            let par = bayesian_segment_tensor(&mut net, &input, samples, 21);
-            let seq = bayesian_segment_tensor_sequential(&mut net, &input, samples, 21);
+            let par = bayesian_segment_tensor(&net, &input, samples, 21);
+            let seq = bayesian_segment_tensor_sequential(&net, &input, samples, 21);
             assert_eq!(
                 par.mean.as_slice(),
                 seq.mean.as_slice(),
@@ -750,7 +750,7 @@ mod tests {
         // With dropout 0 both are deterministic and must agree exactly.
         let (mut net, input) = setup();
         net.set_dropout(0.0);
-        let a = bayesian_segment_tensor(&mut net, &input, 4, 7);
+        let a = bayesian_segment_tensor(&net, &input, 4, 7);
         let b = bayesian_segment_tensor_reference(&mut net, &input, 4, 7);
         assert_eq!(a.mean, b.mean, "dropout-0 means must agree exactly");
         assert!(a.std.max_abs() < 1e-6 && b.std.max_abs() < 1e-6);
@@ -773,8 +773,8 @@ mod tests {
 
     #[test]
     fn mean_is_probability_distribution() {
-        let (mut net, input) = setup();
-        let stats = bayesian_segment_tensor(&mut net, &input, 6, 3);
+        let (net, input) = setup();
+        let stats = bayesian_segment_tensor(&net, &input, 6, 3);
         let hw = 100;
         for i in 0..hw {
             let s: f32 = (0..8).map(|k| stats.mean.as_slice()[k * hw + i]).sum();
@@ -785,8 +785,8 @@ mod tests {
 
     #[test]
     fn single_sample_has_zero_std() {
-        let (mut net, input) = setup();
-        let stats = bayesian_segment_tensor(&mut net, &input, 1, 4);
+        let (net, input) = setup();
+        let stats = bayesian_segment_tensor(&net, &input, 1, 4);
         assert!(stats.std.as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -794,15 +794,15 @@ mod tests {
     fn dropout_zero_has_zero_std() {
         let (mut net, input) = setup();
         net.set_dropout(0.0);
-        let stats = bayesian_segment_tensor(&mut net, &input, 8, 5);
+        let stats = bayesian_segment_tensor(&net, &input, 8, 5);
         assert!(stats.std.max_abs() < 1e-6, "no dropout, no variance");
     }
 
     #[test]
     fn welford_matches_two_pass() {
-        let (mut net, input) = setup();
+        let (net, input) = setup();
         let samples = 7;
-        let stats = bayesian_segment_tensor(&mut net, &input, samples, 9);
+        let stats = bayesian_segment_tensor(&net, &input, samples, 9);
         // Reference: recompute by storing all passes, drawing each
         // sample's keyed masks from its split seed.
         let mut ws = Workspace::new();
@@ -824,8 +824,8 @@ mod tests {
 
     #[test]
     fn upper_bound_exceeds_mean() {
-        let (mut net, input) = setup();
-        let stats = bayesian_segment_tensor(&mut net, &input, 5, 6);
+        let (net, input) = setup();
+        let stats = bayesian_segment_tensor(&net, &input, 5, 6);
         let ub = stats.upper_bound(1, 3.0);
         for (u, &m) in ub.iter().zip(stats.mean.channel(1)) {
             assert!(*u >= m);
@@ -836,8 +836,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one Monte-Carlo sample")]
     fn zero_samples_rejected() {
-        let (mut net, input) = setup();
-        let _ = bayesian_segment_tensor(&mut net, &input, 0, 0);
+        let (net, input) = setup();
+        let _ = bayesian_segment_tensor(&net, &input, 0, 0);
     }
 
     #[test]

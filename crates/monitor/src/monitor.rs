@@ -210,13 +210,13 @@ mod tests {
     #[test]
     fn verify_is_deterministic() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
         let scene = Scene::generate(&SceneParams::small(), 2);
         let image = scene.render(&Conditions::nominal(), 3);
         let crop = image.crop(Rect::new(0, 0, 24, 24)).unwrap();
         let m = quick_monitor(4);
-        let a = m.verify(&mut net, &crop, 7);
-        let b = m.verify(&mut net, &crop, 7);
+        let a = m.verify(&net, &crop, 7);
+        let b = m.verify(&net, &crop, 7);
         assert_eq!(a.warning_map, b.warning_map);
         assert_eq!(a.verdict, b.verdict);
     }
@@ -250,11 +250,11 @@ mod tests {
         // An untrained network is uncertain everywhere; with the paper's
         // conservative rule most pixels should carry warnings.
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
         let scene = Scene::generate(&SceneParams::small(), 5);
         let image = scene.render(&Conditions::nominal(), 5);
         let crop = image.crop(Rect::new(0, 0, 32, 32)).unwrap();
-        let report = quick_monitor(6).verify(&mut net, &crop, 11);
+        let report = quick_monitor(6).verify(&net, &crop, 11);
         assert!(
             report.warning_fraction > 0.2,
             "untrained net should be widely uncertain, got {}",

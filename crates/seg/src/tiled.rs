@@ -368,7 +368,7 @@ mod tests {
         let mut n = net();
         let img = image(48, 48);
         let tiled = segment_tiled(
-            &mut n,
+            &n,
             &img,
             TileConfig {
                 tile: 64,
@@ -386,7 +386,7 @@ mod tests {
         // branch, plus the 1x1 head: total radius 2. margin 4 suffices.
         let img = image(96, 80);
         let tiled = segment_tiled(
-            &mut n,
+            &n,
             &img,
             TileConfig {
                 tile: 48,
@@ -407,7 +407,7 @@ mod tests {
         let mut n = net();
         let img = image(70, 53);
         let tiled = segment_tiled(
-            &mut n,
+            &n,
             &img,
             TileConfig {
                 tile: 32,
@@ -550,10 +550,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid tile configuration")]
     fn oversized_margin_rejected() {
-        let mut n = net();
+        let n = net();
         let img = image(32, 32);
         let _ = segment_tiled(
-            &mut n,
+            &n,
             &img,
             TileConfig {
                 tile: 16,

@@ -81,15 +81,25 @@ impl FailureRates {
         }
     }
 
-    /// Validates non-negativity.
+    /// Validates that every rate is finite and non-negative.
     ///
     /// # Errors
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         for h in HazardCategory::ALL {
-            if self.rate(h) < 0.0 {
-                return Err(format!("rate for {} must be non-negative", h.name()));
+            let r = self.rate(h);
+            if !r.is_finite() {
+                return Err(format!(
+                    "rate for {} must be finite (got {r}); events per flight hour, e.g. 4.0",
+                    h.name()
+                ));
+            }
+            if r < 0.0 {
+                return Err(format!(
+                    "rate for {} must be non-negative (got {r})",
+                    h.name()
+                ));
             }
         }
         Ok(())
@@ -214,5 +224,15 @@ mod tests {
         let mut rates = FailureRates::none();
         rates.fly_away = -1.0;
         let _ = FailureInjector::new(rates);
+    }
+
+    #[test]
+    fn non_finite_rates_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut rates = FailureRates::none();
+            rates.lost_navigation = bad;
+            let err = rates.validate().expect_err("non-finite rate must fail");
+            assert!(err.contains("finite"), "unexpected message: {err}");
+        }
     }
 }

@@ -38,12 +38,19 @@ pub mod failure;
 pub mod mission;
 pub mod parachute;
 pub mod safety;
+pub mod scenario;
 pub mod wind;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use campaign::{
+    BinomialInterval, Campaign, CampaignConfig, CampaignReport, HazardPower, PowerConfig,
+    PowerReport,
+};
 pub use elsys::{ElSystem, NoEl, NoisyEl, PerfectEl};
 pub use failure::{FailureEvent, FailureInjector, FailureRates};
-pub use mission::{Mission, MissionConfig, MissionOutcome, TerminalState};
+pub use mission::{Mission, MissionConfig, MissionEvent, MissionOutcome, TerminalState};
 pub use parachute::ParachuteDescent;
 pub use safety::{AuditAdvisory, FlightMode, Maneuver, SafetySwitch};
+pub use scenario::{
+    ElPolicy, MissionRecord, Scenario, ScenarioError, ScenarioOutcome, ScheduledFault,
+};
 pub use wind::Wind;

@@ -8,9 +8,9 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::elsys::ElSystem;
-use crate::failure::{FailureInjector, FailureRates};
+use crate::failure::{FailureEvent, FailureInjector, FailureRates};
 use crate::parachute::ParachuteDescent;
-use crate::safety::{FlightMode, Maneuver, SafetySwitch};
+use crate::safety::{AuditAdvisory, FlightMode, Maneuver, SafetySwitch};
 use crate::wind::Wind;
 
 /// Scene extent in metres `(width, height)`.
@@ -133,6 +133,96 @@ impl MissionConfig {
     }
 }
 
+/// One timestamped entry in a mission's machine-readable event log.
+///
+/// A log is an ordered trace of everything the scenario replay needs to
+/// reconstruct (and fingerprint) a mission bit-for-bit: injected faults
+/// (with their stochastic/scheduled provenance), safety-switch
+/// transitions, engaged maneuvers, audit advisories, and the graded
+/// touchdown. Logging is strictly observational — recording a log never
+/// changes a mission's RNG stream or outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MissionEvent {
+    /// A failure event was injected (before any termination).
+    Fault {
+        /// The hazard category.
+        hazard: HazardCategory,
+        /// Mission time of occurrence, seconds.
+        at_time_s: f64,
+        /// Outage duration for temporary failures; `None` = permanent.
+        duration_s: Option<f64>,
+        /// `true` for a scenario-scheduled fault, `false` for one drawn
+        /// from the stochastic [`FailureRates`] stream.
+        scheduled: bool,
+    },
+    /// The safety switch changed flight mode.
+    Switched {
+        /// Mode before the transition.
+        from: FlightMode,
+        /// Mode after the transition.
+        to: FlightMode,
+        /// Mission time, seconds.
+        at_time_s: f64,
+    },
+    /// A maneuver was engaged (consecutive repeats deduplicated, exactly
+    /// as in [`MissionOutcome::maneuvers`]).
+    Engaged {
+        /// The engaged maneuver.
+        maneuver: Maneuver,
+        /// Mission time, seconds.
+        at_time_s: f64,
+    },
+    /// A temporarily lost service recovered while hovering.
+    Recovered {
+        /// Mission time, seconds.
+        at_time_s: f64,
+    },
+    /// Hover endurance ran out before the lost service recovered; the
+    /// outage was re-routed as a permanent loss.
+    HoverExhausted {
+        /// Mission time, seconds.
+        at_time_s: f64,
+    },
+    /// The whole-frame audit advisory consulted before committing an
+    /// emergency landing.
+    Advisory {
+        /// The advisory grade.
+        advisory: AuditAdvisory,
+        /// Mission time, seconds.
+        at_time_s: f64,
+    },
+    /// The EL function could not find or confirm a safe zone.
+    ElAborted {
+        /// Mission time, seconds.
+        at_time_s: f64,
+    },
+    /// Touchdown, with the graded Table I severity.
+    Touchdown {
+        /// Touchdown position, metres.
+        at: Vec2,
+        /// Graded outcome severity.
+        severity: Severity,
+        /// Whether a parachute was deployed for this descent.
+        parachute: bool,
+        /// Mission time at ground contact, seconds.
+        at_time_s: f64,
+    },
+}
+
+/// Optional event-log recorder threaded through a mission run. Pushing
+/// into a `None` sink is a no-op, so the unlogged path pays nothing.
+struct EventSink<'a> {
+    log: Option<&'a mut Vec<MissionEvent>>,
+}
+
+impl EventSink<'_> {
+    fn push(&mut self, event: MissionEvent) {
+        if let Some(log) = self.log.as_mut() {
+            log.push(event);
+        }
+    }
+}
+
 /// How the mission ended.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TerminalState {
@@ -222,11 +312,43 @@ pub struct Mission {
 }
 
 /// Appends a maneuver to the engagement trace, deduplicating consecutive
-/// repeats — the single definition of the trace semantics.
-fn record(m: Maneuver, maneuvers: &mut Vec<Maneuver>) {
+/// repeats — the single definition of the trace semantics. Returns
+/// whether the maneuver was actually appended (so callers can mirror the
+/// engagement into an event log).
+fn record(m: Maneuver, maneuvers: &mut Vec<Maneuver>) -> bool {
     if maneuvers.last() != Some(&m) {
         maneuvers.push(m);
+        true
+    } else {
+        false
     }
+}
+
+/// Merges the sampled stochastic stream (already sorted) with the
+/// scheduled events into one time-ordered stream tagged with provenance.
+/// The merge is stable with stochastic-first tie-breaking, so logging or
+/// scheduling never reorders what the stochastic stream alone would do.
+fn merge_events(
+    stochastic: Vec<FailureEvent>,
+    scheduled: &[FailureEvent],
+) -> Vec<(FailureEvent, bool)> {
+    let mut sched: Vec<FailureEvent> = scheduled.to_vec();
+    sched.sort_by(|a, b| a.at_time_s.partial_cmp(&b.at_time_s).unwrap());
+    let mut merged = Vec::with_capacity(stochastic.len() + sched.len());
+    let mut si = sched.into_iter().peekable();
+    for ev in stochastic {
+        while let Some(s) = si.peek() {
+            if s.at_time_s < ev.at_time_s {
+                merged.push((*s, true));
+                si.next();
+            } else {
+                break;
+            }
+        }
+        merged.push((ev, false));
+    }
+    merged.extend(si.map(|s| (s, true)));
+    merged
 }
 
 impl Mission {
@@ -271,38 +393,130 @@ impl Mission {
     ///
     /// Deterministic given `(config, el, seed)`.
     pub fn run(&self, el: &mut dyn ElSystem, seed: u64) -> MissionOutcome {
+        self.run_with(el, seed, &[], None)
+    }
+
+    /// Runs the mission with scheduled (deterministic) fault injection on
+    /// top of the stochastic [`FailureRates`] stream, optionally
+    /// recording a machine-readable event log.
+    ///
+    /// Stream separation contract: the stochastic failure stream is
+    /// sampled **before** the scheduled events are merged in, and a
+    /// scheduled event consumes **no** draws from the mission RNG — so
+    /// `run_with(el, seed, &[], None)` is bit-identical to
+    /// [`Mission::run`], and adding a scheduled fault perturbs nothing
+    /// outside this mission. Scheduled and stochastic events are merged
+    /// in time order; at equal times the stochastic event is processed
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scheduled event carries a non-finite or negative time,
+    /// a time at or beyond the mission duration, or a non-positive
+    /// explicit duration (scenario files are validated long before this
+    /// point — reaching the panic is an API misuse, not a file error).
+    pub fn run_with(
+        &self,
+        el: &mut dyn ElSystem,
+        seed: u64,
+        scheduled: &[FailureEvent],
+        log: Option<&mut Vec<MissionEvent>>,
+    ) -> MissionOutcome {
+        for ev in scheduled {
+            assert!(
+                ev.at_time_s.is_finite()
+                    && ev.at_time_s >= 0.0
+                    && ev.at_time_s < self.config.duration_s,
+                "scheduled fault time {} outside [0, {})",
+                ev.at_time_s,
+                self.config.duration_s
+            );
+            assert!(
+                ev.duration_s > 0.0,
+                "scheduled fault duration must be positive (got {})",
+                ev.duration_s
+            );
+        }
+        let mut sink = EventSink { log };
         let scene = Scene::generate(&self.config.scene_params, self.config.scene_seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let injector = FailureInjector::new(self.config.rates);
-        let events = injector.sample_events(self.config.duration_s, &mut rng);
+        // The stochastic stream is fully sampled before any scheduled
+        // event is even looked at: scheduled injection cannot shift it.
+        let stochastic = injector.sample_events(self.config.duration_s, &mut rng);
+        let events = merge_events(stochastic, scheduled);
 
         let mut switch = SafetySwitch::new(self.config.el_installed);
         let mut maneuvers = Vec::new();
         let mut hazards = Vec::new();
 
-        for event in &events {
+        for (event, is_scheduled) in &events {
             hazards.push(event.hazard);
+            sink.push(MissionEvent::Fault {
+                hazard: event.hazard,
+                at_time_s: event.at_time_s,
+                duration_s: event.duration_s.is_finite().then_some(event.duration_s),
+                scheduled: *is_scheduled,
+            });
+            let before = switch.mode();
             let mode = switch.on_hazard(event.hazard);
+            if mode != before {
+                sink.push(MissionEvent::Switched {
+                    from: before,
+                    to: mode,
+                    at_time_s: event.at_time_s,
+                });
+            }
             let FlightMode::Emergency(mut m) = mode else {
                 continue;
             };
             // A maneuver can escalate in place (hover endurance exhausted
             // → EL/FT), hence the inner dispatch loop.
             loop {
-                record(m, &mut maneuvers);
+                if record(m, &mut maneuvers) {
+                    sink.push(MissionEvent::Engaged {
+                        maneuver: m,
+                        at_time_s: event.at_time_s,
+                    });
+                }
                 match m {
                     Maneuver::Hovering => {
                         if event.duration_s <= self.config.max_hover_s {
                             // Wait out the outage; service recovery
                             // resolves back to nominal (handled by the
                             // switch).
-                            switch.on_recovery();
-                        } else if let FlightMode::Emergency(next) = switch.on_hover_exhausted() {
-                            // The outage outlasts the hover endurance: it
-                            // is no longer "temporary", so the switch
-                            // re-routes it as a permanent loss.
-                            m = next;
-                            continue;
+                            let before = switch.mode();
+                            let after = switch.on_recovery();
+                            sink.push(MissionEvent::Recovered {
+                                at_time_s: event.at_time_s,
+                            });
+                            if after != before {
+                                sink.push(MissionEvent::Switched {
+                                    from: before,
+                                    to: after,
+                                    at_time_s: event.at_time_s,
+                                });
+                            }
+                        } else {
+                            let before = switch.mode();
+                            let after = switch.on_hover_exhausted();
+                            if let FlightMode::Emergency(next) = after {
+                                // The outage outlasts the hover endurance:
+                                // it is no longer "temporary", so the
+                                // switch re-routes it as a permanent loss.
+                                sink.push(MissionEvent::HoverExhausted {
+                                    at_time_s: event.at_time_s,
+                                });
+                                if after != before {
+                                    sink.push(MissionEvent::Switched {
+                                        from: before,
+                                        to: after,
+                                        at_time_s: event.at_time_s,
+                                    });
+                                }
+                                m = next;
+                                continue;
+                            }
                         }
                     }
                     Maneuver::ReturnToBase => {
@@ -320,6 +534,7 @@ impl Mission {
                             hazards,
                             &mut rng,
                             seed,
+                            &mut sink,
                         );
                     }
                     Maneuver::FlightTermination => {
@@ -329,6 +544,7 @@ impl Mission {
                             maneuvers,
                             hazards,
                             &mut rng,
+                            &mut sink,
                         );
                     }
                 }
@@ -367,6 +583,7 @@ impl Mission {
         hazards: Vec<HazardCategory>,
         rng: &mut ChaCha8Rng,
         seed: u64,
+        sink: &mut EventSink<'_>,
     ) -> MissionOutcome {
         let uav = self.position_at(scene, at_time_s);
         let pick = el.select_landing(scene, uav, self.config.view_radius_m, seed ^ 0xE1);
@@ -377,11 +594,28 @@ impl Mission {
                 // uncertainty) means the crop-level confirmation cannot
                 // be trusted, and the switch escalates exactly as for an
                 // EL abort.
-                if switch.on_audit_advisory(el.audit_advisory())
-                    == FlightMode::Emergency(Maneuver::FlightTermination)
-                {
-                    record(Maneuver::FlightTermination, &mut maneuvers);
-                    return self.terminate(scene, at_time_s, maneuvers, hazards, rng);
+                let advisory = el.audit_advisory();
+                sink.push(MissionEvent::Advisory {
+                    advisory,
+                    at_time_s,
+                });
+                let before = switch.mode();
+                let after = switch.on_audit_advisory(advisory);
+                if after == FlightMode::Emergency(Maneuver::FlightTermination) {
+                    if after != before {
+                        sink.push(MissionEvent::Switched {
+                            from: before,
+                            to: after,
+                            at_time_s,
+                        });
+                    }
+                    if record(Maneuver::FlightTermination, &mut maneuvers) {
+                        sink.push(MissionEvent::Engaged {
+                            maneuver: Maneuver::FlightTermination,
+                            at_time_s,
+                        });
+                    }
+                    return self.terminate(scene, at_time_s, maneuvers, hazards, rng, sink);
                 }
                 // Navigate to the zone under trajectory control, descend
                 // to the deploy altitude, then open the parachute.
@@ -389,6 +623,12 @@ impl Mission {
                 let touchdown =
                     wrap_to_scene(scene, descent.touchdown(target, &self.config.wind, rng));
                 let severity = touchdown_severity(scene, touchdown, true);
+                sink.push(MissionEvent::Touchdown {
+                    at: touchdown,
+                    severity,
+                    parachute: true,
+                    at_time_s: at_time_s + descent.duration_s(),
+                });
                 MissionOutcome {
                     terminal: TerminalState::LandedEl { at: touchdown },
                     maneuvers,
@@ -397,9 +637,23 @@ impl Mission {
                 }
             }
             None => {
-                switch.on_el_abort();
-                record(Maneuver::FlightTermination, &mut maneuvers);
-                self.terminate(scene, at_time_s, maneuvers, hazards, rng)
+                sink.push(MissionEvent::ElAborted { at_time_s });
+                let before = switch.mode();
+                let after = switch.on_el_abort();
+                if after != before {
+                    sink.push(MissionEvent::Switched {
+                        from: before,
+                        to: after,
+                        at_time_s,
+                    });
+                }
+                if record(Maneuver::FlightTermination, &mut maneuvers) {
+                    sink.push(MissionEvent::Engaged {
+                        maneuver: Maneuver::FlightTermination,
+                        at_time_s,
+                    });
+                }
+                self.terminate(scene, at_time_s, maneuvers, hazards, rng, sink)
             }
         }
     }
@@ -411,6 +665,7 @@ impl Mission {
         maneuvers: Vec<Maneuver>,
         hazards: Vec<HazardCategory>,
         rng: &mut ChaCha8Rng,
+        sink: &mut EventSink<'_>,
     ) -> MissionOutcome {
         let uav = self.position_at(scene, at_time_s);
         let descent = if self.config.parachute_on_ft {
@@ -420,6 +675,12 @@ impl Mission {
         };
         let touchdown = wrap_to_scene(scene, descent.touchdown(uav, &self.config.wind, rng));
         let severity = touchdown_severity(scene, touchdown, self.config.parachute_on_ft);
+        sink.push(MissionEvent::Touchdown {
+            at: touchdown,
+            severity,
+            parachute: self.config.parachute_on_ft,
+            at_time_s: at_time_s + descent.duration_s(),
+        });
         MissionOutcome {
             terminal: TerminalState::Terminated { at: touchdown },
             maneuvers,
@@ -683,5 +944,146 @@ mod tests {
         let mut cfg = MissionConfig::small_test();
         cfg.duration_s = 0.0;
         let _ = Mission::new(cfg);
+    }
+
+    #[test]
+    fn logging_never_changes_the_outcome() {
+        // Recording an event log is strictly observational: the logged
+        // run must be bit-identical to the unlogged one, and the logged
+        // touchdown must agree with the graded outcome.
+        let cfg = MissionConfig::small_test();
+        for seed in 0..12 {
+            let plain = Mission::new(cfg.clone()).run(&mut PerfectEl::default(), seed);
+            let mut log = Vec::new();
+            let logged = Mission::new(cfg.clone()).run_with(
+                &mut PerfectEl::default(),
+                seed,
+                &[],
+                Some(&mut log),
+            );
+            assert_eq!(plain, logged, "seed {seed}");
+            let touchdowns: Vec<_> = log
+                .iter()
+                .filter_map(|e| match e {
+                    MissionEvent::Touchdown { at, severity, .. } => Some((*at, *severity)),
+                    _ => None,
+                })
+                .collect();
+            match logged.terminal {
+                TerminalState::LandedEl { at } | TerminalState::Terminated { at } => {
+                    assert_eq!(touchdowns, vec![(at, logged.severity)], "seed {seed}");
+                }
+                _ => assert!(touchdowns.is_empty(), "seed {seed}"),
+            }
+            let faults = log
+                .iter()
+                .filter(|e| matches!(e, MissionEvent::Fault { .. }))
+                .count();
+            assert_eq!(faults, logged.hazards.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scheduled_faults_consume_no_rng() {
+        // The stream-separation contract: an early scheduled fault (here
+        // a degraded-propulsion RB, which draws nothing from the RNG)
+        // must leave the downstream stochastic mission — including the
+        // wind-integrated parachute descent — bit-identical.
+        let mut cfg = MissionConfig::small_test();
+        cfg.wind = Wind::breeze(0.3); // descent consumes RNG draws
+        cfg.rates = FailureRates::none();
+        cfg.rates.lost_navigation = 120.0;
+        let baseline = Mission::new(cfg.clone()).run(&mut PerfectEl::default(), 7);
+        assert!(
+            matches!(baseline.terminal, TerminalState::LandedEl { .. }),
+            "test wants an RNG-consuming EL descent, got {:?}",
+            baseline.terminal
+        );
+        let scheduled = [FailureEvent {
+            hazard: HazardCategory::DegradedPropulsion,
+            at_time_s: 0.5,
+            duration_s: f64::INFINITY,
+        }];
+        let with_sched = Mission::new(cfg).run_with(&mut PerfectEl::default(), 7, &scheduled, None);
+        // The scheduled hazard shows up in the trace…
+        assert_eq!(with_sched.hazards[0], HazardCategory::DegradedPropulsion);
+        assert_eq!(with_sched.maneuvers[0], Maneuver::ReturnToBase);
+        // …but every stochastic consequence is untouched.
+        assert_eq!(with_sched.terminal, baseline.terminal);
+        assert_eq!(with_sched.severity, baseline.severity);
+        assert_eq!(with_sched.hazards[1..], baseline.hazards[..]);
+    }
+
+    #[test]
+    fn scheduled_fault_provenance_in_log() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.rates = FailureRates::none();
+        let scheduled = [FailureEvent {
+            hazard: HazardCategory::LostCommunication,
+            at_time_s: 10.0,
+            duration_s: f64::INFINITY,
+        }];
+        let mut log = Vec::new();
+        let out =
+            Mission::new(cfg).run_with(&mut PerfectEl::default(), 0, &scheduled, Some(&mut log));
+        assert_eq!(out.terminal, TerminalState::ReturnedToBase);
+        assert_eq!(
+            log.first(),
+            Some(&MissionEvent::Fault {
+                hazard: HazardCategory::LostCommunication,
+                at_time_s: 10.0,
+                duration_s: None, // permanent — JSON has no infinity
+                scheduled: true,
+            })
+        );
+        assert!(log.iter().any(|e| matches!(
+            e,
+            MissionEvent::Engaged {
+                maneuver: Maneuver::ReturnToBase,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn merge_is_time_ordered_and_stochastic_first_on_ties() {
+        let ev = |t: f64, hazard| FailureEvent {
+            hazard,
+            at_time_s: t,
+            duration_s: f64::INFINITY,
+        };
+        let stochastic = vec![
+            ev(1.0, HazardCategory::LostNavigation),
+            ev(5.0, HazardCategory::FlyAway),
+        ];
+        let scheduled = [
+            ev(5.0, HazardCategory::LostCommunication), // tie → after stochastic
+            ev(0.5, HazardCategory::DegradedPropulsion),
+            ev(9.0, HazardCategory::LossOfControl),
+        ];
+        let merged = merge_events(stochastic, &scheduled);
+        let order: Vec<(f64, bool)> = merged.iter().map(|(e, s)| (e.at_time_s, *s)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0.5, true),
+                (1.0, false),
+                (5.0, false),
+                (5.0, true),
+                (9.0, true)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled fault time")]
+    fn scheduled_fault_beyond_duration_rejected() {
+        let cfg = MissionConfig::small_test();
+        let scheduled = [FailureEvent {
+            hazard: HazardCategory::FlyAway,
+            at_time_s: 1e9,
+            duration_s: f64::INFINITY,
+        }];
+        let _ = Mission::new(cfg).run_with(&mut PerfectEl::default(), 0, &scheduled, None);
     }
 }

@@ -34,17 +34,68 @@ impl Wind {
         }
     }
 
-    /// Validates the model.
+    /// A storm: 9 m/s mean flow with 3 m/s gusts — roughly the upper
+    /// bound of small-UAV operability, used by the `storm_wind` scenario
+    /// regime to stress the canopy-drift margins.
+    pub fn storm(direction_rad: f64) -> Self {
+        Wind {
+            mean_speed_mps: 9.0,
+            direction_rad,
+            gust_std_mps: 3.0,
+        }
+    }
+
+    /// Hardest mean wind speed the model accepts, m/s. Beyond this no
+    /// small UAV flies at all, so larger values in a scenario file are
+    /// almost certainly a units mistake.
+    pub const MAX_MEAN_SPEED_MPS: f64 = 40.0;
+    /// Hardest gust standard deviation the model accepts, m/s.
+    pub const MAX_GUST_STD_MPS: f64 = 20.0;
+
+    /// Validates the model: finite values, non-negative speeds, and
+    /// speeds within the operable envelope.
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
+        if !self.mean_speed_mps.is_finite() {
+            return Err(format!(
+                "mean wind speed must be finite (got {})",
+                self.mean_speed_mps
+            ));
+        }
         if self.mean_speed_mps < 0.0 {
             return Err("mean wind speed must be non-negative".into());
         }
+        if self.mean_speed_mps > Self::MAX_MEAN_SPEED_MPS {
+            return Err(format!(
+                "mean wind speed {} m/s exceeds the operable limit of {} m/s (did you mean km/h?)",
+                self.mean_speed_mps,
+                Self::MAX_MEAN_SPEED_MPS
+            ));
+        }
+        if !self.direction_rad.is_finite() {
+            return Err(format!(
+                "wind direction must be finite radians (got {})",
+                self.direction_rad
+            ));
+        }
+        if !self.gust_std_mps.is_finite() {
+            return Err(format!(
+                "gust standard deviation must be finite (got {})",
+                self.gust_std_mps
+            ));
+        }
         if self.gust_std_mps < 0.0 {
             return Err("gust standard deviation must be non-negative".into());
+        }
+        if self.gust_std_mps > Self::MAX_GUST_STD_MPS {
+            return Err(format!(
+                "gust standard deviation {} m/s exceeds the limit of {} m/s",
+                self.gust_std_mps,
+                Self::MAX_GUST_STD_MPS
+            ));
         }
         Ok(())
     }
@@ -116,10 +167,46 @@ mod tests {
     #[test]
     fn validation() {
         assert!(Wind::breeze(0.0).validate().is_ok());
-        let w = Wind {
-            mean_speed_mps: -1.0,
-            ..Wind::calm()
-        };
-        assert!(w.validate().is_err());
+        assert!(Wind::storm(1.2).validate().is_ok());
+        for bad in [
+            Wind {
+                mean_speed_mps: -1.0,
+                ..Wind::calm()
+            },
+            Wind {
+                mean_speed_mps: f64::NAN,
+                ..Wind::calm()
+            },
+            Wind {
+                mean_speed_mps: Wind::MAX_MEAN_SPEED_MPS + 1.0,
+                ..Wind::calm()
+            },
+            Wind {
+                direction_rad: f64::INFINITY,
+                ..Wind::calm()
+            },
+            Wind {
+                gust_std_mps: -0.5,
+                ..Wind::calm()
+            },
+            Wind {
+                gust_std_mps: f64::NAN,
+                ..Wind::calm()
+            },
+            Wind {
+                gust_std_mps: Wind::MAX_GUST_STD_MPS + 1.0,
+                ..Wind::calm()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn storm_is_stronger_than_breeze() {
+        let b = Wind::breeze(0.0);
+        let s = Wind::storm(0.0);
+        assert!(s.mean_speed_mps > b.mean_speed_mps);
+        assert!(s.gust_std_mps > b.gust_std_mps);
     }
 }

@@ -1,6 +1,13 @@
 //! The Figure 1 experiment: Monte-Carlo failure-injection campaigns over
 //! the safety-switch architecture, comparing emergency-landing policies.
 //!
+//! The campaign itself is no longer hard-coded: the mission template,
+//! wind, rates and fleet size all come from the committed
+//! `scenarios/nominal.json`, loaded through the same scenario subsystem
+//! users drive (`cargo run --example scenario_campaign`). This example
+//! then runs the *same* declarative campaign under three EL policies —
+//! the with/without-EL cross-validation of Table II.
+//!
 //! ```text
 //! cargo run --release --example failure_campaign
 //! ```
@@ -8,57 +15,66 @@
 use certel::prelude::*;
 
 fn main() {
-    let mut config = CampaignConfig::small_test(300);
-    config.mission = MissionConfig::medi_delivery(1);
-    config.mission.duration_s = 240.0;
-    // Moderate wind; the EL clearance below is derived from the drift
-    // model so confirmed zones absorb the canopy drift (Table III
-    // Medium-1) — an 8 m clearance under a 22 m drift would land
-    // "perfect" selections on roads.
-    config.mission.wind = Wind {
-        mean_speed_mps: 1.5,
-        direction_rad: 0.7,
-        gust_std_mps: 0.5,
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/nominal.json");
+    let base = match Scenario::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     };
-    config.mission.view_radius_m = 80.0; // trajectory control is retained: the UAV can reach any zone in this radius
-    config.missions = 300;
+    let mission = base.mission_config().expect("committed scenario is valid");
 
+    // The EL clearance is derived from the drift model so confirmed zones
+    // absorb the canopy drift at this wind (Table III) — a clearance sized
+    // for calm air under real wind lands "perfect" selections on roads.
     let drift = certel::el_core::DriftModel {
-        deploy_altitude_m: config.mission.el_deploy_altitude_m,
+        deploy_altitude_m: mission.el_deploy_altitude_m,
         ..certel::el_core::DriftModel::medi_delivery()
     };
     let clearance_m = drift.required_clearance_m(
-        config.mission.wind.mean_speed_mps,
+        mission.wind.mean_speed_mps,
         certel::el_core::IntegrityLevel::Low,
     );
     println!(
-        "EL zone clearance from drift model: {:.1} m (deploy {:.0} m, wind {:.1} m/s)",
-        clearance_m, drift.deploy_altitude_m, config.mission.wind.mean_speed_mps
+        "scenario `{}`: {} missions; EL zone clearance from drift model: {:.1} m (deploy {:.0} m, wind {:.1} m/s)",
+        base.name, base.missions, clearance_m, drift.deploy_altitude_m, mission.wind.mean_speed_mps
     );
-
     println!(
-        "running {} missions x 3 EL policies under stress failure rates...\n",
-        config.missions
+        "running {} missions x 3 EL policies under the scenario's failure rates...\n",
+        base.missions
     );
 
-    let campaign = Campaign::new(config.clone());
-    let mut no_el_cfg = config.clone();
-    no_el_cfg.mission.el_installed = false;
-    let no_el_campaign = Campaign::new(no_el_cfg);
+    // Three arms of the same declarative campaign: only the EL policy
+    // (and, for the baseline, the EL-installed toggle) differ, so every
+    // arm replays the identical fault streams.
+    let mut no_el = base.clone();
+    no_el.el = Some(ElPolicy::NoEl);
+    no_el.mission.el_installed = Some(false);
+    let mut degraded = base.clone();
+    degraded.el = Some(ElPolicy::Degraded {
+        blunder_prob: 0.3,
+        abort_prob: 0.05,
+        clearance_m,
+    });
+    let mut perfect = base.clone();
+    perfect.el = Some(ElPolicy::Perfect { clearance_m });
 
-    let mut degraded = NoisyEl::degraded();
-    degraded.inner.clearance_m = clearance_m;
-    let reports = [
-        (
-            "no EL (FT on navigation loss)",
-            no_el_campaign.run(&mut NoEl),
-        ),
-        ("unmonitored degraded EL", campaign.run(&mut degraded)),
-        (
-            "ground-truth EL (upper bound)",
-            campaign.run(&mut PerfectEl { clearance_m }),
-        ),
+    let arms = [
+        ("no EL (FT on navigation loss)", no_el),
+        ("unmonitored degraded EL", degraded),
+        ("ground-truth EL (upper bound)", perfect),
     ];
+    let reports: Vec<(&str, CampaignReport)> = arms
+        .iter()
+        .map(|(name, scenario)| {
+            let outcome = scenario.run().unwrap_or_else(|e| {
+                eprintln!("error running arm `{name}`: {e}");
+                std::process::exit(1);
+            });
+            (*name, outcome.report)
+        })
+        .collect();
 
     println!(
         "{:<32} {:>6} {:>6} {:>6} {:>6}  {:>22}  {:>8} {:>8}",
@@ -91,10 +107,23 @@ fn main() {
         );
     }
 
+    // Statistical power: identical fault streams in every arm, so one
+    // arm's power section speaks for all three.
+    if let Some(power) = &reports[2].1.power {
+        println!(
+            "\nstatistical power: {}",
+            if power.underpowered {
+                "UNDERPOWERED — at least one hazard class drew too few events"
+            } else {
+                "every active hazard class clears the event floor"
+            }
+        );
+    }
+
     let no_el = &reports[0].1;
     let perfect = &reports[2].1;
     println!(
-        "\nEL converts {} flight terminations into {} confirmed landings and cuts the catastrophic rate from {:.2}% to {:.2}%.",
+        "\nEL converts {} flight terminations into {} confirmed landings and moves the catastrophic rate from {:.2}% to {:.2}%.",
         no_el.terminated,
         perfect.landed_el,
         100.0 * no_el.catastrophic_fraction(),

@@ -50,7 +50,7 @@ fn main() {
         for sample in dataset.split(split) {
             let core = segment(&mut net, &sample.image);
             let core_safe = core.labels.map(|c| !c.is_busy_road());
-            let stats = bayesian_segment(&mut net, &sample.image, 10, 42);
+            let stats = bayesian_segment(&net, &sample.image, 10, 42);
             sigma += stats.mean_uncertainty();
             n += 1;
             quality.accumulate(&sample.labels, &core_safe, &rule.warning_map(&stats));

@@ -1,0 +1,280 @@
+//! Runs a declarative fault-injection scenario file end to end: load,
+//! validate, replay deterministically, print the campaign report with its
+//! statistical-power section, and (optionally) pin the run's fingerprint
+//! against a golden value or benchmark single- vs multi-thread throughput.
+//!
+//! ```text
+//! cargo run --release --example scenario_campaign -- --scenario scenarios/nominal.json --seed 42
+//! ```
+//!
+//! Flags:
+//!
+//! - `--scenario <file.json>` (required) — the scenario to run.
+//! - `--seed <u64>` — override the scenario's `base_seed`.
+//! - `--out <path>` — write the full `ScenarioOutcome` (report + every
+//!   mission's event log) as JSON.
+//! - `--check-golden <hex>` — exit nonzero unless the run's fingerprint
+//!   equals this 16-digit hex value (the CI replay gate).
+//! - `--goldens <file.json>` — like `--check-golden`, but look the
+//!   expected fingerprint up by scenario name in a `{name: hex}` map.
+//! - `--bench-out <path>` — time the campaign single- and multi-threaded
+//!   and append `{scenario, missions, threads, secs, missions_per_sec}`
+//!   rows to a JSON array at `path` (the `BENCH_scenarios.json` format).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use certel::prelude::*;
+
+struct Args {
+    scenario: String,
+    seed: Option<u64>,
+    out: Option<String>,
+    check_golden: Option<String>,
+    goldens: Option<String>,
+    bench_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: String::new(),
+        seed: None,
+        out: None,
+        check_golden: None,
+        goldens: None,
+        bench_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = Some(
+                    v.parse()
+                        .map_err(|e| format!("--seed `{v}` is not a u64: {e}"))?,
+                );
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--check-golden" => args.check_golden = Some(value("--check-golden")?),
+            "--goldens" => args.goldens = Some(value("--goldens")?),
+            "--bench-out" => args.bench_out = Some(value("--bench-out")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.scenario.is_empty() {
+        return Err("--scenario <file.json> is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let mut scenario = Scenario::load(&args.scenario).map_err(|e| e.to_string())?;
+    if let Some(seed) = args.seed {
+        scenario.base_seed = seed;
+    }
+
+    println!(
+        "scenario `{}`: {} missions, base seed {}",
+        scenario.name, scenario.missions, scenario.base_seed
+    );
+    if !scenario.description.is_empty() {
+        println!("  {}", scenario.description);
+    }
+
+    let started = Instant::now();
+    let outcome = scenario.run().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed().as_secs_f64();
+    print_report(&outcome);
+    println!(
+        "\n{} missions in {:.2} s ({:.1} missions/s)",
+        outcome.report.missions,
+        elapsed,
+        outcome.report.missions as f64 / elapsed.max(1e-9)
+    );
+    let fingerprint = outcome.fingerprint_hex();
+    println!("fingerprint: {fingerprint}");
+
+    if let Some(path) = &args.out {
+        let json = serde_json::to_string(&outcome).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote full outcome (report + event logs) to {path}");
+    }
+
+    if let Some(path) = &args.bench_out {
+        bench(&scenario, path)?;
+    }
+
+    let expected = match (&args.check_golden, &args.goldens) {
+        (Some(hex), _) => Some(hex.clone()),
+        (None, Some(path)) => Some(lookup_golden(path, &scenario.name)?),
+        (None, None) => None,
+    };
+    if let Some(expected) = expected {
+        if fingerprint != expected {
+            eprintln!(
+                "GOLDEN MISMATCH for `{}`: got {fingerprint}, want {expected}\n\
+                 (a deliberate behaviour change must update the golden; \
+                 anything else is a determinism regression)",
+                scenario.name
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("golden fingerprint OK ({expected})");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Looks a scenario's expected fingerprint up in a flat `{name: hex}`
+/// JSON object.
+fn lookup_golden(path: &str, name: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read goldens {path}: {e}"))?;
+    let map =
+        serde_json::parse_value(&text).map_err(|e| format!("malformed goldens {path}: {e}"))?;
+    match map.get(name) {
+        Some(serde::Value::Str(hex)) => Ok(hex.clone()),
+        Some(other) => Err(format!(
+            "goldens file {path}: entry for `{name}` is not a string: {other:?}"
+        )),
+        None => Err(format!(
+            "goldens file {path} has no entry for scenario `{name}`"
+        )),
+    }
+}
+
+fn print_report(outcome: &ScenarioOutcome) {
+    let r = &outcome.report;
+    println!(
+        "\noutcomes: {} completed, {} returned to base, {} EL landings, {} terminations",
+        r.completed, r.returned_to_base, r.landed_el, r.terminated
+    );
+    let f = r.maneuver_fractions();
+    println!(
+        "maneuver engagement (H / RB / EL / FT): {:.2} / {:.2} / {:.2} / {:.2}",
+        f[0], f[1], f[2], f[3]
+    );
+    println!(
+        "severity histogram 1..5: {:?}  (fatal {:.2}%, catastrophic {:.2}%)",
+        r.severity_histogram,
+        100.0 * r.fatal_fraction(),
+        100.0 * r.catastrophic_fraction()
+    );
+    let events: usize = outcome.logs.iter().map(|m| m.log.len()).sum();
+    println!(
+        "event logs: {} events across {} missions",
+        events,
+        outcome.logs.len()
+    );
+
+    let Some(power) = &r.power else { return };
+    println!(
+        "\nstatistical power (floor {} events/hazard, {:.0}% confidence):",
+        power.min_events_floor,
+        100.0 * power.confidence
+    );
+    for h in &power.hazards {
+        println!(
+            "  {:<24} expected {:>7.2}  observed {:>5}  {}",
+            format!("{:?}", h.hazard),
+            h.expected_events,
+            h.observed_events,
+            if h.underpowered { "UNDERPOWERED" } else { "ok" }
+        );
+    }
+    let fatal = &power.fatal_rate;
+    println!(
+        "  fatal rate {:.4} — Wilson [{:.4}, {:.4}], exact [{:.4}, {:.4}] ({}/{})",
+        fatal.rate,
+        fatal.wilson_lower,
+        fatal.wilson_upper,
+        fatal.exact_lower,
+        fatal.exact_upper,
+        fatal.successes,
+        fatal.trials
+    );
+    if power.underpowered {
+        println!(
+            "  => campaign UNDERPOWERED: at least one hazard class drew too few events \
+             for its severity rates to mean anything"
+        );
+    } else {
+        println!("  => campaign adequately powered for every active hazard class");
+    }
+}
+
+/// One `BENCH_scenarios.json` row.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchRow {
+    scenario: String,
+    missions: usize,
+    threads: usize,
+    secs: f64,
+    missions_per_sec: f64,
+    fingerprint: String,
+}
+
+/// Times the scenario single- and multi-threaded and appends rows to the
+/// JSON array at `path`. The thread count is pinned per run through
+/// `RAYON_NUM_THREADS` (the vendored rayon reads it per call), and the
+/// runs' fingerprints are asserted identical — a bench must never time
+/// two campaigns that are not the same campaign.
+fn bench(scenario: &Scenario, path: &str) -> Result<(), String> {
+    // Always emit a multi-thread row, even on a 1-core host: rayon honors
+    // RAYON_NUM_THREADS beyond the core count (OS time-slicing), so the
+    // 1-vs-many fingerprint assertion below holds everywhere even when
+    // the multi-thread throughput number is only meaningful on real cores.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let mut rows: Vec<BenchRow> = match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map_err(|e| format!("existing bench file {path} is not a bench-row array: {e}"))?,
+        Err(_) => Vec::new(),
+    };
+    let mut fingerprints = Vec::new();
+    for n in [1usize, threads] {
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        let started = Instant::now();
+        let outcome = scenario.run().map_err(|e| e.to_string())?;
+        let secs = started.elapsed().as_secs_f64();
+        fingerprints.push(outcome.fingerprint_hex());
+        println!(
+            "bench: {} thread(s) -> {:.2} s ({:.1} missions/s)",
+            n,
+            secs,
+            scenario.missions as f64 / secs.max(1e-9)
+        );
+        rows.push(BenchRow {
+            scenario: scenario.name.clone(),
+            missions: scenario.missions,
+            threads: n,
+            secs,
+            missions_per_sec: scenario.missions as f64 / secs.max(1e-9),
+            fingerprint: outcome.fingerprint_hex(),
+        });
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    if fingerprints.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!(
+            "thread-count determinism violation: fingerprints {fingerprints:?}"
+        ));
+    }
+    let json = serde_json::to_string(&rows).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("appended bench rows to {path}");
+    Ok(())
+}

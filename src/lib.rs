@@ -73,11 +73,14 @@ pub mod prelude {
     };
     pub use el_scene::{Camera, Conditions, Dataset, DatasetConfig, Scene, SceneParams, Split};
     pub use el_seg::{segment, ConfusionMatrix, MsdNet, MsdNetConfig, TrainConfig, Trainer};
+    pub use el_sora::hazard::HazardCategory;
     pub use el_sora::{
         medi_delivery, Arc, ElMitigation, Mitigation, Robustness, Sail, Severity, SoraAssessment,
     };
     pub use el_uavsim::{
-        AuditAdvisory, Campaign, CampaignConfig, ElSystem, FailureRates, Maneuver, Mission,
-        MissionConfig, NoEl, NoisyEl, PerfectEl, TerminalState, Wind,
+        AuditAdvisory, BinomialInterval, Campaign, CampaignConfig, CampaignReport, ElPolicy,
+        ElSystem, FailureRates, HazardPower, Maneuver, Mission, MissionConfig, MissionEvent,
+        MissionRecord, NoEl, NoisyEl, PerfectEl, PowerConfig, PowerReport, Scenario, ScenarioError,
+        ScenarioOutcome, ScheduledFault, TerminalState, Wind,
     };
 }

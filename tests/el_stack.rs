@@ -87,7 +87,7 @@ fn monitor_covers_core_misses_on_ood() {
     for s in dataset.split(Split::Ood) {
         let core = segment(&mut net, &s.image);
         let core_safe = core.labels.map(|c| !c.is_busy_road());
-        let stats = bayesian_segment(&mut net, &s.image, 6, 21);
+        let stats = bayesian_segment(&net, &s.image, 6, 21);
         quality.accumulate(&s.labels, &core_safe, &rule.warning_map(&stats));
     }
     // The paper's Figure 4b claim: the monitor flags "a large part" of

@@ -140,14 +140,14 @@ fn conv_batched_matches_per_input() {
 fn mc_dropout_parallel_matches_sequential() {
     use el_monitor::{bayesian_segment_tensor, bayesian_segment_tensor_sequential};
     let mut r = rng();
-    let mut net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
+    let net = MsdNet::new(&MsdNetConfig::tiny(), &mut r);
     let input = Tensor::from_fn(3, 12, 9, |c, y, x| {
         ((c * 5 + y * 2 + x) as f32 * 0.17).sin()
     });
     for samples in [1usize, 2, 7, 10, 19] {
         let seed = r.gen::<u64>();
-        let par = bayesian_segment_tensor(&mut net, &input, samples, seed);
-        let seq = bayesian_segment_tensor_sequential(&mut net, &input, samples, seed);
+        let par = bayesian_segment_tensor(&net, &input, samples, seed);
+        let seq = bayesian_segment_tensor_sequential(&net, &input, samples, seed);
         assert_eq!(
             par.mean.as_slice(),
             seq.mean.as_slice(),
@@ -158,7 +158,7 @@ fn mc_dropout_parallel_matches_sequential() {
             seq.std.as_slice(),
             "{samples}-sample std diverges at seed {seed}"
         );
-        let again = bayesian_segment_tensor(&mut net, &input, samples, seed);
+        let again = bayesian_segment_tensor(&net, &input, samples, seed);
         assert_eq!(par.mean, again.mean, "parallel path must be deterministic");
         assert_eq!(par.std, again.std);
     }

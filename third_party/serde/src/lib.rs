@@ -11,7 +11,9 @@
 //! structs (including one type parameter) and on enums with unit,
 //! single-field tuple, and named-field variants; the `#[serde(skip)]`
 //! field attribute (skipped on serialize, `Default::default()` on
-//! deserialize); and the primitive/`Vec`/`Option`/array/tuple impls below.
+//! deserialize); the `#[serde(default)]` field attribute (missing key →
+//! `Default::default()` on deserialize, serialized normally); and the
+//! primitive/`Vec`/`Option`/array/tuple impls below.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -314,7 +316,7 @@ mod tests {
     fn primitives_roundtrip() {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"

@@ -10,13 +10,19 @@
 //! - enums with unit variants, single-field tuple variants, and
 //!   named-field variants;
 //! - the `#[serde(skip)]` field attribute (omitted on serialize,
-//!   `Default::default()` on deserialize).
+//!   `Default::default()` on deserialize);
+//! - the `#[serde(default)]` field attribute (serialized normally, but a
+//!   missing key deserializes to `Default::default()` instead of
+//!   erroring — the scenario files' optional-field mechanism).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` (the field is still serialized normally).
+    default: bool,
 }
 
 enum Payload {
@@ -41,19 +47,29 @@ struct Input {
     kind: Kind,
 }
 
-/// `true` if this `#[...]` attribute group is `serde(skip)`.
-fn is_serde_skip(group: &proc_macro::Group) -> bool {
+/// The `(skip, default)` flags carried by a `#[serde(...)]` attribute
+/// group (both `false` for non-serde attributes).
+fn serde_flags(group: &proc_macro::Group) -> (bool, bool) {
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return (false, false),
     }
     match tokens.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
-        _ => false,
+        Some(TokenTree::Group(inner)) => {
+            let (mut skip, mut default) = (false, false);
+            for t in inner.stream() {
+                if let TokenTree::Ident(i) = &t {
+                    match i.to_string().as_str() {
+                        "skip" => skip = true,
+                        "default" => default = true,
+                        _ => {}
+                    }
+                }
+            }
+            (skip, default)
+        }
+        _ => (false, false),
     }
 }
 
@@ -63,6 +79,7 @@ fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
     let mut tokens = body.stream().into_iter().peekable();
     'fields: loop {
         let mut skip = false;
+        let mut default = false;
         // Attributes and visibility before the field name.
         loop {
             match tokens.peek() {
@@ -70,9 +87,9 @@ fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     tokens.next();
                     if let Some(TokenTree::Group(g)) = tokens.next() {
-                        if is_serde_skip(&g) {
-                            skip = true;
-                        }
+                        let (s, d) = serde_flags(&g);
+                        skip |= s;
+                        default |= d;
                     }
                 }
                 Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
@@ -108,7 +125,11 @@ fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
                 _ => {}
             }
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -360,6 +381,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         "{}: ::std::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: match __v.get(\"{0}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                         None => ::std::default::Default::default(),\n\
+                         }},\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{0}: match __v.get(\"{0}\") {{\n\
@@ -397,6 +426,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             if f.skip {
                                 inits.push_str(&format!(
                                     "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{0}: match __inner.get(\"{0}\") {{\n\
+                                     Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                                     None => ::std::default::Default::default(),\n\
+                                     }},\n",
                                     f.name
                                 ));
                             } else {

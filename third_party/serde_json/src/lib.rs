@@ -345,7 +345,7 @@ mod tests {
         assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
         assert_eq!(from_str::<f64>("-1.5").unwrap(), -1.5);
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(from_str::<bool>("false").unwrap(), false);
+        assert!(!from_str::<bool>("false").unwrap());
     }
 
     #[test]

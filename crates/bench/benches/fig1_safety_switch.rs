@@ -37,14 +37,23 @@ fn print_tables() {
     degraded.inner.clearance_m = clearance_m;
 
     let runs = [
-        ("no-EL", Campaign::new(no_el_cfg).run(&mut NoEl)),
+        (
+            "no-EL",
+            Campaign::try_new(no_el_cfg)
+                .expect("valid config")
+                .run(&mut NoEl),
+        ),
         (
             "unmonitored-degraded-EL",
-            Campaign::new(config.clone()).run(&mut degraded),
+            Campaign::try_new(config.clone())
+                .expect("valid config")
+                .run(&mut degraded),
         ),
         (
             "oracle-EL",
-            Campaign::new(config).run(&mut PerfectEl { clearance_m }),
+            Campaign::try_new(config)
+                .expect("valid config")
+                .run(&mut PerfectEl { clearance_m }),
         ),
     ];
     eprintln!(

@@ -21,7 +21,7 @@ struct Tally {
 
 fn run_pipeline(config: PipelineConfig, split: Split) -> Tally {
     let ds = benchmark_dataset();
-    let mut pipeline = ElPipeline::new(trained_model(), config);
+    let mut pipeline = ElPipeline::try_new(trained_model(), config).expect("valid config");
     let mut t = Tally {
         landed: 0,
         aborted: 0,
@@ -108,7 +108,8 @@ fn bench(c: &mut Criterion) {
     print_tables();
     let ds = benchmark_dataset();
     let sample = ds.split(Split::Test).next().unwrap();
-    let mut monitored = ElPipeline::new(trained_model(), PipelineConfig::benchmark());
+    let mut monitored =
+        ElPipeline::try_new(trained_model(), PipelineConfig::benchmark()).expect("valid config");
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);
     group.bench_function("pipeline_run_256", |b| {

@@ -75,7 +75,8 @@ fn print_audit_budget_profile() {
     );
     let img = frame(256, 17);
     // Decision latency, audit off.
-    let mut plain = ElPipeline::new(net.clone(), PipelineConfig::benchmark());
+    let mut plain =
+        ElPipeline::try_new(net.clone(), PipelineConfig::benchmark()).expect("valid config");
     let _ = plain.run(&img, 42); // warm
     let mut decision_s = f64::INFINITY;
     for r in 0..5u64 {
@@ -88,7 +89,7 @@ fn print_audit_budget_profile() {
         budget_s: 1e9,
         ..AuditConfig::paper_scale()
     });
-    let mut audited = ElPipeline::new(net.clone(), full_cfg);
+    let mut audited = ElPipeline::try_new(net.clone(), full_cfg).expect("valid config");
     let _ = audited.run(&img, 42);
     let t0 = Instant::now();
     let full = audited.run(&img, 42);
@@ -111,7 +112,7 @@ fn print_audit_budget_profile() {
             budget_s: budget,
             ..AuditConfig::paper_scale()
         });
-        let mut p = ElPipeline::new(net.clone(), cfg);
+        let mut p = ElPipeline::try_new(net.clone(), cfg).expect("valid config");
         let out = p.run(&img, 42);
         let audit = out.audit.expect("audit enabled");
         eprintln!(

@@ -37,12 +37,13 @@
 //!
 //! let mut rng = ChaCha8Rng::seed_from_u64(0);
 //! let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
-//! let mut pipeline = ElPipeline::new(net, PipelineConfig::fast_test());
+//! let mut pipeline = ElPipeline::try_new(net, PipelineConfig::fast_test())?;
 //! let scene = Scene::generate(&SceneParams::small(), 1);
 //! let image = scene.render(&Conditions::nominal(), 2);
 //! let outcome = pipeline.run(&image, 3);
 //! // An untrained network yields either an abort or a monitored landing.
 //! println!("{:?}", outcome.decision);
+//! # Ok::<(), el_core::pipeline::PipelineConfigError>(())
 //! ```
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -60,6 +61,8 @@ pub use assess::{assess_zone, ZoneAssessment};
 pub use audit::{audit_seed, AuditConfig, AuditRegion, AuditReport, TileAuditStat};
 pub use decision::{Decision, DecisionConfig, DecisionModule};
 pub use drift::DriftModel;
-pub use pipeline::{ElOutcome, ElPipeline, FinalDecision, PipelineConfig, Trial};
+pub use pipeline::{
+    ElOutcome, ElPipeline, FinalDecision, PipelineConfig, PipelineConfigError, Trial,
+};
 pub use requirements::{AssuranceEvidence, AssuranceLevel, IntegrityLevel};
 pub use zone::{propose_zones, Candidate, ZoneParams};

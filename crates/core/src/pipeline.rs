@@ -1,5 +1,6 @@
 //! The complete Figure 2 landing-zone-selection pipeline, plus baselines.
 
+use std::fmt;
 use std::time::Instant;
 
 use el_geom::{Grid, LabelMap, Rect};
@@ -114,6 +115,31 @@ impl PipelineConfig {
     }
 }
 
+/// An invalid [`PipelineConfig`], rejected by [`ElPipeline::try_new`].
+///
+/// Carries the first violated constraint; the [`fmt::Display`] form is
+/// `invalid pipeline configuration: <constraint>` so the message names
+/// both the subsystem and the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfigError {
+    detail: String,
+}
+
+impl PipelineConfigError {
+    /// The violated constraint, e.g. `samples must be positive`.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for PipelineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pipeline configuration: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PipelineConfigError {}
+
 /// One monitor trial.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trial {
@@ -221,19 +247,39 @@ pub struct ElPipeline {
 impl ElPipeline {
     /// Creates a pipeline around a (typically trained) network.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`PipelineConfig::validate`].
-    pub fn new(net: MsdNet, config: PipelineConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid pipeline configuration: {e}");
+    /// Returns [`PipelineConfigError`] when the configuration fails
+    /// [`PipelineConfig::validate`] — the scenario subsystem's "never a
+    /// panic" contract extends to construction.
+    pub fn try_new(net: MsdNet, config: PipelineConfig) -> Result<Self, PipelineConfigError> {
+        if let Err(detail) = config.validate() {
+            return Err(PipelineConfigError { detail });
         }
+        // `validate` covered the monitor section, so this cannot panic.
         let monitor = Monitor::new(config.monitor);
-        ElPipeline {
+        Ok(ElPipeline {
             net,
             monitor,
             config,
             ws: Workspace::new(),
+        })
+    }
+
+    /// Creates a pipeline around a (typically trained) network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`PipelineConfig::validate`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ElPipeline::try_new`, which reports an invalid configuration \
+                as a typed error instead of panicking"
+    )]
+    pub fn new(net: MsdNet, config: PipelineConfig) -> Self {
+        match Self::try_new(net, config) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -296,11 +342,16 @@ impl ElPipeline {
         seed: u64,
         elapsed_s: impl FnMut() -> f64,
     ) -> ElOutcome {
+        let metrics = el_metrics::registry();
+
         // Core function: one deterministic pass + zone proposal.
+        let sw = el_metrics::Stopwatch::start();
         let core = segment_ws(&self.net, image, &mut self.ws);
         let candidates = propose_zones(&core.labels, &self.config.zone);
+        metrics.stage_propose.record(sw);
 
         // Verify-batch every candidate the decision module could reach.
+        let sw = el_metrics::Stopwatch::start();
         let reports = if self.config.monitored {
             let crops: Vec<Image> = candidates
                 .iter()
@@ -311,6 +362,7 @@ impl ElPipeline {
         } else {
             Vec::new()
         };
+        metrics.stage_verify.record(sw);
 
         // Candidate rectangles steer the audit's tile priority; collected
         // before the decision module consumes the candidate list.
@@ -321,15 +373,19 @@ impl ElPipeline {
         };
 
         // Sequential decision replay over the precomputed verdicts.
+        let sw = el_metrics::Stopwatch::start();
         let (final_decision, trials) = replay_decisions(
             self.config.decision,
             self.config.monitored,
             candidates,
             &reports,
         );
+        metrics.stage_decide.record(sw);
+        metrics.verify_trials.add(trials.len() as u64);
 
         // The decision is fixed; the leftover latency budget funds the
         // strictly advisory whole-frame audit (see `crate::audit`).
+        let sw = el_metrics::Stopwatch::start();
         let audit = if self.config.audit.enabled {
             Some(run_audit_with_clock(
                 &self.net,
@@ -343,6 +399,8 @@ impl ElPipeline {
         } else {
             None
         };
+        metrics.stage_audit.record(sw);
+        metrics.pipeline_runs.add(1);
 
         ElOutcome {
             decision: final_decision,
@@ -400,7 +458,10 @@ pub fn edge_density_zones(image: &Image, params: &ZoneParams) -> Vec<Candidate> 
             origins.push((window_sum(x0, y0), x0, y0));
         }
     }
-    origins.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN density (e.g.
+    // from a NaN pixel in a corrupted frame) must rank deterministically
+    // under IEEE total order, never abort the pipeline mid-flight.
+    origins.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut picked: Vec<Candidate> = Vec::new();
     for (density, x0, y0) in origins {
         if picked.len() >= params.max_candidates {
@@ -433,7 +494,7 @@ mod tests {
     fn pipeline() -> ElPipeline {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
-        ElPipeline::new(net, PipelineConfig::fast_test())
+        ElPipeline::try_new(net, PipelineConfig::fast_test()).expect("valid test config")
     }
 
     fn test_image(seed: u64) -> Image {
@@ -544,7 +605,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
         let config = PipelineConfig::fast_test().with_audit(crate::audit::AuditConfig::fast_test());
-        let mut p = ElPipeline::new(net, config);
+        let mut p = ElPipeline::try_new(net, config).expect("valid test config");
         let out = p.run(&img, 3);
         let audit = out.audit.expect("audit enabled");
         // The effectively unlimited test budget audits the whole frame.
@@ -558,7 +619,8 @@ mod tests {
     fn unmonitored_accepts_first_candidate() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
-        let mut p = ElPipeline::new(net, PipelineConfig::fast_test().unmonitored());
+        let mut p = ElPipeline::try_new(net, PipelineConfig::fast_test().unmonitored())
+            .expect("valid test config");
         let img = test_image(3);
         let out = p.run(&img, 1);
         // Either no candidates at all, or the first is accepted untested.
@@ -597,6 +659,75 @@ mod tests {
                 assert!(!zones[i].rect.intersects(zones[j].rect));
             }
         }
+    }
+
+    #[test]
+    fn try_new_reports_actionable_config_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let mut config = PipelineConfig::fast_test();
+        config.monitor.samples = 0;
+        let err = ElPipeline::try_new(net, config).expect_err("zero samples must be rejected");
+        // The message names the subsystem and the offending constraint.
+        assert_eq!(
+            err.to_string(),
+            "invalid pipeline configuration: samples must be positive"
+        );
+        assert_eq!(err.detail(), "samples must be positive");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+        let mut config = PipelineConfig::fast_test();
+        config.monitor_margin_px = -1;
+        let err = ElPipeline::try_new(net, config).expect_err("negative margin must be rejected");
+        assert!(
+            err.to_string().contains("monitor_margin_px"),
+            "message should name the field, got: {err}"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_panics_with_the_old_message() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+            let mut config = PipelineConfig::fast_test();
+            config.monitor.samples = 0;
+            ElPipeline::new(net, config)
+        });
+        let panic = result.expect_err("invalid config must panic through the legacy path");
+        let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.starts_with("invalid pipeline configuration:"),
+            "legacy panic message changed: {message}"
+        );
+    }
+
+    #[test]
+    fn edge_density_survives_nan_pixels() {
+        // Regression: the density sort used `partial_cmp(..).unwrap()`,
+        // so one NaN pixel anywhere in the frame aborted the whole
+        // pipeline. With `total_cmp` the NaN-contaminated windows rank
+        // deterministically and the clean windows still come out. The
+        // NaN sits near the frame corner so the integral image (a
+        // running prefix sum, which spreads NaN down and right) leaves
+        // clean windows elsewhere.
+        let img: Image = Grid::from_fn(64, 32, |x, y| {
+            if x == 62 && y == 30 {
+                [f32::NAN, f32::NAN, f32::NAN]
+            } else {
+                [0.5, 0.5, 0.5]
+            }
+        });
+        let zones = edge_density_zones(&img, &ZoneParams::small());
+        assert!(!zones.is_empty(), "NaN pixel must not wipe out proposals");
+        // At least one proposal comes from uncontaminated ground.
+        assert!(
+            zones.iter().any(|z| z.score.is_finite()),
+            "expected a finite-density zone, got {:?}",
+            zones.iter().map(|z| z.score).collect::<Vec<_>>()
+        );
     }
 
     #[test]

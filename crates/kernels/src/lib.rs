@@ -373,7 +373,9 @@ impl Kernels {
         debug_assert_eq!(a.len(), m * k_dim);
         debug_assert_eq!(b.len(), k_dim * n);
         debug_assert_eq!(out.len(), m * n);
-        (self.gemm_bias)(a, b, bias, out, m, k_dim, n)
+        let sw = el_metrics::Stopwatch::start();
+        (self.gemm_bias)(a, b, bias, out, m, k_dim, n);
+        el_metrics::registry().gemm.record(sw);
     }
 
     /// Writes one row of coordinate-keyed Monte-Carlo dropout:

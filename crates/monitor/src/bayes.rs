@@ -281,6 +281,7 @@ fn run_chunk(
     // traffic; an odd chunk folds its last sample singly.
     let mut k = start;
     while k + 2 <= start + len {
+        let sw = el_metrics::Stopwatch::start();
         let mut p0 = net.mc_sample_at(fused, sample_seed(seed, k), origin, ws);
         softmax_in_place(&mut p0);
         let mut p1 = net.mc_sample_at(fused, sample_seed(seed, k + 1), origin, ws);
@@ -288,13 +289,16 @@ fn run_chunk(
         acc.push2(p0.as_slice(), p1.as_slice());
         ws.recycle(p1);
         ws.recycle(p0);
+        el_metrics::registry().sample_fold.record(sw);
         k += 2;
     }
     if k < start + len {
+        let sw = el_metrics::Stopwatch::start();
         let mut probs = net.mc_sample_at(fused, sample_seed(seed, k), origin, ws);
         softmax_in_place(&mut probs);
         acc.push(probs.as_slice());
         ws.recycle(probs);
+        el_metrics::registry().sample_fold.record(sw);
     }
     acc
 }
@@ -326,6 +330,7 @@ fn run_chunk_stacked(
     // the single-sample fold, half the accumulator traffic.
     let mut k = start;
     while k + 2 <= start + len {
+        let sw = el_metrics::Stopwatch::start();
         for (dst, &s) in ks.iter_mut().zip(seeds) {
             *dst = sample_seed(s, k);
         }
@@ -344,9 +349,11 @@ fn run_chunk_stacked(
         }
         ws.recycle(p1);
         ws.recycle(p0);
+        el_metrics::registry().sample_fold.record(sw);
         k += 2;
     }
     if k < start + len {
+        let sw = el_metrics::Stopwatch::start();
         for (dst, &s) in ks.iter_mut().zip(seeds) {
             *dst = sample_seed(s, k);
         }
@@ -359,6 +366,7 @@ fn run_chunk_stacked(
             off += hw;
         }
         ws.recycle(probs);
+        el_metrics::registry().sample_fold.record(sw);
     }
     accs
 }
@@ -470,6 +478,7 @@ pub(crate) fn mc_stats_prefixed(
     pool: &WsPool,
 ) -> BayesStats {
     assert!(samples > 0, "at least one Monte-Carlo sample is required");
+    el_metrics::registry().samples_run.add(samples as u64);
     let (h, w) = (fused.height(), fused.width());
     let stat_len = net.classes() * h * w;
     let shape = (net.classes(), h, w);
@@ -597,6 +606,9 @@ pub fn bayesian_segment_batch(
     if inputs.is_empty() {
         return Vec::new();
     }
+    el_metrics::registry()
+        .samples_run
+        .add((samples * inputs.len()) as u64);
     let mut ws = Workspace::new();
     let fused = net.mc_prefix_batch(inputs, &mut ws);
     let chunks = chunk_layout(samples);

@@ -122,8 +122,11 @@ impl Monitor {
     /// Runs Monte-Carlo-dropout inference and applies the decision rule.
     /// Deterministic given `(net, crop, seed)`.
     pub fn verify(&self, net: &MsdNet, crop: &Image, seed: u64) -> MonitorReport {
+        let sw = el_metrics::Stopwatch::start();
         let stats = bayesian_segment(net, crop, self.config.samples, seed);
-        self.report_from_stats(stats)
+        let report = self.report_from_stats(stats);
+        el_metrics::registry().verify_latency.record(sw);
+        report
     }
 
     /// Verifies a batch of candidate crops in **one** engine invocation.
@@ -158,13 +161,16 @@ impl Monitor {
         seeds: &[u64],
     ) -> Vec<MonitorReport> {
         assert_eq!(crops.len(), seeds.len(), "one seed per crop");
+        let sw = el_metrics::Stopwatch::start();
         let tensors: Vec<Tensor> = crops.iter().map(image_to_tensor).collect();
         let refs: Vec<&Tensor> = tensors.iter().collect();
         let origins = vec![(0usize, 0usize); crops.len()];
-        bayesian_segment_batch(net, &refs, self.config.samples, seeds, &origins)
+        let reports = bayesian_segment_batch(net, &refs, self.config.samples, seeds, &origins)
             .into_iter()
             .map(|stats| self.report_from_stats(stats))
-            .collect()
+            .collect();
+        el_metrics::registry().verify_batch_latency.record(sw);
+        reports
     }
 
     /// Applies the decision rule to precomputed statistics.

@@ -229,6 +229,11 @@ pub fn bayesian_segment_tiled_with_clock(
             let predicted = avg_tile_s.map_or(0.0, |avg| (group.len() + 1) as f64 * avg);
             if now + predicted >= budget_s {
                 expired = true;
+                // Every tile left unadmitted by this pass was refused on
+                // budget grounds.
+                el_metrics::registry()
+                    .tile_refusals
+                    .add((order.len() - pos) as u64);
                 break;
             }
             group.push(order[pos]);
@@ -247,7 +252,9 @@ pub fn bayesian_segment_tiled_with_clock(
         for (&i, f) in group.iter().zip(&fused) {
             let tile = tiles[i];
             let origin = (tile.rect.y as usize, tile.rect.x as usize);
+            let tile_sw = el_metrics::Stopwatch::start();
             let stats = mc_stats_prefixed(net, f, samples, seed, origin, true, &pool);
+            el_metrics::registry().tile_cost.record(tile_sw);
             let (tw, th) = (tile.rect.w as usize, tile.rect.h as usize);
             debug_assert_eq!(stats.mean.shape(), (classes, th, tw));
             let (tx, ty) = (tile.rect.x as usize, tile.rect.y as usize);
@@ -281,6 +288,9 @@ pub fn bayesian_segment_tiled_with_clock(
         }
     }
     let tiles_verified = verified.len();
+    let metrics = el_metrics::registry();
+    metrics.tiles_planned.add(tiles.len() as u64);
+    metrics.tiles_verified.add(tiles_verified as u64);
     TiledBayesStats {
         stats: BayesStats { mean, std, samples },
         covered,

@@ -60,6 +60,30 @@ impl CampaignConfig {
     }
 }
 
+/// An invalid [`CampaignConfig`], rejected by [`Campaign::try_new`].
+///
+/// Carries the first violated constraint; the [`std::fmt::Display`] form
+/// is `invalid campaign configuration: <constraint>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfigError {
+    detail: String,
+}
+
+impl CampaignConfigError {
+    /// The violated constraint, e.g. `missions must be positive`.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl std::fmt::Display for CampaignConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid campaign configuration: {}", self.detail)
+    }
+}
+
+impl std::error::Error for CampaignConfigError {}
+
 /// Index of a hazard category in [`HazardCategory::ALL`] order — the
 /// layout of [`CampaignReport::hazard_events`].
 pub fn hazard_index(hazard: HazardCategory) -> usize {
@@ -174,14 +198,33 @@ pub struct Campaign {
 impl Campaign {
     /// Creates a campaign.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration fails
+    /// [`CampaignConfig::validate`] — campaigns follow the scenario
+    /// subsystem's "never a panic" contract.
+    pub fn try_new(config: CampaignConfig) -> Result<Self, CampaignConfigError> {
+        if let Err(detail) = config.validate() {
+            return Err(CampaignConfigError { detail });
+        }
+        Ok(Campaign { config })
+    }
+
+    /// Creates a campaign.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`CampaignConfig::validate`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Campaign::try_new`, which reports an invalid configuration \
+                as a typed error instead of panicking"
+    )]
     pub fn new(config: CampaignConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid campaign configuration: {e}");
+        match Self::try_new(config) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
-        Campaign { config }
     }
 
     /// The configuration.
@@ -198,7 +241,14 @@ impl Campaign {
                 mc.scene_seed = self.config.base_seed.wrapping_add(i as u64 * 131 + 17);
             }
             let seed = self.config.base_seed.wrapping_add(i as u64 * 7919 + 3);
+            let sw = el_metrics::Stopwatch::start();
             let outcome = Mission::new(mc).run(el, seed);
+            let metrics = el_metrics::registry();
+            metrics.mission_wall.record(sw);
+            metrics.missions_run.add(1);
+            for &h in &outcome.hazards {
+                metrics.hazard_events[hazard_index(h)].add(1);
+            }
             report.tally(&outcome);
         }
         report.power = Some(PowerReport::compute(
@@ -538,7 +588,8 @@ mod tests {
 
     #[test]
     fn counts_are_consistent() {
-        let campaign = Campaign::new(CampaignConfig::small_test(20));
+        let campaign =
+            Campaign::try_new(CampaignConfig::small_test(20)).expect("valid test config");
         let r = campaign.run(&mut PerfectEl::default());
         assert_eq!(
             r.completed + r.returned_to_base + r.landed_el + r.terminated,
@@ -549,7 +600,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let campaign = Campaign::new(CampaignConfig::small_test(10));
+        let campaign =
+            Campaign::try_new(CampaignConfig::small_test(10)).expect("valid test config");
         let a = campaign.run(&mut PerfectEl::default());
         let b = campaign.run(&mut PerfectEl::default());
         assert_eq!(a, b);
@@ -560,12 +612,14 @@ mod tests {
         let mut cfg = CampaignConfig::small_test(30);
         cfg.mission.rates = FailureRates::none();
         cfg.mission.rates.lost_navigation = 60.0;
-        let campaign = Campaign::new(cfg.clone());
+        let campaign = Campaign::try_new(cfg.clone()).expect("valid test config");
         let with_el = campaign.run(&mut PerfectEl { clearance_m: 3.0 });
 
         let mut no_el_cfg = cfg;
         no_el_cfg.mission.el_installed = false;
-        let without_el = Campaign::new(no_el_cfg).run(&mut NoEl);
+        let without_el = Campaign::try_new(no_el_cfg)
+            .expect("valid test config")
+            .run(&mut NoEl);
 
         assert!(with_el.landed_el > 0, "EL should land sometimes");
         assert!(
@@ -580,7 +634,8 @@ mod tests {
 
     #[test]
     fn stress_rates_engage_every_maneuver() {
-        let campaign = Campaign::new(CampaignConfig::small_test(60));
+        let campaign =
+            Campaign::try_new(CampaignConfig::small_test(60)).expect("valid test config");
         let r = campaign.run(&mut PerfectEl::default());
         for (i, &n) in r.maneuver_engagements.iter().enumerate() {
             assert!(n > 0, "maneuver index {i} never engaged in 60 missions");
@@ -589,7 +644,8 @@ mod tests {
 
     #[test]
     fn fractions_bounded() {
-        let campaign = Campaign::new(CampaignConfig::small_test(15));
+        let campaign =
+            Campaign::try_new(CampaignConfig::small_test(15)).expect("valid test config");
         let r = campaign.run(&mut PerfectEl::default());
         assert!(r.fatal_fraction() >= 0.0 && r.fatal_fraction() <= 1.0);
         assert!(r.catastrophic_fraction() <= r.fatal_fraction());
@@ -599,8 +655,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_missions_rejected_with_actionable_error() {
+        let err = Campaign::try_new(CampaignConfig::small_test(0))
+            .expect_err("zero missions must be rejected");
+        assert_eq!(
+            err.to_string(),
+            "invalid campaign configuration: missions must be positive"
+        );
+        assert_eq!(err.detail(), "missions must be positive");
+    }
+
+    #[test]
     #[should_panic(expected = "invalid campaign configuration")]
-    fn zero_missions_rejected() {
+    #[allow(deprecated)]
+    fn deprecated_new_still_panics_with_the_old_message() {
         let _ = Campaign::new(CampaignConfig::small_test(0));
     }
 
@@ -681,7 +749,7 @@ mod tests {
         // than `min_events_per_hazard` events must be flagged rather than
         // silently reporting rates. 5 missions × 120 s at stress rates
         // expects only 4/3600·120·5 ≈ 0.67 loss-of-control events.
-        let campaign = Campaign::new(CampaignConfig::small_test(5));
+        let campaign = Campaign::try_new(CampaignConfig::small_test(5)).expect("valid test config");
         let r = campaign.run(&mut PerfectEl::default());
         let power = r.power.as_ref().expect("run() always computes power");
         assert!(
@@ -702,7 +770,8 @@ mod tests {
         // 400 missions × 120 s at stress rates: the weakest class
         // (fly-away / degraded propulsion at 2 per hour) expects
         // 2/3600·120·400 ≈ 26.7 events — comfortably over the floor.
-        let campaign = Campaign::new(CampaignConfig::small_test(400));
+        let campaign =
+            Campaign::try_new(CampaignConfig::small_test(400)).expect("valid test config");
         let r = campaign.run(&mut PerfectEl::default());
         let power = r.power.as_ref().unwrap();
         assert!(

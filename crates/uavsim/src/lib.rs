@@ -42,8 +42,8 @@ pub mod scenario;
 pub mod wind;
 
 pub use campaign::{
-    BinomialInterval, Campaign, CampaignConfig, CampaignReport, HazardPower, PowerConfig,
-    PowerReport,
+    BinomialInterval, Campaign, CampaignConfig, CampaignConfigError, CampaignReport, HazardPower,
+    PowerConfig, PowerReport,
 };
 pub use elsys::{ElSystem, NoEl, NoisyEl, PerfectEl};
 pub use failure::{FailureEvent, FailureInjector, FailureRates};

@@ -56,7 +56,8 @@ use serde::{Deserialize, Serialize};
 use crate::campaign::{hazard_index, CampaignReport, PowerConfig, PowerReport};
 use crate::elsys::{ElSystem, NoEl, NoisyEl, PerfectEl};
 use crate::failure::{FailureEvent, FailureRates};
-use crate::mission::{Mission, MissionConfig, MissionEvent, MissionOutcome};
+use crate::mission::{Mission, MissionConfig, MissionEvent, MissionOutcome, TerminalState};
+use crate::safety::FlightMode;
 use crate::wind::Wind;
 
 /// An error loading, parsing, or validating a scenario file.
@@ -675,12 +676,19 @@ impl Scenario {
                 let scheduled = self.scheduled_for(index);
                 let mut el = el_policy.build();
                 let mut log = Vec::new();
+                let sw = el_metrics::Stopwatch::start();
                 let outcome = Mission::new(config).run_with(
                     el.as_mut(),
                     stochastic_seed,
                     &scheduled,
                     Some(&mut log),
                 );
+                let metrics = el_metrics::registry();
+                metrics.mission_wall.record(sw);
+                metrics.missions_run.add(1);
+                for &h in &outcome.hazards {
+                    metrics.hazard_events[hazard_index(h)].add(1);
+                }
                 MissionRecord {
                     index,
                     stochastic_seed,
@@ -787,21 +795,217 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-impl ScenarioOutcome {
-    /// A 64-bit fingerprint over the serialized report and every mission
-    /// log, in index order. Two runs of the same scenario and seed must
-    /// produce the same fingerprint regardless of thread count — the
-    /// golden value the CI replay check pins.
-    pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xCBF2_9CE4_8422_2325;
-        h = fnv1a(h, self.scenario_name.as_bytes());
-        let report = serde_json::to_string(&self.report).expect("report serializes");
-        h = fnv1a(h, report.as_bytes());
-        for record in &self.logs {
-            let json = serde_json::to_string(record).expect("mission record serializes");
-            h = fnv1a(h, json.as_bytes());
+/// A streaming FNV-1a hasher over the canonical byte encoding of
+/// scenario outcomes.
+///
+/// Every value appends a fixed, architecture-independent byte sequence:
+/// integers and float bit patterns little-endian, strings and sequences
+/// length-prefixed, enums as declaration-order tag bytes, `Option` as a
+/// 0/1 tag. Hashing bytes instead of JSON text is what makes the
+/// fingerprint portable — `serde_json` float formatting (the previous
+/// encoding) renders shortest-roundtrip decimals whose text can differ
+/// across platforms, which pinned the goldens to x86_64.
+struct Canon(u64);
+
+impl Canon {
+    fn new() -> Self {
+        Canon(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a(self.0, bytes);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.bytes(&[t]);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.tag(u8::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.tag(0),
+            Some(x) => {
+                self.tag(1);
+                self.f64(x);
+            }
         }
-        h
+    }
+
+    fn vec2(&mut self, v: el_geom::Vec2) {
+        self.f64(v.x);
+        self.f64(v.y);
+    }
+
+    fn flight_mode(&mut self, m: FlightMode) {
+        match m {
+            FlightMode::Nominal => self.tag(0),
+            FlightMode::Emergency(maneuver) => {
+                self.tag(1);
+                self.tag(maneuver as u8);
+            }
+        }
+    }
+
+    fn event(&mut self, e: &MissionEvent) {
+        match e {
+            MissionEvent::Fault {
+                hazard,
+                at_time_s,
+                duration_s,
+                scheduled,
+            } => {
+                self.tag(0);
+                self.tag(hazard_index(*hazard) as u8);
+                self.f64(*at_time_s);
+                self.opt_f64(*duration_s);
+                self.bool(*scheduled);
+            }
+            MissionEvent::Switched {
+                from,
+                to,
+                at_time_s,
+            } => {
+                self.tag(1);
+                self.flight_mode(*from);
+                self.flight_mode(*to);
+                self.f64(*at_time_s);
+            }
+            MissionEvent::Engaged {
+                maneuver,
+                at_time_s,
+            } => {
+                self.tag(2);
+                self.tag(*maneuver as u8);
+                self.f64(*at_time_s);
+            }
+            MissionEvent::Recovered { at_time_s } => {
+                self.tag(3);
+                self.f64(*at_time_s);
+            }
+            MissionEvent::HoverExhausted { at_time_s } => {
+                self.tag(4);
+                self.f64(*at_time_s);
+            }
+            MissionEvent::Advisory {
+                advisory,
+                at_time_s,
+            } => {
+                self.tag(5);
+                self.tag(*advisory as u8);
+                self.f64(*at_time_s);
+            }
+            MissionEvent::ElAborted { at_time_s } => {
+                self.tag(6);
+                self.f64(*at_time_s);
+            }
+            MissionEvent::Touchdown {
+                at,
+                severity,
+                parachute,
+                at_time_s,
+            } => {
+                self.tag(7);
+                self.vec2(*at);
+                self.tag(severity.rating());
+                self.bool(*parachute);
+                self.f64(*at_time_s);
+            }
+        }
+    }
+
+    fn outcome(&mut self, o: &MissionOutcome) {
+        match o.terminal {
+            TerminalState::Completed => self.tag(0),
+            TerminalState::ReturnedToBase => self.tag(1),
+            TerminalState::LandedEl { at } => {
+                self.tag(2);
+                self.vec2(at);
+            }
+            TerminalState::Terminated { at } => {
+                self.tag(3);
+                self.vec2(at);
+            }
+        }
+        self.usize(o.maneuvers.len());
+        for &m in &o.maneuvers {
+            self.tag(m as u8);
+        }
+        self.tag(o.severity.rating());
+        self.usize(o.hazards.len());
+        for &h in &o.hazards {
+            self.tag(hazard_index(h) as u8);
+        }
+    }
+
+    fn report(&mut self, r: &CampaignReport) {
+        self.usize(r.missions);
+        self.usize(r.completed);
+        self.usize(r.returned_to_base);
+        self.usize(r.landed_el);
+        self.usize(r.terminated);
+        for &m in &r.maneuver_engagements {
+            self.usize(m);
+        }
+        for &s in &r.severity_histogram {
+            self.usize(s);
+        }
+        for &h in &r.hazard_events {
+            self.usize(h);
+        }
+        // The power section is deliberately excluded: its intervals come
+        // from `ln`/`exp`/`sqrt` chains whose last-bit rounding is not
+        // pinned across libm implementations, and it is a pure function
+        // of the tallies hashed above anyway.
+    }
+}
+
+impl ScenarioOutcome {
+    /// A 64-bit fingerprint over the canonical byte encoding of the
+    /// report tallies and every mission record, in index order. Two runs
+    /// of the same scenario and seed must produce the same fingerprint
+    /// regardless of thread count **or architecture** — the golden value
+    /// the CI replay checks (x86_64 and qemu aarch64) pin.
+    ///
+    /// Floats are hashed as their IEEE-754 bit patterns
+    /// (`f64::to_bits`, little-endian), never as formatted text, and the
+    /// derived power section (arch-sensitive libm maths, fully
+    /// determined by the hashed tallies) is excluded.
+    pub fn fingerprint(&self) -> u64 {
+        let mut c = Canon::new();
+        c.str(&self.scenario_name);
+        c.report(&self.report);
+        c.usize(self.logs.len());
+        for record in &self.logs {
+            c.usize(record.index);
+            c.u64(record.stochastic_seed);
+            c.u64(record.scene_seed);
+            c.outcome(&record.outcome);
+            c.usize(record.log.len());
+            for event in &record.log {
+                c.event(event);
+            }
+        }
+        c.0
     }
 
     /// [`ScenarioOutcome::fingerprint`] as a 16-digit hex string.

@@ -81,7 +81,8 @@ fn main() {
             config.monitor.max_warning_fraction = 0.02;
             config.monitored = monitored;
             let mut pipeline =
-                ElPipeline::new(MsdNet::from_json(&netify(&net)).expect("roundtrip"), config);
+                ElPipeline::try_new(MsdNet::from_json(&netify(&net)).expect("roundtrip"), config)
+                    .expect("valid config");
             let mut landed = 0;
             let mut aborted = 0;
             let mut fatal = 0;

@@ -45,7 +45,7 @@ fn main() {
     let mut config = PipelineConfig::benchmark();
     config.zone = ZoneParams::small();
     config.monitor.samples = 10;
-    let mut pipeline = ElPipeline::new(net, config);
+    let mut pipeline = ElPipeline::try_new(net, config).expect("valid config");
     let outcome = pipeline.run(&image, 42);
 
     println!("pipeline trials:");

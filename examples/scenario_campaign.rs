@@ -20,11 +20,20 @@
 //! - `--bench-out <path>` — time the campaign single- and multi-threaded
 //!   and append `{scenario, missions, threads, secs, missions_per_sec}`
 //!   rows to a JSON array at `path` (the `BENCH_scenarios.json` format).
+//! - `--bench-pipeline <path>` — run the EL pipeline stage bench (exact
+//!   per-stage nanoseconds from the metrics registry, true medians over
+//!   many iterations) and write the summary to `path` (the
+//!   `BENCH_pipeline.json` format). Works without `--scenario`.
+//! - `--check-pipeline <baseline.json>` — run the same stage bench and
+//!   exit nonzero if any stage's fresh median exceeds the committed
+//!   baseline median by more than 25% (the CI bench-trend gate).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use certel::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 struct Args {
     scenario: String,
@@ -33,6 +42,8 @@ struct Args {
     check_golden: Option<String>,
     goldens: Option<String>,
     bench_out: Option<String>,
+    bench_pipeline: Option<String>,
+    check_pipeline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         check_golden: None,
         goldens: None,
         bench_out: None,
+        bench_pipeline: None,
+        check_pipeline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,10 +73,13 @@ fn parse_args() -> Result<Args, String> {
             "--check-golden" => args.check_golden = Some(value("--check-golden")?),
             "--goldens" => args.goldens = Some(value("--goldens")?),
             "--bench-out" => args.bench_out = Some(value("--bench-out")?),
+            "--bench-pipeline" => args.bench_pipeline = Some(value("--bench-pipeline")?),
+            "--check-pipeline" => args.check_pipeline = Some(value("--check-pipeline")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.scenario.is_empty() {
+    let pipeline_only = args.bench_pipeline.is_some() || args.check_pipeline.is_some();
+    if args.scenario.is_empty() && !pipeline_only {
         return Err("--scenario <file.json> is required".into());
     }
     Ok(args)
@@ -81,6 +97,10 @@ fn main() -> ExitCode {
 
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    if args.scenario.is_empty() {
+        // Pipeline-bench-only invocation (the CI bench-trend job).
+        return run_pipeline_bench(&args);
+    }
     let mut scenario = Scenario::load(&args.scenario).map_err(|e| e.to_string())?;
     if let Some(seed) = args.seed {
         scenario.base_seed = seed;
@@ -115,6 +135,13 @@ fn run() -> Result<ExitCode, String> {
 
     if let Some(path) = &args.bench_out {
         bench(&scenario, path)?;
+    }
+
+    if args.bench_pipeline.is_some() || args.check_pipeline.is_some() {
+        let code = run_pipeline_bench(&args)?;
+        if code != ExitCode::SUCCESS {
+            return Ok(code);
+        }
     }
 
     let expected = match (&args.check_golden, &args.goldens) {
@@ -277,4 +304,155 @@ fn bench(scenario: &Scenario, path: &str) -> Result<(), String> {
     std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("appended bench rows to {path}");
     Ok(())
+}
+
+/// The `BENCH_pipeline.json` format: median per-stage nanoseconds for one
+/// `ElPipeline::run`, measured from the metrics registry (exact `sum_ns`
+/// deltas per iteration, not histogram-bucket approximations).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PipelineBench {
+    iterations: usize,
+    propose_ns: u64,
+    verify_ns: u64,
+    decide_ns: u64,
+    audit_ns: u64,
+    total_ns: u64,
+    monitor_verify_ns: u64,
+    samples_per_run: u64,
+    trials_per_run: u64,
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Benchmarks the Figure 2 pipeline stage by stage. The metrics registry
+/// is reset before each iteration and each stage histogram records exactly
+/// once per run, so the per-iteration `sum_ns` IS that run's stage time —
+/// medians here are true medians of exact measurements.
+fn bench_pipeline_stages(iterations: usize) -> Result<PipelineBench, String> {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
+    let mut pipeline = ElPipeline::try_new(
+        net,
+        PipelineConfig::fast_test().with_audit(AuditConfig::fast_test()),
+    )
+    .map_err(|e| e.to_string())?;
+    let image = Scene::generate(&SceneParams::small(), 7).render(&Conditions::nominal(), 7);
+
+    el_metrics::set_enabled(true);
+    let reg = el_metrics::registry();
+    for _ in 0..3 {
+        pipeline.run(&image, 42); // warmup
+    }
+
+    let (mut propose, mut verify, mut decide, mut audit, mut total, mut monitor) = (
+        Vec::with_capacity(iterations),
+        Vec::with_capacity(iterations),
+        Vec::with_capacity(iterations),
+        Vec::with_capacity(iterations),
+        Vec::with_capacity(iterations),
+        Vec::with_capacity(iterations),
+    );
+    let (mut samples_run, mut trials) = (0u64, 0u64);
+    for i in 0..iterations {
+        reg.reset();
+        let started = Instant::now();
+        let _ = pipeline.run(&image, 42 + i as u64);
+        total.push(started.elapsed().as_nanos() as u64);
+        propose.push(reg.stage_propose.sum_ns());
+        verify.push(reg.stage_verify.sum_ns());
+        decide.push(reg.stage_decide.sum_ns());
+        audit.push(reg.stage_audit.sum_ns());
+        monitor.push(reg.verify_batch_latency.sum_ns());
+        samples_run += reg.samples_run.get();
+        trials += reg.verify_trials.get();
+    }
+    el_metrics::set_enabled(false);
+    reg.reset();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    Ok(PipelineBench {
+        iterations,
+        propose_ns: median(&mut propose),
+        verify_ns: median(&mut verify),
+        decide_ns: median(&mut decide),
+        audit_ns: median(&mut audit),
+        total_ns: median(&mut total),
+        monitor_verify_ns: median(&mut monitor),
+        samples_per_run: samples_run / iterations as u64,
+        trials_per_run: trials / iterations as u64,
+    })
+}
+
+/// Runs the stage bench, prints it, optionally writes `--bench-pipeline`
+/// and gates against a `--check-pipeline` baseline (>25% median
+/// regression on any stage fails).
+fn run_pipeline_bench(args: &Args) -> Result<ExitCode, String> {
+    let fresh = bench_pipeline_stages(40)?;
+    println!(
+        "\npipeline stage bench ({} iterations, 1 thread):",
+        fresh.iterations
+    );
+    for (name, ns) in [
+        ("propose", fresh.propose_ns),
+        ("verify", fresh.verify_ns),
+        ("decide", fresh.decide_ns),
+        ("audit", fresh.audit_ns),
+        ("total", fresh.total_ns),
+        ("monitor.verify", fresh.monitor_verify_ns),
+    ] {
+        println!("  {name:<16} median {:>12} ns", ns);
+    }
+    println!(
+        "  {:<16} {} samples, {} trials per run",
+        "workload", fresh.samples_per_run, fresh.trials_per_run
+    );
+
+    if let Some(path) = &args.bench_pipeline {
+        let json = serde_json::to_string(&fresh).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote pipeline bench to {path}");
+    }
+
+    let Some(baseline_path) = &args.check_pipeline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let base: PipelineBench = serde_json::from_str(&text)
+        .map_err(|e| format!("malformed baseline {baseline_path}: {e}"))?;
+    let mut regressed = false;
+    println!("\nbench-trend vs {baseline_path} (fail threshold: +25% on any median):");
+    for (name, now, was) in [
+        ("propose", fresh.propose_ns, base.propose_ns),
+        ("verify", fresh.verify_ns, base.verify_ns),
+        ("decide", fresh.decide_ns, base.decide_ns),
+        ("audit", fresh.audit_ns, base.audit_ns),
+        ("total", fresh.total_ns, base.total_ns),
+    ] {
+        let ratio = now as f64 / (was as f64).max(1.0);
+        // 25% relative plus a 50 µs absolute slack so sub-microsecond
+        // stages (decide is a few hundred ns) can't trip the gate on
+        // scheduler noise alone.
+        let bad = ratio > 1.25 && now > was + 50_000;
+        regressed |= bad;
+        println!(
+            "  {name:<16} fresh {now:>12} ns  baseline {was:>12} ns  {:+6.1}%  {}",
+            100.0 * (ratio - 1.0),
+            if bad { "REGRESSION" } else { "ok" }
+        );
+    }
+    if regressed {
+        eprintln!(
+            "PIPELINE BENCH REGRESSION: a stage median slowed by more than 25% \
+             against the committed BENCH_pipeline.json \
+             (an intentional slowdown must update the baseline)"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("bench-trend OK");
+    Ok(ExitCode::SUCCESS)
 }

@@ -112,7 +112,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
         PipelineElSystem::new(
-            ElPipeline::new(net, PipelineConfig::fast_test()),
+            ElPipeline::try_new(net, PipelineConfig::fast_test()).expect("valid config"),
             Conditions::nominal(),
         )
     }
@@ -148,7 +148,10 @@ mod tests {
         let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
         let config =
             PipelineConfig::fast_test().with_audit(el_core::audit::AuditConfig::fast_test());
-        let mut el = PipelineElSystem::new(ElPipeline::new(net, config), Conditions::nominal());
+        let mut el = PipelineElSystem::new(
+            ElPipeline::try_new(net, config).expect("valid config"),
+            Conditions::nominal(),
+        );
         // Before any run there is no audit and the advisory defaults Clear.
         assert!(el.last_audit().is_none());
         assert_eq!(el.audit_advisory(), AuditAdvisory::Clear);

@@ -37,7 +37,7 @@
 //! Trainer::new(TrainConfig::benchmark()).train(&mut net, &dataset);
 //!
 //! // 3. Run the certified landing pipeline on an emergency frame.
-//! let mut pipeline = ElPipeline::new(net, PipelineConfig::paper());
+//! let mut pipeline = ElPipeline::try_new(net, PipelineConfig::paper()).unwrap();
 //! let scene = Scene::generate(&SceneParams::default_urban(), 99);
 //! let image = scene.render(&Conditions::nominal(), 7);
 //! match pipeline.run(&image, 42).decision {
@@ -48,6 +48,7 @@
 
 pub use el_core;
 pub use el_geom;
+pub use el_metrics;
 pub use el_monitor;
 pub use el_nn;
 pub use el_scene;
@@ -65,9 +66,10 @@ pub mod prelude {
     pub use el_core::{
         assess_zone, audit_seed, propose_zones, AssuranceEvidence, AssuranceLevel, AuditConfig,
         AuditRegion, AuditReport, Candidate, DriftModel, ElOutcome, ElPipeline, FinalDecision,
-        IntegrityLevel, PipelineConfig, TileAuditStat, ZoneParams,
+        IntegrityLevel, PipelineConfig, PipelineConfigError, TileAuditStat, ZoneParams,
     };
     pub use el_geom::{Grid, LabelMap, Point, Rect, SemanticClass, Vec2};
+    pub use el_metrics::{MetricsRegistry, MetricsSnapshot};
     pub use el_monitor::{
         bayesian_segment, BayesStats, Monitor, MonitorConfig, MonitorQuality, MonitorRule, Verdict,
     };
@@ -78,9 +80,9 @@ pub mod prelude {
         medi_delivery, Arc, ElMitigation, Mitigation, Robustness, Sail, Severity, SoraAssessment,
     };
     pub use el_uavsim::{
-        AuditAdvisory, BinomialInterval, Campaign, CampaignConfig, CampaignReport, ElPolicy,
-        ElSystem, FailureRates, HazardPower, Maneuver, Mission, MissionConfig, MissionEvent,
-        MissionRecord, NoEl, NoisyEl, PerfectEl, PowerConfig, PowerReport, Scenario, ScenarioError,
-        ScenarioOutcome, ScheduledFault, TerminalState, Wind,
+        AuditAdvisory, BinomialInterval, Campaign, CampaignConfig, CampaignConfigError,
+        CampaignReport, ElPolicy, ElSystem, FailureRates, HazardPower, Maneuver, Mission,
+        MissionConfig, MissionEvent, MissionRecord, NoEl, NoisyEl, PerfectEl, PowerConfig,
+        PowerReport, Scenario, ScenarioError, ScenarioOutcome, ScheduledFault, TerminalState, Wind,
     };
 }

@@ -49,8 +49,10 @@ fn audit_never_changes_the_decision() {
     for case in 0..4u64 {
         let image = scene_image(60 + case, 56, 48);
         let seed = r.gen::<u64>();
-        let mut plain = ElPipeline::new(tiny_net(case), PipelineConfig::fast_test());
-        let mut audited = ElPipeline::new(tiny_net(case), audited_config());
+        let mut plain =
+            ElPipeline::try_new(tiny_net(case), PipelineConfig::fast_test()).expect("valid config");
+        let mut audited =
+            ElPipeline::try_new(tiny_net(case), audited_config()).expect("valid config");
         let a = plain.run(&image, seed);
         let b = audited.run(&image, seed);
         assert_eq!(a.decision, b.decision, "case {case}: decision diverged");
@@ -71,10 +73,13 @@ fn audit_never_changes_the_decision() {
 fn audit_budget_semantics_under_fake_clock() {
     let image = scene_image(9, 60, 48);
     let seed = 21u64;
-    let baseline = ElPipeline::new(tiny_net(7), PipelineConfig::fast_test()).run(&image, seed);
+    let baseline = ElPipeline::try_new(tiny_net(7), PipelineConfig::fast_test())
+        .expect("valid config")
+        .run(&image, seed);
 
     // Discover the plan size with an unexpired budget.
-    let full = ElPipeline::new(tiny_net(7), audited_config())
+    let full = ElPipeline::try_new(tiny_net(7), audited_config())
+        .expect("valid config")
         .run(&image, seed)
         .audit
         .expect("audit enabled");
@@ -93,7 +98,7 @@ fn audit_budget_semantics_under_fake_clock() {
         let expected = expected_admitted(budget_s, tiles_total);
         let mut config = audited_config();
         config.audit.budget_s = budget_s;
-        let mut p = ElPipeline::new(tiny_net(7), config);
+        let mut p = ElPipeline::try_new(tiny_net(7), config).expect("valid config");
         let mut t = -1.0f64;
         let out = p.run_with_audit_clock(&image, seed, move || {
             t += 1.0;
@@ -186,7 +191,7 @@ fn zero_budget_audit_is_empty_but_wellformed() {
     let image = scene_image(31, 48, 40);
     let mut config = audited_config();
     config.audit.budget_s = 0.0;
-    let mut p = ElPipeline::new(tiny_net(3), config);
+    let mut p = ElPipeline::try_new(tiny_net(3), config).expect("valid config");
     let out = p.run_with_audit_clock(&image, 5, || 1.0);
     let audit = out.audit.expect("audit enabled");
     assert_eq!(audit.tiles_verified(), 0);
@@ -195,7 +200,9 @@ fn zero_budget_audit_is_empty_but_wellformed() {
     assert!(audit.tile_stats.is_empty());
     assert!(audit.regions.is_empty());
     assert!(audit.tiled.stats.mean.as_slice().iter().all(|&v| v == 0.0));
-    let baseline = ElPipeline::new(tiny_net(3), PipelineConfig::fast_test()).run(&image, 5);
+    let baseline = ElPipeline::try_new(tiny_net(3), PipelineConfig::fast_test())
+        .expect("valid config")
+        .run(&image, 5);
     assert_eq!(out.decision, baseline.decision);
     assert_eq!(out.trials, baseline.trials);
 }
@@ -209,7 +216,7 @@ fn unexpired_audit_equals_untiled_bayesian_segment() {
     let reference_net = net.clone();
     let image = scene_image(13, 52, 44);
     let seed = 77u64;
-    let mut p = ElPipeline::new(net, audited_config());
+    let mut p = ElPipeline::try_new(net, audited_config()).expect("valid config");
     let samples = p.config().audit.samples;
     let audit = p.run(&image, seed).audit.expect("audit enabled");
     assert!(audit.is_complete());
@@ -237,7 +244,7 @@ fn candidate_tiles_audited_first_under_tight_budget() {
         let image = scene_image(40 + case, 64, 56);
         let mut config = audited_config();
         config.audit.budget_s = 0.5; // fake clock admits exactly one tile
-        let mut p = ElPipeline::new(tiny_net(case), config);
+        let mut p = ElPipeline::try_new(tiny_net(case), config).expect("valid config");
         let mut t = -1.0f64;
         let out = p.run_with_audit_clock(&image, 8 + case, move || {
             t += 1.0;

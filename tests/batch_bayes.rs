@@ -302,10 +302,10 @@ fn pipeline_batching_stays_deterministic() {
         let image = scene_image(40 + case, 48, 48);
         let mut rng1 = ChaCha8Rng::seed_from_u64(case);
         let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng1);
-        let mut p1 = ElPipeline::new(net, PipelineConfig::fast_test());
+        let mut p1 = ElPipeline::try_new(net, PipelineConfig::fast_test()).expect("valid config");
         let mut rng2 = ChaCha8Rng::seed_from_u64(case);
         let net2 = MsdNet::new(&MsdNetConfig::tiny(), &mut rng2);
-        let mut p2 = ElPipeline::new(net2, PipelineConfig::fast_test());
+        let mut p2 = ElPipeline::try_new(net2, PipelineConfig::fast_test()).expect("valid config");
         let a = p1.run(&image, seed);
         let b = p2.run(&image, seed);
         assert_eq!(a.decision, b.decision);

@@ -108,7 +108,7 @@ fn pipeline_decisions_are_gt_safe_or_abort_in_distribution() {
     let mut config = PipelineConfig::fast_test();
     config.monitor.samples = 6;
     config.monitor.max_warning_fraction = 0.3; // tiny net: generous zone tolerance
-    let mut pipeline = ElPipeline::new(net, config);
+    let mut pipeline = ElPipeline::try_new(net, config).expect("valid config");
     let mut decisions = 0;
     for (i, s) in dataset.split(Split::Test).enumerate() {
         let outcome = pipeline.run(&s.image, 100 + i as u64);
@@ -126,7 +126,7 @@ fn pipeline_trials_never_exceed_budget() {
     let (dataset, net) = trained_setup();
     let config = PipelineConfig::fast_test();
     let budget = config.decision.max_trials;
-    let mut pipeline = ElPipeline::new(net, config);
+    let mut pipeline = ElPipeline::try_new(net, config).expect("valid config");
     for (i, s) in dataset.samples.iter().enumerate() {
         let outcome = pipeline.run(&s.image, i as u64);
         assert!(outcome.trials.len() <= budget);
@@ -139,8 +139,8 @@ fn model_roundtrip_preserves_pipeline_behaviour() {
     let json = net.to_json();
     let restored = MsdNet::from_json(&json).expect("roundtrip");
     let sample = dataset.split(Split::Test).next().unwrap();
-    let mut p1 = ElPipeline::new(net, PipelineConfig::fast_test());
-    let mut p2 = ElPipeline::new(restored, PipelineConfig::fast_test());
+    let mut p1 = ElPipeline::try_new(net, PipelineConfig::fast_test()).expect("valid config");
+    let mut p2 = ElPipeline::try_new(restored, PipelineConfig::fast_test()).expect("valid config");
     let a = p1.run(&sample.image, 9);
     let b = p2.run(&sample.image, 9);
     assert_eq!(a.decision, b.decision);

@@ -25,7 +25,10 @@ fn quick_pipeline_el(conditions: Conditions) -> PipelineElSystem {
     let mut pcfg = PipelineConfig::fast_test();
     pcfg.monitor.samples = 4;
     pcfg.monitor.max_warning_fraction = 0.35;
-    PipelineElSystem::new(ElPipeline::new(net, pcfg), conditions)
+    PipelineElSystem::new(
+        ElPipeline::try_new(net, pcfg).expect("valid config"),
+        conditions,
+    )
 }
 
 #[test]
@@ -60,7 +63,7 @@ fn campaign_with_pipeline_el_counts_consistent() {
     let mut ccfg = CampaignConfig::small_test(8);
     ccfg.mission.rates = FailureRates::none();
     ccfg.mission.rates.lost_navigation = 90.0;
-    let campaign = Campaign::new(ccfg);
+    let campaign = Campaign::try_new(ccfg).expect("valid config");
     let report = campaign.run(&mut quick_pipeline_el(Conditions::nominal()));
     assert_eq!(
         report.completed + report.returned_to_base + report.landed_el + report.terminated,
@@ -82,10 +85,14 @@ fn perfect_el_dominates_no_el_on_catastrophics() {
         direction_rad: 0.3,
         gust_std_mps: 0.3,
     };
-    let with_el = Campaign::new(ccfg.clone()).run(&mut PerfectEl { clearance_m: 10.0 });
+    let with_el = Campaign::try_new(ccfg.clone())
+        .expect("valid config")
+        .run(&mut PerfectEl { clearance_m: 10.0 });
     let mut no_cfg = ccfg;
     no_cfg.mission.el_installed = false;
-    let without_el = Campaign::new(no_cfg).run(&mut NoEl);
+    let without_el = Campaign::try_new(no_cfg)
+        .expect("valid config")
+        .run(&mut NoEl);
     assert!(with_el.catastrophic_fraction() <= without_el.catastrophic_fraction());
     assert!(with_el.landed_el > 0);
     assert_eq!(without_el.landed_el, 0);

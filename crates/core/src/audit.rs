@@ -224,8 +224,9 @@ impl AuditReport {
 /// `priority` rectangles (candidate landing zones) are audited first;
 /// `elapsed_s` is the pipeline's clock (seconds since `run` began), so
 /// the sweep spends exactly the latency budget the decision path left
-/// over.
-pub(crate) fn run_audit_with_clock(
+/// over. Public so the multi-stream service can run per-frame audits
+/// outside an [`crate::pipeline::ElPipeline`].
+pub fn run_audit_with_clock(
     net: &MsdNet,
     image: &Image,
     config: &AuditConfig,

@@ -58,11 +58,14 @@ pub mod requirements;
 pub mod zone;
 
 pub use assess::{assess_zone, ZoneAssessment};
-pub use audit::{audit_seed, AuditConfig, AuditRegion, AuditReport, TileAuditStat};
+pub use audit::{
+    audit_seed, run_audit_with_clock, AuditConfig, AuditRegion, AuditReport, TileAuditStat,
+};
 pub use decision::{Decision, DecisionConfig, DecisionModule};
 pub use drift::DriftModel;
 pub use pipeline::{
-    ElOutcome, ElPipeline, FinalDecision, PipelineConfig, PipelineConfigError, Trial,
+    replay_decisions, ElOutcome, ElPipeline, FinalDecision, PipelineConfig, PipelineConfigError,
+    Trial,
 };
 pub use requirements::{AssuranceEvidence, AssuranceLevel, IntegrityLevel};
 pub use zone::{propose_zones, Candidate, ZoneParams};

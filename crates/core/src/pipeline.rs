@@ -191,7 +191,7 @@ pub struct ElOutcome {
 /// budget, or a future decision policy that retries); running out of
 /// verdicts is an **abort**, never a panic — an unverifiable candidate
 /// must not be landed on (regression-tested below).
-fn replay_decisions(
+pub fn replay_decisions(
     config: DecisionConfig,
     monitored: bool,
     candidates: Vec<Candidate>,
@@ -545,8 +545,7 @@ mod tests {
         for (i, trial) in out.trials.iter().enumerate() {
             assert_eq!(trial.candidate, candidates[i], "trial order diverged");
             let crop = crop_for_monitor(&trial.candidate, margin, &img);
-            let trial_seed =
-                seed.wrapping_add((i as u64 + 1).wrapping_mul(el_monitor::BATCH_SEED_STRIDE));
+            let trial_seed = el_monitor::batch_seed(seed, i);
             let report = monitor.verify(p.net_mut(), &crop, trial_seed);
             assert_eq!(report.verdict, trial.verdict);
             assert_eq!(report.warning_fraction, trial.warning_fraction);

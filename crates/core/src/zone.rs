@@ -160,9 +160,20 @@ pub fn propose_zones(predicted: &LabelMap, params: &ZoneParams) -> Vec<Candidate
             score,
         });
     }
-    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    candidates.sort_by(score_desc);
     candidates.truncate(params.max_candidates);
     candidates
+}
+
+/// Descending score comparator used to rank candidates.
+///
+/// Uses [`f64::total_cmp`] so a non-finite score (±∞ from an obstacle-free
+/// distance transform, or NaN from a hand-built [`Candidate`]) yields a
+/// deterministic order instead of panicking; the ordering over finite
+/// scores is identical to the old `partial_cmp().unwrap()` sort. Under the
+/// IEEE total order, descending ranks +NaN first and -NaN last.
+fn score_desc(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score)
 }
 
 #[cfg(test)]
@@ -279,6 +290,73 @@ mod tests {
         let zones = propose_zones(&labels, &params);
         assert_eq!(zones.len(), 1, "one big region, one candidate");
         assert_eq!(zones[0].region_area, 32 * 32);
+    }
+
+    fn candidate_with_score(score: f64) -> Candidate {
+        let center = Point { x: 8, y: 8 };
+        Candidate {
+            center,
+            rect: Rect::centered_square(center, 3),
+            clearance_px: score,
+            region_area: 1,
+            score,
+        }
+    }
+
+    #[test]
+    fn nan_scores_sort_without_panicking() {
+        // Regression: the old `partial_cmp().unwrap()` comparator panicked
+        // on NaN. The total_cmp comparator must order deterministically.
+        let mut cands = [
+            candidate_with_score(1.0),
+            candidate_with_score(f64::NAN),
+            candidate_with_score(f64::INFINITY),
+            candidate_with_score(-3.0),
+            candidate_with_score(f64::NEG_INFINITY),
+        ];
+
+        cands.sort_by(score_desc);
+        // +NaN ranks above +inf in the IEEE total order (descending).
+        assert!(cands[0].score.is_nan());
+        assert_eq!(cands[1].score, f64::INFINITY);
+        assert_eq!(cands[2].score, 1.0);
+        assert_eq!(cands[3].score, -3.0);
+        assert_eq!(cands[4].score, f64::NEG_INFINITY);
+        // Finite-only ordering is unchanged from the old comparator.
+        let mut finite = [
+            candidate_with_score(0.5),
+            candidate_with_score(7.0),
+            candidate_with_score(-1.0),
+        ];
+        finite.sort_by(score_desc);
+        let scores: Vec<f64> = finite.iter().map(|c| c.score).collect();
+        assert_eq!(scores, vec![7.0, 0.5, -1.0]);
+    }
+
+    #[test]
+    fn non_finite_clearance_through_propose_zones() {
+        // A risk-free map gives every pixel infinite clearance, so every
+        // candidate score is +inf — the closest a real label map gets to
+        // the NaN panic path. Must rank, not panic.
+        let mut labels: LabelMap = Grid::new(64, 64, SemanticClass::LowVegetation);
+        // A vertical band of humans is high-risk: it bounds the distance
+        // transform and splits the grass into two safe components.
+        for y in 0..64 {
+            for x in 30..34 {
+                labels[(x, y)] = SemanticClass::Humans;
+            }
+        }
+        let zones = propose_zones(&labels, &ZoneParams::small());
+        assert!(!zones.is_empty());
+        for z in &zones {
+            assert!(z.clearance_px.is_finite(), "risk band bounds clearance");
+        }
+        // Fully landable map: clearance and score are +inf everywhere.
+        let open: LabelMap = Grid::new(48, 48, SemanticClass::LowVegetation);
+        let zones = propose_zones(&open, &ZoneParams::small());
+        assert_eq!(zones.len(), 1);
+        assert_eq!(zones[0].clearance_px, f64::INFINITY);
+        assert_eq!(zones[0].score, f64::INFINITY);
     }
 
     #[test]

@@ -392,6 +392,20 @@ pub struct MetricsRegistry {
     /// Hazard events observed across missions, indexed by
     /// `HazardCategory::ALL` order.
     pub hazard_events: [Counter; HAZARD_SLOTS],
+    // -- multi-stream service --------------------------------------------
+    /// `ElService::tick` wall time (one coalesced cross-stream batch).
+    pub serve_tick: Histogram,
+    /// Crops per coalesced verify batch (a count distribution — the
+    /// histogram's ns buckets double as plain power-of-two count bins).
+    pub serve_batch_crops: Histogram,
+    /// Frames pending at tick start (same count-distribution convention).
+    pub serve_queue_depth: Histogram,
+    /// Frames fully processed by the service (admitted and decided).
+    pub serve_frames: Counter,
+    /// Frames refused admission by the predictive cost model.
+    pub serve_refusals: Counter,
+    /// Sessions opened over the service's lifetime.
+    pub serve_sessions: Counter,
 }
 
 impl MetricsRegistry {
@@ -416,6 +430,12 @@ impl MetricsRegistry {
             mission_wall: Histogram::new(),
             missions_run: Counter::new(),
             hazard_events: [const { Counter::new() }; HAZARD_SLOTS],
+            serve_tick: Histogram::new(),
+            serve_batch_crops: Histogram::new(),
+            serve_queue_depth: Histogram::new(),
+            serve_frames: Counter::new(),
+            serve_refusals: Counter::new(),
+            serve_sessions: Counter::new(),
         }
     }
 
@@ -441,6 +461,12 @@ impl MetricsRegistry {
         for c in &self.hazard_events {
             c.reset();
         }
+        self.serve_tick.reset();
+        self.serve_batch_crops.reset();
+        self.serve_queue_depth.reset();
+        self.serve_frames.reset();
+        self.serve_refusals.reset();
+        self.serve_sessions.reset();
     }
 
     /// Freezes the whole registry into plain serializable structs.
@@ -479,6 +505,14 @@ impl MetricsRegistry {
                 mission_wall: self.mission_wall.snapshot(),
                 missions: self.missions_run.get(),
                 hazard_events: self.hazard_events.iter().map(Counter::get).collect(),
+            },
+            serve: ServeMetrics {
+                tick: self.serve_tick.snapshot(),
+                batch_crops: self.serve_batch_crops.snapshot(),
+                queue_depth: self.serve_queue_depth.snapshot(),
+                frames: self.serve_frames.get(),
+                refusals: self.serve_refusals.get(),
+                sessions: self.serve_sessions.get(),
             },
         }
     }
@@ -556,6 +590,23 @@ pub struct CampaignMetrics {
     pub hazard_events: Vec<u64>,
 }
 
+/// Multi-stream service metrics, frozen.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeMetrics {
+    /// Per-tick latency (one coalesced cross-stream batch).
+    pub tick: HistogramSnapshot,
+    /// Crops per coalesced verify batch (count distribution).
+    pub batch_crops: HistogramSnapshot,
+    /// Frames pending at tick start (count distribution).
+    pub queue_depth: HistogramSnapshot,
+    /// Frames fully processed.
+    pub frames: u64,
+    /// Frames refused admission.
+    pub refusals: u64,
+    /// Sessions opened.
+    pub sessions: u64,
+}
+
 /// The whole registry, frozen for JSON reporting.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MetricsSnapshot {
@@ -569,6 +620,8 @@ pub struct MetricsSnapshot {
     pub pipeline: PipelineMetrics,
     /// Campaign-runner metrics.
     pub campaign: CampaignMetrics,
+    /// Multi-stream service metrics.
+    pub serve: ServeMetrics,
 }
 
 #[cfg(test)]
@@ -670,6 +723,30 @@ mod tests {
         h.record(Stopwatch::start());
         assert_eq!(h.count(), 1);
         set_enabled(false);
+    }
+
+    #[test]
+    fn serve_group_snapshots_and_resets() {
+        let reg = MetricsRegistry::new();
+        reg.serve_tick.record_ns(2_000);
+        reg.serve_batch_crops.record_ns(6);
+        reg.serve_queue_depth.record_ns(3);
+        reg.serve_frames.add_always(8);
+        reg.serve_refusals.add_always(2);
+        reg.serve_sessions.add_always(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.serve.tick.count, 1);
+        assert_eq!(snap.serve.batch_crops.sum_ns, 6);
+        assert_eq!(snap.serve.queue_depth.max_ns, 3);
+        assert_eq!(snap.serve.frames, 8);
+        assert_eq!(snap.serve.refusals, 2);
+        assert_eq!(snap.serve.sessions, 4);
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        assert!(json.contains("\"serve\""));
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.serve.tick.count, 0);
+        assert_eq!(snap.serve.frames, 0);
     }
 
     #[test]

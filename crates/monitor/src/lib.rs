@@ -73,6 +73,6 @@ pub use bayes::{
 };
 pub use calibration::{evaluate_rule, select_tau, sweep_tau, CalibrationCase, OperatingPoint};
 pub use metrics::MonitorQuality;
-pub use monitor::{Monitor, MonitorConfig, MonitorReport, Verdict, BATCH_SEED_STRIDE};
+pub use monitor::{batch_seed, Monitor, MonitorConfig, MonitorReport, Verdict, BATCH_SEED_STRIDE};
 pub use rule::MonitorRule;
 pub use tiledbayes::{bayesian_segment_tiled, bayesian_segment_tiled_with_clock, TiledBayesStats};

@@ -15,6 +15,18 @@ use crate::rule::MonitorRule;
 /// batched and sequential verification draw identical masks.
 pub const BATCH_SEED_STRIDE: u64 = 0x9E37_79B9;
 
+/// The derived seed of crop `index` in a batch keyed by `base`:
+/// `base + (index+1)·`[`BATCH_SEED_STRIDE`].
+///
+/// This is the single definition of the per-trial seed chain. Any caller
+/// that reproduces batch verification crop-by-crop — or coalesces crops
+/// from several logical batches into one [`Monitor::verify_batch_seeded`]
+/// call, as the multi-stream service does — must derive seeds with this
+/// function to stay bit-identical to [`Monitor::verify_batch`].
+pub fn batch_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add((index as u64 + 1).wrapping_mul(BATCH_SEED_STRIDE))
+}
+
 /// Monitor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorConfig {
@@ -142,9 +154,7 @@ impl Monitor {
     /// scratch arenas are pooled across the whole batch (see
     /// [`bayesian_segment_batch`]).
     pub fn verify_batch(&self, net: &MsdNet, crops: &[Image], seed: u64) -> Vec<MonitorReport> {
-        let seeds: Vec<u64> = (0..crops.len())
-            .map(|i| seed.wrapping_add((i as u64 + 1).wrapping_mul(BATCH_SEED_STRIDE)))
-            .collect();
+        let seeds: Vec<u64> = (0..crops.len()).map(|i| batch_seed(seed, i)).collect();
         self.verify_batch_seeded(net, crops, &seeds)
     }
 

@@ -1,0 +1,255 @@
+//! Deterministic multi-stream load generation.
+//!
+//! Pre-renders every frame of every stream *before* the timed loop, so a
+//! load run measures the service (segmentation, coalesced verification,
+//! decisions, audits) and not the synthetic camera. Stream `i` draws its
+//! scene and per-frame seed chain from
+//! [`el_uavsim::stream_seeds`]`(seed, i)` — domain-separated from the
+//! mission-campaign chains, position-keyed per frame — so any stream of
+//! any run can be replayed in isolation, in any order, on any thread
+//! count, and produce byte-identical frames.
+
+use std::time::Instant;
+
+use el_scene::{Conditions, Scene, SceneParams};
+use el_uavsim::seedchain::mix64;
+use el_uavsim::{frame_seed, stream_seeds};
+
+use crate::service::{ElService, TickReport};
+use crate::session::{FrameRequest, SessionSummary};
+
+/// Domain tag separating wind draws from every other use of a frame seed.
+const WIND_DOMAIN: u64 = 0x57D1_4D00_0B5E_11AE;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent streams.
+    pub streams: usize,
+    /// Frames per stream.
+    pub frames_per_stream: usize,
+    /// Base seed; stream `i` derives its chain via
+    /// [`el_uavsim::stream_seeds`].
+    pub seed: u64,
+    /// Scene geometry for the synthetic streams (each stream gets its own
+    /// scene from its own seed).
+    pub scene: SceneParams,
+    /// Upper bound of the synthetic wind draw, m/s.
+    pub max_wind_mps: f64,
+}
+
+impl LoadConfig {
+    /// A small fast configuration for tests and smoke runs.
+    pub fn smoke(streams: usize, frames_per_stream: usize, seed: u64) -> Self {
+        LoadConfig {
+            streams,
+            frames_per_stream,
+            seed,
+            scene: SceneParams::small(),
+            max_wind_mps: 8.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.streams == 0 {
+            return Err("streams must be positive".into());
+        }
+        if self.frames_per_stream == 0 {
+            return Err("frames_per_stream must be positive".into());
+        }
+        self.scene.validate()?;
+        if !self.max_wind_mps.is_finite() || self.max_wind_mps < 0.0 {
+            return Err("max_wind_mps must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// One pre-rendered stream.
+#[derive(Debug)]
+pub struct StreamFrames {
+    /// The seed-chain key to open the session with.
+    pub frame_chain: u64,
+    /// Frames in submission order.
+    pub frames: Vec<FrameRequest>,
+}
+
+/// The deterministic wind observation for one frame seed.
+fn wind_for(seed: u64, max_wind_mps: f64) -> f64 {
+    // 53 high bits of an avalanched draw → a uniform in [0, 1).
+    let unit = (mix64(seed ^ WIND_DOMAIN) >> 11) as f64 / (1u64 << 53) as f64;
+    unit * max_wind_mps
+}
+
+/// Pre-renders every frame of every stream.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`LoadConfig::validate`].
+pub fn generate_streams(config: &LoadConfig) -> Vec<StreamFrames> {
+    if let Err(e) = config.validate() {
+        panic!("invalid load configuration: {e}");
+    }
+    (0..config.streams)
+        .map(|stream| {
+            let (frame_chain, scene_seed) = stream_seeds(config.seed, stream);
+            let scene = Scene::generate(&config.scene, scene_seed);
+            let conditions = Conditions::nominal();
+            let frames = (0..config.frames_per_stream)
+                .map(|f| {
+                    let seed = frame_seed(frame_chain, f);
+                    FrameRequest {
+                        image: scene.render(&conditions, seed),
+                        wind_mps: wind_for(seed, config.max_wind_mps),
+                    }
+                })
+                .collect();
+            StreamFrames {
+                frame_chain,
+                frames,
+            }
+        })
+        .collect()
+}
+
+/// What one [`run_load`] did.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-stream lifetime summaries, in stream order.
+    pub summaries: Vec<SessionSummary>,
+    /// Merged tick totals.
+    pub totals: TickReport,
+    /// Service ticks executed.
+    pub ticks: usize,
+    /// Wall-clock seconds of the timed loop (submission + ticks only;
+    /// pre-rendering is excluded).
+    pub wall_s: f64,
+}
+
+impl LoadReport {
+    /// Processed frames per wall-clock second.
+    pub fn throughput_fps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.totals.admitted as f64 / self.wall_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Drives pre-rendered streams through a service: each round submits the
+/// next frame of every stream, then ticks once; a final drain flushes
+/// whatever admission deferred. The submission schedule is a pure
+/// function of the stream set — no wall-clock pacing — so with a
+/// deterministic admission model the whole run is reproducible.
+///
+/// # Panics
+///
+/// Panics if submission hits an unknown session (cannot happen for
+/// sessions this function opened).
+pub fn run_load(service: &mut ElService, streams: Vec<StreamFrames>) -> LoadReport {
+    let ids: Vec<_> = streams
+        .iter()
+        .map(|s| service.open_session(s.frame_chain))
+        .collect();
+    let rounds = streams.iter().map(|s| s.frames.len()).max().unwrap_or(0);
+    let mut frames: Vec<std::vec::IntoIter<FrameRequest>> =
+        streams.into_iter().map(|s| s.frames.into_iter()).collect();
+
+    let t0 = Instant::now();
+    let mut totals = TickReport::default();
+    let mut ticks = 0usize;
+    let merge = |t: TickReport, totals: &mut TickReport| {
+        totals.requested += t.requested;
+        totals.admitted += t.admitted;
+        totals.refused += t.refused;
+        totals.crops += t.crops;
+        totals.landings += t.landings;
+        totals.aborts += t.aborts;
+    };
+    for _ in 0..rounds {
+        for (id, frames) in ids.iter().zip(frames.iter_mut()) {
+            if let Some(request) = frames.next() {
+                service
+                    .submit(*id, request)
+                    .expect("session opened by run_load");
+            }
+        }
+        merge(service.tick(), &mut totals);
+        ticks += 1;
+    }
+    let drained = service.drain();
+    ticks += drained.requested; // one tick per drained frame at most
+    merge(drained, &mut totals);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let summaries = ids
+        .into_iter()
+        .map(|id| {
+            service
+                .close_session(id)
+                .expect("session opened by run_load")
+        })
+        .collect();
+    LoadReport {
+        summaries,
+        totals,
+        ticks,
+        wall_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wind_is_deterministic_and_bounded() {
+        let a = wind_for(42, 8.0);
+        let b = wind_for(42, 8.0);
+        assert_eq!(a, b);
+        for seed in 0..200u64 {
+            let w = wind_for(seed, 8.0);
+            assert!((0.0..8.0).contains(&w), "wind {w} out of range");
+        }
+        assert_eq!(wind_for(7, 0.0), 0.0);
+    }
+
+    #[test]
+    fn streams_are_stable_and_distinct() {
+        let cfg = LoadConfig {
+            streams: 2,
+            frames_per_stream: 2,
+            seed: 5,
+            scene: SceneParams::small(),
+            max_wind_mps: 8.0,
+        };
+        let a = generate_streams(&cfg);
+        let b = generate_streams(&cfg);
+        assert_eq!(a.len(), 2);
+        // Bit-identical across calls...
+        assert_eq!(a[0].frame_chain, b[0].frame_chain);
+        assert!(
+            a[0].frames[1].image == b[0].frames[1].image,
+            "re-generation is bit-identical"
+        );
+        assert_eq!(a[0].frames[1].wind_mps, b[0].frames[1].wind_mps);
+        // ...and streams differ from each other.
+        assert_ne!(a[0].frame_chain, a[1].frame_chain);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(LoadConfig::smoke(0, 1, 0).validate().is_err());
+        assert!(LoadConfig::smoke(1, 0, 0).validate().is_err());
+        let mut cfg = LoadConfig::smoke(1, 1, 0);
+        cfg.max_wind_mps = f64::NAN;
+        assert!(cfg.validate().is_err());
+        assert!(LoadConfig::smoke(2, 3, 9).validate().is_ok());
+    }
+}

@@ -1,0 +1,455 @@
+//! The resident multi-stream service.
+//!
+//! One [`ElService`] holds the model weights once (behind an [`Arc`],
+//! read-only) and a table of per-stream [`Session`]s. Frames are
+//! submitted per session and processed in *ticks*: each tick drains at
+//! most one frame per session, admission-controls the drained set
+//! against the tick budget, proposes zones for every admitted frame in
+//! parallel (order-preserving), then coalesces **all** streams' candidate
+//! crops into one [`Monitor::verify_batch_seeded`] invocation and
+//! demultiplexes the verdicts back through each frame's sequential
+//! decision replay.
+//!
+//! # Why cross-stream batching is legal
+//!
+//! MC-dropout masks are coordinate-keyed — a pure function of (sample
+//! seed, layer, channel, global pixel) — so a crop's Monte-Carlo
+//! statistics are independent of what else shares its batch. The service
+//! derives crop seeds exactly as a solo [`el_core::ElPipeline::run`]
+//! does (`el_monitor::batch_seed(frame_seed, i)` for crop `i` of a
+//! frame) and replays decisions with the same
+//! [`el_core::replay_decisions`]; the coalesced path is therefore
+//! bit-identical to running each stream through its own pipeline,
+//! frame by frame (property-tested in `tests/serve_determinism.rs`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use el_core::monitorlink::crop_for_monitor;
+use el_core::pipeline::PipelineConfig;
+use el_core::zone::propose_zones;
+use el_core::{replay_decisions, run_audit_with_clock, AuditReport, Candidate};
+use el_geom::Rect;
+use el_monitor::{batch_seed, Monitor, MonitorReport};
+use el_scene::Image;
+use el_seg::{segment_ws, MsdNet};
+use rayon::prelude::*;
+
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::session::{DriftConfig, FrameRequest, FrameTicket, Session, SessionId, SessionSummary};
+
+/// Clock driving the per-frame audit budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickClock {
+    /// Wall-clock seconds since the frame's audit began (production).
+    Wall,
+    /// A clock pinned at zero: the audit always sees its full budget.
+    /// Deterministic across machines and thread counts — the clock for
+    /// reproducibility tests with audits enabled.
+    Zero,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The per-frame pipeline configuration (zone, monitor, decision,
+    /// audit). The zone clearance acts as a floor; sessions with a drift
+    /// tracker raise it per frame as the wind demands.
+    pub pipeline: PipelineConfig,
+    /// Frame admission control.
+    pub admission: AdmissionConfig,
+    /// Per-session drift tracking; `None` leaves clearance fixed at the
+    /// configured zone parameters.
+    pub drift: Option<DriftConfig>,
+    /// The audit-budget clock.
+    pub audit_clock: TickClock,
+    /// Per-session inbox capacity; a submission beyond it is refused
+    /// immediately (backpressure, counted and logged).
+    pub max_inbox: usize,
+}
+
+impl ServeConfig {
+    /// A fast unconstrained configuration for tests: `fast_test`
+    /// pipeline, unlimited admission, no drift tracking, zero clock.
+    pub fn fast_test() -> Self {
+        ServeConfig {
+            pipeline: PipelineConfig::fast_test(),
+            admission: AdmissionConfig::unlimited(),
+            drift: None,
+            audit_clock: TickClock::Zero,
+            max_inbox: 4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.pipeline.validate()?;
+        self.admission.validate()?;
+        if let Some(drift) = &self.drift {
+            drift.validate()?;
+        }
+        if self.max_inbox == 0 {
+            return Err("max_inbox must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`ServeConfig`] or service misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// The session id is unknown (never opened, or already closed).
+    UnknownSession(SessionId),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(detail) => {
+                write!(f, "invalid serve configuration: {detail}")
+            }
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What one [`ElService::tick`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickReport {
+    /// Frames drained from session inboxes this tick.
+    pub requested: usize,
+    /// Frames admitted and fully processed.
+    pub admitted: usize,
+    /// Frames refused by admission control.
+    pub refused: usize,
+    /// Candidate crops verified in the coalesced batch.
+    pub crops: usize,
+    /// Land decisions among the admitted frames.
+    pub landings: usize,
+    /// Abort decisions among the admitted frames.
+    pub aborts: usize,
+}
+
+/// One admitted frame after the parallel propose phase, ready for the
+/// coalesced verification batch.
+struct Proposal {
+    ticket: FrameTicket,
+    clearance_px: f64,
+    candidates: Vec<Candidate>,
+    crops: Vec<Image>,
+    priority: Vec<Rect>,
+}
+
+/// The resident multi-stream pipeline service.
+#[derive(Debug)]
+pub struct ElService {
+    net: Arc<MsdNet>,
+    monitor: Monitor,
+    config: ServeConfig,
+    sessions: BTreeMap<SessionId, Session>,
+    next_id: SessionId,
+    admission: AdmissionControl,
+    ticks: u64,
+}
+
+impl ElService {
+    /// Creates a service around shared read-only weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn try_new(net: Arc<MsdNet>, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate().map_err(ServeError::InvalidConfig)?;
+        let monitor = Monitor::new(config.pipeline.monitor);
+        let admission = AdmissionControl::new(config.admission);
+        Ok(ElService {
+            net,
+            monitor,
+            config,
+            sessions: BTreeMap::new(),
+            next_id: 0,
+            admission,
+            ticks: 0,
+        })
+    }
+
+    /// The shared weights.
+    pub fn net(&self) -> &Arc<MsdNet> {
+        &self.net
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The admission controller (read-only view).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Opens a session. `frame_chain` keys the stream's per-frame seed
+    /// chain (see [`el_uavsim::seedchain::stream_seeds`]).
+    pub fn open_session(&mut self, frame_chain: u64) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions
+            .insert(id, Session::new(id, frame_chain, self.config.drift));
+        el_metrics::registry().serve_sessions.add(1);
+        id
+    }
+
+    /// Borrows a session.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// Closes a session, returning its lifetime summary.
+    pub fn close_session(&mut self, id: SessionId) -> Result<SessionSummary, ServeError> {
+        self.sessions
+            .remove(&id)
+            .map(|s| s.summary())
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// Submits a frame to a session's inbox. Returns `false` when the
+    /// inbox is full — the frame is refused immediately (logged with its
+    /// position-keyed seed, counted) rather than silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for a closed or unknown id.
+    pub fn submit(&mut self, id: SessionId, request: FrameRequest) -> Result<bool, ServeError> {
+        let cap = self.config.max_inbox;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        let queued = session.enqueue(request, cap);
+        if !queued {
+            el_metrics::registry().serve_refusals.add(1);
+        }
+        Ok(queued)
+    }
+
+    /// Processes one tick: drains at most one frame per session (session
+    /// order, with a deterministic per-tick rotation so admission
+    /// pressure is shared fairly), admission-controls, proposes in
+    /// parallel, verifies every stream's crops in one coalesced batch,
+    /// and replays each frame's decision sequentially.
+    pub fn tick(&mut self) -> TickReport {
+        let metrics = el_metrics::registry();
+        let sw = el_metrics::Stopwatch::start();
+        // The admission EWMA measures wall time regardless of whether
+        // metrics recording is enabled.
+        let t0 = Instant::now();
+
+        let depth: usize = self.sessions.values().map(Session::queued).sum();
+        metrics.serve_queue_depth.record_ns(depth as u64);
+
+        // Drain one ticket per session in deterministic order.
+        let mut entries: Vec<(&mut Session, FrameTicket)> = self
+            .sessions
+            .values_mut()
+            .filter_map(|s| s.pop_ticket().map(|t| (s, t)))
+            .collect();
+        let requested = entries.len();
+        // Rotate the admission order by tick index: refusals under
+        // sustained overload spread across streams instead of starving
+        // the highest session ids. Deterministic — the rotation depends
+        // only on the tick count.
+        if entries.len() > 1 {
+            let r = (self.ticks as usize) % entries.len();
+            entries.rotate_left(r);
+        }
+        self.ticks += 1;
+
+        let admitted_n = self.admission.admit(requested);
+        let refused: Vec<(&mut Session, FrameTicket)> = entries.split_off(admitted_n);
+        let mut report = TickReport {
+            requested,
+            admitted: entries.len(),
+            refused: refused.len(),
+            ..TickReport::default()
+        };
+        for (session, ticket) in refused {
+            session.record_refusal(ticket);
+        }
+
+        // Parallel propose: per-frame drift update, segmentation and
+        // zone proposal. Order-preserving par-map over disjoint
+        // sessions; the shared network is read-only.
+        let net = &self.net;
+        let pipeline = &self.config.pipeline;
+        let proposals: Vec<(&mut Session, Proposal)> = entries
+            .into_par_iter()
+            .map(|(session, ticket)| {
+                let clearance = session.clearance_for(ticket.request.wind_mps);
+                let mut zone = pipeline.zone.clone();
+                if let Some(px) = clearance {
+                    // The configured clearance is a floor the wind can
+                    // only raise.
+                    zone.clearance_px = zone.clearance_px.max(px);
+                }
+                let core = segment_ws(net, &ticket.request.image, &mut session.ws);
+                let candidates = propose_zones(&core.labels, &zone);
+                let crops: Vec<Image> = if pipeline.monitored {
+                    candidates
+                        .iter()
+                        .take(pipeline.decision.max_trials)
+                        .map(|c| {
+                            crop_for_monitor(c, pipeline.monitor_margin_px, &ticket.request.image)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let priority: Vec<Rect> = if pipeline.audit.enabled {
+                    candidates.iter().map(|c| c.rect).collect()
+                } else {
+                    Vec::new()
+                };
+                let proposal = Proposal {
+                    clearance_px: zone.clearance_px,
+                    candidates,
+                    crops,
+                    priority,
+                    ticket,
+                };
+                (session, proposal)
+            })
+            .collect();
+
+        // Coalesce every stream's crops into ONE batched verification.
+        // Crop seeds replicate the solo pipeline exactly: crop `i` of a
+        // frame uses `batch_seed(frame_seed, i)`, regardless of where
+        // the crop lands in the coalesced batch.
+        let mut all_crops: Vec<Image> = Vec::new();
+        let mut all_seeds: Vec<u64> = Vec::new();
+        for (_, prop) in &proposals {
+            for (i, crop) in prop.crops.iter().enumerate() {
+                all_crops.push(crop.clone());
+                all_seeds.push(batch_seed(prop.ticket.seed, i));
+            }
+        }
+        report.crops = all_crops.len();
+        metrics.serve_batch_crops.record_ns(all_crops.len() as u64);
+        let reports: Vec<MonitorReport> = if all_crops.is_empty() {
+            Vec::new()
+        } else {
+            self.monitor
+                .verify_batch_seeded(&self.net, &all_crops, &all_seeds)
+        };
+
+        // Demultiplex each frame's verdict slice out of the coalesced
+        // batch (sequential, cheap), then run the independent per-frame
+        // audits in a second parallel phase — each audit reads only the
+        // shared network and its own frame, and with `TickClock::Zero`
+        // the result is a pure function of (net, image, seed, priority),
+        // so parallelising audits changes nothing bit-wise.
+        let mut offset = 0usize;
+        let demuxed: Vec<(&mut Session, Proposal, Vec<MonitorReport>)> = proposals
+            .into_iter()
+            .map(|(session, prop)| {
+                let frame_reports = reports[offset..offset + prop.crops.len()].to_vec();
+                offset += prop.crops.len();
+                (session, prop, frame_reports)
+            })
+            .collect();
+        let audit_clock = self.config.audit_clock;
+        let audited: Vec<(
+            &mut Session,
+            Proposal,
+            Vec<MonitorReport>,
+            Option<AuditReport>,
+        )> = demuxed
+            .into_par_iter()
+            .map(|(session, prop, frame_reports)| {
+                let audit = if pipeline.audit.enabled {
+                    let clock: Box<dyn FnMut() -> f64> = match audit_clock {
+                        TickClock::Wall => {
+                            let start = Instant::now();
+                            Box::new(move || start.elapsed().as_secs_f64())
+                        }
+                        TickClock::Zero => Box::new(|| 0.0),
+                    };
+                    Some(run_audit_with_clock(
+                        net,
+                        &prop.ticket.request.image,
+                        &pipeline.audit,
+                        &pipeline.monitor.rule,
+                        prop.ticket.seed,
+                        &prop.priority,
+                        clock,
+                    ))
+                } else {
+                    None
+                };
+                (session, prop, frame_reports, audit)
+            })
+            .collect();
+
+        // Replay each frame's decision sequentially — identical
+        // semantics to a solo run.
+        let tick_ns_hint = t0.elapsed().as_nanos() as u64;
+        for (session, prop, frame_reports, audit) in audited {
+            let (decision, trials) = replay_decisions(
+                pipeline.decision,
+                pipeline.monitored,
+                prop.candidates,
+                &frame_reports,
+            );
+            match decision {
+                el_core::FinalDecision::Land(_) => report.landings += 1,
+                el_core::FinalDecision::Abort(_) => report.aborts += 1,
+            }
+            session.record_decision(
+                prop.ticket.frame,
+                prop.ticket.seed,
+                prop.clearance_px,
+                decision,
+                trials,
+                audit.as_ref(),
+                tick_ns_hint,
+            );
+        }
+
+        self.admission
+            .observe(report.admitted, t0.elapsed().as_secs_f64());
+        metrics.serve_frames.add(report.admitted as u64);
+        metrics.serve_refusals.add(report.refused as u64);
+        metrics.serve_tick.record(sw);
+        report
+    }
+
+    /// Ticks until every inbox is empty; returns the merged report.
+    pub fn drain(&mut self) -> TickReport {
+        let mut total = TickReport::default();
+        while self.sessions.values().any(|s| s.queued() > 0) {
+            let t = self.tick();
+            total.requested += t.requested;
+            total.admitted += t.admitted;
+            total.refused += t.refused;
+            total.crops += t.crops;
+            total.landings += t.landings;
+            total.aborts += t.aborts;
+        }
+        total
+    }
+}

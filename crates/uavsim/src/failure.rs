@@ -159,9 +159,19 @@ impl FailureInjector {
                 });
             }
         }
-        events.sort_by(|a, b| a.at_time_s.partial_cmp(&b.at_time_s).unwrap());
+        sort_events_by_time(&mut events);
         events
     }
+}
+
+/// Sorts events ascending by occurrence time.
+///
+/// Uses [`f64::total_cmp`]: a NaN fault time (possible through the direct
+/// [`crate::Mission`] API, which unlike scenario files does not validate
+/// finiteness) sorts deterministically to the end instead of panicking.
+/// Finite times order exactly as the old `partial_cmp().unwrap()` sort.
+pub fn sort_events_by_time(events: &mut [FailureEvent]) {
+    events.sort_by(|a, b| a.at_time_s.total_cmp(&b.at_time_s));
 }
 
 #[cfg(test)]
@@ -216,6 +226,25 @@ mod tests {
                 assert!(e.duration_s.is_infinite());
             }
         }
+    }
+
+    #[test]
+    fn nan_event_time_sorts_without_panicking() {
+        // Regression: the old comparator panicked on NaN times. NaN must
+        // sort last (IEEE total order, ascending) and finite ordering must
+        // be unchanged.
+        let ev = |t: f64| FailureEvent {
+            hazard: HazardCategory::LostNavigation,
+            at_time_s: t,
+            duration_s: f64::INFINITY,
+        };
+        let mut events = vec![ev(30.0), ev(f64::NAN), ev(5.0), ev(f64::INFINITY), ev(0.0)];
+        sort_events_by_time(&mut events);
+        assert_eq!(events[0].at_time_s, 0.0);
+        assert_eq!(events[1].at_time_s, 5.0);
+        assert_eq!(events[2].at_time_s, 30.0);
+        assert_eq!(events[3].at_time_s, f64::INFINITY);
+        assert!(events[4].at_time_s.is_nan());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod mission;
 pub mod parachute;
 pub mod safety;
 pub mod scenario;
+pub mod seedchain;
 pub mod wind;
 
 pub use campaign::{
@@ -53,4 +54,5 @@ pub use safety::{AuditAdvisory, FlightMode, Maneuver, SafetySwitch};
 pub use scenario::{
     ElPolicy, MissionRecord, Scenario, ScenarioError, ScenarioOutcome, ScheduledFault,
 };
+pub use seedchain::{frame_seed, mission_seeds, stream_seeds};
 pub use wind::Wind;

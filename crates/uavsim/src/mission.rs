@@ -333,7 +333,7 @@ fn merge_events(
     scheduled: &[FailureEvent],
 ) -> Vec<(FailureEvent, bool)> {
     let mut sched: Vec<FailureEvent> = scheduled.to_vec();
-    sched.sort_by(|a, b| a.at_time_s.partial_cmp(&b.at_time_s).unwrap());
+    crate::failure::sort_events_by_time(&mut sched);
     let mut merged = Vec::with_capacity(stochastic.len() + sched.len());
     let mut si = sched.into_iter().peekable();
     for ev in stochastic {
@@ -694,6 +694,37 @@ impl Mission {
 mod tests {
     use super::*;
     use crate::elsys::{NoEl, PerfectEl};
+
+    #[test]
+    fn merge_events_nan_time_does_not_panic() {
+        // Regression: scheduled times are validated finite by `run_with`,
+        // but `merge_events` itself must tolerate NaN (direct callers
+        // bypass that check). NaN sorts last under the IEEE total order.
+        let ev = |t: f64| FailureEvent {
+            hazard: HazardCategory::FlyAway,
+            at_time_s: t,
+            duration_s: f64::INFINITY,
+        };
+        let merged = merge_events(vec![ev(10.0)], &[ev(f64::NAN), ev(1.0)]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].0.at_time_s, 1.0);
+        assert!(merged[0].1, "scheduled event tagged as scheduled");
+        assert_eq!(merged[1].0.at_time_s, 10.0);
+        assert!(!merged[1].1, "stochastic event tagged as stochastic");
+        assert!(merged[2].0.at_time_s.is_nan());
+    }
+
+    #[test]
+    fn merge_events_stochastic_first_tie_break() {
+        let ev = |t: f64| FailureEvent {
+            hazard: HazardCategory::LostCommunication,
+            at_time_s: t,
+            duration_s: f64::INFINITY,
+        };
+        let merged = merge_events(vec![ev(5.0)], &[ev(5.0)]);
+        assert!(!merged[0].1, "stochastic wins the tie");
+        assert!(merged[1].1);
+    }
 
     #[test]
     fn no_failures_completes() {

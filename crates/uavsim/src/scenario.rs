@@ -726,37 +726,7 @@ impl Scenario {
     }
 }
 
-/// The SplitMix64 finalizer: a full-avalanche 64-bit mix.
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-/// SplitMix64 output function: advances `state` and returns the next
-/// 64-bit word of the chain.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    mix64(*state)
-}
-
-/// Derives one mission's `(stochastic_seed, scene_seed)` from the
-/// campaign base seed and the mission index.
-///
-/// Each mission gets an independent SplitMix64 chain whose start state is
-/// the *avalanched* key `mix64(base_seed ^ (index + 1)·φ64)`. The
-/// avalanche matters: raw `k·φ64` keys sit on a lattice where mission
-/// `i`'s second draw equals mission `i+1`'s first (the chain increment is
-/// the same φ64), which would correlate neighbouring missions. After
-/// mixing, chain states are pseudo-random and cross-mission collisions
-/// drop to the generic 2⁻⁶⁴ birthday level. Inserting or removing a
-/// mission never shifts any other mission's randomness.
-pub fn mission_seeds(base_seed: u64, index: usize) -> (u64, u64) {
-    let mut state = mix64(base_seed ^ (index as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
-    let stochastic = splitmix64(&mut state);
-    let scene = splitmix64(&mut state);
-    (stochastic, scene)
-}
+pub use crate::seedchain::mission_seeds;
 
 /// One mission's replayable record: the seeds it ran under, its graded
 /// outcome, and its full event log.

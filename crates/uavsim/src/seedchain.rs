@@ -1,0 +1,112 @@
+//! Deterministic SplitMix64 seed chains.
+//!
+//! One derivation discipline serves every fan-out in the project: the
+//! scenario DSL's per-mission chains ([`mission_seeds`]) and the
+//! multi-stream service's per-session chains ([`stream_seeds`],
+//! [`frame_seed`]). The shared idea: each consumer gets an independent
+//! SplitMix64 chain whose start state is an *avalanched* key
+//! `mix64(base ^ (index + 1)·φ64 ^ domain)`. The avalanche matters — raw
+//! `k·φ64` keys sit on a lattice where consumer `i`'s second draw equals
+//! consumer `i+1`'s first (the chain increment is the same φ64), which
+//! would correlate neighbours. After mixing, chain states are
+//! pseudo-random and collisions drop to the generic 2⁻⁶⁴ birthday level.
+//! Inserting or removing a consumer never shifts any other consumer's
+//! randomness, and domain tags keep stream chains disjoint from mission
+//! chains under the same base seed.
+
+/// The 64-bit golden-ratio increment used by every chain.
+pub const PHI64: u64 = 0x9E3779B97F4A7C15;
+
+/// Domain tag XOR-ed into stream-chain keys so a service run and a
+/// scenario campaign sharing a base seed draw unrelated randomness.
+const STREAM_DOMAIN: u64 = 0x5EED_57E3_A21C_0DE5;
+
+/// The SplitMix64 finalizer: a full-avalanche 64-bit mix.
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64 output function: advances `state` and returns the next
+/// 64-bit word of the chain.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(PHI64);
+    mix64(*state)
+}
+
+/// Derives one mission's `(stochastic_seed, scene_seed)` from the
+/// campaign base seed and the mission index.
+pub fn mission_seeds(base_seed: u64, index: usize) -> (u64, u64) {
+    let mut state = mix64(base_seed ^ (index as u64 + 1).wrapping_mul(PHI64));
+    let stochastic = splitmix64(&mut state);
+    let scene = splitmix64(&mut state);
+    (stochastic, scene)
+}
+
+/// Derives one stream's `(frame_chain, scene_seed)` from the service
+/// base seed and the stream index.
+///
+/// `frame_chain` keys the per-frame seeds via [`frame_seed`];
+/// `scene_seed` picks the stream's terrain. Domain-separated from
+/// [`mission_seeds`], so serving and simulating under the same base seed
+/// never correlate.
+pub fn stream_seeds(base_seed: u64, stream: usize) -> (u64, u64) {
+    let mut state = mix64(base_seed ^ STREAM_DOMAIN ^ (stream as u64 + 1).wrapping_mul(PHI64));
+    let frame_chain = splitmix64(&mut state);
+    let scene = splitmix64(&mut state);
+    (frame_chain, scene)
+}
+
+/// Derives the pipeline seed for one frame of a stream from the stream's
+/// `frame_chain` (see [`stream_seeds`]).
+///
+/// Avalanched per frame: frame seeds are position-keyed, not a running
+/// chain, so replaying frames `[0, k)` of a stream is byte-identical no
+/// matter how many frames other streams processed in between.
+pub fn frame_seed(frame_chain: u64, frame: usize) -> u64 {
+    mix64(frame_chain ^ (frame as u64 + 1).wrapping_mul(PHI64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mission_seeds_stable_and_distinct() {
+        assert_eq!(mission_seeds(42, 0), mission_seeds(42, 0));
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 42, u64::MAX] {
+            for index in 0..64 {
+                let (a, b) = mission_seeds(base, index);
+                assert!(seen.insert(a), "stochastic seed collision");
+                assert!(seen.insert(b), "scene seed collision");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seeds_domain_separated_from_missions() {
+        for base in [0u64, 7, 0xDEAD_BEEF] {
+            for index in 0..32 {
+                assert_ne!(stream_seeds(base, index), mission_seeds(base, index));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_seeds_position_keyed() {
+        let (chain, _) = stream_seeds(9, 3);
+        let first: Vec<u64> = (0..16).map(|f| frame_seed(chain, f)).collect();
+        // Re-deriving any frame later gives the same seed — no running
+        // state to perturb.
+        assert_eq!(frame_seed(chain, 7), first[7]);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..8 {
+            let (chain, _) = stream_seeds(123, s);
+            for f in 0..64 {
+                assert!(seen.insert(frame_seed(chain, f)), "frame seed collision");
+            }
+        }
+    }
+}

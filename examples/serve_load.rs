@@ -1,0 +1,278 @@
+//! Multi-stream load generation against the resident `el-serve` service:
+//! train a small model once, pre-render N synthetic streams, drive them
+//! through one [`ElService`] (shared weights, per-stream sessions,
+//! cross-stream batch coalescing), and report throughput plus per-stream
+//! decision/audit fingerprints.
+//!
+//! ```text
+//! cargo run --release --example serve_load -- --streams 8 --frames 12 --threads 2
+//! ```
+//!
+//! Flags:
+//!
+//! - `--streams <n>` — concurrent streams (default 8).
+//! - `--frames <n>` — frames per stream (default 12).
+//! - `--seed <u64>` — base seed for the stream seed chains (default 42).
+//! - `--threads <n>` — worker threads for the timed run (default: all
+//!   cores).
+//! - `--out <path>` — write the final metrics snapshot as JSON (the
+//!   `serve` group carries tick latency, batch sizes, queue depths).
+//! - `--check-determinism` — re-run the whole load at 1, 2 and
+//!   `--threads` workers and exit nonzero unless every stream's decision
+//!   and audit fingerprints are identical across all three (the CI
+//!   determinism gate).
+//! - `--check-speedup <x>` — exit nonzero unless the `--threads` run's
+//!   throughput is at least `x` times the single-thread run's (only
+//!   meaningful on a multi-core host; CI runs it, laptops may skip).
+//!
+//! Every run prints per-stream fingerprints, so two invocations with the
+//! same seed are comparable across machines and thread counts.
+
+use std::process::ExitCode;
+use std::sync::Arc as StdArc;
+
+use certel::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Args {
+    streams: usize,
+    frames: usize,
+    seed: u64,
+    threads: usize,
+    out: Option<String>,
+    check_determinism: bool,
+    check_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut args = Args {
+        streams: 8,
+        frames: 12,
+        seed: 42,
+        threads: default_threads,
+        out: None,
+        check_determinism: false,
+        check_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        fn parsed<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse()
+                .map_err(|e| format!("{name} `{v}` is invalid: {e}"))
+        }
+        match flag.as_str() {
+            "--streams" => args.streams = parsed("--streams", value("--streams")?)?,
+            "--frames" => args.frames = parsed("--frames", value("--frames")?)?,
+            "--seed" => args.seed = parsed("--seed", value("--seed")?)?,
+            "--threads" => args.threads = parsed("--threads", value("--threads")?)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--check-determinism" => args.check_determinism = true,
+            "--check-speedup" => {
+                args.check_speedup = Some(parsed("--check-speedup", value("--check-speedup")?)?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.streams == 0 || args.frames == 0 || args.threads == 0 {
+        return Err("--streams, --frames and --threads must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Trains the small serve model (deterministic: fixed seeds throughout).
+fn train_net() -> MsdNet {
+    let mut config = DatasetConfig::small(3);
+    config.n_train = 6;
+    config.n_test = 1;
+    config.n_ood = 1;
+    let dataset = Dataset::generate(&config);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let net_cfg = MsdNetConfig {
+        branch_channels: 8,
+        head_hidden: 16,
+        dilations: vec![1, 2],
+        ..MsdNetConfig::tiny()
+    };
+    let mut net = MsdNet::new(&net_cfg, &mut rng);
+    let train = TrainConfig {
+        steps: 600,
+        tile: 32,
+        lr: 3e-3,
+        class_weighted: true,
+        augment: false,
+        seed: 7,
+    };
+    Trainer::new(train).train(&mut net, &dataset);
+    net
+}
+
+/// The audited serve configuration the load runs under: deterministic
+/// audit clock and unlimited admission, so every run of the same seed
+/// processes the same frames regardless of host speed or thread count.
+fn serve_config() -> ServeConfig {
+    let mut pipeline = PipelineConfig::fast_test().with_audit(AuditConfig::fast_test());
+    pipeline.monitor.max_warning_fraction = 0.25;
+    ServeConfig {
+        pipeline,
+        admission: AdmissionConfig::unlimited(),
+        drift: Some(DriftConfig::medi_delivery()),
+        audit_clock: TickClock::Zero,
+        max_inbox: 4,
+    }
+}
+
+struct RunResult {
+    threads: usize,
+    wall_s: f64,
+    throughput_fps: f64,
+    /// `(id, decision_fp, audit_fp)` per stream, in stream order.
+    fingerprints: Vec<(u64, String, String)>,
+    summaries: Vec<SessionSummary>,
+}
+
+/// One complete load run at a fixed worker-thread count.
+fn run_once(net: StdArc<MsdNet>, args: &Args, threads: usize) -> Result<RunResult, String> {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let mut service =
+        ElService::try_new(net, serve_config()).map_err(|e| format!("serve config: {e}"))?;
+    let load = LoadConfig::smoke(args.streams, args.frames, args.seed);
+    let streams = generate_streams(&load);
+    let report = run_load(&mut service, streams);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let fingerprints = report
+        .summaries
+        .iter()
+        .map(|s| (s.id, s.decision_fp.clone(), s.audit_fp.clone()))
+        .collect();
+    Ok(RunResult {
+        threads,
+        wall_s: report.wall_s,
+        throughput_fps: report.throughput_fps(),
+        fingerprints,
+        summaries: report.summaries,
+    })
+}
+
+fn print_run(run: &RunResult) {
+    println!(
+        "run @ {} thread(s): {:.2} s wall, {:.1} frames/s",
+        run.threads, run.wall_s, run.throughput_fps
+    );
+    for s in &run.summaries {
+        println!(
+            "  stream {}: {} frames ({} land / {} abort / {} refused)  decision_fp={}  audit_fp={}",
+            s.id, s.frames, s.landings, s.aborts, s.refusals, s.decision_fp, s.audit_fp
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve_load: {} streams x {} frames, seed {}, {} thread(s)",
+        args.streams, args.frames, args.seed, args.threads
+    );
+
+    println!("training serve model (fixed seeds)...");
+    let net = StdArc::new(train_net());
+    println!("pre-rendering streams and running load...");
+
+    el_metrics::set_enabled(true);
+    el_metrics::registry().reset();
+    let main_run = match run_once(net.clone(), &args, args.threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = el_metrics::registry().snapshot();
+    el_metrics::set_enabled(false);
+    print_run(&main_run);
+
+    if let Some(path) = &args.out {
+        let json = match serde_json::to_string(&snapshot) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("serve_load: cannot serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("serve_load: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics snapshot written to {path}");
+    }
+
+    // Baseline for the determinism/speedup gates: the same load at one
+    // worker, then (for determinism) at two.
+    let need_baseline = args.check_determinism || args.check_speedup.is_some();
+    if !need_baseline {
+        return ExitCode::SUCCESS;
+    }
+    let single = match run_once(net.clone(), &args, 1) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_run(&single);
+
+    if args.check_determinism {
+        let two = match run_once(net.clone(), &args, 2) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_load: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_run(&two);
+        for other in [&single, &two] {
+            if other.fingerprints != main_run.fingerprints {
+                eprintln!(
+                    "serve_load: thread-count determinism violation: \
+                     {} thread(s) vs {} thread(s) disagree on per-stream fingerprints",
+                    main_run.threads, other.threads
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "determinism: per-stream fingerprints identical at 1, 2 and {} thread(s)",
+            main_run.threads
+        );
+    }
+
+    if let Some(min_speedup) = args.check_speedup {
+        let speedup = single.wall_s / main_run.wall_s.max(1e-9);
+        println!(
+            "speedup: {:.2}x at {} thread(s) over 1 thread (required {min_speedup:.2}x)",
+            speedup, main_run.threads
+        );
+        if speedup < min_speedup {
+            eprintln!(
+                "serve_load: speedup {speedup:.2}x at {} thread(s) is below the \
+                 required {min_speedup:.2}x",
+                main_run.threads
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

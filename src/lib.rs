@@ -15,6 +15,7 @@
 //! | [`el_core`] | landing-zone selection, drift buffers, the Figure 2 pipeline, Table III/IV requirements |
 //! | [`el_sora`] | the SORA v2.0 engine and the MEDI DELIVERY case study |
 //! | [`el_uavsim`] | the Figure 1 safety switch, failure injection, campaigns |
+//! | [`el_serve`] | the resident multi-stream service with cross-stream batching |
 //!
 //! This facade re-exports the whole public API and provides
 //! [`PipelineElSystem`], the adapter that mounts the real Figure 2
@@ -53,6 +54,7 @@ pub use el_monitor;
 pub use el_nn;
 pub use el_scene;
 pub use el_seg;
+pub use el_serve;
 pub use el_sora;
 pub use el_uavsim;
 
@@ -75,6 +77,10 @@ pub mod prelude {
     };
     pub use el_scene::{Camera, Conditions, Dataset, DatasetConfig, Scene, SceneParams, Split};
     pub use el_seg::{segment, ConfusionMatrix, MsdNet, MsdNetConfig, TrainConfig, Trainer};
+    pub use el_serve::{
+        generate_streams, run_load, AdmissionConfig, CostModel, DriftConfig, ElService,
+        FrameRequest, LoadConfig, ServeConfig, SessionSummary, TickClock,
+    };
     pub use el_sora::hazard::HazardCategory;
     pub use el_sora::{
         medi_delivery, Arc, ElMitigation, Mitigation, Robustness, Sail, Severity, SoraAssessment,

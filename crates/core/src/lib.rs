@@ -68,4 +68,4 @@ pub use pipeline::{
     Trial,
 };
 pub use requirements::{AssuranceEvidence, AssuranceLevel, IntegrityLevel};
-pub use zone::{propose_zones, Candidate, ZoneParams};
+pub use zone::{propose_zones, screen_candidates, Candidate, RiskConfig, RiskScreen, ZoneParams};

@@ -165,6 +165,120 @@ pub fn propose_zones(predicted: &LabelMap, params: &ZoneParams) -> Vec<Candidate
     candidates
 }
 
+/// Risk-screen thresholds applied to proposed candidates *before*
+/// verification (see [`screen_candidates`]).
+///
+/// Heat values come from an external ground-risk accumulator (the
+/// `el-riskmap` fleet grid); this config only decides what to do with
+/// them. Screening happens strictly between proposal and crop
+/// extraction, so the downstream verify/decide path never changes: given
+/// identical surviving candidates, decisions, trials and seeds are
+/// bit-identical with screening on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskConfig {
+    /// Candidates whose footprint heat reaches this are kept but moved
+    /// behind every clear candidate (still verified, last in line).
+    pub deprioritize_heat: f64,
+    /// Candidates whose footprint heat reaches this are dropped before
+    /// verification.
+    pub veto_heat: f64,
+}
+
+impl RiskConfig {
+    /// Small-scale thresholds for tests and smoke runs.
+    pub fn fast_test() -> Self {
+        RiskConfig {
+            deprioritize_heat: 0.05,
+            veto_heat: 0.5,
+        }
+    }
+
+    /// A screen that never fires: both thresholds at `+inf`. Screening
+    /// under this config is the identity on any finite heat — the
+    /// "enabled but cold" end of the advisory contract.
+    pub fn never() -> Self {
+        RiskConfig {
+            deprioritize_heat: f64::INFINITY,
+            veto_heat: f64::INFINITY,
+        }
+    }
+
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deprioritize_heat.is_nan() || self.veto_heat.is_nan() {
+            return Err("risk thresholds must not be NaN".into());
+        }
+        if self.deprioritize_heat < 0.0 || self.veto_heat <= 0.0 {
+            return Err("risk thresholds must be positive (deprioritize may be 0)".into());
+        }
+        if self.deprioritize_heat > self.veto_heat {
+            return Err("deprioritize_heat must not exceed veto_heat".into());
+        }
+        Ok(())
+    }
+}
+
+/// What [`screen_candidates`] did to one frame's proposals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskScreen {
+    /// Surviving candidates: clear ones first (original order), then
+    /// deprioritised ones (original order). Vetoed candidates removed.
+    pub kept: Vec<Candidate>,
+    /// Candidates dropped at or above `veto_heat`.
+    pub vetoed: usize,
+    /// Candidates kept but demoted at or above `deprioritize_heat`.
+    pub deprioritized: usize,
+}
+
+/// Screens proposed candidates against accumulated ground risk, before
+/// any crop is extracted or verified.
+///
+/// `heat` maps a candidate's footprint to its worst accumulated risk
+/// (the fleet map's maximum decayed cell heat under the rect). The
+/// screen is a stable two-way partition: vetoed candidates vanish,
+/// deprioritised ones move behind all clear ones, and relative order
+/// within each class is preserved. A NaN heat never fires either
+/// threshold (comparisons are `>=`, NaN fails both) — the map rejects
+/// non-finite scores at ingestion, so a NaN here means "no data", and
+/// no data must not veto a landing zone.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`RiskConfig::validate`].
+pub fn screen_candidates(
+    candidates: Vec<Candidate>,
+    config: &RiskConfig,
+    heat: impl Fn(Rect) -> f64,
+) -> RiskScreen {
+    if let Err(e) = config.validate() {
+        panic!("invalid risk configuration: {e}");
+    }
+    let mut kept = Vec::with_capacity(candidates.len());
+    let mut demoted = Vec::new();
+    let mut vetoed = 0usize;
+    for candidate in candidates {
+        let h = heat(candidate.rect);
+        if h >= config.veto_heat {
+            vetoed += 1;
+        } else if h >= config.deprioritize_heat {
+            demoted.push(candidate);
+        } else {
+            kept.push(candidate);
+        }
+    }
+    let deprioritized = demoted.len();
+    kept.append(&mut demoted);
+    RiskScreen {
+        kept,
+        vetoed,
+        deprioritized,
+    }
+}
+
 /// Descending score comparator used to rank candidates.
 ///
 /// Uses [`f64::total_cmp`] so a non-finite score (±∞ from an obstacle-free
@@ -357,6 +471,101 @@ mod tests {
         assert_eq!(zones.len(), 1);
         assert_eq!(zones[0].clearance_px, f64::INFINITY);
         assert_eq!(zones[0].score, f64::INFINITY);
+    }
+
+    /// Distinct candidates at increasing x, scores descending like a
+    /// real proposal list.
+    fn screen_fixture(n: usize) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| {
+                let center = Point {
+                    x: 10 + 20 * i as i64,
+                    y: 10,
+                };
+                Candidate {
+                    center,
+                    rect: Rect::centered_square(center, 5),
+                    clearance_px: 10.0 - i as f64,
+                    region_area: 100,
+                    score: 10.0 - i as f64,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn screen_vetoes_and_demotes_stably() {
+        let config = RiskConfig {
+            deprioritize_heat: 0.2,
+            veto_heat: 1.0,
+        };
+        // Heat keyed by candidate x: 10 → hot, 30 → warm, 50/70 → cold.
+        let heat = |r: Rect| match r.center().x {
+            10 => 2.0,
+            30 => 0.5,
+            _ => 0.0,
+        };
+        let screen = screen_candidates(screen_fixture(4), &config, heat);
+        assert_eq!(screen.vetoed, 1);
+        assert_eq!(screen.deprioritized, 1);
+        let xs: Vec<i64> = screen.kept.iter().map(|c| c.center.x).collect();
+        // Clear candidates keep their order; the warm one moves last.
+        assert_eq!(xs, vec![50, 70, 30]);
+    }
+
+    #[test]
+    fn screen_is_identity_when_cold() {
+        let original = screen_fixture(3);
+        for config in [RiskConfig::fast_test(), RiskConfig::never()] {
+            let screen = screen_candidates(original.clone(), &config, |_| 0.0);
+            assert_eq!(screen.kept, original, "cold screen must not reorder");
+            assert_eq!(screen.vetoed, 0);
+            assert_eq!(screen.deprioritized, 0);
+        }
+        // `never()` is the identity even on absurd finite heat.
+        let screen = screen_candidates(original.clone(), &RiskConfig::never(), |_| 1e300);
+        assert_eq!(screen.kept, original);
+    }
+
+    #[test]
+    fn screen_treats_nan_heat_as_no_data() {
+        let original = screen_fixture(2);
+        let screen = screen_candidates(original.clone(), &RiskConfig::fast_test(), |_| f64::NAN);
+        assert_eq!(screen.kept, original, "NaN heat must not veto or demote");
+        assert_eq!(screen.vetoed, 0);
+        assert_eq!(screen.deprioritized, 0);
+    }
+
+    #[test]
+    fn risk_config_validates() {
+        assert!(RiskConfig::fast_test().validate().is_ok());
+        assert!(RiskConfig::never().validate().is_ok());
+        let mut bad = RiskConfig::fast_test();
+        bad.veto_heat = f64::NAN;
+        assert!(bad.validate().is_err());
+        bad = RiskConfig::fast_test();
+        bad.veto_heat = 0.0;
+        assert!(bad.validate().is_err());
+        bad = RiskConfig {
+            deprioritize_heat: 2.0,
+            veto_heat: 1.0,
+        };
+        assert!(bad.validate().is_err());
+        bad = RiskConfig {
+            deprioritize_heat: -0.1,
+            veto_heat: 1.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid risk configuration")]
+    fn screen_rejects_invalid_config() {
+        let bad = RiskConfig {
+            deprioritize_heat: 2.0,
+            veto_heat: 1.0,
+        };
+        let _ = screen_candidates(screen_fixture(1), &bad, |_| 0.0);
     }
 
     #[test]

@@ -172,6 +172,32 @@ impl Rect {
         Rect::new(self.x + delta.x, self.y + delta.y, self.w, self.h)
     }
 
+    /// The covering rectangle in a coarser grid of `cell × cell` pixel
+    /// blocks: every cell this rectangle touches, even partially, in
+    /// cell coordinates. Rasterising a pixel-space footprint onto a
+    /// coarse accumulation grid is exactly this plus a per-cell
+    /// [`Rect::intersect`] for the overlap area.
+    ///
+    /// Uses floor/ceiling division, so footprints at negative
+    /// coordinates raster correctly. An empty rectangle stays empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive.
+    #[inline]
+    pub fn downscale(self, cell: i64) -> Rect {
+        assert!(cell > 0, "downscale cell size must be positive");
+        if self.is_empty() {
+            return Rect::new(self.x.div_euclid(cell), self.y.div_euclid(cell), 0, 0);
+        }
+        let x0 = self.x.div_euclid(cell);
+        let y0 = self.y.div_euclid(cell);
+        // Ceiling division of the exclusive edges.
+        let x1 = (self.right() + cell - 1).div_euclid(cell);
+        let y1 = (self.bottom() + cell - 1).div_euclid(cell);
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
     /// Iterates over every pixel in row-major order.
     pub fn pixels(self) -> impl Iterator<Item = Point> {
         (self.y..self.bottom())
@@ -259,6 +285,52 @@ mod tests {
         assert_eq!(r.inflate(-2), Rect::new(7, 7, 0, 0));
         assert!(r.inflate(-2).is_empty());
         assert_eq!(r.translate(Point::new(-5, 1)), Rect::new(0, 6, 2, 2));
+    }
+
+    #[test]
+    fn downscale_covers_touched_cells() {
+        // [2, 10) x [3, 5) over 4-px cells touches cells x 0..3, y 0..2.
+        assert_eq!(Rect::new(2, 3, 8, 2).downscale(4), Rect::new(0, 0, 3, 2));
+        // Cell-aligned rectangles map exactly.
+        assert_eq!(Rect::new(4, 8, 8, 4).downscale(4), Rect::new(1, 2, 2, 1));
+        // A sub-cell rectangle covers its single cell.
+        assert_eq!(Rect::new(5, 5, 1, 1).downscale(4), Rect::new(1, 1, 1, 1));
+        // Negative coordinates floor toward -inf, not toward zero:
+        // pixels y in {-5, -4} straddle the cell boundary at -4.
+        assert_eq!(
+            Rect::new(-3, -5, 2, 2).downscale(4),
+            Rect::new(-1, -2, 1, 2)
+        );
+        assert_eq!(
+            Rect::new(-4, -4, 8, 4).downscale(4),
+            Rect::new(-1, -1, 2, 1)
+        );
+        // Empty stays empty.
+        assert!(Rect::new(7, 7, 0, 3).downscale(4).is_empty());
+        // Every covered cell genuinely intersects the source rectangle.
+        let r = Rect::new(-6, 1, 13, 9);
+        let cells = r.downscale(5);
+        for c in cells.pixels() {
+            let block = Rect::new(c.x * 5, c.y * 5, 5, 5);
+            assert!(
+                !block.intersect(r).is_empty(),
+                "cell {c} does not touch {r}"
+            );
+        }
+        // And no neighbouring ring cell outside the cover intersects.
+        for c in cells.inflate(1).pixels() {
+            if cells.contains(c) {
+                continue;
+            }
+            let block = Rect::new(c.x * 5, c.y * 5, 5, 5);
+            assert!(block.intersect(r).is_empty(), "cell {c} missed by cover");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn downscale_rejects_zero_cell() {
+        let _ = Rect::new(0, 0, 4, 4).downscale(0);
     }
 
     #[test]

@@ -25,10 +25,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fingerprint;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use serde::Serialize;
+
+pub use fingerprint::Fingerprint;
 
 /// Number of histogram buckets. Bucket 0 holds exact zeros; bucket
 /// `i ≥ 1` spans `[2^(i-1), 2^i)` ns; the last bucket absorbs everything
@@ -406,6 +410,22 @@ pub struct MetricsRegistry {
     pub serve_refusals: Counter,
     /// Sessions opened over the service's lifetime.
     pub serve_sessions: Counter,
+    // -- fleet risk map --------------------------------------------------
+    /// `RiskMap::ingest_batch` wall time, one sample per tick batch.
+    pub riskmap_ingest: Histogram,
+    /// Cells at or above the veto threshold after each tick's ingestion
+    /// (count distribution — the ns buckets double as count bins).
+    pub riskmap_cells_hot: Histogram,
+    /// Eager decay sweeps executed over the whole grid.
+    pub riskmap_decay_sweeps: Counter,
+    /// Zone candidates vetoed by the risk screen before verification.
+    pub riskmap_vetoes: Counter,
+    /// Zone candidates deprioritised (kept, moved behind clear ones).
+    pub riskmap_deprioritized: Counter,
+    /// Anomalous regions accepted into the grid.
+    pub riskmap_regions: Counter,
+    /// Regions rejected at ingestion (non-finite score).
+    pub riskmap_rejects: Counter,
 }
 
 impl MetricsRegistry {
@@ -436,6 +456,13 @@ impl MetricsRegistry {
             serve_frames: Counter::new(),
             serve_refusals: Counter::new(),
             serve_sessions: Counter::new(),
+            riskmap_ingest: Histogram::new(),
+            riskmap_cells_hot: Histogram::new(),
+            riskmap_decay_sweeps: Counter::new(),
+            riskmap_vetoes: Counter::new(),
+            riskmap_deprioritized: Counter::new(),
+            riskmap_regions: Counter::new(),
+            riskmap_rejects: Counter::new(),
         }
     }
 
@@ -467,6 +494,13 @@ impl MetricsRegistry {
         self.serve_frames.reset();
         self.serve_refusals.reset();
         self.serve_sessions.reset();
+        self.riskmap_ingest.reset();
+        self.riskmap_cells_hot.reset();
+        self.riskmap_decay_sweeps.reset();
+        self.riskmap_vetoes.reset();
+        self.riskmap_deprioritized.reset();
+        self.riskmap_regions.reset();
+        self.riskmap_rejects.reset();
     }
 
     /// Freezes the whole registry into plain serializable structs.
@@ -513,6 +547,15 @@ impl MetricsRegistry {
                 frames: self.serve_frames.get(),
                 refusals: self.serve_refusals.get(),
                 sessions: self.serve_sessions.get(),
+            },
+            riskmap: RiskmapMetrics {
+                ingest: self.riskmap_ingest.snapshot(),
+                cells_hot: self.riskmap_cells_hot.snapshot(),
+                decay_sweeps: self.riskmap_decay_sweeps.get(),
+                vetoes: self.riskmap_vetoes.get(),
+                deprioritized: self.riskmap_deprioritized.get(),
+                regions: self.riskmap_regions.get(),
+                rejects: self.riskmap_rejects.get(),
             },
         }
     }
@@ -607,6 +650,25 @@ pub struct ServeMetrics {
     pub sessions: u64,
 }
 
+/// Fleet risk-map metrics, frozen.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RiskmapMetrics {
+    /// Per-tick batch ingestion latency.
+    pub ingest: HistogramSnapshot,
+    /// Cells at/above the veto threshold per tick (count distribution).
+    pub cells_hot: HistogramSnapshot,
+    /// Eager decay sweeps executed.
+    pub decay_sweeps: u64,
+    /// Candidates vetoed before verification.
+    pub vetoes: u64,
+    /// Candidates deprioritised before verification.
+    pub deprioritized: u64,
+    /// Regions accepted into the grid.
+    pub regions: u64,
+    /// Regions rejected at ingestion (non-finite score).
+    pub rejects: u64,
+}
+
 /// The whole registry, frozen for JSON reporting.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MetricsSnapshot {
@@ -622,6 +684,8 @@ pub struct MetricsSnapshot {
     pub campaign: CampaignMetrics,
     /// Multi-stream service metrics.
     pub serve: ServeMetrics,
+    /// Fleet risk-map metrics.
+    pub riskmap: RiskmapMetrics,
 }
 
 #[cfg(test)]
@@ -747,6 +811,32 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.serve.tick.count, 0);
         assert_eq!(snap.serve.frames, 0);
+    }
+
+    #[test]
+    fn riskmap_group_snapshots_and_resets() {
+        let reg = MetricsRegistry::new();
+        reg.riskmap_ingest.record_ns(900);
+        reg.riskmap_cells_hot.record_ns(5);
+        reg.riskmap_decay_sweeps.add_always(2);
+        reg.riskmap_vetoes.add_always(3);
+        reg.riskmap_deprioritized.add_always(1);
+        reg.riskmap_regions.add_always(7);
+        reg.riskmap_rejects.add_always(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.riskmap.ingest.count, 1);
+        assert_eq!(snap.riskmap.cells_hot.max_ns, 5);
+        assert_eq!(snap.riskmap.decay_sweeps, 2);
+        assert_eq!(snap.riskmap.vetoes, 3);
+        assert_eq!(snap.riskmap.deprioritized, 1);
+        assert_eq!(snap.riskmap.regions, 7);
+        assert_eq!(snap.riskmap.rejects, 1);
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        assert!(json.contains("\"riskmap\""));
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.riskmap.ingest.count, 0);
+        assert_eq!(snap.riskmap.vetoes, 0);
     }
 
     #[test]

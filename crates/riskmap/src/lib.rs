@@ -1,0 +1,48 @@
+//! `el-riskmap` — a persistent, cross-fleet ground-risk map.
+//!
+//! The paper's runtime monitor judges each frame in isolation, and the
+//! advisory audit (the whole-frame Bayesian sweep) finds anomalous
+//! ground regions that die with the frame. This crate gives those
+//! findings a place to live: a georeferenced [`RiskMap`] accumulates
+//! every stream's [`el_core::AuditRegion`]s into a coarse ground grid
+//! with per-cell exponential time decay, merged across all sessions of
+//! a fleet. The map then feeds *zone proposal*: candidates whose
+//! footprint intersects persistently-hot cells are deprioritised or
+//! vetoed before verification (see [`el_core::screen_candidates`]) —
+//! the certifiable per-frame verify/decide path is untouched.
+//!
+//! # Determinism contract
+//!
+//! The map is bit-identical across worker-thread counts and process
+//! re-executions, the same discipline as the service's decision logs:
+//!
+//! - **Order-canonicalised accumulation.** [`RiskMap::ingest_batch`]
+//!   sorts each tick's observations by `(stream id, frame index)`
+//!   (stable, so a frame's regions keep their audit order) before
+//!   folding, so the service's processing order — which varies with its
+//!   per-tick rotation, never with thread count — cannot leak into cell
+//!   sums. Floating-point accumulation per cell happens in exactly one
+//!   order.
+//! - **Tick-indexed decay.** Decay is a pure function of the map's own
+//!   tick counter, never wall clock: a cell's effective heat is
+//!   `stored · λ^(now − stamp)` with `λ = 2^(−1/half_life)` and the
+//!   power computed by repeated multiplication ([`f64::powi`]). Eager
+//!   renormalisation sweeps run on a fixed tick cadence, so every run
+//!   performs the identical float operations.
+//! - **Fingerprinted state.** [`RiskMap::fingerprint`] hashes the
+//!   canonical byte encoding of the whole grid (dims, tick, per-cell
+//!   heat bits and stamps) with the same FNV-1a discipline as the
+//!   decision logs ([`el_metrics::Fingerprint`]).
+//!
+//! Non-finite region scores are rejected at ingestion (counted, never
+//! folded) — one NaN must not poison every future veto decision.
+//!
+//! See `docs/riskmap.md` for the georeferencing model, the decay
+//! contract and the veto-before-verify bit-identity argument.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod map;
+
+pub use map::{HotRegion, RiskMap, RiskMapConfig, RiskMapSnapshot, RiskObservation};

@@ -29,15 +29,19 @@
 //! contract, and the batching determinism argument.
 
 pub mod admission;
-pub mod fingerprint;
 pub mod loadgen;
 pub mod service;
 pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionControl, CostModel, FRAME_COST_EWMA_ALPHA};
-pub use fingerprint::Fingerprint;
-pub use loadgen::{generate_streams, run_load, LoadConfig, LoadReport, StreamFrames};
-pub use service::{ElService, ServeConfig, ServeError, TickClock, TickReport};
+// Fingerprinting moved to `el_metrics` when the fleet risk map started
+// hashing snapshots with the same discipline; re-exported for the
+// existing `el_serve::Fingerprint` users.
+pub use el_metrics::Fingerprint;
+pub use loadgen::{
+    generate_streams, median_u64, run_load, LoadConfig, LoadReport, StreamFrames, TerrainMode,
+};
+pub use service::{ElService, RiskSettings, ServeConfig, ServeError, TickClock, TickReport};
 pub use session::{
     AuditSummary, DriftConfig, DriftTracker, FrameOutcome, FrameRecord, FrameRequest, Session,
     SessionId, SessionSummary, AUDIT_HISTORY_CAP,

@@ -13,13 +13,28 @@ use std::time::Instant;
 
 use el_scene::{Conditions, Scene, SceneParams};
 use el_uavsim::seedchain::mix64;
-use el_uavsim::{frame_seed, stream_seeds};
+use el_uavsim::{fleet_scene_seed, frame_seed, stream_seeds};
 
 use crate::service::{ElService, TickReport};
 use crate::session::{FrameRequest, SessionSummary};
 
 /// Domain tag separating wind draws from every other use of a frame seed.
 const WIND_DOMAIN: u64 = 0x57D1_4D00_0B5E_11AE;
+
+/// Which terrain each synthetic stream surveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerrainMode {
+    /// Each stream generates its own scene from its own seed — the
+    /// default, exercising fully independent streams.
+    #[default]
+    PerStream,
+    /// Every stream surveys the *same* scene, drawn once from
+    /// [`el_uavsim::fleet_scene_seed`] — the fleet analogue of the
+    /// scenario DSL's `vary_scenes: false`. This is the mode that makes
+    /// a cross-fleet risk map meaningful: all sessions' audit regions
+    /// land on the same ground.
+    SharedFleet,
+}
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +51,8 @@ pub struct LoadConfig {
     pub scene: SceneParams,
     /// Upper bound of the synthetic wind draw, m/s.
     pub max_wind_mps: f64,
+    /// Whether streams survey private terrains or one shared one.
+    pub terrain: TerrainMode,
 }
 
 impl LoadConfig {
@@ -47,6 +64,7 @@ impl LoadConfig {
             seed,
             scene: SceneParams::small(),
             max_wind_mps: 8.0,
+            terrain: TerrainMode::PerStream,
         }
     }
 
@@ -95,10 +113,20 @@ pub fn generate_streams(config: &LoadConfig) -> Vec<StreamFrames> {
     if let Err(e) = config.validate() {
         panic!("invalid load configuration: {e}");
     }
+    let fleet_scene = match config.terrain {
+        TerrainMode::PerStream => None,
+        TerrainMode::SharedFleet => Some(Scene::generate(
+            &config.scene,
+            fleet_scene_seed(config.seed),
+        )),
+    };
     (0..config.streams)
         .map(|stream| {
             let (frame_chain, scene_seed) = stream_seeds(config.seed, stream);
-            let scene = Scene::generate(&config.scene, scene_seed);
+            let scene = match &fleet_scene {
+                Some(shared) => shared.clone(),
+                None => Scene::generate(&config.scene, scene_seed),
+            };
             let conditions = Conditions::nominal();
             let frames = (0..config.frames_per_stream)
                 .map(|f| {
@@ -129,6 +157,21 @@ pub struct LoadReport {
     /// Wall-clock seconds of the timed loop (submission + ticks only;
     /// pre-rendering is excluded).
     pub wall_s: f64,
+    /// Wall time of each tick, nanoseconds, in execution order.
+    pub tick_ns: Vec<u64>,
+    /// Coalesced-batch size (crops verified) of each tick, aligned
+    /// with `tick_ns`.
+    pub tick_crops: Vec<u64>,
+}
+
+/// The median of a sample, `0` when empty (sorts a copy).
+pub fn median_u64(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
 }
 
 impl LoadReport {
@@ -163,7 +206,8 @@ pub fn run_load(service: &mut ElService, streams: Vec<StreamFrames>) -> LoadRepo
 
     let t0 = Instant::now();
     let mut totals = TickReport::default();
-    let mut ticks = 0usize;
+    let mut tick_ns: Vec<u64> = Vec::new();
+    let mut tick_crops: Vec<u64> = Vec::new();
     let merge = |t: TickReport, totals: &mut TickReport| {
         totals.requested += t.requested;
         totals.admitted += t.admitted;
@@ -171,6 +215,19 @@ pub fn run_load(service: &mut ElService, streams: Vec<StreamFrames>) -> LoadRepo
         totals.crops += t.crops;
         totals.landings += t.landings;
         totals.aborts += t.aborts;
+        totals.vetoes += t.vetoes;
+        totals.deprioritized += t.deprioritized;
+    };
+    let timed_tick = |service: &mut ElService,
+                      totals: &mut TickReport,
+                      tick_ns: &mut Vec<u64>,
+                      tick_crops: &mut Vec<u64>| {
+        let t = Instant::now();
+        let report = service.tick();
+        let ns = t.elapsed().as_nanos();
+        tick_ns.push(u64::try_from(ns).unwrap_or(u64::MAX));
+        tick_crops.push(report.crops as u64);
+        merge(report, totals);
     };
     for _ in 0..rounds {
         for (id, frames) in ids.iter().zip(frames.iter_mut()) {
@@ -180,12 +237,14 @@ pub fn run_load(service: &mut ElService, streams: Vec<StreamFrames>) -> LoadRepo
                     .expect("session opened by run_load");
             }
         }
-        merge(service.tick(), &mut totals);
-        ticks += 1;
+        timed_tick(service, &mut totals, &mut tick_ns, &mut tick_crops);
     }
-    let drained = service.drain();
-    ticks += drained.requested; // one tick per drained frame at most
-    merge(drained, &mut totals);
+    // Flush whatever admission deferred, timing each tick individually
+    // (the exact count, not the drained-frame approximation).
+    while service.pending() > 0 {
+        timed_tick(service, &mut totals, &mut tick_ns, &mut tick_crops);
+    }
+    let ticks = tick_ns.len();
     let wall_s = t0.elapsed().as_secs_f64();
 
     let summaries = ids
@@ -201,6 +260,8 @@ pub fn run_load(service: &mut ElService, streams: Vec<StreamFrames>) -> LoadRepo
         totals,
         ticks,
         wall_s,
+        tick_ns,
+        tick_crops,
     }
 }
 
@@ -228,6 +289,7 @@ mod tests {
             seed: 5,
             scene: SceneParams::small(),
             max_wind_mps: 8.0,
+            terrain: TerrainMode::PerStream,
         };
         let a = generate_streams(&cfg);
         let b = generate_streams(&cfg);
@@ -241,6 +303,36 @@ mod tests {
         assert_eq!(a[0].frames[1].wind_mps, b[0].frames[1].wind_mps);
         // ...and streams differ from each other.
         assert_ne!(a[0].frame_chain, a[1].frame_chain);
+    }
+
+    #[test]
+    fn shared_fleet_terrain_renders_one_scene() {
+        let mut cfg = LoadConfig::smoke(3, 1, 11);
+        cfg.terrain = TerrainMode::SharedFleet;
+        let shared = generate_streams(&cfg);
+        // All streams see the same ground (identical rendered frames
+        // would differ by per-frame seeds; compare the terrain through
+        // frame 0 of two streams rendered with swapped frame chains).
+        let per_stream = generate_streams(&LoadConfig::smoke(3, 1, 11));
+        assert!(
+            shared[0].frames[0].image != shared[1].frames[0].image,
+            "frame seeds still differ per stream"
+        );
+        // The shared mode must change stream 1's terrain relative to
+        // the per-stream mode (stream 0 keeps its chain either way).
+        assert_eq!(shared[0].frame_chain, per_stream[0].frame_chain);
+        assert!(
+            shared[1].frames[0].image != per_stream[1].frames[0].image,
+            "shared terrain replaces stream 1's private scene"
+        );
+    }
+
+    #[test]
+    fn median_handles_edges() {
+        assert_eq!(median_u64(&[]), 0);
+        assert_eq!(median_u64(&[7]), 7);
+        assert_eq!(median_u64(&[9, 1, 5]), 5);
+        assert_eq!(median_u64(&[4, 1, 3, 2]), 3);
     }
 
     #[test]

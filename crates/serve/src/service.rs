@@ -30,9 +30,13 @@ use std::time::Instant;
 use el_core::monitorlink::crop_for_monitor;
 use el_core::pipeline::PipelineConfig;
 use el_core::zone::propose_zones;
-use el_core::{replay_decisions, run_audit_with_clock, AuditReport, Candidate};
-use el_geom::Rect;
+use el_core::{
+    replay_decisions, run_audit_with_clock, screen_candidates, AuditReport, Candidate, RiskConfig,
+    RiskScreen,
+};
+use el_geom::{Point, Rect};
 use el_monitor::{batch_seed, Monitor, MonitorReport};
+use el_riskmap::{RiskMap, RiskMapConfig, RiskMapSnapshot, RiskObservation};
 use el_scene::Image;
 use el_seg::{segment_ws, MsdNet};
 use rayon::prelude::*;
@@ -49,6 +53,47 @@ pub enum TickClock {
     /// Deterministic across machines and thread counts — the clock for
     /// reproducibility tests with audits enabled.
     Zero,
+}
+
+/// The fleet risk-map subsystem configuration: the shared map's shape
+/// and decay ([`RiskMapConfig`]) plus the screening policy thresholds
+/// applied to each frame's candidates ([`el_core::RiskConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskSettings {
+    /// The shared ground-risk grid.
+    pub map: RiskMapConfig,
+    /// Veto/deprioritise thresholds for candidate screening.
+    pub policy: RiskConfig,
+}
+
+impl RiskSettings {
+    /// Small map and aggressive thresholds for tests and smoke runs.
+    pub fn fast_test() -> Self {
+        RiskSettings {
+            map: RiskMapConfig::fast_test(),
+            policy: RiskConfig::fast_test(),
+        }
+    }
+
+    /// A map that accumulates but never influences screening
+    /// ([`RiskConfig::never`]) — the "enabled but advisory-only" mode
+    /// whose decisions must be bit-identical to running with no map.
+    pub fn advisory() -> Self {
+        RiskSettings {
+            map: RiskMapConfig::fast_test(),
+            policy: RiskConfig::never(),
+        }
+    }
+
+    /// Validates both halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.map.validate()?;
+        self.policy.validate()
+    }
 }
 
 /// Service configuration.
@@ -68,6 +113,11 @@ pub struct ServeConfig {
     /// Per-session inbox capacity; a submission beyond it is refused
     /// immediately (backpressure, counted and logged).
     pub max_inbox: usize,
+    /// The fleet risk map: `None` runs the service exactly as before
+    /// (no map state, no screening); `Some` accumulates every session's
+    /// audit regions into one shared map and screens each frame's
+    /// candidates against it *before* verification.
+    pub riskmap: Option<RiskSettings>,
 }
 
 impl ServeConfig {
@@ -80,6 +130,7 @@ impl ServeConfig {
             drift: None,
             audit_clock: TickClock::Zero,
             max_inbox: 4,
+            riskmap: None,
         }
     }
 
@@ -96,6 +147,9 @@ impl ServeConfig {
         }
         if self.max_inbox == 0 {
             return Err("max_inbox must be positive".into());
+        }
+        if let Some(riskmap) = &self.riskmap {
+            riskmap.validate()?;
         }
         Ok(())
     }
@@ -138,6 +192,10 @@ pub struct TickReport {
     pub landings: usize,
     /// Abort decisions among the admitted frames.
     pub aborts: usize,
+    /// Candidates removed by the risk-map screen before verification.
+    pub vetoes: usize,
+    /// Candidates demoted (not removed) by the risk-map screen.
+    pub deprioritized: usize,
 }
 
 /// One admitted frame after the parallel propose phase, ready for the
@@ -148,6 +206,8 @@ struct Proposal {
     candidates: Vec<Candidate>,
     crops: Vec<Image>,
     priority: Vec<Rect>,
+    vetoed: usize,
+    deprioritized: usize,
 }
 
 /// The resident multi-stream pipeline service.
@@ -160,6 +220,10 @@ pub struct ElService {
     next_id: SessionId,
     admission: AdmissionControl,
     ticks: u64,
+    /// The fleet's shared ground-risk map, present iff configured.
+    /// Mutated only between pipeline phases (ingest + advance at the
+    /// end of each tick), read-only during the parallel propose phase.
+    riskmap: Option<RiskMap>,
 }
 
 impl ElService {
@@ -173,6 +237,13 @@ impl ElService {
         config.validate().map_err(ServeError::InvalidConfig)?;
         let monitor = Monitor::new(config.pipeline.monitor);
         let admission = AdmissionControl::new(config.admission);
+        let riskmap = match &config.riskmap {
+            // validate() above already vetted the map configuration.
+            Some(settings) => Some(RiskMap::new(settings.map.clone()).map_err(|e| {
+                ServeError::InvalidConfig(format!("risk map rejected its configuration: {e}"))
+            })?),
+            None => None,
+        };
         Ok(ElService {
             net,
             monitor,
@@ -181,6 +252,7 @@ impl ElService {
             next_id: 0,
             admission,
             ticks: 0,
+            riskmap,
         })
     }
 
@@ -204,13 +276,47 @@ impl ElService {
         self.sessions.len()
     }
 
-    /// Opens a session. `frame_chain` keys the stream's per-frame seed
-    /// chain (see [`el_uavsim::seedchain::stream_seeds`]).
+    /// Frames currently queued across all session inboxes.
+    pub fn pending(&self) -> usize {
+        self.sessions.values().map(Session::queued).sum()
+    }
+
+    /// The fleet risk map, if the service runs one.
+    pub fn riskmap(&self) -> Option<&RiskMap> {
+        self.riskmap.as_ref()
+    }
+
+    /// A snapshot of the fleet risk map with hot cells classified at
+    /// the configured veto threshold, or `None` when no map runs.
+    pub fn riskmap_snapshot(&self) -> Option<RiskMapSnapshot> {
+        let map = self.riskmap.as_ref()?;
+        let veto = self
+            .config
+            .riskmap
+            .as_ref()
+            .map(|r| r.policy.veto_heat)
+            .unwrap_or(f64::INFINITY);
+        Some(map.snapshot(veto))
+    }
+
+    /// Opens a session with its frames anchored at the fleet origin.
+    /// `frame_chain` keys the stream's per-frame seed chain (see
+    /// [`el_uavsim::seedchain::stream_seeds`]).
     pub fn open_session(&mut self, frame_chain: u64) -> SessionId {
+        self.open_session_at(frame_chain, Point::new(0, 0))
+    }
+
+    /// Opens a session whose frames sit at `origin_px` in the fleet's
+    /// shared ground coordinate system — the frame-local audit regions
+    /// of this stream land on the risk map translated by this origin,
+    /// and its candidates are screened at the same offset.
+    pub fn open_session_at(&mut self, frame_chain: u64, origin_px: Point) -> SessionId {
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions
-            .insert(id, Session::new(id, frame_chain, self.config.drift));
+        self.sessions.insert(
+            id,
+            Session::new(id, frame_chain, origin_px, self.config.drift),
+        );
         el_metrics::registry().serve_sessions.add(1);
         id
     }
@@ -292,11 +398,16 @@ impl ElService {
             session.record_refusal(ticket);
         }
 
-        // Parallel propose: per-frame drift update, segmentation and
-        // zone proposal. Order-preserving par-map over disjoint
-        // sessions; the shared network is read-only.
+        // Parallel propose: per-frame drift update, segmentation, zone
+        // proposal and risk-map screening. Order-preserving par-map over
+        // disjoint sessions; the shared network and the risk map are
+        // both read-only here — every frame this tick screens against
+        // the map state *as of the end of the previous tick*, so the
+        // outcome is independent of intra-tick processing order.
         let net = &self.net;
         let pipeline = &self.config.pipeline;
+        let riskmap = self.riskmap.as_ref();
+        let risk_policy = self.config.riskmap.as_ref().map(|r| &r.policy);
         let proposals: Vec<(&mut Session, Proposal)> = entries
             .into_par_iter()
             .map(|(session, ticket)| {
@@ -308,7 +419,25 @@ impl ElService {
                     zone.clearance_px = zone.clearance_px.max(px);
                 }
                 let core = segment_ws(net, &ticket.request.image, &mut session.ws);
-                let candidates = propose_zones(&core.labels, &zone);
+                let proposed = propose_zones(&core.labels, &zone);
+                // Veto-before-verify: the screen reorders or removes
+                // candidates *before* any crop or seed is assigned, so
+                // the surviving list flows through verification exactly
+                // as a screen-free proposal of the same content would.
+                let screen = match (riskmap, risk_policy) {
+                    (Some(map), Some(policy)) => {
+                        let origin = session.geo_origin_px();
+                        screen_candidates(proposed, policy, |rect| {
+                            map.max_heat_px(rect.translate(origin))
+                        })
+                    }
+                    _ => RiskScreen {
+                        kept: proposed,
+                        vetoed: 0,
+                        deprioritized: 0,
+                    },
+                };
+                let candidates = screen.kept;
                 let crops: Vec<Image> = if pipeline.monitored {
                     candidates
                         .iter()
@@ -330,6 +459,8 @@ impl ElService {
                     candidates,
                     crops,
                     priority,
+                    vetoed: screen.vetoed,
+                    deprioritized: screen.deprioritized,
                     ticket,
                 };
                 (session, proposal)
@@ -406,7 +537,10 @@ impl ElService {
             .collect();
 
         // Replay each frame's decision sequentially — identical
-        // semantics to a solo run.
+        // semantics to a solo run — collecting this tick's audit
+        // regions as georeferenced risk observations along the way.
+        let collect_risk = riskmap.is_some();
+        let mut observations: Vec<RiskObservation> = Vec::new();
         let tick_ns_hint = t0.elapsed().as_nanos() as u64;
         for (session, prop, frame_reports, audit) in audited {
             let (decision, trials) = replay_decisions(
@@ -419,6 +553,21 @@ impl ElService {
                 el_core::FinalDecision::Land(_) => report.landings += 1,
                 el_core::FinalDecision::Abort(_) => report.aborts += 1,
             }
+            report.vetoes += prop.vetoed;
+            report.deprioritized += prop.deprioritized;
+            if collect_risk {
+                if let Some(audit_report) = &audit {
+                    let origin = session.geo_origin_px();
+                    observations.extend(audit_report.regions.iter().map(|region| {
+                        RiskObservation::from_region(
+                            session.id(),
+                            prop.ticket.frame,
+                            origin,
+                            region,
+                        )
+                    }));
+                }
+            }
             session.record_decision(
                 prop.ticket.frame,
                 prop.ticket.seed,
@@ -428,6 +577,30 @@ impl ElService {
                 audit.as_ref(),
                 tick_ns_hint,
             );
+        }
+
+        // Fold the tick's observations into the shared map and advance
+        // its decay clock. Ingestion canonicalises its own order, so
+        // the map's state after this point is a pure function of the
+        // set of observations, not of how the tick produced them.
+        if let Some(map) = self.riskmap.as_mut() {
+            let sw_ingest = el_metrics::Stopwatch::start();
+            map.ingest_batch(observations);
+            map.advance();
+            metrics.riskmap_ingest.record(sw_ingest);
+            let veto = self
+                .config
+                .riskmap
+                .as_ref()
+                .map(|r| r.policy.veto_heat)
+                .unwrap_or(f64::INFINITY);
+            metrics
+                .riskmap_cells_hot
+                .record_ns(map.hot_cells(veto) as u64);
+            metrics.riskmap_vetoes.add(report.vetoes as u64);
+            metrics
+                .riskmap_deprioritized
+                .add(report.deprioritized as u64);
         }
 
         self.admission
@@ -449,6 +622,8 @@ impl ElService {
             total.crops += t.crops;
             total.landings += t.landings;
             total.aborts += t.aborts;
+            total.vetoes += t.vetoes;
+            total.deprioritized += t.deprioritized;
         }
         total
     }

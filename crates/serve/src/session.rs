@@ -13,12 +13,11 @@ use std::collections::VecDeque;
 use el_core::pipeline::{FinalDecision, Trial};
 use el_core::requirements::IntegrityLevel;
 use el_core::{AuditReport, DriftModel};
-use el_metrics::{Counter, Histogram, HistogramSnapshot};
+use el_geom::Point;
+use el_metrics::{Counter, Fingerprint, Histogram, HistogramSnapshot};
 use el_nn::Workspace;
 use el_scene::{Camera, Image};
 use serde::Serialize;
-
-use crate::fingerprint::Fingerprint;
 
 /// Session identifier, unique for the lifetime of one service.
 pub type SessionId = u64;
@@ -221,6 +220,9 @@ pub struct Session {
     /// Seed-chain key: frame `i` runs under
     /// `el_uavsim::seedchain::frame_seed(frame_chain, i)`.
     frame_chain: u64,
+    /// Ground-pixel position of this stream's frames in the fleet's
+    /// shared coordinate system (the risk map's frame of reference).
+    geo_origin_px: Point,
     next_frame: usize,
     pub(crate) ws: Workspace,
     drift: Option<DriftTracker>,
@@ -237,10 +239,16 @@ pub struct Session {
 }
 
 impl Session {
-    pub(crate) fn new(id: SessionId, frame_chain: u64, drift: Option<DriftConfig>) -> Self {
+    pub(crate) fn new(
+        id: SessionId,
+        frame_chain: u64,
+        geo_origin_px: Point,
+        drift: Option<DriftConfig>,
+    ) -> Self {
         Session {
             id,
             frame_chain,
+            geo_origin_px,
             next_frame: 0,
             ws: Workspace::new(),
             drift: drift.map(DriftTracker::new),
@@ -260,6 +268,12 @@ impl Session {
     /// The session id.
     pub fn id(&self) -> SessionId {
         self.id
+    }
+
+    /// Ground-pixel position of the stream's frame origin in the
+    /// fleet's shared coordinate system.
+    pub fn geo_origin_px(&self) -> Point {
+        self.geo_origin_px
     }
 
     /// Frames currently queued.
@@ -490,7 +504,7 @@ mod tests {
         // Seeds are position-keyed at submission: an inbox-overflow
         // refusal consumes its frame index, so the next frame's seed is
         // unchanged by the refusal.
-        let mut s = Session::new(0, 99, None);
+        let mut s = Session::new(0, 99, Point::new(0, 0), None);
         let img = Image::new(4, 4, [0.0, 0.0, 0.0]);
         let req = || FrameRequest {
             image: img.clone(),

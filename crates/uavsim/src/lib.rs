@@ -54,5 +54,5 @@ pub use safety::{AuditAdvisory, FlightMode, Maneuver, SafetySwitch};
 pub use scenario::{
     ElPolicy, MissionRecord, Scenario, ScenarioError, ScenarioOutcome, ScheduledFault,
 };
-pub use seedchain::{frame_seed, mission_seeds, stream_seeds};
+pub use seedchain::{fleet_scene_seed, frame_seed, mission_seeds, stream_seeds};
 pub use wind::Wind;

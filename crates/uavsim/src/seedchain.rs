@@ -21,6 +21,9 @@ pub const PHI64: u64 = 0x9E3779B97F4A7C15;
 /// scenario campaign sharing a base seed draw unrelated randomness.
 const STREAM_DOMAIN: u64 = 0x5EED_57E3_A21C_0DE5;
 
+/// Domain tag for the fleet-shared scene seed ([`fleet_scene_seed`]).
+const FLEET_DOMAIN: u64 = 0xF1EE_7C3A_9B0D_51A7;
+
 /// The SplitMix64 finalizer: a full-avalanche 64-bit mix.
 pub fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -58,6 +61,16 @@ pub fn stream_seeds(base_seed: u64, stream: usize) -> (u64, u64) {
     (frame_chain, scene)
 }
 
+/// Derives the single scene seed an entire fleet shares when all its
+/// streams survey the same terrain — the service analogue of the
+/// scenario DSL's `vary_scenes: false`. A pure function of the base
+/// seed with its own domain tag: it collides with neither a stream's
+/// private scene seed ([`stream_seeds`]) nor any mission chain, and
+/// every stream of the run derives the identical value independently.
+pub fn fleet_scene_seed(base_seed: u64) -> u64 {
+    mix64(base_seed ^ FLEET_DOMAIN)
+}
+
 /// Derives the pipeline seed for one frame of a stream from the stream's
 /// `frame_chain` (see [`stream_seeds`]).
 ///
@@ -90,6 +103,19 @@ mod tests {
         for base in [0u64, 7, 0xDEAD_BEEF] {
             for index in 0..32 {
                 assert_ne!(stream_seeds(base, index), mission_seeds(base, index));
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_scene_seed_is_stable_and_disjoint() {
+        assert_eq!(fleet_scene_seed(42), fleet_scene_seed(42));
+        for base in [0u64, 7, 42, 0xDEAD_BEEF] {
+            let fleet = fleet_scene_seed(base);
+            for stream in 0..32 {
+                let (chain, scene) = stream_seeds(base, stream);
+                assert_ne!(fleet, scene, "fleet seed collides with a stream scene");
+                assert_ne!(fleet, chain, "fleet seed collides with a frame chain");
             }
         }
     }

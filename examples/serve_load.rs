@@ -16,14 +16,39 @@
 //! - `--threads <n>` — worker threads for the timed run (default: all
 //!   cores).
 //! - `--out <path>` — write the final metrics snapshot as JSON (the
-//!   `serve` group carries tick latency, batch sizes, queue depths).
+//!   `serve` group carries tick latency, batch sizes, queue depths; the
+//!   `riskmap` group, ingestion and screening).
+//! - `--riskmap` — run the fleet ground-risk map: all streams survey one
+//!   shared terrain ([`TerrainMode::SharedFleet`]), every audit region
+//!   feeds the map, and candidates are screened against it before
+//!   verification.
+//! - `--out-riskmap <path>` — write the final risk-map snapshot as JSON
+//!   (hot blobs, counters, the canonical map fingerprint). Requires
+//!   `--riskmap`.
 //! - `--check-determinism` — re-run the whole load at 1, 2 and
 //!   `--threads` workers and exit nonzero unless every stream's decision
-//!   and audit fingerprints are identical across all three (the CI
-//!   determinism gate).
+//!   and audit fingerprints — and, with `--riskmap`, the map fingerprint
+//!   — are identical across all three (the CI determinism gate).
+//! - `--check-risk-advisory` — run the load twice on the shared-fleet
+//!   terrain, once with the risk map accumulating but never screening
+//!   ([`RiskSettings::advisory`]) and once with no map at all, and exit
+//!   nonzero unless every stream's fingerprints are byte-identical (the
+//!   veto-before-verify bit-identity gate: an advisory map must change
+//!   nothing).
 //! - `--check-speedup <x>` — exit nonzero unless the `--threads` run's
 //!   throughput is at least `x` times the single-thread run's (only
 //!   meaningful on a multi-core host; CI runs it, laptops may skip).
+//! - `--drift <on|off>` — enable the MEDI DELIVERY drift tracker
+//!   (default `on`). Under that drift model the tightened clearance
+//!   rejects every proposal at the smoke seeds before any crop is cut,
+//!   so the bench-trend job passes `off` to keep the coalesced-batch
+//!   median it gates on non-vacuous.
+//! - `--bench-out <path>` — write the run's tick-latency/batch-size
+//!   medians as a JSON bench record (the `BENCH_serve.json` format).
+//! - `--check-bench <path>` — compare this run against a committed bench
+//!   record and exit nonzero on a >25% median tick-latency regression
+//!   (with a 50 µs absolute-noise floor) or a >25% drop in the median
+//!   coalesced batch size.
 //!
 //! Every run prints per-stream fingerprints, so two invocations with the
 //! same seed are comparable across machines and thread counts.
@@ -32,8 +57,10 @@ use std::process::ExitCode;
 use std::sync::Arc as StdArc;
 
 use certel::prelude::*;
+use el_serve::median_u64;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 struct Args {
     streams: usize,
@@ -41,8 +68,14 @@ struct Args {
     seed: u64,
     threads: usize,
     out: Option<String>,
+    riskmap: bool,
+    out_riskmap: Option<String>,
     check_determinism: bool,
+    check_risk_advisory: bool,
     check_speedup: Option<f64>,
+    bench_out: Option<String>,
+    check_bench: Option<String>,
+    drift: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,8 +88,14 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: default_threads,
         out: None,
+        riskmap: false,
+        out_riskmap: None,
         check_determinism: false,
+        check_risk_advisory: false,
         check_speedup: None,
+        bench_out: None,
+        check_bench: None,
+        drift: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,15 +113,30 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parsed("--seed", value("--seed")?)?,
             "--threads" => args.threads = parsed("--threads", value("--threads")?)?,
             "--out" => args.out = Some(value("--out")?),
+            "--riskmap" => args.riskmap = true,
+            "--out-riskmap" => args.out_riskmap = Some(value("--out-riskmap")?),
             "--check-determinism" => args.check_determinism = true,
+            "--check-risk-advisory" => args.check_risk_advisory = true,
             "--check-speedup" => {
                 args.check_speedup = Some(parsed("--check-speedup", value("--check-speedup")?)?)
+            }
+            "--bench-out" => args.bench_out = Some(value("--bench-out")?),
+            "--check-bench" => args.check_bench = Some(value("--check-bench")?),
+            "--drift" => {
+                args.drift = match value("--drift")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--drift must be `on` or `off`, got `{other}`")),
+                }
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.streams == 0 || args.frames == 0 || args.threads == 0 {
         return Err("--streams, --frames and --threads must be positive".into());
+    }
+    if args.out_riskmap.is_some() && !args.riskmap {
+        return Err("--out-riskmap requires --riskmap".into());
     }
     Ok(args)
 }
@@ -114,18 +168,35 @@ fn train_net() -> MsdNet {
     net
 }
 
+/// How a run relates to the fleet risk map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RiskMode {
+    /// No map at all — the pre-riskmap service, byte for byte.
+    Off,
+    /// Map accumulating and screening (the real feature).
+    On,
+    /// Map accumulating but never screening ([`RiskSettings::advisory`]);
+    /// must be bit-identical to `Off`.
+    Advisory,
+}
+
 /// The audited serve configuration the load runs under: deterministic
 /// audit clock and unlimited admission, so every run of the same seed
 /// processes the same frames regardless of host speed or thread count.
-fn serve_config() -> ServeConfig {
+fn serve_config(mode: RiskMode, drift: bool) -> ServeConfig {
     let mut pipeline = PipelineConfig::fast_test().with_audit(AuditConfig::fast_test());
     pipeline.monitor.max_warning_fraction = 0.25;
     ServeConfig {
         pipeline,
         admission: AdmissionConfig::unlimited(),
-        drift: Some(DriftConfig::medi_delivery()),
+        drift: drift.then(DriftConfig::medi_delivery),
         audit_clock: TickClock::Zero,
         max_inbox: 4,
+        riskmap: match mode {
+            RiskMode::Off => None,
+            RiskMode::On => Some(el_serve::RiskSettings::fast_test()),
+            RiskMode::Advisory => Some(el_serve::RiskSettings::advisory()),
+        },
     }
 }
 
@@ -133,17 +204,31 @@ struct RunResult {
     threads: usize,
     wall_s: f64,
     throughput_fps: f64,
+    ticks: usize,
+    tick_ns: Vec<u64>,
+    tick_crops: Vec<u64>,
+    admitted: usize,
+    vetoes: usize,
+    deprioritized: usize,
     /// `(id, decision_fp, audit_fp)` per stream, in stream order.
     fingerprints: Vec<(u64, String, String)>,
+    riskmap: Option<RiskMapSnapshot>,
     summaries: Vec<SessionSummary>,
 }
 
 /// One complete load run at a fixed worker-thread count.
-fn run_once(net: StdArc<MsdNet>, args: &Args, threads: usize) -> Result<RunResult, String> {
+fn run_once(
+    net: StdArc<MsdNet>,
+    args: &Args,
+    threads: usize,
+    mode: RiskMode,
+    terrain: TerrainMode,
+) -> Result<RunResult, String> {
     std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-    let mut service =
-        ElService::try_new(net, serve_config()).map_err(|e| format!("serve config: {e}"))?;
-    let load = LoadConfig::smoke(args.streams, args.frames, args.seed);
+    let mut service = ElService::try_new(net, serve_config(mode, args.drift))
+        .map_err(|e| format!("serve config: {e}"))?;
+    let mut load = LoadConfig::smoke(args.streams, args.frames, args.seed);
+    load.terrain = terrain;
     let streams = generate_streams(&load);
     let report = run_load(&mut service, streams);
     std::env::remove_var("RAYON_NUM_THREADS");
@@ -156,21 +241,100 @@ fn run_once(net: StdArc<MsdNet>, args: &Args, threads: usize) -> Result<RunResul
         threads,
         wall_s: report.wall_s,
         throughput_fps: report.throughput_fps(),
+        ticks: report.ticks,
+        admitted: report.totals.admitted,
+        vetoes: report.totals.vetoes,
+        deprioritized: report.totals.deprioritized,
         fingerprints,
+        riskmap: service.riskmap_snapshot(),
+        tick_ns: report.tick_ns,
+        tick_crops: report.tick_crops,
         summaries: report.summaries,
     })
 }
 
 fn print_run(run: &RunResult) {
     println!(
-        "run @ {} thread(s): {:.2} s wall, {:.1} frames/s",
-        run.threads, run.wall_s, run.throughput_fps
+        "run @ {} thread(s): {:.2} s wall, {:.1} frames/s, {} ticks",
+        run.threads, run.wall_s, run.throughput_fps, run.ticks
     );
     for s in &run.summaries {
         println!(
             "  stream {}: {} frames ({} land / {} abort / {} refused)  decision_fp={}  audit_fp={}",
             s.id, s.frames, s.landings, s.aborts, s.refusals, s.decision_fp, s.audit_fp
         );
+    }
+    if let Some(map) = &run.riskmap {
+        println!(
+            "  riskmap: tick {} — {} regions in, {} rejected, {} hot cells, \
+             {} blobs, {} vetoes / {} deprioritized  map_fp={}",
+            map.tick,
+            map.ingested,
+            map.rejected,
+            map.cells_hot,
+            map.hot_regions.len(),
+            run.vetoes,
+            run.deprioritized,
+            map.fingerprint
+        );
+    }
+}
+
+/// The committed serve bench record (`BENCH_serve.json`).
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBench {
+    streams: usize,
+    frames_per_stream: usize,
+    threads: usize,
+    ticks: usize,
+    frames_processed: usize,
+    tick_ns_median: u64,
+    tick_ns_mean: u64,
+    batch_crops_median: u64,
+}
+
+impl ServeBench {
+    fn from_run(args: &Args, run: &RunResult) -> Self {
+        let mean = if run.tick_ns.is_empty() {
+            0
+        } else {
+            run.tick_ns.iter().sum::<u64>() / run.tick_ns.len() as u64
+        };
+        ServeBench {
+            streams: args.streams,
+            frames_per_stream: args.frames,
+            threads: run.threads,
+            ticks: run.ticks,
+            frames_processed: run.admitted,
+            tick_ns_median: median_u64(&run.tick_ns),
+            tick_ns_mean: mean,
+            batch_crops_median: median_u64(&run.tick_crops),
+        }
+    }
+
+    /// Gate against a committed baseline. Latency fails on a >25%
+    /// median regression that also exceeds a 50 µs absolute floor (sub-
+    /// floor jitter on tiny ticks is noise, same contract as the
+    /// pipeline bench gate); batching fails on a >25% drop in the
+    /// median coalesced batch size.
+    fn check_against(&self, baseline: &ServeBench) -> Result<(), String> {
+        let (now, was) = (self.tick_ns_median, baseline.tick_ns_median);
+        if was > 0 {
+            let ratio = now as f64 / was as f64;
+            if ratio > 1.25 && now > was + 50_000 {
+                return Err(format!(
+                    "median tick latency regressed {ratio:.2}x ({was} ns -> {now} ns)"
+                ));
+            }
+        }
+        let (now_b, was_b) = (self.batch_crops_median, baseline.batch_crops_median);
+        if was_b > 0 && (now_b as f64) < was_b as f64 * 0.75 {
+            return Err(format!(
+                "median coalesced batch shrank from {was_b} to {now_b} crops \
+                 (>25% coalescing regression)"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -182,9 +346,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mode = if args.riskmap {
+        RiskMode::On
+    } else {
+        RiskMode::Off
+    };
+    // The risk map is only meaningful when the fleet shares ground; the
+    // advisory gate also compares on shared ground so the map has
+    // something to accumulate while it proves it changed nothing.
+    let terrain = if args.riskmap || args.check_risk_advisory {
+        TerrainMode::SharedFleet
+    } else {
+        TerrainMode::PerStream
+    };
     println!(
-        "serve_load: {} streams x {} frames, seed {}, {} thread(s)",
-        args.streams, args.frames, args.seed, args.threads
+        "serve_load: {} streams x {} frames, seed {}, {} thread(s), riskmap {}",
+        args.streams,
+        args.frames,
+        args.seed,
+        args.threads,
+        if args.riskmap { "on" } else { "off" }
     );
 
     println!("training serve model (fixed seeds)...");
@@ -193,7 +374,7 @@ fn main() -> ExitCode {
 
     el_metrics::set_enabled(true);
     el_metrics::registry().reset();
-    let main_run = match run_once(net.clone(), &args, args.threads) {
+    let main_run = match run_once(net.clone(), &args, args.threads, mode, terrain) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve_load: {e}");
@@ -219,13 +400,118 @@ fn main() -> ExitCode {
         println!("metrics snapshot written to {path}");
     }
 
+    if let Some(path) = &args.out_riskmap {
+        let Some(map) = &main_run.riskmap else {
+            eprintln!("serve_load: no risk-map snapshot to write");
+            return ExitCode::FAILURE;
+        };
+        let json = match serde_json::to_string(map) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("serve_load: cannot serialize risk map: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("serve_load: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("risk-map snapshot written to {path}");
+    }
+
+    if let Some(path) = &args.bench_out {
+        let bench = ServeBench::from_run(&args, &main_run);
+        let json = serde_json::to_string(&bench).expect("bench record serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("serve_load: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench record written to {path}");
+    }
+
+    if let Some(path) = &args.check_bench {
+        let baseline: ServeBench = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("serve_load: cannot read bench baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let bench = ServeBench::from_run(&args, &main_run);
+        println!(
+            "bench: tick median {} ns (baseline {} ns), batch median {} crops (baseline {})",
+            bench.tick_ns_median,
+            baseline.tick_ns_median,
+            bench.batch_crops_median,
+            baseline.batch_crops_median
+        );
+        if let Err(e) = bench.check_against(&baseline) {
+            eprintln!("serve_load: bench gate failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench gate passed");
+    }
+
+    if args.check_risk_advisory {
+        // Property (b): a map that accumulates but never screens must
+        // leave every decision, trial and seed byte-identical to no map.
+        let advisory = match run_once(
+            net.clone(),
+            &args,
+            args.threads,
+            RiskMode::Advisory,
+            TerrainMode::SharedFleet,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_load: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let bare = match run_once(
+            net.clone(),
+            &args,
+            args.threads,
+            RiskMode::Off,
+            TerrainMode::SharedFleet,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_load: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if advisory.vetoes != 0 || advisory.deprioritized != 0 {
+            eprintln!(
+                "serve_load: advisory risk map screened candidates ({} vetoes, {} deprioritized)",
+                advisory.vetoes, advisory.deprioritized
+            );
+            return ExitCode::FAILURE;
+        }
+        if advisory.fingerprints != bare.fingerprints {
+            eprintln!(
+                "serve_load: advisory risk map changed decisions: per-stream \
+                 fingerprints differ from the map-off run"
+            );
+            return ExitCode::FAILURE;
+        }
+        let accumulated = advisory.riskmap.as_ref().map(|m| m.ingested).unwrap_or(0);
+        println!(
+            "risk advisory gate: map accumulated {accumulated} regions and \
+             changed nothing (fingerprints identical to map-off run)"
+        );
+    }
+
     // Baseline for the determinism/speedup gates: the same load at one
     // worker, then (for determinism) at two.
     let need_baseline = args.check_determinism || args.check_speedup.is_some();
     if !need_baseline {
         return ExitCode::SUCCESS;
     }
-    let single = match run_once(net.clone(), &args, 1) {
+    let single = match run_once(net.clone(), &args, 1, mode, terrain) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve_load: {e}");
@@ -235,7 +521,7 @@ fn main() -> ExitCode {
     print_run(&single);
 
     if args.check_determinism {
-        let two = match run_once(net.clone(), &args, 2) {
+        let two = match run_once(net.clone(), &args, 2, mode, terrain) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("serve_load: {e}");
@@ -252,9 +538,19 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+            let map_fp = |r: &RunResult| r.riskmap.as_ref().map(|m| m.fingerprint.clone());
+            if map_fp(other) != map_fp(&main_run) {
+                eprintln!(
+                    "serve_load: thread-count determinism violation: \
+                     {} thread(s) vs {} thread(s) disagree on the risk-map fingerprint",
+                    main_run.threads, other.threads
+                );
+                return ExitCode::FAILURE;
+            }
         }
         println!(
-            "determinism: per-stream fingerprints identical at 1, 2 and {} thread(s)",
+            "determinism: per-stream{} fingerprints identical at 1, 2 and {} thread(s)",
+            if args.riskmap { " and risk-map" } else { "" },
             main_run.threads
         );
     }

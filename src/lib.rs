@@ -15,6 +15,7 @@
 //! | [`el_core`] | landing-zone selection, drift buffers, the Figure 2 pipeline, Table III/IV requirements |
 //! | [`el_sora`] | the SORA v2.0 engine and the MEDI DELIVERY case study |
 //! | [`el_uavsim`] | the Figure 1 safety switch, failure injection, campaigns |
+//! | [`el_riskmap`] | the persistent cross-fleet ground-risk map with decayed accumulation |
 //! | [`el_serve`] | the resident multi-stream service with cross-stream batching |
 //!
 //! This facade re-exports the whole public API and provides
@@ -52,6 +53,7 @@ pub use el_geom;
 pub use el_metrics;
 pub use el_monitor;
 pub use el_nn;
+pub use el_riskmap;
 pub use el_scene;
 pub use el_seg;
 pub use el_serve;
@@ -65,21 +67,25 @@ pub use adapter::PipelineElSystem;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::adapter::PipelineElSystem;
+    pub use el_core::screen_candidates;
     pub use el_core::{
         assess_zone, audit_seed, propose_zones, AssuranceEvidence, AssuranceLevel, AuditConfig,
         AuditRegion, AuditReport, Candidate, DriftModel, ElOutcome, ElPipeline, FinalDecision,
-        IntegrityLevel, PipelineConfig, PipelineConfigError, TileAuditStat, ZoneParams,
+        IntegrityLevel, PipelineConfig, PipelineConfigError, RiskConfig, RiskScreen, TileAuditStat,
+        ZoneParams,
     };
     pub use el_geom::{Grid, LabelMap, Point, Rect, SemanticClass, Vec2};
     pub use el_metrics::{MetricsRegistry, MetricsSnapshot};
     pub use el_monitor::{
         bayesian_segment, BayesStats, Monitor, MonitorConfig, MonitorQuality, MonitorRule, Verdict,
     };
+    pub use el_riskmap::{HotRegion, RiskMap, RiskMapConfig, RiskMapSnapshot, RiskObservation};
     pub use el_scene::{Camera, Conditions, Dataset, DatasetConfig, Scene, SceneParams, Split};
     pub use el_seg::{segment, ConfusionMatrix, MsdNet, MsdNetConfig, TrainConfig, Trainer};
     pub use el_serve::{
         generate_streams, run_load, AdmissionConfig, CostModel, DriftConfig, ElService,
-        FrameRequest, LoadConfig, ServeConfig, SessionSummary, TickClock,
+        FrameRequest, LoadConfig, RiskSettings, ServeConfig, SessionSummary, TerrainMode,
+        TickClock,
     };
     pub use el_sora::hazard::HazardCategory;
     pub use el_sora::{

@@ -101,6 +101,7 @@ fn run_service(
         drift: Some(DriftConfig::medi_delivery()),
         audit_clock: TickClock::Zero,
         max_inbox: FRAMES,
+        riskmap: None,
     };
     let mut service = ElService::try_new(net, config).expect("valid serve config");
     let streams = generate_streams(&LoadConfig::smoke(STREAMS, FRAMES, BASE_SEED));
@@ -170,6 +171,7 @@ fn coalesced_batching_matches_solo_pipelines() {
         drift: None,
         audit_clock: TickClock::Zero,
         max_inbox: FRAMES,
+        riskmap: None,
     };
     let mut service = ElService::try_new(net.clone(), serve_config).expect("valid serve config");
     let ids: Vec<_> = streams

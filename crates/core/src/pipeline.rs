@@ -266,23 +266,6 @@ impl ElPipeline {
         })
     }
 
-    /// Creates a pipeline around a (typically trained) network.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`PipelineConfig::validate`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ElPipeline::try_new`, which reports an invalid configuration \
-                as a typed error instead of panicking"
-    )]
-    pub fn new(net: MsdNet, config: PipelineConfig) -> Self {
-        match Self::try_new(net, config) {
-            Ok(p) => p,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// The pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -682,24 +665,6 @@ mod tests {
         assert!(
             err.to_string().contains("monitor_margin_px"),
             "message should name the field, got: {err}"
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_still_panics_with_the_old_message() {
-        let result = std::panic::catch_unwind(|| {
-            let mut rng = ChaCha8Rng::seed_from_u64(0);
-            let net = MsdNet::new(&MsdNetConfig::tiny(), &mut rng);
-            let mut config = PipelineConfig::fast_test();
-            config.monitor.samples = 0;
-            ElPipeline::new(net, config)
-        });
-        let panic = result.expect_err("invalid config must panic through the legacy path");
-        let message = panic.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(
-            message.starts_with("invalid pipeline configuration:"),
-            "legacy panic message changed: {message}"
         );
     }
 

@@ -1,0 +1,1462 @@
+//! Reduced-precision GEMM rungs of the **approximate** contract class.
+//!
+//! Everything in this module trades the workspace's bit-exactness
+//! contract for throughput, under a calibrated error bound instead of a
+//! bit-identity proof. The exact five-rung ladder in [`crate::gemm`] is
+//! untouched; these kernels are reachable only through a
+//! [`crate::KernelPolicy`] whose contract is
+//! [`crate::Contract::Approximate`], which the engine accepts solely on
+//! the advisory audit sweep — never on the certified decision path.
+//!
+//! Two rungs exist:
+//!
+//! - **f16** ([`crate::ApproxRung::F16`]): both GEMM operands are
+//!   rounded to IEEE binary16 (round-to-nearest-even, [`f16_round`])
+//!   and the product is accumulated in f32 *with FMA permitted*. The
+//!   exact kernels must issue separate multiply and add in a fixed
+//!   order to preserve the ladder's bit-identity; the f16 rung fuses
+//!   them, halving the floating-point instruction count, and converts
+//!   the activation operand in registers inside the kernel loop (each
+//!   element is rounded exactly once per pass — there is no separate
+//!   rounded copy of `b`). That, plus deeper row blocking than the
+//!   exact kernels can afford, is where the audit's
+//!   coverage-per-budget gain comes from.
+//! - **int8** ([`crate::ApproxRung::Int8`]): symmetric linear
+//!   quantisation — per-**row** scales for the weight operand `a`,
+//!   per-**column-group** scales (groups of [`INT8_GROUP_COLS`]
+//!   columns) for the activation operand `b`. A value quantises as
+//!   `round_ties_even(x * (127 / amax))` (the multiply-by-inverse form
+//!   is what the SIMD quantisers execute, and `round_ties_even`
+//!   matches `cvtps2dq` exactly); accumulation is i32 with a single
+//!   f32 dequantise-plus-bias epilogue `bias + acc * (sa * sb)`. On
+//!   x86 the i32 accumulation runs on `vpmaddwd` pair-products (or
+//!   `vpdpwssd` where AVX-512 VNNI is available) over an interleaved
+//!   i16 pair layout. The quantised buffers, scale tables and i32
+//!   accumulators are implementation details and stay `pub(crate)`.
+//!
+//! Both rungs are deterministic for a given (tier, input) pair — the
+//! cross-check machinery in `el-monitor` depends on replayability.
+//! Unlike the exact class, approximate rungs are **not** required to
+//! agree across tiers bit for bit; the int8 rung happens to anyway
+//! (quantisation is elementwise and i32 accumulation is
+//! order-insensitive), and a test pins that property, but only the f16
+//! rung's per-tier FMA reassociation actually exercises the latitude.
+
+use crate::gemm::gemm_bias_portable;
+use std::cell::RefCell;
+
+/// Column-group width of the int8 rung's activation quantisation: one
+/// scale per `INT8_GROUP_COLS`-wide group of output columns, computed
+/// from the group's absolute maximum. Public so the accuracy fuzz tests
+/// can reconstruct the documented scheme and bound the error
+/// analytically.
+pub const INT8_GROUP_COLS: usize = 64;
+
+/// Column-panel width for the approximate drivers. Both rungs stream
+/// `b` in column panels: a conversion pass stages the panel in scratch
+/// (f16-rounded f32 for the f16 rung; quantised i16 pairs for int8),
+/// then the row-block passes of the accumulation kernel re-read the
+/// staged panel from cache. Each element of `b` is loaded from memory
+/// and converted exactly once regardless of `m`, where an unstaged
+/// kernel would re-convert the stream once per row block. Must be a
+/// multiple of [`INT8_GROUP_COLS`] and of every kernel tile width.
+const PANEL_COLS: usize = 256;
+
+/// Rounds an `f32` to the nearest IEEE binary16 value and widens it
+/// back — the exact value the f16 rung feeds its GEMM. Round to nearest,
+/// ties to even; overflow saturates to ±∞; NaN stays NaN.
+#[inline]
+pub fn f16_round(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// `f32` → binary16 bit pattern, round-to-nearest-even.
+pub(crate) fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // Inf or NaN (quietened, payload dropped).
+        let nan = if abs > 0x7f80_0000 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan;
+    }
+    if abs >= 0x3880_0000 {
+        // Normal in f16 (|x| >= 2^-14): drop 13 mantissa bits with RNE;
+        // a mantissa carry correctly bumps the exponent.
+        let mant = abs + (((abs >> 13) & 1) + 0x0fff);
+        let h = (mant.wrapping_sub(0x3800_0000)) >> 13;
+        if h >= 0x7c00 {
+            return sign | 0x7c00; // rounded past 65504 → ±∞
+        }
+        return sign | h as u16;
+    }
+    if abs < 0x3300_0000 {
+        // |x| < 2^-25: rounds to ±0 (the 2^-25 tie goes to even = 0 and
+        // is handled by the general path below).
+        return sign;
+    }
+    // Subnormal in f16: denormalise the 24-bit significand with RNE.
+    let exp = abs >> 23; // 102..=112
+    let mant = (abs & 0x007f_ffff) | 0x0080_0000;
+    let shift = 126 - exp; // 14..=24
+    let rounded = mant + ((1u32 << (shift - 1)) - 1) + ((mant >> shift) & 1);
+    sign | (rounded >> shift) as u16
+}
+
+/// Binary16 bit pattern → exact `f32` value.
+pub(crate) fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = if h & 0x8000 != 0 { -1.0f32 } else { 1.0f32 };
+    let exp = (h >> 10) & 0x1f;
+    let man = (h & 0x03ff) as u32;
+    match (exp, man) {
+        (0, 0) => sign * 0.0,
+        // Subnormal: man * 2^-24, exact in f32.
+        (0, _) => sign * (man as f32) * f32::from_bits(0x3380_0000),
+        (0x1f, 0) => sign * f32::INFINITY,
+        (0x1f, _) => f32::NAN,
+        _ => {
+            let bits = (((h & 0x8000) as u32) << 16) | ((exp as u32 + 112) << 23) | (man << 13);
+            f32::from_bits(bits)
+        }
+    }
+}
+
+/// Per-thread scratch for the rounded / quantised operand copies, so
+/// warm approximate GEMMs allocate nothing (mirroring the engine's
+/// zero-allocation warm-pass discipline).
+struct Scratch {
+    /// Rounded (f16) copy of `a`, or the portable rung's rounded `b`.
+    a: Vec<f32>,
+    b: Vec<f32>,
+    /// Quantised weights, one i8 per element of `a`.
+    qa: Vec<i8>,
+    /// Quantised weights packed as adjacent-k i16 pairs (one `u32` per
+    /// pair), the layout `vpmaddwd`/`vpdpwssd` consume.
+    qap: Vec<u32>,
+    /// Per-row dequantisation scales for `a` (`amax / 127`).
+    sa: Vec<f32>,
+    /// Per-column-group dequantisation scales for `b` (`amax / 127`).
+    sb: Vec<f32>,
+    /// Per-column-group quantisation multipliers (`127 / amax`).
+    sbi: Vec<f32>,
+    /// Per-column absolute maxima, the k-major amax pass's accumulator.
+    cmax: Vec<f32>,
+    /// f16-rounded staging panel of `b` (`k x PANEL_COLS`, row stride
+    /// `PANEL_COLS`), shared by the f16 kernel's row-block passes.
+    rb: Vec<f32>,
+    /// Quantised i16-pair staging panel of `b` (`ceil(k/2) x
+    /// PANEL_COLS`), shared by the int8 kernel's row-block passes.
+    qbp: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            a: Vec::new(),
+            b: Vec::new(),
+            qa: Vec::new(),
+            qap: Vec::new(),
+            sa: Vec::new(),
+            sb: Vec::new(),
+            sbi: Vec::new(),
+            cmax: Vec::new(),
+            rb: Vec::new(),
+            qbp: Vec::new(),
+        })
+    };
+}
+
+/// Scalar f16 rounding of a whole slice (the portable rung and the
+/// weight operand of the vectorised rungs).
+fn round_f16_scalar_into(src: &[f32], dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&x| f16_round(x)));
+}
+
+/// f16 rung, portable tier: round both operands, then run the exact
+/// portable micro-kernel on the rounded copies (scalar targets have no
+/// FMA win to harvest, so the rounding *is* the approximation).
+pub(crate) fn gemm_bias_f16_portable(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        round_f16_scalar_into(a, &mut s.a);
+        round_f16_scalar_into(b, &mut s.b);
+        gemm_bias_portable(&s.a, &s.b, bias, out, m, k_dim, n);
+    })
+}
+
+/// Scalar column tail of the f16 x86 kernels: rounds `b` on the fly
+/// and accumulates with scalar FMA, mirroring the vector path's fused
+/// semantics (any f32-accumulated order is within the rung's bound).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn f16_cols_scalar_fma(
+    a_rounded: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+    from: usize,
+) {
+    for r in 0..m {
+        for j in from..n {
+            let mut acc = bias[r];
+            for k in 0..k_dim {
+                acc = a_rounded[r * k_dim + k].mul_add(f16_round(b[k * n + j]), acc);
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
+/// Dispatches a row-remainder block (`1..=7` rows) to the right
+/// monomorphisation of a `<const R: usize>` micro-kernel. Full blocks
+/// go through the const-8 (or const-4) instantiation directly: a
+/// compile-time trip count is what lets LLVM keep the accumulator
+/// array in registers instead of spilling it to the stack.
+#[cfg(target_arch = "x86_64")]
+macro_rules! row_tail_dispatch {
+    ($f:ident, $rem:expr, ($($args:tt)*)) => {
+        match $rem {
+            1 => $f::<1>($($args)*),
+            2 => $f::<2>($($args)*),
+            3 => $f::<3>($($args)*),
+            4 => $f::<4>($($args)*),
+            5 => $f::<5>($($args)*),
+            6 => $f::<6>($($args)*),
+            7 => $f::<7>($($args)*),
+            _ => {}
+        }
+    };
+}
+
+/// f16 rung, AVX2 tier: the weight operand is pre-rounded through F16C
+/// once (it is tiny — `m x k`), the activation operand is rounded
+/// panel-by-panel into scratch, and accumulation is `vfmadd` over a
+/// 4-row x 16-column block reading the staged panel.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn gemm_bias_f16_avx2(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    debug_assert!(std::arch::is_x86_feature_detected!("fma"));
+    debug_assert!(std::arch::is_x86_feature_detected!("f16c"));
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        // Safety: `approx_gemm_for` only hands this entry out after
+        // runtime detection of avx2+fma+f16c succeeded.
+        unsafe {
+            round_f16_f16c_into(a, &mut s.a);
+            let mut c0 = 0usize;
+            while c0 < n {
+                let c1 = (c0 + PANEL_COLS).min(n);
+                round_f16_panel_avx2(b, k_dim, n, c0, c1, &mut s.rb);
+                gemm_bias_f16_avx2_inner(&s.a, &s.rb, bias, out, m, k_dim, n, c0, c1);
+                c0 = c1;
+            }
+            let tail = (n / 16) * 16;
+            if tail < n {
+                f16_cols_scalar_fma(&s.a, b, bias, out, m, k_dim, n, tail);
+            }
+        }
+    })
+}
+
+/// F16C-vectorised rounding: 8 lanes per `vcvtps2ph`/`vcvtph2ps` pair,
+/// scalar [`f16_round`] tail.
+///
+/// # Safety
+///
+/// Callers must ensure F16C is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn round_f16_f16c_into(src: &[f32], dst: &mut Vec<f32>) {
+    use core::arch::x86_64::*;
+    dst.resize(src.len(), 0.0);
+    let chunks = src.len() / 8;
+    for c in 0..chunks {
+        let v = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+        let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), _mm256_cvtph_ps(h));
+    }
+    for i in chunks * 8..src.len() {
+        dst[i] = f16_round(src[i]);
+    }
+}
+
+/// Stages the f16-rounded copy of `b`'s column panel `[c0, c1)` into
+/// `rb` (row stride [`PANEL_COLS`]), ymm width. Ragged columns past the
+/// last full vector are left to the scalar column tail.
+///
+/// # Safety
+///
+/// Callers must ensure F16C is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn round_f16_panel_avx2(
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+    rb: &mut Vec<f32>,
+) {
+    use core::arch::x86_64::*;
+    if rb.len() < k_dim * PANEL_COLS {
+        rb.resize(k_dim * PANEL_COLS, 0.0);
+    }
+    let w = (c1 - c0) / 8 * 8;
+    for k in 0..k_dim {
+        let src = b.as_ptr().add(k * n + c0);
+        let dst = rb.as_mut_ptr().add(k * PANEL_COLS);
+        let mut j = 0usize;
+        while j < w {
+            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(_mm256_loadu_ps(src.add(j)));
+            _mm256_storeu_ps(dst.add(j), _mm256_cvtph_ps(h));
+            j += 8;
+        }
+    }
+}
+
+/// [`round_f16_panel_avx2`] at zmm width.
+///
+/// # Safety
+///
+/// Callers must ensure AVX-512F and F16C are available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,f16c")]
+unsafe fn round_f16_panel_avx512(
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+    rb: &mut Vec<f32>,
+) {
+    use core::arch::x86_64::*;
+    if rb.len() < k_dim * PANEL_COLS {
+        rb.resize(k_dim * PANEL_COLS, 0.0);
+    }
+    let w = (c1 - c0) / 16 * 16;
+    for k in 0..k_dim {
+        let src = b.as_ptr().add(k * n + c0);
+        let dst = rb.as_mut_ptr().add(k * PANEL_COLS);
+        let mut j = 0usize;
+        while j < w {
+            let h = _mm512_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(_mm512_loadu_ps(src.add(j)));
+            _mm512_storeu_ps(dst.add(j), _mm512_cvtph_ps(h));
+            j += 16;
+        }
+    }
+}
+
+/// One `R`-row x 16-column f16 block reading the staged rounded panel:
+/// pure `vfmadd` accumulation in `2 * R` ymm registers. `j0` addresses
+/// the output, `jl` the panel (`j0` minus the panel origin).
+///
+/// # Safety
+///
+/// Callers must ensure AVX2 and FMA are available, all pointers cover
+/// rows `o..o + R` and columns `j0..j0 + 16`, and `rb` stages the
+/// rounded panel containing those columns.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn f16_avx2_rows<const R: usize>(
+    a_rounded: *const f32,
+    rb: *const f32,
+    bias: *const f32,
+    out: *mut f32,
+    o: usize,
+    k_dim: usize,
+    n: usize,
+    j0: usize,
+    jl: usize,
+) {
+    use core::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; R];
+    for (r, row) in acc.iter_mut().enumerate() {
+        let bv = _mm256_set1_ps(*bias.add(o + r));
+        *row = [bv, bv];
+    }
+    for k in 0..k_dim {
+        let bp = rb.add(k * PANEL_COLS + jl);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let ap = a_rounded.add(o * k_dim + k);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let wv = _mm256_set1_ps(*ap.add(r * k_dim));
+            row[0] = _mm256_fmadd_ps(wv, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(wv, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let op = out.add((o + r) * n + j0);
+        _mm256_storeu_ps(op, row[0]);
+        _mm256_storeu_ps(op.add(8), row[1]);
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure AVX2 and FMA are available, `a_rounded` holds
+/// the f16-rounded weights, and `rb` stages the rounded panel
+/// `[c0, c1)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_bias_f16_avx2_inner(
+    a_rounded: &[f32],
+    rb: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+) {
+    const W: usize = 16; // two ymm registers of columns
+    let (ap, bp) = (a_rounded.as_ptr(), rb.as_ptr());
+    let (ip, op) = (bias.as_ptr(), out.as_mut_ptr());
+    for t in c0 / W..c1 / W {
+        let j0 = t * W;
+        let jl = j0 - c0;
+        let mut o = 0usize;
+        while o + 4 <= m {
+            f16_avx2_rows::<4>(ap, bp, ip, op, o, k_dim, n, j0, jl);
+            o += 4;
+        }
+        row_tail_dispatch!(f16_avx2_rows, m - o, (ap, bp, ip, op, o, k_dim, n, j0, jl));
+    }
+}
+
+/// f16 rung, AVX-512F tier: pre-rounded weights, the activation stream
+/// rounded panel-by-panel into scratch, `vfmadd` accumulation over an
+/// 8-row x 32-column block (16 zmm accumulators keep sixteen FMA chains
+/// in flight; every row-block pass re-reads the staged panel from
+/// cache, so each activation element is converted exactly once
+/// whatever `m` is).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn gemm_bias_f16_avx512(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx512f"));
+    debug_assert!(std::arch::is_x86_feature_detected!("f16c"));
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        // Safety: `approx_gemm_for` only hands this entry out after
+        // runtime detection of avx512f+fma+f16c succeeded.
+        unsafe {
+            round_f16_f16c_into(a, &mut s.a);
+            let mut c0 = 0usize;
+            while c0 < n {
+                let c1 = (c0 + PANEL_COLS).min(n);
+                round_f16_panel_avx512(b, k_dim, n, c0, c1, &mut s.rb);
+                gemm_bias_f16_avx512_inner(&s.a, &s.rb, bias, out, m, k_dim, n, c0, c1);
+                c0 = c1;
+            }
+            let tail = (n / 32) * 32;
+            if tail < n {
+                f16_cols_scalar_fma(&s.a, b, bias, out, m, k_dim, n, tail);
+            }
+        }
+    })
+}
+
+/// One `R`-row x 32-column f16 block reading the staged rounded panel:
+/// pure `vfmadd` accumulation in `2 * R` zmm registers. `j0` addresses
+/// the output, `jl` the panel (`j0` minus the panel origin).
+///
+/// # Safety
+///
+/// Callers must ensure AVX-512F is available, all pointers cover rows
+/// `o..o + R` and columns `j0..j0 + 32`, and `rb` stages the rounded
+/// panel containing those columns.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn f16_avx512_rows<const R: usize>(
+    a_rounded: *const f32,
+    rb: *const f32,
+    bias: *const f32,
+    out: *mut f32,
+    o: usize,
+    k_dim: usize,
+    n: usize,
+    j0: usize,
+    jl: usize,
+) {
+    use core::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_ps(); 2]; R];
+    for (r, row) in acc.iter_mut().enumerate() {
+        let bv = _mm512_set1_ps(*bias.add(o + r));
+        *row = [bv, bv];
+    }
+    for k in 0..k_dim {
+        let bp = rb.add(k * PANEL_COLS + jl);
+        let b0 = _mm512_loadu_ps(bp);
+        let b1 = _mm512_loadu_ps(bp.add(16));
+        let ap = a_rounded.add(o * k_dim + k);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let wv = _mm512_set1_ps(*ap.add(r * k_dim));
+            row[0] = _mm512_fmadd_ps(wv, b0, row[0]);
+            row[1] = _mm512_fmadd_ps(wv, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let op = out.add((o + r) * n + j0);
+        _mm512_storeu_ps(op, row[0]);
+        _mm512_storeu_ps(op.add(16), row[1]);
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure AVX-512F is available, `a_rounded` holds the
+/// f16-rounded weights, and `rb` stages the rounded panel `[c0, c1)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_bias_f16_avx512_inner(
+    a_rounded: &[f32],
+    rb: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+) {
+    const W: usize = 32; // two zmm registers of columns
+    let (ap, bp) = (a_rounded.as_ptr(), rb.as_ptr());
+    let (ip, op) = (bias.as_ptr(), out.as_mut_ptr());
+    for t in c0 / W..c1 / W {
+        let j0 = t * W;
+        let jl = j0 - c0;
+        let mut o = 0usize;
+        while o + 8 <= m {
+            f16_avx512_rows::<8>(ap, bp, ip, op, o, k_dim, n, j0, jl);
+            o += 8;
+        }
+        row_tail_dispatch!(
+            f16_avx512_rows,
+            m - o,
+            (ap, bp, ip, op, o, k_dim, n, j0, jl)
+        );
+    }
+}
+
+/// Symmetric dequantisation scale for a value range: `amax / 127`, with
+/// a scale of 1.0 for an all-zero range (any scale reproduces zeros).
+#[inline]
+fn int8_scale(amax: f32) -> f32 {
+    if amax > 0.0 {
+        amax / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantisation multiplier: `127 / amax`, or 0.0 for an all-zero range
+/// (every element then quantises to exactly 0).
+#[inline]
+fn int8_inv_scale(amax: f32) -> f32 {
+    if amax > 0.0 {
+        127.0 / amax
+    } else {
+        0.0
+    }
+}
+
+/// `round_ties_even(x * inv)`, the scheme's quantiser. The clamp is
+/// inert for inputs within the measured `amax` (the multiplier maps
+/// them into `[-127, 127]`) and only guards degenerate inputs.
+#[inline]
+fn quantise(x: f32, inv: f32) -> i8 {
+    (x * inv).round_ties_even().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantises the weight operand: per-row amax scales, i8 values, plus
+/// the adjacent-k i16 pair packing (`[q_{2t}, q_{2t+1}]` in one `u32`,
+/// odd tail padded with 0) consumed by the x86 pair-product kernels.
+fn quantise_a_into(a: &[f32], m: usize, k_dim: usize, s: &mut Scratch) {
+    s.sa.clear();
+    s.qa.clear();
+    s.qa.reserve(m * k_dim);
+    for r in 0..m {
+        let row = &a[r * k_dim..(r + 1) * k_dim];
+        let amax = row.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+        let inv = int8_inv_scale(amax);
+        s.sa.push(int8_scale(amax));
+        s.qa.extend(row.iter().map(|&x| quantise(x, inv)));
+    }
+    let kp = k_dim.div_ceil(2);
+    s.qap.clear();
+    s.qap.resize(m * kp, 0);
+    for r in 0..m {
+        for p in 0..kp {
+            let q0 = s.qa[r * k_dim + 2 * p] as i16 as u16;
+            let q1 = if 2 * p + 1 < k_dim {
+                s.qa[r * k_dim + 2 * p + 1] as i16 as u16
+            } else {
+                0
+            };
+            s.qap[r * kp + p] = (q0 as u32) | ((q1 as u32) << 16);
+        }
+    }
+}
+
+/// Per-column-group quantisation scales for the activation operand,
+/// scalar reference: amax over each `INT8_GROUP_COLS`-wide group.
+fn int8_b_scales_scalar_into(b: &[f32], k_dim: usize, n: usize, s: &mut Scratch) {
+    let groups = n.div_ceil(INT8_GROUP_COLS).max(1);
+    s.sb.clear();
+    s.sbi.clear();
+    for g in 0..groups {
+        let j0 = g * INT8_GROUP_COLS;
+        let j1 = (j0 + INT8_GROUP_COLS).min(n);
+        let mut amax = 0.0f32;
+        for k in 0..k_dim {
+            for &x in &b[k * n + j0..k * n + j1] {
+                amax = amax.max(x.abs());
+            }
+        }
+        s.sb.push(int8_scale(amax));
+        s.sbi.push(int8_inv_scale(amax));
+    }
+}
+
+/// Scalar int8 GEMM, for the portable rung and the x86 kernels' column
+/// tails: quantises the activation on the fly (the same elementwise
+/// quantiser the vector kernels apply in registers) and accumulates in
+/// i32. Operates on `[from, n)`.
+#[allow(clippy::too_many_arguments)]
+fn int8_cols_scalar(
+    s: &Scratch,
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+    from: usize,
+) {
+    for r in 0..m {
+        let scale_a = s.sa[r];
+        for j in from..n {
+            let inv = s.sbi[j / INT8_GROUP_COLS];
+            let mut acc = 0i32;
+            for k in 0..k_dim {
+                acc += s.qa[r * k_dim + k] as i32 * quantise(b[k * n + j], inv) as i32;
+            }
+            out[r * n + j] = bias[r] + acc as f32 * (scale_a * s.sb[j / INT8_GROUP_COLS]);
+        }
+    }
+}
+
+/// int8 rung, portable tier: scalar quantisation and scalar i32
+/// accumulation. Produces bit-identical results to the x86 kernels —
+/// quantisation is elementwise and integer accumulation is
+/// order-insensitive, so the vectorised layouts cannot diverge.
+pub(crate) fn gemm_bias_int8_portable(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        quantise_a_into(a, m, k_dim, s);
+        int8_b_scales_scalar_into(b, k_dim, n, s);
+        int8_cols_scalar(s, b, bias, out, m, k_dim, n, 0);
+    })
+}
+
+/// Activation scales for the AVX2 tier over the column panel
+/// `[c0, c1)`: one k-major streaming column-maxima pass (a per-group
+/// k-strided scan would alias cache sets at the engine's wide `n`),
+/// group amax reduced from the column buffer. Same `amax.max(|x|)`
+/// folds as the scalar reference; `c0` must be group-aligned.
+///
+/// # Safety
+///
+/// Callers must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn int8_b_scales_avx2_panel(
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+    s: &mut Scratch,
+) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(c0 % INT8_GROUP_COLS, 0);
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    if s.cmax.len() < n {
+        s.cmax.resize(n, 0.0);
+    }
+    let cm = s.cmax.as_mut_ptr();
+    let full = c0 + (c1 - c0) / 8 * 8;
+    if k_dim == 0 {
+        for j in c0..c1 {
+            *cm.add(j) = 0.0;
+        }
+    } else {
+        let bp = b.as_ptr();
+        let mut j = c0;
+        while j + 8 <= c1 {
+            _mm256_storeu_ps(
+                cm.add(j),
+                _mm256_and_ps(_mm256_loadu_ps(bp.add(j)), abs_mask),
+            );
+            j += 8;
+        }
+        for jj in full..c1 {
+            *cm.add(jj) = (*bp.add(jj)).abs();
+        }
+        for k in 1..k_dim {
+            let bp = b.as_ptr().add(k * n);
+            let mut j = c0;
+            while j + 8 <= c1 {
+                let v = _mm256_and_ps(_mm256_loadu_ps(bp.add(j)), abs_mask);
+                _mm256_storeu_ps(cm.add(j), _mm256_max_ps(_mm256_loadu_ps(cm.add(j)), v));
+                j += 8;
+            }
+            for jj in full..c1 {
+                *cm.add(jj) = (*cm.add(jj)).max((*bp.add(jj)).abs());
+            }
+        }
+    }
+    let mut g0 = c0;
+    while g0 < c1 {
+        let g1 = (g0 + INT8_GROUP_COLS).min(c1);
+        let amax = s.cmax[g0..g1].iter().fold(0.0f32, |a, &x| a.max(x));
+        s.sb.push(int8_scale(amax));
+        s.sbi.push(int8_inv_scale(amax));
+        g0 = g1;
+    }
+}
+
+/// Activation scales for the AVX-512 tier over the column panel
+/// `[c0, c1)`: the AVX2 pass at zmm width, two k-rows folded per trip
+/// to halve the column-buffer traffic. `c0` must be group-aligned;
+/// group scales are appended in order.
+///
+/// # Safety
+///
+/// Callers must ensure AVX-512F is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn int8_b_scales_avx512_panel(
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+    s: &mut Scratch,
+) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(c0 % INT8_GROUP_COLS, 0);
+    if s.cmax.len() < n {
+        s.cmax.resize(n, 0.0);
+    }
+    let cm = s.cmax.as_mut_ptr();
+    let full = c0 + (c1 - c0) / 16 * 16;
+    if k_dim == 0 {
+        for j in c0..c1 {
+            *cm.add(j) = 0.0;
+        }
+    } else {
+        let bp = b.as_ptr();
+        let mut j = c0;
+        while j + 16 <= c1 {
+            _mm512_storeu_ps(cm.add(j), _mm512_abs_ps(_mm512_loadu_ps(bp.add(j))));
+            j += 16;
+        }
+        for jj in full..c1 {
+            *cm.add(jj) = (*bp.add(jj)).abs();
+        }
+        let mut k = 1usize;
+        while k + 2 <= k_dim {
+            let b0 = b.as_ptr().add(k * n);
+            let b1 = b.as_ptr().add((k + 1) * n);
+            let mut j = c0;
+            while j + 16 <= c1 {
+                let v0 = _mm512_abs_ps(_mm512_loadu_ps(b0.add(j)));
+                let v1 = _mm512_abs_ps(_mm512_loadu_ps(b1.add(j)));
+                let v = _mm512_max_ps(v0, v1);
+                _mm512_storeu_ps(cm.add(j), _mm512_max_ps(_mm512_loadu_ps(cm.add(j)), v));
+                j += 16;
+            }
+            for jj in full..c1 {
+                let x = (*b0.add(jj)).abs().max((*b1.add(jj)).abs());
+                *cm.add(jj) = (*cm.add(jj)).max(x);
+            }
+            k += 2;
+        }
+        if k < k_dim {
+            let bp = b.as_ptr().add(k * n);
+            let mut j = c0;
+            while j + 16 <= c1 {
+                let v = _mm512_abs_ps(_mm512_loadu_ps(bp.add(j)));
+                _mm512_storeu_ps(cm.add(j), _mm512_max_ps(_mm512_loadu_ps(cm.add(j)), v));
+                j += 16;
+            }
+            for jj in full..c1 {
+                *cm.add(jj) = (*cm.add(jj)).max((*bp.add(jj)).abs());
+            }
+        }
+    }
+    let mut g0 = c0;
+    while g0 < c1 {
+        let g1 = (g0 + INT8_GROUP_COLS).min(c1);
+        let amax = s.cmax[g0..g1].iter().fold(0.0f32, |a, &x| a.max(x));
+        s.sb.push(int8_scale(amax));
+        s.sbi.push(int8_inv_scale(amax));
+        g0 = g1;
+    }
+}
+
+/// Stages the quantised i16-pair copy of `b`'s column panel `[c0, c1)`
+/// into `s.qbp` (pair-row stride [`PANEL_COLS`]), ymm width: `vmulps`
+/// by the group multiplier, `vcvtps2dq` (round-to-nearest-even,
+/// identical to the scalar `round_ties_even`), then two adjacent k-rows
+/// packed into one `u32` per column with `vpand`/`vpslld`/`vpor` (each
+/// i32 lane's low 16 bits already are the i8 value's two's-complement
+/// i16). The odd k tail packs against an implicit zero row. Ragged
+/// columns past the last full vector are left to the scalar column
+/// tail.
+///
+/// # Safety
+///
+/// Callers must ensure AVX2 is available and `s` holds the panel's
+/// group multipliers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn int8_quantise_b_panel_avx2(
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+    s: &mut Scratch,
+) {
+    use core::arch::x86_64::*;
+    let kp = k_dim.div_ceil(2);
+    if s.qbp.len() < kp * PANEL_COLS {
+        s.qbp.resize(kp * PANEL_COLS, 0);
+    }
+    let m16 = _mm256_set1_epi32(0xffff);
+    for p in 0..kp {
+        let b0 = b.as_ptr().add(2 * p * n);
+        let odd = 2 * p + 1 < k_dim;
+        let b1 = b
+            .as_ptr()
+            .add(if odd { (2 * p + 1) * n } else { 2 * p * n });
+        let dst = s.qbp.as_mut_ptr().add(p * PANEL_COLS);
+        let mut g = c0;
+        while g < c1 {
+            let g1 = (g + INT8_GROUP_COLS).min(c1);
+            let inv = _mm256_set1_ps(s.sbi[g / INT8_GROUP_COLS]);
+            let w = g + (g1 - g) / 8 * 8;
+            let mut j = g;
+            while j < w {
+                let q0 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(b0.add(j)), inv));
+                let lo = _mm256_and_si256(q0, m16);
+                let pair = if odd {
+                    let q1 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(b1.add(j)), inv));
+                    _mm256_or_si256(lo, _mm256_slli_epi32::<16>(q1))
+                } else {
+                    lo
+                };
+                _mm256_storeu_si256(dst.add(j - c0) as *mut __m256i, pair);
+                j += 8;
+            }
+            g = g1;
+        }
+    }
+}
+
+/// [`int8_quantise_b_panel_avx2`] at zmm width.
+///
+/// # Safety
+///
+/// Callers must ensure AVX-512F is available and `s` holds the panel's
+/// group multipliers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn int8_quantise_b_panel_avx512(
+    b: &[f32],
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+    s: &mut Scratch,
+) {
+    use core::arch::x86_64::*;
+    let kp = k_dim.div_ceil(2);
+    if s.qbp.len() < kp * PANEL_COLS {
+        s.qbp.resize(kp * PANEL_COLS, 0);
+    }
+    let m16 = _mm512_set1_epi32(0xffff);
+    for p in 0..kp {
+        let b0 = b.as_ptr().add(2 * p * n);
+        let odd = 2 * p + 1 < k_dim;
+        let b1 = b
+            .as_ptr()
+            .add(if odd { (2 * p + 1) * n } else { 2 * p * n });
+        let dst = s.qbp.as_mut_ptr().add(p * PANEL_COLS);
+        let mut g = c0;
+        while g < c1 {
+            let g1 = (g + INT8_GROUP_COLS).min(c1);
+            let inv = _mm512_set1_ps(s.sbi[g / INT8_GROUP_COLS]);
+            let w = g + (g1 - g) / 16 * 16;
+            let mut j = g;
+            while j < w {
+                let q0 = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(b0.add(j)), inv));
+                let lo = _mm512_and_si512(q0, m16);
+                let pair = if odd {
+                    let q1 = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(b1.add(j)), inv));
+                    _mm512_or_si512(lo, _mm512_slli_epi32::<16>(q1))
+                } else {
+                    lo
+                };
+                _mm512_storeu_si512(dst.add(j - c0) as *mut __m512i, pair);
+                j += 16;
+            }
+            g = g1;
+        }
+    }
+}
+
+/// `vpmaddwd` accumulate: `acc += pairwise_add(w * v)` on i16 pairs.
+#[cfg(target_arch = "x86_64")]
+macro_rules! madd_acc_512 {
+    ($acc:expr, $w:expr, $v:expr) => {
+        _mm512_add_epi32($acc, _mm512_madd_epi16($w, $v))
+    };
+}
+
+/// `vpdpwssd` accumulate: the fused VNNI form of [`madd_acc_512`]
+/// (identical i32 results, one uop instead of two).
+#[cfg(target_arch = "x86_64")]
+macro_rules! vnni_acc_512 {
+    ($acc:expr, $w:expr, $v:expr) => {
+        _mm512_dpwssd_epi32($acc, $w, $v)
+    };
+}
+
+/// Generates one AVX-512 int8 micro-kernel: an `R`-row x 32-column
+/// block fn plus its driver over a staged panel. The block fn is pure
+/// pair-product accumulation — two pair-vector loads from the staged
+/// panel and `2 * R` accumulate ops per packed k-pair; columns stay in
+/// natural order, so the epilogue dequantises with a plain scale
+/// multiply, no permute. `$acc` selects plain `vpmaddwd`+`vpaddd` or
+/// VNNI.
+#[cfg(target_arch = "x86_64")]
+macro_rules! def_int8_avx512_inner {
+    ($rows:ident, $name:ident, $features:literal, $acc:ident) => {
+        /// # Safety
+        ///
+        /// Callers must ensure the feature set is available and the
+        /// scratch holds quantised weights, group scales and the staged
+        /// pair panel covering rows `o..o + R` and columns
+        /// `j0..j0 + 32` of this shape (`jl` is `j0` minus the panel
+        /// origin).
+        #[target_feature(enable = $features)]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $rows<const R: usize>(
+            s: &Scratch,
+            bias: *const f32,
+            out: *mut f32,
+            o: usize,
+            k_dim: usize,
+            n: usize,
+            j0: usize,
+            jl: usize,
+            group_scale: f32,
+        ) {
+            use core::arch::x86_64::*;
+            let kp = k_dim.div_ceil(2);
+            let wp = s.qap.as_ptr().add(o * kp);
+            let qb = s.qbp.as_ptr().add(jl);
+            let mut acc = [[_mm512_setzero_si512(); 2]; R];
+            for p in 0..kp {
+                let pair0 = _mm512_loadu_si512(qb.add(p * PANEL_COLS) as *const __m512i);
+                let pair1 = _mm512_loadu_si512(qb.add(p * PANEL_COLS + 16) as *const __m512i);
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let wv = _mm512_set1_epi32(*wp.add(r * kp + p) as i32);
+                    row[0] = $acc!(row[0], wv, pair0);
+                    row[1] = $acc!(row[1], wv, pair1);
+                }
+            }
+            for (r, row) in acc.iter().enumerate() {
+                let cs = _mm512_set1_ps(s.sa[o + r] * group_scale);
+                let bv = _mm512_set1_ps(*bias.add(o + r));
+                let op = out.add((o + r) * n + j0);
+                _mm512_storeu_ps(
+                    op,
+                    _mm512_add_ps(bv, _mm512_mul_ps(_mm512_cvtepi32_ps(row[0]), cs)),
+                );
+                _mm512_storeu_ps(
+                    op.add(16),
+                    _mm512_add_ps(bv, _mm512_mul_ps(_mm512_cvtepi32_ps(row[1]), cs)),
+                );
+            }
+        }
+
+        /// # Safety
+        ///
+        /// Callers must ensure the feature set is available and the
+        /// scratch holds quantised weights, group scales and the staged
+        /// pair panel for the column range `[c0, c1)` of exactly this
+        /// shape.
+        #[target_feature(enable = $features)]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $name(
+            s: &Scratch,
+            bias: &[f32],
+            out: &mut [f32],
+            m: usize,
+            k_dim: usize,
+            n: usize,
+            c0: usize,
+            c1: usize,
+        ) {
+            const W: usize = 32;
+            let (ip, op) = (bias.as_ptr(), out.as_mut_ptr());
+            for t in c0 / W..c1 / W {
+                let j0 = t * W;
+                let jl = j0 - c0;
+                let gs = s.sb[j0 / INT8_GROUP_COLS];
+                let mut o = 0usize;
+                while o + 8 <= m {
+                    $rows::<8>(s, ip, op, o, k_dim, n, j0, jl, gs);
+                    o += 8;
+                }
+                row_tail_dispatch!($rows, m - o, (s, ip, op, o, k_dim, n, j0, jl, gs));
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+def_int8_avx512_inner!(
+    int8_avx512_madd_rows,
+    int8_avx512_madd_inner,
+    "avx512f,avx512bw",
+    madd_acc_512
+);
+#[cfg(target_arch = "x86_64")]
+def_int8_avx512_inner!(
+    int8_avx512_vnni_rows,
+    int8_avx512_vnni_inner,
+    "avx512f,avx512bw,avx512vnni",
+    vnni_acc_512
+);
+
+/// One `R`-row x 16-column int8 block at ymm width reading the staged
+/// pair panel: pure `vpmaddwd` + `vpaddd` accumulation. `j0` addresses
+/// the output, `jl` the panel (`j0` minus the panel origin).
+///
+/// # Safety
+///
+/// Callers must ensure AVX2 is available and the scratch holds
+/// quantised weights, group scales and the staged pair panel covering
+/// rows `o..o + R` and columns `j0..j0 + 16` of this shape.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn int8_avx2_rows<const R: usize>(
+    s: &Scratch,
+    bias: *const f32,
+    out: *mut f32,
+    o: usize,
+    k_dim: usize,
+    n: usize,
+    j0: usize,
+    jl: usize,
+    group_scale: f32,
+) {
+    use core::arch::x86_64::*;
+    let kp = k_dim.div_ceil(2);
+    let wp = s.qap.as_ptr().add(o * kp);
+    let qb = s.qbp.as_ptr().add(jl);
+    let mut acc = [[_mm256_setzero_si256(); 2]; R];
+    for p in 0..kp {
+        let pair0 = _mm256_loadu_si256(qb.add(p * PANEL_COLS) as *const __m256i);
+        let pair1 = _mm256_loadu_si256(qb.add(p * PANEL_COLS + 8) as *const __m256i);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let wv = _mm256_set1_epi32(*wp.add(r * kp + p) as i32);
+            row[0] = _mm256_add_epi32(row[0], _mm256_madd_epi16(wv, pair0));
+            row[1] = _mm256_add_epi32(row[1], _mm256_madd_epi16(wv, pair1));
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let cs = _mm256_set1_ps(s.sa[o + r] * group_scale);
+        let bv = _mm256_set1_ps(*bias.add(o + r));
+        let op = out.add((o + r) * n + j0);
+        _mm256_storeu_ps(
+            op,
+            _mm256_add_ps(bv, _mm256_mul_ps(_mm256_cvtepi32_ps(row[0]), cs)),
+        );
+        _mm256_storeu_ps(
+            op.add(8),
+            _mm256_add_ps(bv, _mm256_mul_ps(_mm256_cvtepi32_ps(row[1]), cs)),
+        );
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure AVX2 is available and the scratch holds
+/// quantised weights, group scales and the staged pair panel for the
+/// column range `[c0, c1)` of exactly this shape.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn int8_avx2_inner(
+    s: &Scratch,
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+    c0: usize,
+    c1: usize,
+) {
+    const W: usize = 16;
+    let (ip, op) = (bias.as_ptr(), out.as_mut_ptr());
+    for t in c0 / W..c1 / W {
+        let j0 = t * W;
+        let jl = j0 - c0;
+        let gs = s.sb[j0 / INT8_GROUP_COLS];
+        let mut o = 0usize;
+        while o + 4 <= m {
+            int8_avx2_rows::<4>(s, ip, op, o, k_dim, n, j0, jl, gs);
+            o += 4;
+        }
+        row_tail_dispatch!(int8_avx2_rows, m - o, (s, ip, op, o, k_dim, n, j0, jl, gs));
+    }
+}
+
+/// int8 rung, AVX2 tier.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn gemm_bias_int8_avx2(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        quantise_a_into(a, m, k_dim, s);
+        s.sb.clear();
+        s.sbi.clear();
+        // Safety: dispatch guarantees AVX2.
+        unsafe {
+            let mut c0 = 0usize;
+            while c0 < n {
+                let c1 = (c0 + PANEL_COLS).min(n);
+                int8_b_scales_avx2_panel(b, k_dim, n, c0, c1, s);
+                int8_quantise_b_panel_avx2(b, k_dim, n, c0, c1, s);
+                int8_avx2_inner(s, bias, out, m, k_dim, n, c0, c1);
+                c0 = c1;
+            }
+        }
+        let tail = (n / 16) * 16;
+        if tail < n {
+            int8_cols_scalar(s, b, bias, out, m, k_dim, n, tail);
+        }
+    })
+}
+
+/// int8 rung, AVX-512 tier: fused zmm pair-product kernel when
+/// AVX-512BW is present (VNNI form when that is too), otherwise the
+/// AVX2 kernel — all paths produce identical bits.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn gemm_bias_int8_avx512(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx512f"));
+    if !std::arch::is_x86_feature_detected!("avx512bw") {
+        return gemm_bias_int8_avx2(a, b, bias, out, m, k_dim, n);
+    }
+    let vnni = std::arch::is_x86_feature_detected!("avx512vnni");
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        quantise_a_into(a, m, k_dim, s);
+        s.sb.clear();
+        s.sbi.clear();
+        // Safety: dispatch guarantees AVX-512F; BW/VNNI checked above.
+        unsafe {
+            let mut c0 = 0usize;
+            while c0 < n {
+                let c1 = (c0 + PANEL_COLS).min(n);
+                int8_b_scales_avx512_panel(b, k_dim, n, c0, c1, s);
+                int8_quantise_b_panel_avx512(b, k_dim, n, c0, c1, s);
+                if vnni {
+                    int8_avx512_vnni_inner(s, bias, out, m, k_dim, n, c0, c1);
+                } else {
+                    int8_avx512_madd_inner(s, bias, out, m, k_dim, n, c0, c1);
+                }
+                c0 = c1;
+            }
+        }
+        let tail = (n / 32) * 32;
+        if tail < n {
+            int8_cols_scalar(s, b, bias, out, m, k_dim, n, tail);
+        }
+    })
+}
+
+/// `true` when the tier has approximate-class kernels on this CPU.
+/// Scalar targets always qualify (the portable rung is the reference);
+/// AVX2/AVX-512 additionally need runtime FMA + F16C. SSE2 and NEON
+/// have no approximate kernels — there is no fused-multiply or f16
+/// conversion win to harvest there, and a rung that cannot be faster
+/// than exact would only blur the contract.
+pub(crate) fn approx_available(tier: crate::KernelTier) -> bool {
+    match tier {
+        crate::KernelTier::Portable => true,
+        #[cfg(target_arch = "x86_64")]
+        crate::KernelTier::Avx2 | crate::KernelTier::Avx512 => {
+            tier.is_supported()
+                && std::arch::is_x86_feature_detected!("fma")
+                && std::arch::is_x86_feature_detected!("f16c")
+        }
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// The approximate GEMM entry for `(tier, rung)`, or `None` when the
+/// combination has no kernel (the policy layer turns that into
+/// [`crate::KernelError::UnsupportedContract`]).
+pub(crate) fn approx_gemm_for(
+    tier: crate::KernelTier,
+    rung: crate::ApproxRung,
+) -> Option<crate::GemmBiasFn> {
+    if !approx_available(tier) {
+        return None;
+    }
+    match (tier, rung) {
+        (crate::KernelTier::Portable, crate::ApproxRung::Int8) => Some(gemm_bias_int8_portable),
+        (crate::KernelTier::Portable, crate::ApproxRung::F16) => Some(gemm_bias_f16_portable),
+        #[cfg(target_arch = "x86_64")]
+        (crate::KernelTier::Avx2, crate::ApproxRung::Int8) => Some(gemm_bias_int8_avx2),
+        #[cfg(target_arch = "x86_64")]
+        (crate::KernelTier::Avx512, crate::ApproxRung::Int8) => Some(gemm_bias_int8_avx512),
+        #[cfg(target_arch = "x86_64")]
+        (crate::KernelTier::Avx2, crate::ApproxRung::F16) => Some(gemm_bias_f16_avx2),
+        #[cfg(target_arch = "x86_64")]
+        (crate::KernelTier::Avx512, crate::ApproxRung::F16) => Some(gemm_bias_f16_avx512),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_hits_known_values() {
+        assert_eq!(f16_round(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(f16_round(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(f16_round(1.0), 1.0);
+        assert_eq!(f16_round(65504.0), 65504.0); // f16 max normal
+        assert_eq!(f16_round(65520.0), f32::INFINITY); // rounds past max
+        assert_eq!(f16_round(f32::powi(2.0, -14)), f32::powi(2.0, -14)); // min normal
+        assert_eq!(f16_round(f32::powi(2.0, -24)), f32::powi(2.0, -24)); // min subnormal
+        assert_eq!(f16_round(f32::powi(2.0, -26)), 0.0); // below half-min
+        assert!(f16_round(f32::NAN).is_nan());
+        assert_eq!(f16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_round_is_idempotent_and_bounded() {
+        for i in 0..10_000 {
+            let x = ((i as f32) * 0.137).sin() * 30.0;
+            let r = f16_round(x);
+            assert_eq!(f16_round(r).to_bits(), r.to_bits(), "idempotent at {x}");
+            // Normal-range relative error bound: half ULP of a 10-bit
+            // mantissa, i.e. 2^-11.
+            if x.abs() >= f32::powi(2.0, -14) {
+                assert!(
+                    (r - x).abs() <= x.abs() * f32::powi(2.0, -11),
+                    "rounding error at {x}: {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f16_round_matches_ties_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16
+        // (1 + 2^-10); ties-to-even keeps the even mantissa (1.0).
+        let halfway = 1.0 + f32::powi(2.0, -11);
+        assert_eq!(f16_round(halfway), 1.0);
+        // Just above the tie rounds up.
+        let above = 1.0 + f32::powi(2.0, -11) + f32::powi(2.0, -16);
+        assert_eq!(f16_round(above), 1.0 + f32::powi(2.0, -10));
+    }
+
+    #[test]
+    fn int8_rung_reproduces_its_documented_scheme() {
+        let (m, k_dim, n) = (3, 5, INT8_GROUP_COLS + 7);
+        let a: Vec<f32> = (0..m * k_dim).map(|i| ((i as f32) * 0.31).sin()).collect();
+        let b: Vec<f32> = (0..k_dim * n).map(|i| ((i as f32) * 0.17).cos()).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.25).collect();
+        let mut out = vec![0.0f32; m * n];
+        gemm_bias_int8_portable(&a, &b, &bias, &mut out, m, k_dim, n);
+        // Reference: the documented quantisation scheme, naive loops.
+        for r in 0..m {
+            let amax = a[r * k_dim..(r + 1) * k_dim]
+                .iter()
+                .fold(0.0f32, |acc, &x| acc.max(x.abs()));
+            let (sa, ia) = (int8_scale(amax), int8_inv_scale(amax));
+            for j in 0..n {
+                let g = j / INT8_GROUP_COLS;
+                let (j0, j1) = (g * INT8_GROUP_COLS, ((g + 1) * INT8_GROUP_COLS).min(n));
+                let mut bmax = 0.0f32;
+                for k in 0..k_dim {
+                    for &x in &b[k * n + j0..k * n + j1] {
+                        bmax = bmax.max(x.abs());
+                    }
+                }
+                let (sb, ib) = (int8_scale(bmax), int8_inv_scale(bmax));
+                let mut acc = 0i32;
+                for k in 0..k_dim {
+                    acc +=
+                        quantise(a[r * k_dim + k], ia) as i32 * quantise(b[k * n + j], ib) as i32;
+                }
+                let expect = bias[r] + acc as f32 * (sa * sb);
+                assert_eq!(out[r * n + j].to_bits(), expect.to_bits(), "({r},{j})");
+            }
+        }
+    }
+
+    /// The int8 rung's cross-tier bit-identity: every kernel shares the
+    /// elementwise quantiser and order-insensitive i32 accumulation, so
+    /// the portable reference and all SIMD tiers must agree exactly —
+    /// including odd k (pair padding), column tails and all-zero rows.
+    #[test]
+    fn int8_rung_is_bit_identical_across_tiers() {
+        for &(m, k_dim, n) in &[
+            (3usize, 5usize, INT8_GROUP_COLS + 7),
+            (8, 72, 2 * INT8_GROUP_COLS + 19),
+            (9, 7, 33),
+            (1, 1, 1),
+            (4, 2, INT8_GROUP_COLS),
+        ] {
+            let a: Vec<f32> = (0..m * k_dim)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        0.0
+                    } else {
+                        ((i as f32) * 0.31).sin() * 3.0
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..k_dim * n).map(|i| ((i as f32) * 0.17).cos()).collect();
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.25).collect();
+            let mut reference = vec![0.0f32; m * n];
+            gemm_bias_int8_portable(&a, &b, &bias, &mut reference, m, k_dim, n);
+            for tier in [crate::KernelTier::Avx2, crate::KernelTier::Avx512] {
+                let Some(kernel) = approx_gemm_for(tier, crate::ApproxRung::Int8) else {
+                    continue;
+                };
+                let mut out = vec![0.0f32; m * n];
+                kernel(&a, &b, &bias, &mut out, m, k_dim, n);
+                for (i, (&x, &y)) in reference.iter().zip(&out).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{tier:?} int8 diverged from portable at {i} (shape {m}x{k_dim}x{n})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The f16 x86 kernels must compute exactly
+    /// `sum_k f16(a) * f16(b) + bias` with f32/FMA accumulation — pin
+    /// them against a scalar f64 reference of the rounded operands
+    /// within the rung's analytic bound (FMA keeps it far inside).
+    #[test]
+    fn f16_kernels_track_the_rounded_reference() {
+        let (m, k_dim, n) = (9usize, 23usize, 37usize);
+        let a: Vec<f32> = (0..m * k_dim).map(|i| ((i as f32) * 0.77).sin()).collect();
+        let b: Vec<f32> = (0..k_dim * n).map(|i| ((i as f32) * 0.39).cos()).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.125).collect();
+        for tier in [
+            crate::KernelTier::Portable,
+            crate::KernelTier::Avx2,
+            crate::KernelTier::Avx512,
+        ] {
+            let Some(kernel) = approx_gemm_for(tier, crate::ApproxRung::F16) else {
+                continue;
+            };
+            let mut out = vec![0.0f32; m * n];
+            kernel(&a, &b, &bias, &mut out, m, k_dim, n);
+            for r in 0..m {
+                for j in 0..n {
+                    let mut acc = bias[r] as f64;
+                    let mut magnitude = 0.0f64;
+                    for k in 0..k_dim {
+                        let p = f16_round(a[r * k_dim + k]) as f64 * f16_round(b[k * n + j]) as f64;
+                        acc += p;
+                        magnitude += p.abs();
+                    }
+                    let tol = (magnitude * (k_dim as f64) * 2.0f64.powi(-22)).max(1e-6);
+                    assert!(
+                        ((out[r * n + j] as f64) - acc).abs() <= tol,
+                        "{tier:?} f16 off at ({r},{j}): {} vs {acc}",
+                        out[r * n + j]
+                    );
+                }
+            }
+        }
+    }
+}

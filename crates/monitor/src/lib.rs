@@ -64,6 +64,7 @@ pub mod bayes;
 pub mod calibration;
 pub mod metrics;
 pub mod monitor;
+pub mod precision;
 pub mod rule;
 pub mod tiledbayes;
 
@@ -74,5 +75,9 @@ pub use bayes::{
 pub use calibration::{evaluate_rule, select_tau, sweep_tau, CalibrationCase, OperatingPoint};
 pub use metrics::MonitorQuality;
 pub use monitor::{batch_seed, Monitor, MonitorConfig, MonitorReport, Verdict, BATCH_SEED_STRIDE};
+pub use precision::{crosscheck_tile, AuditPrecision, PrecisionOutcome};
 pub use rule::MonitorRule;
-pub use tiledbayes::{bayesian_segment_tiled, bayesian_segment_tiled_with_clock, TiledBayesStats};
+pub use tiledbayes::{
+    bayesian_segment_tiled, bayesian_segment_tiled_precise_with_clock,
+    bayesian_segment_tiled_with_clock, TiledBayesStats,
+};

@@ -35,13 +35,13 @@ use el_core::{
     RiskScreen,
 };
 use el_geom::{Point, Rect};
-use el_monitor::{batch_seed, Monitor, MonitorReport};
+use el_monitor::{batch_seed, AuditPrecision, Monitor, MonitorReport};
 use el_riskmap::{RiskMap, RiskMapConfig, RiskMapSnapshot, RiskObservation};
 use el_scene::Image;
 use el_seg::{segment_ws, MsdNet};
 use rayon::prelude::*;
 
-use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::admission::{AdmissionConfig, AdmissionControl, CostClass};
 use crate::session::{DriftConfig, FrameRequest, FrameTicket, Session, SessionId, SessionSummary};
 
 /// Clock driving the per-frame audit budget.
@@ -118,6 +118,13 @@ pub struct ServeConfig {
     /// audit regions into one shared map and screens each frame's
     /// candidates against it *before* verification.
     pub riskmap: Option<RiskSettings>,
+    /// The service-wide audit kernel-contract policy. Folded into the
+    /// pipeline's [`el_core::audit::AuditConfig`] at construction time
+    /// and validated there — a contract the host tier cannot honour is a
+    /// typed [`ServeError::InvalidConfig`], never a silent fallback.
+    /// Individual sessions may override it through
+    /// [`ElService::set_session_precision`].
+    pub precision: AuditPrecision,
 }
 
 impl ServeConfig {
@@ -131,6 +138,7 @@ impl ServeConfig {
             audit_clock: TickClock::Zero,
             max_inbox: 4,
             riskmap: None,
+            precision: AuditPrecision::exact(),
         }
     }
 
@@ -151,6 +159,7 @@ impl ServeConfig {
         if let Some(riskmap) = &self.riskmap {
             riskmap.validate()?;
         }
+        self.precision.validate()?;
         Ok(())
     }
 }
@@ -202,6 +211,9 @@ pub struct TickReport {
 /// coalesced verification batch.
 struct Proposal {
     ticket: FrameTicket,
+    /// The frame's effective audit precision (session override, else
+    /// the service policy) — the audit phase runs under this.
+    precision: AuditPrecision,
     clearance_px: f64,
     candidates: Vec<Candidate>,
     crops: Vec<Image>,
@@ -234,6 +246,11 @@ impl ElService {
     /// Returns [`ServeError::InvalidConfig`] if the configuration fails
     /// validation.
     pub fn try_new(net: Arc<MsdNet>, config: ServeConfig) -> Result<Self, ServeError> {
+        // The service-level precision policy is the single source of
+        // truth: fold it into the per-frame audit configuration *before*
+        // validation so the validated pipeline is the one that runs.
+        let mut config = config;
+        config.pipeline.audit.precision = config.precision;
         config.validate().map_err(ServeError::InvalidConfig)?;
         let monitor = Monitor::new(config.pipeline.monitor);
         let admission = AdmissionControl::new(config.admission);
@@ -326,6 +343,32 @@ impl ElService {
         self.sessions.get(&id)
     }
 
+    /// Sets (or with `None`, clears) one session's audit-precision
+    /// override. The override applies from the next tick onward; frames
+    /// of other sessions keep the service-wide policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if the precision fails
+    /// validation (including a contract the host tier cannot honour) and
+    /// [`ServeError::UnknownSession`] for a closed or unknown id — an
+    /// unsupported rung is a typed refusal, never a silent fallback.
+    pub fn set_session_precision(
+        &mut self,
+        id: SessionId,
+        precision: Option<AuditPrecision>,
+    ) -> Result<(), ServeError> {
+        if let Some(p) = &precision {
+            p.validate().map_err(ServeError::InvalidConfig)?;
+        }
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        session.set_precision(precision);
+        Ok(())
+    }
+
     /// Closes a session, returning its lifetime summary.
     pub fn close_session(&mut self, id: SessionId) -> Result<SessionSummary, ServeError> {
         self.sessions
@@ -386,7 +429,24 @@ impl ElService {
         }
         self.ticks += 1;
 
-        let admitted_n = self.admission.admit(requested);
+        // Cost-class each drained frame by its *effective* precision
+        // (session override, else the service policy): an approximate
+        // audit costs measurably less than an exact one, and admission
+        // predicts each frame at its own class's estimate.
+        let audit_enabled = self.config.pipeline.audit.enabled;
+        let default_precision = self.config.pipeline.audit.precision;
+        let classes: Vec<CostClass> = entries
+            .iter()
+            .map(|(session, _)| {
+                let p = session.precision().unwrap_or(default_precision);
+                if audit_enabled && !p.contract.is_exact() {
+                    CostClass::Approximate
+                } else {
+                    CostClass::Exact
+                }
+            })
+            .collect();
+        let admitted_n = self.admission.admit_classes(&classes);
         let refused: Vec<(&mut Session, FrameTicket)> = entries.split_off(admitted_n);
         let mut report = TickReport {
             requested,
@@ -455,6 +515,7 @@ impl ElService {
                     Vec::new()
                 };
                 let proposal = Proposal {
+                    precision: session.precision().unwrap_or(default_precision),
                     clearance_px: zone.clearance_px,
                     candidates,
                     crops,
@@ -520,10 +581,17 @@ impl ElService {
                         }
                         TickClock::Zero => Box::new(|| 0.0),
                     };
+                    // A per-session precision override swaps only the
+                    // audit's kernel contract; budget, tiling and seeds
+                    // are the service-wide configuration.
+                    let audit_config = el_core::audit::AuditConfig {
+                        precision: prop.precision,
+                        ..pipeline.audit
+                    };
                     Some(run_audit_with_clock(
                         net,
                         &prop.ticket.request.image,
-                        &pipeline.audit,
+                        &audit_config,
                         &pipeline.monitor.rule,
                         prop.ticket.seed,
                         &prop.priority,
@@ -603,8 +671,16 @@ impl ElService {
                 .add(report.deprioritized as u64);
         }
 
-        self.admission
-            .observe(report.admitted, t0.elapsed().as_secs_f64());
+        // Attribute the tick's wall time to the admitted frames by cost
+        // class so each class's EWMA tracks its own population.
+        let approx_admitted = classes[..report.admitted]
+            .iter()
+            .filter(|c| **c == CostClass::Approximate)
+            .count();
+        self.admission.observe_classes(
+            [report.admitted - approx_admitted, approx_admitted],
+            t0.elapsed().as_secs_f64(),
+        );
         metrics.serve_frames.add(report.admitted as u64);
         metrics.serve_refusals.add(report.refused as u64);
         metrics.serve_tick.record(sw);

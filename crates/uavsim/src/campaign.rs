@@ -210,23 +210,6 @@ impl Campaign {
         Ok(Campaign { config })
     }
 
-    /// Creates a campaign.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`CampaignConfig::validate`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Campaign::try_new`, which reports an invalid configuration \
-                as a typed error instead of panicking"
-    )]
-    pub fn new(config: CampaignConfig) -> Self {
-        match Self::try_new(config) {
-            Ok(c) => c,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// The configuration.
     pub fn config(&self) -> &CampaignConfig {
         &self.config
@@ -663,13 +646,6 @@ mod tests {
             "invalid campaign configuration: missions must be positive"
         );
         assert_eq!(err.detail(), "missions must be positive");
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid campaign configuration")]
-    #[allow(deprecated)]
-    fn deprecated_new_still_panics_with_the_old_message() {
-        let _ = Campaign::new(CampaignConfig::small_test(0));
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Audit contract-class bench: what the approximate kernel rungs buy
+//! the whole-frame audit sweep, measured end to end and recorded as a
+//! JSON bench snapshot (`BENCH_audit.json` format) for the CI
+//! bench-trend gate.
+//!
+//! ```text
+//! cargo run --release --example audit_bench -- --out BENCH_audit.json
+//! ```
+//!
+//! The run:
+//!
+//! 1. trains the small deterministic serve model (fixed seeds),
+//! 2. calibrates an [`AuditPrecision`] per approximate rung on crops of
+//!    the bench frame (the σ-inflation margin and divergence tolerance
+//!    come from measured quantisation error, not guesses),
+//! 3. times the *complete* audit sweep under the exact contract and
+//!    under each calibrated approximate rung (best of `--reps`),
+//! 4. reruns both under a wall-clock budget of half the exact sweep to
+//!    measure coverage-per-budget, the number the contract class
+//!    exists for.
+//!
+//! Flags:
+//!
+//! - `--seed <u64>` — frame/render seed (default 42).
+//! - `--side <px>` — frame side length (default 192).
+//! - `--reps <n>` — timing repetitions, best-of (default 5).
+//! - `--out <path>` — write the bench record as JSON.
+//! - `--check <path>` — compare against a committed bench record and
+//!   exit nonzero when an approximate rung's speedup over exact drops
+//!   below 75% of the baseline's, or when its coverage under the half
+//!   budget falls more than 5 points below the exact sweep's (the
+//!   coverage-per-budget promise).
+//!
+//! On a host (or forced `EL_FORCE_KERNEL` tier) without approximate
+//! kernels the run records the exact numbers, skips the rung gates and
+//! exits zero — absence of the rungs is a property of the tier, not a
+//! regression.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use certel::el_core::run_audit_with_clock;
+use certel::el_seg::data::image_to_tensor;
+use certel::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+struct Args {
+    seed: u64,
+    side: usize,
+    reps: usize,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        side: 192,
+        reps: 5,
+        out: None,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--side" => args.side = value("--side")?.parse().map_err(|e| format!("{e}"))?,
+            "--reps" => args.reps = value("--reps")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(value("--out")?),
+            "--check" => args.check = Some(value("--check")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.reps == 0 || args.side < 64 {
+        return Err("--reps must be positive and --side at least 64".into());
+    }
+    Ok(args)
+}
+
+/// One rung's measurements, `None` when the active tier lacks the rung.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct RungBench {
+    /// Complete-sweep wall time, milliseconds (best of reps).
+    sweep_ms: f64,
+    /// Speedup of the complete sweep over the exact contract.
+    speedup: f64,
+    /// Coverage reached under the half-exact wall-clock budget.
+    coverage_at_half_budget: f64,
+    /// Calibrated σ-inflation margin (recorded for trend visibility).
+    sigma_margin: f32,
+}
+
+/// The committed `BENCH_audit.json` schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AuditBench {
+    side: usize,
+    samples: usize,
+    tiles: usize,
+    /// Exact complete-sweep wall time, milliseconds (best of reps).
+    exact_ms: f64,
+    /// Exact coverage under the half-budget rerun (by construction
+    /// roughly 0.5, recorded so the approximate coverage has a
+    /// same-run denominator).
+    exact_coverage_at_half_budget: f64,
+    f16: Option<RungBench>,
+    int8: Option<RungBench>,
+}
+
+impl AuditBench {
+    fn check_against(&self, baseline: &AuditBench) -> Result<(), String> {
+        for (name, now, base) in [
+            ("f16", self.f16, baseline.f16),
+            ("int8", self.int8, baseline.int8),
+        ] {
+            let (Some(now), Some(base)) = (now, base) else {
+                println!("rung {name}: not present on both runs, gate skipped");
+                continue;
+            };
+            if now.speedup < base.speedup * 0.75 {
+                return Err(format!(
+                    "{name} sweep speedup regressed: {:.2}x vs baseline {:.2}x",
+                    now.speedup, base.speedup
+                ));
+            }
+            if now.coverage_at_half_budget + 0.05 < self.exact_coverage_at_half_budget {
+                return Err(format!(
+                    "{name} coverage-per-budget lost: {:.2} vs exact {:.2} at the same budget",
+                    now.coverage_at_half_budget, self.exact_coverage_at_half_budget
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn train_net() -> MsdNet {
+    let mut config = DatasetConfig::small(3);
+    config.n_train = 6;
+    config.n_test = 1;
+    config.n_ood = 1;
+    let dataset = Dataset::generate(&config);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    // The paper-default geometry (three branches, 16 channels, 32
+    // hidden units): the audit's reduced-precision suffix then runs the
+    // same GEMM shapes as the real monitor, which is what the contract
+    // class is priced on.
+    let net_cfg = MsdNetConfig::default_uavid();
+    let mut net = MsdNet::new(&net_cfg, &mut rng);
+    let train = TrainConfig {
+        steps: 600,
+        tile: 32,
+        lr: 3e-3,
+        class_weighted: true,
+        augment: false,
+        seed: 7,
+    };
+    Trainer::new(train).train(&mut net, &dataset);
+    net
+}
+
+fn audit_config() -> AuditConfig {
+    AuditConfig {
+        enabled: true,
+        budget_s: 1e9,
+        tile: 48,
+        margin: 8,
+        samples: 5,
+        min_region_px: 16,
+        precision: AuditPrecision::exact(),
+    }
+}
+
+/// Best-of-reps wall time of a complete sweep under `precision`.
+fn time_complete_sweep(
+    net: &MsdNet,
+    image: &certel::el_scene::Image,
+    precision: AuditPrecision,
+    seed: u64,
+    reps: usize,
+) -> (f64, certel::el_core::AuditReport) {
+    let config = audit_config().with_precision(precision);
+    let rule = MonitorRule::paper();
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = run_audit_with_clock(net, image, &config, &rule, seed, &[], || 0.0);
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert!(report.is_complete(), "unlimited budget must complete");
+        last = Some(report);
+    }
+    (best, last.expect("reps > 0"))
+}
+
+/// Coverage reached under a real wall-clock budget — best of three
+/// runs. A budgeted run is a single wall-clock race, so a scheduler
+/// stall mid-run costs tiles; the maximum over a few runs estimates
+/// what the budget buys when the box is not stalled, which is the
+/// number the gate should trend.
+fn coverage_at_budget(
+    net: &MsdNet,
+    image: &certel::el_scene::Image,
+    precision: AuditPrecision,
+    seed: u64,
+    budget_s: f64,
+) -> f64 {
+    let config = AuditConfig {
+        budget_s,
+        ..audit_config()
+    }
+    .with_precision(precision);
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = run_audit_with_clock(
+            net,
+            image,
+            &config,
+            &MonitorRule::paper(),
+            seed,
+            &[],
+            || start.elapsed().as_secs_f64(),
+        );
+        best = best.max(report.coverage());
+    }
+    best
+}
+
+fn calibration_crops(image: &certel::el_scene::Image) -> Vec<certel::el_nn::Tensor> {
+    let b = image.bounds();
+    [(0, 0), (b.w / 2 - 24, b.h / 2 - 24), (b.w - 48, b.h - 48)]
+        .into_iter()
+        .map(|(x, y)| {
+            image_to_tensor(&image.crop(Rect::new(x, y, 48, 48)).expect("crop in bounds"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("audit_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "audit_bench: {0}x{0} frame, seed {1}, best of {2}",
+        args.side, args.seed, args.reps
+    );
+    println!("training bench model (fixed seeds)...");
+    let net = train_net();
+    let mut params = SceneParams::default_urban();
+    params.width = args.side;
+    params.height = args.side;
+    let image = Scene::generate(&params, args.seed).render(&Conditions::nominal(), args.seed);
+
+    let (exact_s, exact_report) =
+        time_complete_sweep(&net, &image, AuditPrecision::exact(), args.seed, args.reps);
+    let half_budget = exact_s * 0.5;
+    let exact_cov = coverage_at_budget(
+        &net,
+        &image,
+        AuditPrecision::exact(),
+        args.seed,
+        half_budget,
+    );
+    println!(
+        "exact:   complete sweep {:.1} ms over {} tiles; coverage {:.0}% at half budget",
+        exact_s * 1e3,
+        exact_report.tiles_total(),
+        exact_cov * 100.0
+    );
+
+    let mut bench = AuditBench {
+        side: args.side,
+        samples: audit_config().samples,
+        tiles: exact_report.tiles_total(),
+        exact_ms: exact_s * 1e3,
+        exact_coverage_at_half_budget: exact_cov,
+        f16: None,
+        int8: None,
+    };
+
+    let crops = calibration_crops(&image);
+    for rung in [ApproxRung::F16, ApproxRung::Int8] {
+        if KernelPolicy::approximate(rung).resolve().is_err() {
+            println!(
+                "{}: not available on the active kernel tier, skipped",
+                rung.name()
+            );
+            continue;
+        }
+        let precision = AuditPrecision::calibrated(
+            &net,
+            &crops,
+            audit_config().samples,
+            args.seed,
+            rung,
+            MonitorRule::paper().sigma_factor,
+        )
+        .expect("rung resolves");
+        let (sweep_s, report) = time_complete_sweep(&net, &image, precision, args.seed, args.reps);
+        assert!(
+            !report.precision.fell_back,
+            "{}: calibrated tolerance must hold on the bench frame",
+            rung.name()
+        );
+        let coverage = coverage_at_budget(&net, &image, precision, args.seed, half_budget);
+        let entry = RungBench {
+            sweep_ms: sweep_s * 1e3,
+            speedup: exact_s / sweep_s,
+            coverage_at_half_budget: coverage,
+            sigma_margin: precision.sigma_margin,
+        };
+        println!(
+            "{}: complete sweep {:.1} ms ({:.2}x exact); coverage {:.0}% at half budget; σ-margin {:.2e}",
+            rung.name(),
+            entry.sweep_ms,
+            entry.speedup,
+            coverage * 100.0,
+            entry.sigma_margin
+        );
+        match rung {
+            ApproxRung::F16 => bench.f16 = Some(entry),
+            ApproxRung::Int8 => bench.int8 = Some(entry),
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let json = serde_json::to_string(&bench).expect("bench record serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("audit_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench record written to {path}");
+    }
+
+    if let Some(path) = &args.check {
+        let baseline: AuditBench = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("audit_bench: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = bench.check_against(&baseline) {
+            eprintln!("audit_bench: bench gate failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench gate passed");
+    }
+    ExitCode::SUCCESS
+}

@@ -197,6 +197,7 @@ fn serve_config(mode: RiskMode, drift: bool) -> ServeConfig {
             RiskMode::On => Some(el_serve::RiskSettings::fast_test()),
             RiskMode::Advisory => Some(el_serve::RiskSettings::advisory()),
         },
+        precision: el_serve::AuditPrecision::exact(),
     }
 }
 

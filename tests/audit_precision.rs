@@ -1,0 +1,535 @@
+//! Integration properties of the kernel **contract classes** and the
+//! approximate audit precision policy.
+//!
+//! These tests pin the precision PR's headline guarantees end to end:
+//!
+//! 1. **Exact is exact**: `Contract::Exact` resolved on *every* kernel
+//!    tier the host supports reproduces the portable reference GEMM bit
+//!    for bit over fuzzed shapes, and `AuditPrecision::exact()` leaves
+//!    the audit report byte-identical to the pre-precision audit.
+//! 2. **Bounded approximation**: the f16 and int8 GEMM rungs stay
+//!    within an analytically derived error bound over ~200 fuzzed
+//!    shapes — the bound follows the documented quantisation scheme
+//!    (per-row / per-[`INT8_GROUP_COLS`]-group symmetric scales,
+//!    round-to-nearest binary16), so a scheme change that widens the
+//!    error breaks the test.
+//! 3. **Escalate-only**: with a calibrated σ-inflation margin, every
+//!    tile the exact audit flags is also flagged by the approximate
+//!    audit, and the distilled advisory never downgrades.
+//! 4. **Strictly advisory at every precision**: landing decisions and
+//!    trials are bit-identical across audit-off, exact-audit and both
+//!    approximate-audit pipelines.
+//! 5. **Hard-fail fallback**: a divergence tolerance the cross-check
+//!    cannot meet forces the sweep back onto the exact path and the
+//!    resulting statistics are bit-identical to an exact run.
+//! 6. **Typed refusal in the service**: an invalid precision is a typed
+//!    `ServeError::InvalidConfig` at `try_new`/`set_session_precision`
+//!    time, and a per-session override never changes decisions.
+//!
+//! As in `tests/properties.rs`, properties run as seeded-RNG loops
+//! (no proptest in the build environment).
+
+use std::sync::Arc as StdArc;
+
+use certel::el_core::run_audit_with_clock;
+use certel::el_seg::data::image_to_tensor;
+use certel::prelude::*;
+use el_kernels::approx::{f16_round, INT8_GROUP_COLS};
+use el_kernels::gemm::gemm_bias_portable;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// `true` when the *active* tier offers `rung`. The active tier honours
+/// `EL_FORCE_KERNEL`, so CI's forced-sse2 matrix leg (a tier with no
+/// approximate kernels, by design) skips the approximate-path tests
+/// here instead of failing them. The dedicated forced-approximate CI
+/// leg sets `EL_REQUIRE_APPROX`, which turns a would-be skip into a
+/// failure — a green leg then proves the approximate contract actually
+/// executed, rather than every test having quietly skipped itself.
+fn rung_available(rung: ApproxRung) -> bool {
+    let ok = KernelPolicy::approximate(rung).resolve().is_ok();
+    if !ok && std::env::var_os("EL_REQUIRE_APPROX").is_some() {
+        panic!(
+            "EL_REQUIRE_APPROX is set but rung {} is unavailable on the active tier",
+            rung.name()
+        );
+    }
+    ok
+}
+
+fn tiny_net(seed: u64) -> MsdNet {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    MsdNet::new(&MsdNetConfig::tiny(), &mut r)
+}
+
+fn scene_image(seed: u64, w: usize, h: usize) -> certel::el_scene::Image {
+    let mut p = SceneParams::small();
+    p.width = w;
+    p.height = h;
+    Scene::generate(&p, seed).render(&Conditions::nominal(), seed)
+}
+
+fn random_f32s(rng: &mut ChaCha8Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect()
+}
+
+fn random_shape(rng: &mut ChaCha8Rng, case: usize) -> (usize, usize, usize) {
+    let m = 1 + (rng.next_u32() % 12) as usize;
+    let k = 1 + (rng.next_u32() % 96) as usize;
+    // Column counts biased toward the int8 rung's group boundary and
+    // the SIMD kernels' remainder paths.
+    let n = match case % 4 {
+        0 => 1 + (rng.next_u32() % 8) as usize,
+        1 => INT8_GROUP_COLS - 1 + (rng.next_u32() % 3) as usize,
+        2 => INT8_GROUP_COLS * (1 + (rng.next_u32() % 2) as usize),
+        _ => 1 + (rng.next_u32() % 160) as usize,
+    };
+    (m, k, n)
+}
+
+/// `Contract::Exact` resolved on every supported tier is the exact
+/// ladder: no approximate kernel is attached and the dispatched GEMM
+/// reproduces the portable reference bit for bit.
+#[test]
+fn exact_contract_is_bit_identical_on_every_supported_tier() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE8AC_7001);
+    for tier in KernelTier::supported() {
+        let resolved = KernelPolicy::exact()
+            .with_tier(tier)
+            .resolve()
+            .expect("exact contract resolves on every supported tier");
+        assert!(resolved.contract().is_exact());
+        assert!(!resolved.is_approximate());
+        assert_eq!(resolved.tier(), tier);
+        for case in 0..40 {
+            let (m, k, n) = random_shape(&mut rng, case);
+            let a = random_f32s(&mut rng, m * k);
+            let b = random_f32s(&mut rng, k * n);
+            let bias = random_f32s(&mut rng, m);
+            let mut expect = vec![0.0f32; m * n];
+            gemm_bias_portable(&a, &b, &bias, &mut expect, m, k, n);
+            let mut out = vec![f32::NAN; m * n];
+            resolved.gemm_bias(&a, &b, &bias, &mut out, m, k, n);
+            let expect_bits: Vec<u32> = expect.iter().map(|x| x.to_bits()).collect();
+            let out_bits: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(
+                out_bits,
+                expect_bits,
+                "{} exact GEMM diverges on {m}x{k}x{n}",
+                tier.name()
+            );
+        }
+    }
+}
+
+/// Analytic error bound of the f16 rung for one output element:
+/// rounding each operand to binary16 perturbs it by at most one half
+/// ulp (relative `2^-11`), and the f32/FMA accumulation adds at most a
+/// relative `2^-24` per partial sum.
+fn f16_bound(a_row: &[f32], b_col: impl Iterator<Item = f32>, k: usize) -> f64 {
+    let s: f64 = a_row
+        .iter()
+        .zip(b_col)
+        .map(|(&x, y)| (x.abs() as f64) * (y.abs() as f64))
+        .sum();
+    // Two operand roundings (≤ 2^-11 relative each) plus accumulation.
+    1.5 * s * (2f64.powi(-10) + k as f64 * 2f64.powi(-23)) + 1e-5
+}
+
+/// The approximate GEMM rungs stay within their analytic error bounds
+/// over fuzzed shapes — on every tier that offers them.
+#[test]
+fn approximate_rungs_stay_within_analytic_error_bounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA990_0F16);
+    for rung in [ApproxRung::F16, ApproxRung::Int8] {
+        let resolved: Vec<_> = KernelTier::supported()
+            .into_iter()
+            .filter_map(|t| KernelPolicy::approximate(rung).with_tier(t).resolve().ok())
+            .collect();
+        assert!(
+            !resolved.is_empty(),
+            "the portable tier always offers rung {}",
+            rung.name()
+        );
+        for case in 0..100 {
+            let (m, k, n) = random_shape(&mut rng, case);
+            let a = random_f32s(&mut rng, m * k);
+            let b = random_f32s(&mut rng, k * n);
+            let bias = random_f32s(&mut rng, m);
+            // Exact reference in f64.
+            let mut exact = vec![0.0f64; m * n];
+            for r in 0..m {
+                for j in 0..n {
+                    let mut acc = bias[r] as f64;
+                    for kk in 0..k {
+                        acc += a[r * k + kk] as f64 * b[kk * n + j] as f64;
+                    }
+                    exact[r * n + j] = acc;
+                }
+            }
+            // Reconstruct the documented quantisation scales for the
+            // int8 bound: per-row for `a`, per-column-group for `b`.
+            let sa: Vec<f64> = (0..m)
+                .map(|r| {
+                    let amax = a[r * k..(r + 1) * k]
+                        .iter()
+                        .fold(0.0f32, |acc, &x| acc.max(x.abs()));
+                    if amax > 0.0 {
+                        amax as f64 / 127.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let groups = n.div_ceil(INT8_GROUP_COLS).max(1);
+            let sb: Vec<f64> = (0..groups)
+                .map(|g| {
+                    let j0 = g * INT8_GROUP_COLS;
+                    let j1 = (j0 + INT8_GROUP_COLS).min(n);
+                    let mut amax = 0.0f32;
+                    for kk in 0..k {
+                        for j in j0..j1 {
+                            amax = amax.max(b[kk * n + j].abs());
+                        }
+                    }
+                    if amax > 0.0 {
+                        amax as f64 / 127.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            for kernels in &resolved {
+                let mut out = vec![f32::NAN; m * n];
+                kernels.gemm_bias(&a, &b, &bias, &mut out, m, k, n);
+                for r in 0..m {
+                    for j in 0..n {
+                        let got = out[r * n + j] as f64;
+                        let want = exact[r * n + j];
+                        let bound = match rung {
+                            ApproxRung::F16 => {
+                                f16_bound(&a[r * k..(r + 1) * k], (0..k).map(|kk| b[kk * n + j]), k)
+                            }
+                            ApproxRung::Int8 => {
+                                let sg = sb[j / INT8_GROUP_COLS];
+                                let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+                                for kk in 0..k {
+                                    sum_a += a[r * k + kk].abs() as f64;
+                                    sum_b += b[kk * n + j].abs() as f64;
+                                }
+                                // Quantisation error ≤ half a step per
+                                // operand element; i32 accumulation is
+                                // exact, the epilogue rounds once.
+                                1.5 * (0.5 * sg * sum_a
+                                    + 0.5 * sa[r] * sum_b
+                                    + 0.25 * k as f64 * sa[r] * sg)
+                                    + 1e-5
+                            }
+                        };
+                        assert!(
+                            (got - want).abs() <= bound,
+                            "{} rung {} out of bound on {m}x{k}x{n}: |{got} - {want}| > {bound}",
+                            kernels.tier().name(),
+                            rung.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Sanity-pin the f16 rounding helper the bound leans on.
+    assert_eq!(f16_round(1.0), 1.0);
+    assert_eq!(f16_round(0.1f32).to_bits(), 0.099975586f32.to_bits());
+}
+
+/// On every architecture at least one supported tier has no approximate
+/// kernels (sse2/neon, by design): asking it for one must be the typed
+/// [`KernelError::UnsupportedContract`] — never a silent downgrade to
+/// exact, and never a silent downgrade to a lower tier that would hide
+/// which kernels actually ran.
+#[test]
+fn unsupported_contract_is_a_typed_refusal() {
+    let mut saw_refusal = false;
+    for tier in KernelTier::supported() {
+        for rung in [ApproxRung::F16, ApproxRung::Int8] {
+            match KernelPolicy::approximate(rung).with_tier(tier).resolve() {
+                Ok(resolved) => {
+                    assert!(resolved.is_approximate());
+                    assert_eq!(resolved.tier(), tier);
+                }
+                Err(KernelError::UnsupportedContract { tier: t, rung: r }) => {
+                    assert_eq!((t, r), (tier, rung));
+                    saw_refusal = true;
+                }
+                Err(other) => panic!("unexpected error class: {other}"),
+            }
+        }
+    }
+    assert!(
+        saw_refusal,
+        "every host has at least one supported tier without approximate rungs"
+    );
+    // The same refusal surfaces as a typed config error end to end:
+    // on a host (or forced-tier CI leg) without the rung, validation
+    // of an approximate precision refuses rather than downgrades.
+    if !rung_available(ApproxRung::F16) {
+        let p = AuditPrecision::approximate(ApproxRung::F16);
+        assert!(p.validate().is_err(), "validate must refuse, not downgrade");
+    }
+}
+
+fn calibration_crops(image: &certel::el_scene::Image) -> Vec<certel::el_nn::Tensor> {
+    let mut crops = Vec::new();
+    for (x, y) in [(0, 0), (16, 8), (24, 16)] {
+        let rect = Rect::new(x, y, 32, 32).intersect(image.bounds());
+        crops.push(image_to_tensor(&image.crop(rect).expect("crop in bounds")));
+    }
+    crops
+}
+
+/// With a margin calibrated on crops of the frame itself, every tile
+/// the exact audit flags is flagged by the approximate audit too, and
+/// the distilled advisory never downgrades: the approximate contract
+/// can only escalate.
+#[test]
+fn approximate_audit_never_downgrades_exact_warnings() {
+    let net = tiny_net(11);
+    let image = scene_image(71, 56, 48);
+    let rule = MonitorRule::paper();
+    let config = AuditConfig::fast_test();
+    for rung in [ApproxRung::F16, ApproxRung::Int8] {
+        if !rung_available(rung) {
+            eprintln!(
+                "skipping rung {}: unavailable on the active tier",
+                rung.name()
+            );
+            continue;
+        }
+        let precision = AuditPrecision::calibrated(
+            &net,
+            &calibration_crops(&image),
+            config.samples,
+            0xCA11,
+            rung,
+            rule.sigma_factor,
+        )
+        .expect("host offers both rungs");
+        precision
+            .validate()
+            .expect("calibrated precision validates");
+        let exact = run_audit_with_clock(&net, &image, &config, &rule, 42, &[], || 0.0);
+        let approx = run_audit_with_clock(
+            &net,
+            &image,
+            &config.with_precision(precision),
+            &rule,
+            42,
+            &[],
+            || 0.0,
+        );
+        assert!(exact.is_complete() && approx.is_complete());
+        assert_eq!(approx.precision.contract, Contract::Approximate(rung));
+        assert!(
+            !approx.precision.fell_back,
+            "calibrated tolerance must hold on the calibration frame"
+        );
+        assert_eq!(exact.tile_stats.len(), approx.tile_stats.len());
+        for (e, a) in exact.tile_stats.iter().zip(&approx.tile_stats) {
+            assert_eq!(e.rect, a.rect);
+            assert!(
+                a.warning_fraction >= e.warning_fraction,
+                "rung {}: tile {:?} downgraded ({} < {})",
+                rung.name(),
+                e.rect,
+                a.warning_fraction,
+                e.warning_fraction
+            );
+        }
+        assert!(approx.warning_fraction >= exact.warning_fraction);
+        let exact_grade = AuditAdvisory::classify(exact.coverage(), exact.warning_fraction);
+        let approx_grade = AuditAdvisory::classify_with_margin(
+            approx.coverage(),
+            approx.warning_fraction,
+            approx.precision.sigma_margin as f64,
+        );
+        assert!(approx_grade >= exact_grade, "advisory downgraded");
+    }
+}
+
+/// The audit is strictly advisory at every precision: decisions, trials
+/// and predictions are bit-identical across audit-off, exact-audit and
+/// both approximate-audit pipelines.
+#[test]
+fn decisions_are_bit_identical_across_audit_precisions() {
+    let mut r = ChaCha8Rng::seed_from_u64(0xDEC1_5109);
+    let precisions: Vec<(&str, Option<AuditPrecision>)> = vec![
+        ("exact", Some(AuditPrecision::exact())),
+        ("f16", Some(AuditPrecision::approximate(ApproxRung::F16))),
+        ("int8", Some(AuditPrecision::approximate(ApproxRung::Int8))),
+    ];
+    for case in 0..3u64 {
+        let image = scene_image(80 + case, 52, 44);
+        let seed = r.gen::<u64>();
+        let mut plain =
+            ElPipeline::try_new(tiny_net(case), PipelineConfig::fast_test()).expect("valid config");
+        let baseline = plain.run(&image, seed);
+        assert!(baseline.audit.is_none());
+        for (name, precision) in &precisions {
+            if let Some(rung) = precision.unwrap().contract.rung() {
+                if !rung_available(rung) {
+                    continue;
+                }
+            }
+            let audit = AuditConfig::fast_test().with_precision(precision.unwrap());
+            let mut audited = ElPipeline::try_new(
+                tiny_net(case),
+                PipelineConfig::fast_test().with_audit(audit),
+            )
+            .expect("valid config");
+            let outcome = audited.run(&image, seed);
+            assert_eq!(baseline.decision, outcome.decision, "case {case} {name}");
+            assert_eq!(baseline.trials, outcome.trials, "case {case} {name}");
+            assert_eq!(baseline.predicted, outcome.predicted, "case {case} {name}");
+            let report = outcome.audit.expect("audit attached");
+            assert_eq!(report.precision.contract, precision.unwrap().contract);
+        }
+    }
+}
+
+/// A divergence tolerance the cross-check can never meet trips the
+/// hard-fail on the first cross-checked tile: the whole sweep falls
+/// back to the exact path and its statistics are bit-identical to an
+/// exact-precision run.
+#[test]
+fn forced_divergence_falls_back_to_the_exact_path() {
+    if !rung_available(ApproxRung::Int8) {
+        eprintln!("skipping: int8 rung unavailable on the active tier");
+        return;
+    }
+    let net = tiny_net(5);
+    let image = scene_image(90, 48, 40);
+    let rule = MonitorRule::paper();
+    let config = AuditConfig::fast_test();
+    let exact = run_audit_with_clock(&net, &image, &config, &rule, 7, &[], || 0.0);
+    // Bypasses `validate()` deliberately: a negative tolerance is the
+    // one value even a losslessly-quantised tile cannot satisfy.
+    let poisoned = AuditPrecision {
+        divergence_tolerance: -1.0,
+        crosscheck_fraction: 1.0,
+        ..AuditPrecision::approximate(ApproxRung::Int8)
+    };
+    let report = run_audit_with_clock(
+        &net,
+        &image,
+        &config.with_precision(poisoned),
+        &rule,
+        7,
+        &[],
+        || 0.0,
+    );
+    assert!(report.precision.fell_back, "fallback must trip");
+    assert_eq!(report.precision.tiles_approx, 0);
+    assert_eq!(report.precision.tiles_crosschecked, 1);
+    assert_eq!(
+        report.precision.tiles_fallback as usize,
+        report.tiles_verified()
+    );
+    // Every tile ran the exact path — the sweep statistics match an
+    // exact run bit for bit (the σ-margin still shifts the warning
+    // rule, which may only add warnings).
+    let bits = |t: &certel::el_nn::Tensor| -> Vec<u32> {
+        t.as_slice().iter().map(|x| x.to_bits()).collect()
+    };
+    assert_eq!(
+        bits(&report.tiled.stats.mean),
+        bits(&exact.tiled.stats.mean)
+    );
+    assert_eq!(bits(&report.tiled.stats.std), bits(&exact.tiled.stats.std));
+    for (e, a) in exact.tile_stats.iter().zip(&report.tile_stats) {
+        assert_eq!(e.rect, a.rect);
+        assert!(a.warning_fraction >= e.warning_fraction);
+    }
+}
+
+/// Service-level precision policy: invalid precisions are typed
+/// refusals at construction and override time, and a per-session
+/// approximate override never changes that session's decisions.
+#[test]
+fn serve_precision_policy_is_typed_and_advisory() {
+    if !rung_available(ApproxRung::F16) || !rung_available(ApproxRung::Int8) {
+        eprintln!("skipping: approximate rungs unavailable on the active tier");
+        return;
+    }
+    let net = StdArc::new(tiny_net(3));
+    let audited = |precision: AuditPrecision| certel::el_serve::ServeConfig {
+        pipeline: PipelineConfig::fast_test().with_audit(AuditConfig::fast_test()),
+        precision,
+        ..certel::el_serve::ServeConfig::fast_test()
+    };
+    // An out-of-range precision is rejected with a typed error.
+    let bad = AuditPrecision {
+        crosscheck_fraction: -0.5,
+        ..AuditPrecision::approximate(ApproxRung::F16)
+    };
+    match ElService::try_new(net.clone(), audited(bad)) {
+        Err(certel::el_serve::ServeError::InvalidConfig(_)) => {}
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // The service folds its precision into the per-frame audit config.
+    let service = ElService::try_new(
+        net.clone(),
+        audited(AuditPrecision::approximate(ApproxRung::F16)),
+    )
+    .expect("valid approximate service");
+    assert_eq!(
+        service.config().pipeline.audit.precision.contract,
+        Contract::Approximate(ApproxRung::F16)
+    );
+
+    // Run the same two streams through an all-exact service and one
+    // where stream 1 overrides to the int8 rung: decisions per session
+    // must be bit-identical (the audit never feeds back).
+    let frames = 3usize;
+    let run = |override_precision: Option<AuditPrecision>| -> Vec<String> {
+        let mut service = ElService::try_new(net.clone(), audited(AuditPrecision::exact()))
+            .expect("valid exact service");
+        let ids: Vec<_> = (0..2).map(|s| service.open_session(1000 + s)).collect();
+        assert!(matches!(
+            service.set_session_precision(999, None),
+            Err(certel::el_serve::ServeError::UnknownSession(999))
+        ));
+        assert!(matches!(
+            service.set_session_precision(ids[1], Some(bad)),
+            Err(certel::el_serve::ServeError::InvalidConfig(_))
+        ));
+        service
+            .set_session_precision(ids[1], override_precision)
+            .expect("valid override");
+        assert_eq!(
+            service.session(ids[1]).unwrap().precision(),
+            override_precision
+        );
+        for f in 0..frames {
+            for (s, &id) in ids.iter().enumerate() {
+                let image = scene_image(200 + (s * frames + f) as u64, 40, 36);
+                let accepted = service
+                    .submit(
+                        id,
+                        certel::el_serve::FrameRequest {
+                            image,
+                            wind_mps: 0.0,
+                        },
+                    )
+                    .expect("open session");
+                assert!(accepted);
+            }
+            service.tick();
+        }
+        ids.iter()
+            .map(|&id| service.session(id).unwrap().decision_fp())
+            .collect()
+    };
+    let plain = run(None);
+    let overridden = run(Some(AuditPrecision::approximate(ApproxRung::Int8)));
+    assert_eq!(plain, overridden, "a precision override changed decisions");
+}

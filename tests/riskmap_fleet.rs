@@ -89,6 +89,7 @@ fn run_fleet(net: StdArc<MsdNet>, riskmap: Option<RiskSettings>) -> FleetResult 
         audit_clock: TickClock::Zero,
         max_inbox: FRAMES,
         riskmap,
+        precision: el_serve::AuditPrecision::exact(),
     };
     let mut service = ElService::try_new(net, config).expect("valid serve config");
     let mut load = LoadConfig::smoke(STREAMS, FRAMES, BASE_SEED);

@@ -102,6 +102,7 @@ fn run_service(
         audit_clock: TickClock::Zero,
         max_inbox: FRAMES,
         riskmap: None,
+        precision: el_serve::AuditPrecision::exact(),
     };
     let mut service = ElService::try_new(net, config).expect("valid serve config");
     let streams = generate_streams(&LoadConfig::smoke(STREAMS, FRAMES, BASE_SEED));
@@ -172,6 +173,7 @@ fn coalesced_batching_matches_solo_pipelines() {
         audit_clock: TickClock::Zero,
         max_inbox: FRAMES,
         riskmap: None,
+        precision: el_serve::AuditPrecision::exact(),
     };
     let mut service = ElService::try_new(net.clone(), serve_config).expect("valid serve config");
     let ids: Vec<_> = streams
